@@ -1,0 +1,108 @@
+// Command muraquery runs a UCRPQ against a TSV triple graph with the
+// Dist-µ-RA engine.
+//
+// Usage:
+//
+//	muraquery -graph yago.tsv -query "?x <- ?x (actedIn/-actedIn)+ Kevin_Bacon"
+//	muraquery -graph g.tsv -query "..." -plan gld -workers 8 -transport tcp
+//	muraquery -graph g.tsv -query "..." -explain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	distmura "repro"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "TSV triple file (src<TAB>pred<TAB>trg)")
+		query     = flag.String("query", "", "UCRPQ, e.g. \"?x,?y <- ?x knows+ ?y\"")
+		plan      = flag.String("plan", "auto", "fixpoint plan: auto | gld | splw | pgplw")
+		workers   = flag.Int("workers", 4, "number of workers")
+		transport = flag.String("transport", "chan", "data plane: chan | tcp")
+		limit     = flag.Int("limit", 20, "max rows to print (0 = all)")
+		explain   = flag.Bool("explain", false, "show the optimizer's plan choice instead of executing")
+		noopt     = flag.Bool("no-optimize", false, "run the naive translation")
+	)
+	flag.Parse()
+	if *graphPath == "" || *query == "" {
+		fmt.Fprintln(os.Stderr, "muraquery: -graph and -query are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := distmura.Options{Workers: *workers}
+	if *transport == "tcp" {
+		opts.Transport = distmura.TransportTCP
+	}
+	eng, err := distmura.Open(opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := eng.LoadTSV(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	f.Close()
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "loaded %d triples, %d predicates\n", st.Triples, len(st.Predicates))
+
+	if *explain {
+		ex, err := eng.Explain(*query)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("query:      %s\n", ex.Query)
+		fmt.Printf("plan space: %d logical plans\n", ex.PlanSpace)
+		fmt.Printf("best cost:  %.4g\n", ex.BestCost)
+		fmt.Printf("best plan:  %s\n", ex.Best)
+		for _, a := range ex.Alternates {
+			fmt.Printf("  alt: %s\n", a)
+		}
+		return
+	}
+
+	var qopts []distmura.QueryOption
+	switch *plan {
+	case "gld":
+		qopts = append(qopts, distmura.WithPlan(distmura.PlanGld))
+	case "splw":
+		qopts = append(qopts, distmura.WithPlan(distmura.PlanSplw))
+	case "pgplw":
+		qopts = append(qopts, distmura.WithPlan(distmura.PlanPgplw))
+	}
+	if *noopt {
+		qopts = append(qopts, distmura.WithoutOptimization())
+	}
+	res, err := eng.Query(*query, qopts...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%v\n", res.Columns)
+	for i, row := range res.Rows {
+		if *limit > 0 && i >= *limit {
+			fmt.Printf("… (%d more rows)\n", len(res.Rows)-*limit)
+			break
+		}
+		fmt.Printf("%v\n", row)
+	}
+	s := res.Stats
+	fmt.Fprintf(os.Stderr,
+		"rows=%d time=%.3fs plan=%s partitioned=%v iterations=%d shuffles=%d shuffled_records=%d network_bytes=%d plan_space=%d\n",
+		len(res.Rows), s.Seconds, s.Plan, s.Partitioned, s.Iterations,
+		s.ShufflePhases, s.ShuffleRecords, s.NetworkBytes, s.PlanSpace)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "muraquery:", err)
+	os.Exit(1)
+}

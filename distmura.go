@@ -1,0 +1,390 @@
+// Package distmura is a Go implementation of Dist-µ-RA (Chlyah, Genevès,
+// Layaïda — "Distributed Evaluation of Graph Queries using Recursive
+// Relational Algebra", ICDE 2025): a distributed engine for recursive
+// graph queries built on the µ-RA recursive relational algebra.
+//
+// The engine accepts UCRPQ queries (unions of conjunctions of regular path
+// queries, e.g. "?x <- ?x isMarriedTo/livesIn/IsL+/dw+ Argentina"),
+// translates them to µ-RA, explores the space of equivalent logical plans
+// with the fixpoint-specific rewrite rules of the paper (pushing filters,
+// joins and anti-projections into fixpoints, merging and reversing
+// fixpoints), selects the cheapest plan with a Selinger-style cost model,
+// and evaluates it on a driver/worker dataflow cluster using the paper's
+// parallel-local-loops strategy: the fixpoint's constant part is split
+// across workers — by a stable column whenever one exists, making the
+// local results provably disjoint — and every worker runs its whole
+// recursion locally with zero data exchange per iteration.
+//
+// Basic usage:
+//
+//	eng, _ := distmura.Open(distmura.Options{Workers: 4})
+//	defer eng.Close()
+//	eng.AddTriple("alice", "knows", "bob")
+//	eng.AddTriple("bob", "knows", "carol")
+//	res, _ := eng.Query("?x,?y <- ?x knows+ ?y")
+//	for _, row := range res.Rows { fmt.Println(row) }
+package distmura
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graphgen"
+	"repro/internal/physical"
+	"repro/internal/rewrite"
+	"repro/internal/rpq"
+	"repro/internal/ucrpq"
+)
+
+// edgeRel is the name the triple relation is bound to in µ-RA terms.
+const edgeRel = "G"
+
+// Transport selects how workers exchange data.
+type Transport int
+
+const (
+	// TransportChan keeps the data plane on in-process channels (default).
+	TransportChan Transport = iota
+	// TransportTCP moves all shuffles, broadcasts and collects over real
+	// loopback TCP sockets.
+	TransportTCP
+)
+
+// Plan selects the physical strategy for fixpoints.
+type Plan int
+
+const (
+	// PlanAuto applies the paper's §III-D heuristic between PlanSplw and
+	// PlanPgplw.
+	PlanAuto Plan = iota
+	// PlanGld is the global-loop-on-driver baseline (one shuffle per
+	// fixpoint iteration).
+	PlanGld
+	// PlanSplw runs parallel local loops with broadcast joins and
+	// partition-wise set operations.
+	PlanSplw
+	// PlanPgplw runs parallel local loops inside each worker's embedded
+	// indexed engine (the PostgreSQL analog).
+	PlanPgplw
+)
+
+func (p Plan) String() string {
+	switch p {
+	case PlanGld:
+		return "Pgld"
+	case PlanSplw:
+		return "Ps_plw"
+	case PlanPgplw:
+		return "Ppg_plw"
+	default:
+		return "auto"
+	}
+}
+
+func (p Plan) kind() physical.Kind {
+	switch p {
+	case PlanGld:
+		return physical.Gld
+	case PlanSplw:
+		return physical.Splw
+	case PlanPgplw:
+		return physical.Pgplw
+	default:
+		return physical.Auto
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the number of worker nodes (default 4).
+	Workers int
+	// Transport selects the data plane (default in-process channels).
+	Transport Transport
+	// MaxPlans caps the logical plan space the rewriter explores
+	// (default 96).
+	MaxPlans int
+	// TaskMemRows is the per-task memory budget (rows) driving the
+	// Ppg/Ps heuristic (default 1<<20).
+	TaskMemRows int
+}
+
+// Engine is a Dist-µ-RA instance: a labeled graph plus a worker cluster.
+type Engine struct {
+	opts  Options
+	graph *graphgen.Graph
+	clust *cluster.Cluster
+}
+
+// Open starts an engine with an empty graph.
+func Open(opts Options) (*Engine, error) {
+	kind := cluster.TransportChan
+	if opts.Transport == TransportTCP {
+		kind = cluster.TransportTCP
+	}
+	c, err := cluster.New(cluster.Config{
+		Workers:     opts.Workers,
+		Transport:   kind,
+		TaskMemRows: opts.TaskMemRows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{opts: opts, graph: graphgen.NewGraph("db"), clust: c}, nil
+}
+
+// Close releases the cluster.
+func (e *Engine) Close() error { return e.clust.Close() }
+
+// AddTriple inserts one labeled edge.
+func (e *Engine) AddTriple(src, pred, trg string) { e.graph.Add(src, pred, trg) }
+
+// LoadTSV bulk-loads "src<TAB>pred<TAB>trg" lines.
+func (e *Engine) LoadTSV(r io.Reader) error {
+	g, err := graphgen.ReadTSV(r, e.graph.Name)
+	if err != nil {
+		return err
+	}
+	e.graph = g
+	return nil
+}
+
+// UseGraph replaces the engine's graph with a pre-built one (generator
+// output).
+func (e *Engine) UseGraph(g *graphgen.Graph) { e.graph = g }
+
+// Graph exposes the underlying graph (advanced use).
+func (e *Engine) Graph() *graphgen.Graph { return e.graph }
+
+// GraphStats summarizes the loaded data.
+type GraphStats struct {
+	Triples    int
+	Predicates map[string]int
+}
+
+// Stats returns graph statistics.
+func (e *Engine) Stats() GraphStats {
+	return GraphStats{Triples: e.graph.Edges(), Predicates: e.graph.PredCounts()}
+}
+
+// QueryStats describes how a query ran.
+type QueryStats struct {
+	Seconds        float64
+	PlanSpace      int    // logical plans explored
+	Plan           string // physical fixpoint plan(s) used
+	Partitioned    bool   // stable-column partitioning applied
+	Iterations     int    // fixpoint iterations (driver or max local)
+	ShufflePhases  int64
+	ShuffleRecords int64
+	NetworkBytes   int64
+}
+
+// Result is a query result with interned values rendered back to strings.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+	Stats   QueryStats
+}
+
+// queryConfig carries per-query options.
+type queryConfig struct {
+	plan       Plan
+	noOptimize bool
+	maxPlans   int
+	disabled   map[string]bool
+}
+
+// QueryOption customizes one Query call.
+type QueryOption func(*queryConfig)
+
+// WithPlan forces a physical fixpoint plan.
+func WithPlan(p Plan) QueryOption { return func(c *queryConfig) { c.plan = p } }
+
+// WithoutOptimization evaluates the naive left-to-right translation
+// (useful for ablation and debugging).
+func WithoutOptimization() QueryOption { return func(c *queryConfig) { c.noOptimize = true } }
+
+// WithMaxPlans overrides the plan-space cap for this query.
+func WithMaxPlans(n int) QueryOption { return func(c *queryConfig) { c.maxPlans = n } }
+
+// WithoutRule disables a named rewrite rule (ablation).
+func WithoutRule(name string) QueryOption {
+	return func(c *queryConfig) {
+		if c.disabled == nil {
+			c.disabled = map[string]bool{}
+		}
+		c.disabled[name] = true
+	}
+}
+
+// Query parses, optimizes and executes a UCRPQ.
+func (e *Engine) Query(text string, opts ...QueryOption) (*Result, error) {
+	cfg := queryConfig{maxPlans: e.opts.MaxPlans}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	best, planSpace, err := e.optimize(text, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.execute(best, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.PlanSpace = planSpace
+	return res, nil
+}
+
+// QueryTerm executes a µ-RA term directly (advanced API for queries beyond
+// UCRPQ, e.g. the non-regular same-generation family). Extra relations may
+// be bound through env; the triple relation is always bound as "G".
+func (e *Engine) QueryTerm(term core.Term, extra map[string]*core.Relation, opts ...QueryOption) (*Result, error) {
+	cfg := queryConfig{maxPlans: e.opts.MaxPlans}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return e.executeWith(term, cfg, extra)
+}
+
+// Explanation describes the optimizer's view of a query.
+type Explanation struct {
+	Query      string
+	PlanSpace  int
+	Best       string // chosen logical plan (µ-RA term)
+	BestCost   float64
+	Alternates []string // a few next-best plans with costs
+}
+
+// Explain optimizes without executing.
+func (e *Engine) Explain(text string) (*Explanation, error) {
+	cfg := queryConfig{maxPlans: e.opts.MaxPlans}
+	q, err := ucrpq.ParseUnion(text)
+	if err != nil {
+		return nil, err
+	}
+	plans, err := e.planSpace(q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cat := cost.NewCatalog()
+	cat.BindRelation(edgeRel, e.graph.Triples)
+	best, ranking := cost.SelectBest(plans, cat)
+	sort.Slice(ranking, func(i, j int) bool { return ranking[i].Cost < ranking[j].Cost })
+	ex := &Explanation{Query: q.String(), PlanSpace: len(plans), Best: best.String()}
+	if len(ranking) > 0 {
+		ex.BestCost = ranking[0].Cost
+	}
+	for i := 1; i < len(ranking) && i <= 3; i++ {
+		ex.Alternates = append(ex.Alternates,
+			fmt.Sprintf("cost=%.3g %s", ranking[i].Cost, ranking[i].Plan))
+	}
+	return ex, nil
+}
+
+func (e *Engine) planSpace(q *ucrpq.UnionQuery, cfg queryConfig) ([]core.Term, error) {
+	ltr, err := ucrpq.TranslateUnion(q, edgeRel, e.graph.Dict, rpq.LeftToRight)
+	if err != nil {
+		return nil, err
+	}
+	rtl, err := ucrpq.TranslateUnion(q, edgeRel, e.graph.Dict, rpq.RightToLeft)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.noOptimize {
+		return []core.Term{ltr}, nil
+	}
+	rw := rewrite.NewRewriter(core.SchemaEnv{edgeRel: e.graph.Triples.Cols()})
+	if cfg.maxPlans > 0 {
+		rw.MaxPlans = cfg.maxPlans
+	} else {
+		rw.MaxPlans = 96
+	}
+	rw.Disabled = cfg.disabled
+	plans := rw.Explore(ltr)
+	seen := map[string]bool{}
+	for _, p := range plans {
+		seen[p.String()] = true
+	}
+	for _, p := range rw.Explore(rtl) {
+		if !seen[p.String()] {
+			plans = append(plans, p)
+			seen[p.String()] = true
+		}
+	}
+	return plans, nil
+}
+
+func (e *Engine) optimize(text string, cfg queryConfig) (core.Term, int, error) {
+	q, err := ucrpq.ParseUnion(text)
+	if err != nil {
+		return nil, 0, err
+	}
+	plans, err := e.planSpace(q, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	cat := cost.NewCatalog()
+	cat.BindRelation(edgeRel, e.graph.Triples)
+	best, _ := cost.SelectBest(plans, cat)
+	return best, len(plans), nil
+}
+
+func (e *Engine) execute(term core.Term, cfg queryConfig) (*Result, error) {
+	return e.executeWith(term, cfg, nil)
+}
+
+func (e *Engine) executeWith(term core.Term, cfg queryConfig, extra map[string]*core.Relation) (*Result, error) {
+	env := core.NewEnv()
+	env.Bind(edgeRel, e.graph.Triples)
+	for name, rel := range extra {
+		env.Bind(name, rel)
+	}
+	before := e.clust.Metrics().Snapshot()
+	planner := physical.NewPlanner(e.clust, env)
+	planner.Force = cfg.plan.kind()
+	start := time.Now()
+	rel, rep, err := planner.Execute(term)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	m := e.clust.Metrics().Snapshot().Diff(before)
+
+	res := &Result{Columns: rel.Cols()}
+	for _, row := range rel.Rows() {
+		srow := make([]string, len(row))
+		for i, v := range row {
+			srow[i] = e.graph.Dict.String(v)
+		}
+		res.Rows = append(res.Rows, srow)
+	}
+	kinds := map[string]bool{}
+	partitioned := false
+	for _, f := range rep.Fixpoints {
+		kinds[f.Kind.String()] = true
+		partitioned = partitioned || f.Partitioned
+	}
+	var ks []string
+	for k := range kinds {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	plan := "none"
+	if len(ks) > 0 {
+		plan = fmt.Sprint(ks)
+	}
+	res.Stats = QueryStats{
+		Seconds:        elapsed.Seconds(),
+		Plan:           plan,
+		Partitioned:    partitioned,
+		Iterations:     rep.Iterations(),
+		ShufflePhases:  m.ShufflePhases,
+		ShuffleRecords: m.ShuffleRecords,
+		NetworkBytes:   m.NetworkBytes(),
+	}
+	return res, nil
+}

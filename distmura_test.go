@@ -1,0 +1,209 @@
+package distmura
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/graphgen"
+)
+
+func openTest(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	e, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func addChain(e *Engine, pred string, names ...string) {
+	for i := 0; i+1 < len(names); i++ {
+		e.AddTriple(names[i], pred, names[i+1])
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	e := openTest(t, Options{Workers: 2})
+	addChain(e, "knows", "alice", "bob", "carol", "dave")
+	res, err := e.Query("?x,?y <- ?x knows+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(res.Rows))
+	}
+	if len(res.Columns) != 2 {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	var flat []string
+	for _, r := range res.Rows {
+		flat = append(flat, strings.Join(r, "→"))
+	}
+	sort.Strings(flat)
+	if flat[0] != "alice→bob" {
+		t.Fatalf("unexpected first row %q (all: %v)", flat[0], flat)
+	}
+	if res.Stats.Plan == "none" || res.Stats.Seconds <= 0 {
+		t.Fatalf("stats not populated: %+v", res.Stats)
+	}
+}
+
+func TestQueryPlansAgree(t *testing.T) {
+	e := openTest(t, Options{Workers: 3})
+	g := graphgen.Yago(200, 17)
+	e.UseGraph(g)
+	query := "?x <- ?x (actedIn/-actedIn)+ Kevin_Bacon"
+	var counts []int
+	for _, p := range []Plan{PlanAuto, PlanGld, PlanSplw, PlanPgplw} {
+		res, err := e.Query(query, WithPlan(p))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		counts = append(counts, len(res.Rows))
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] != counts[0] {
+			t.Fatalf("plan results disagree: %v", counts)
+		}
+	}
+	// Unoptimized run agrees too.
+	res, err := e.Query(query, WithoutOptimization())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != counts[0] {
+		t.Fatalf("unoptimized rows %d ≠ %d", len(res.Rows), counts[0])
+	}
+}
+
+func TestStatsExposeCommunication(t *testing.T) {
+	e := openTest(t, Options{Workers: 3})
+	g := graphgen.Yago(200, 18)
+	e.UseGraph(g)
+	gld, err := e.Query("?x,?y <- ?x hasChild+ ?y", WithPlan(PlanGld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plw, err := e.Query("?x,?y <- ?x hasChild+ ?y", WithPlan(PlanSplw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gld.Stats.ShufflePhases <= plw.Stats.ShufflePhases {
+		t.Fatalf("Pgld shuffles (%d) not more than Pplw (%d)",
+			gld.Stats.ShufflePhases, plw.Stats.ShufflePhases)
+	}
+	if !plw.Stats.Partitioned {
+		t.Fatal("Pplw on hasChild+ should use stable-column partitioning")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	e := openTest(t, Options{Workers: 2})
+	g := graphgen.Yago(150, 19)
+	e.UseGraph(g)
+	ex, err := e.Explain("?x <- ?x (actedIn/-actedIn)+ Kevin_Bacon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.PlanSpace < 2 {
+		t.Fatalf("plan space = %d", ex.PlanSpace)
+	}
+	if !strings.Contains(ex.Best, "µ(") {
+		t.Fatalf("best plan looks wrong: %s", ex.Best)
+	}
+	if len(ex.Alternates) == 0 {
+		t.Fatal("no alternates reported")
+	}
+}
+
+func TestLoadTSVAndStats(t *testing.T) {
+	e := openTest(t, Options{Workers: 2})
+	tsv := "a\tp\tb\nb\tp\tc\na\tq\tc\n"
+	if err := e.LoadTSV(strings.NewReader(tsv)); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Triples != 3 || st.Predicates["p"] != 2 || st.Predicates["q"] != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	res, err := e.Query("?x <- a p+ ?x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	e := openTest(t, Options{Workers: 2})
+	e.AddTriple("a", "p", "b")
+	if _, err := e.Query("not a query"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := e.Query("?z <- ?x p ?y"); err == nil {
+		t.Fatal("expected head-variable error")
+	}
+}
+
+func TestTCPEngine(t *testing.T) {
+	e := openTest(t, Options{Workers: 2, Transport: TransportTCP})
+	addChain(e, "r", "n1", "n2", "n3", "n4", "n5")
+	res, err := e.Query("?x,?y <- ?x r+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(res.Rows))
+	}
+	if res.Stats.NetworkBytes == 0 {
+		t.Fatal("no network bytes over TCP")
+	}
+}
+
+func TestWithoutRuleAblation(t *testing.T) {
+	e := openTest(t, Options{Workers: 2, MaxPlans: 200})
+	g := graphgen.Yago(150, 20)
+	e.UseGraph(g)
+	full, err := e.Explain("?x,?y <- ?x IsL+/dw+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eAblate := openTest(t, Options{Workers: 2, MaxPlans: 200})
+	eAblate.UseGraph(g)
+	res, err := eAblate.Query("?x,?y <- ?x IsL+/dw+ ?y",
+		WithoutRule("merge-closures"), WithoutRule("fold-compose-right"), WithoutRule("fold-compose-left"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFull, err := e.Query("?x,?y <- ?x IsL+/dw+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(resFull.Rows) {
+		t.Fatalf("ablated run changed answers: %d vs %d", len(res.Rows), len(resFull.Rows))
+	}
+	if res.Stats.PlanSpace >= full.PlanSpace {
+		t.Fatalf("ablation did not shrink plan space: %d vs %d", res.Stats.PlanSpace, full.PlanSpace)
+	}
+}
+
+func TestUnionQueries(t *testing.T) {
+	e := openTest(t, Options{Workers: 2})
+	addChain(e, "a", "n1", "n2", "n3")
+	addChain(e, "b", "m1", "m2", "m3")
+	res, err := e.Query("?x,?y <- ?x a+ ?y UNION ?x,?y <- ?x b+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 a-pairs + 3 b-pairs.
+	if len(res.Rows) != 6 {
+		t.Fatalf("union rows = %d, want 6", len(res.Rows))
+	}
+	// Mismatched heads error.
+	if _, err := e.Query("?x <- ?x a ?y UNION ?y <- ?x a ?y"); err == nil {
+		t.Fatal("mismatched union heads accepted")
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a tiny social graph and ask recursive reachability
+// questions through the public distmura API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	distmura "repro"
+)
+
+func main() {
+	eng, err := distmura.Open(distmura.Options{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// A little org chart plus friendships.
+	edges := [][3]string{
+		{"alice", "manages", "bob"},
+		{"alice", "manages", "carol"},
+		{"bob", "manages", "dan"},
+		{"carol", "manages", "erin"},
+		{"dan", "knows", "erin"},
+		{"erin", "knows", "frank"},
+		{"frank", "knows", "alice"},
+	}
+	for _, e := range edges {
+		eng.AddTriple(e[0], e[1], e[2])
+	}
+
+	// Who is transitively managed by alice?
+	res, err := eng.Query("?x <- alice manages+ ?x")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alice's reports (manages+):")
+	for _, row := range res.Rows {
+		fmt.Println("  ", row[0])
+	}
+
+	// Everyone reachable by any chain of management or friendship.
+	res, err = eng.Query("?x,?y <- ?x (manages|knows)+ ?y")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n(manages|knows)+ has %d pairs; sample:\n", len(res.Rows))
+	for i, row := range res.Rows {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("   %s → %s\n", row[0], row[1])
+	}
+	fmt.Printf("\nexecution: plan=%s iterations=%d shuffles=%d (logical plans explored: %d)\n",
+		res.Stats.Plan, res.Stats.Iterations, res.Stats.ShufflePhases, res.Stats.PlanSpace)
+}

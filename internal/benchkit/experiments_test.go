@@ -1,0 +1,137 @@
+package benchkit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graphgen"
+	"repro/internal/physical"
+)
+
+func yagoForTest(s Scale) *graphgen.Graph { return graphgen.Yago(s.YagoScale, s.Seed) }
+
+func gldKind() physical.Kind { return physical.Gld }
+
+// microScale keeps every experiment under a couple of seconds so the whole
+// murabench surface stays covered by the test suite.
+func microScale() Scale {
+	return Scale{
+		Seed:         2,
+		Workers:      2,
+		Timeout:      15 * time.Second,
+		MaxMessages:  200_000,
+		YagoScale:    80,
+		UniprotEdges: 400,
+		SGNodes:      60,
+		ConcatNodes:  60,
+	}
+}
+
+func renderedTable(t *testing.T, tbl *Table) string {
+	t.Helper()
+	if tbl == nil {
+		t.Fatal("nil table")
+	}
+	var buf bytes.Buffer
+	tbl.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "==") {
+		t.Fatalf("table did not render: %q", out)
+	}
+	return out
+}
+
+func TestFig5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := microScale()
+	left := renderedTable(t, Fig5Left(s))
+	if strings.Count(left, "\n") < 5 {
+		t.Fatalf("fig5 left too small:\n%s", left)
+	}
+	right := renderedTable(t, Fig5Right(s))
+	if !strings.Contains(right, "φ") {
+		t.Fatalf("fig5 right missing φ labels:\n%s", right)
+	}
+}
+
+func TestFig11Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := renderedTable(t, Fig11(microScale()))
+	for _, q := range []string{"anbn", "SG", "FilteredSG", "JoinedSG"} {
+		if !strings.Contains(out, q) {
+			t.Fatalf("fig11 missing %s:\n%s", q, out)
+		}
+	}
+	// Dist-µ-RA must not crash anywhere: no "X" in its column. Row cells
+	// are ordered [µ-RA, datalog, graphx].
+	tbl := Fig11(microScale())
+	for _, row := range tbl.Rows {
+		if row.Cells[0] == "X" || row.Cells[0] == "T/O" {
+			t.Fatalf("Dist-µ-RA failed on %s", row.Label)
+		}
+		if row.Cells[1] == "X" || row.Cells[1] == "T/O" {
+			t.Fatalf("BigDatalog failed on %s", row.Label)
+		}
+	}
+}
+
+func TestFig12Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl := Fig12(microScale())
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("fig12 rows = %d, want 9 (n=2..10)", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row.Cells[0] == "X" || row.Cells[0] == "T/O" {
+			t.Fatalf("Dist-µ-RA failed on %s", row.Label)
+		}
+	}
+}
+
+func TestFig15Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := microScale()
+	tbl := Fig15(s, "Q8")
+	out := renderedTable(t, tbl)
+	if !strings.Contains(out, "plan#1") {
+		t.Fatalf("fig15 has no ranked plans:\n%s", out)
+	}
+	if len(tbl.Notes) == 0 || !strings.Contains(tbl.Notes[0], "selected plan") {
+		t.Fatalf("fig15 missing the §V-E.6 aggregate note: %v", tbl.Notes)
+	}
+	// Unknown query id falls back to Q24.
+	tbl2 := Fig15(s, "nope")
+	if !strings.Contains(tbl2.Title, "Q24") {
+		t.Fatalf("fallback title = %s", tbl2.Title)
+	}
+}
+
+func TestFig9SampleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Fig9/Fig10 iterate 25 queries; run a reduced variant here by
+	// sampling through the same runners used by the table builders.
+	s := microScale()
+	g := yagoForTest(s)
+	for _, q := range []string{YagoQueries[0].Text, YagoQueries[4].Text} {
+		plw := RunMuRA(g, q, s.Budget(), MuRAOptions{})
+		gld := RunMuRA(g, q, s.Budget(), MuRAOptions{Force: gldKind()})
+		if plw.Crashed || gld.Crashed {
+			t.Fatalf("crash: %v / %v", plw.Err, gld.Err)
+		}
+		if plw.Rows != gld.Rows {
+			t.Fatalf("plans disagree on %q: %d vs %d", q, plw.Rows, gld.Rows)
+		}
+	}
+}

@@ -1,0 +1,563 @@
+// Package cluster is the distributed dataflow substrate of this
+// reproduction — the stand-in for Apache Spark in the Dist-µ-RA paper. It
+// provides a driver coordinating N workers, each owning partitions of
+// datasets in its private store; data moves between nodes only through a
+// Transport (in-process channels or real loopback TCP), is deep-copied or
+// serialized on the way, and every transfer is metered. The primitives —
+// scatter, broadcast, worker-to-worker hash shuffle with a barrier,
+// partition-wise set operations, collect — are exactly the operations the
+// paper's physical plans (Pgld, Ps_plw, Ppg_plw) are built from, so the
+// communication patterns the paper reasons about (one shuffle per fixpoint
+// iteration in Pgld versus none in Pplw) are reproduced and measurable.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// TransportKind selects the data plane.
+type TransportKind int
+
+const (
+	// TransportChan uses in-process channels (fast, still isolated and
+	// metered). The default.
+	TransportChan TransportKind = iota
+	// TransportTCP uses real loopback TCP sockets with binary frames.
+	TransportTCP
+)
+
+// Config configures a cluster.
+type Config struct {
+	// Workers is the number of worker nodes (default 4, like the paper's
+	// four-machine Spark cluster).
+	Workers int
+	// Transport selects the data plane (default TransportChan).
+	Transport TransportKind
+	// TaskMemRows is the per-task memory budget, in rows, used by the
+	// physical planner's Ppg/Ps selection heuristic (§III-D). Default 1<<20.
+	TaskMemRows int
+}
+
+// Cluster is a driver plus N workers.
+type Cluster struct {
+	cfg       Config
+	transport Transport
+	workers   []*Worker
+	metrics   Metrics
+
+	seq    atomic.Int64 // exchange-phase sequence
+	nextID atomic.Int64 // dataset / broadcast ids
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Worker is one worker node: a private partition store plus a transport
+// endpoint. Workers never touch each other's stores.
+type Worker struct {
+	id      int
+	cluster *Cluster
+	store   map[int64]*core.Relation
+	bcast   map[int64]*core.Relation
+	dead    atomic.Bool
+	// Local holds arbitrary per-worker engines attached by higher layers
+	// (the Ppg_plw plan stores each worker's embedded localdb here).
+	Local map[string]any
+}
+
+// New starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.TaskMemRows <= 0 {
+		cfg.TaskMemRows = 1 << 20
+	}
+	var tr Transport
+	var err error
+	switch cfg.Transport {
+	case TransportTCP:
+		tr, err = NewTCPTransport(cfg.Workers)
+	default:
+		tr = NewChanTransport(cfg.Workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, transport: tr}
+	for i := 0; i < cfg.Workers; i++ {
+		c.workers = append(c.workers, &Worker{
+			id:      i,
+			cluster: c,
+			store:   make(map[int64]*core.Relation),
+			bcast:   make(map[int64]*core.Relation),
+			Local:   make(map[string]any),
+		})
+	}
+	return c, nil
+}
+
+// NumWorkers returns the worker count.
+func (c *Cluster) NumWorkers() int { return len(c.workers) }
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Metrics returns the live counters.
+func (c *Cluster) Metrics() *Metrics { return &c.metrics }
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.transport.Close()
+}
+
+// KillWorker marks a worker dead for failure-injection tests; subsequent
+// phases involving it fail cleanly.
+func (c *Cluster) KillWorker(id int) {
+	if id >= 0 && id < len(c.workers) {
+		c.workers[id].dead.Store(true)
+	}
+}
+
+// Dataset is a handle to a relation partitioned across the workers (the
+// RDD/Dataset analog). PartitionedBy records the hash partitioner columns
+// when known (nil means unknown/round-robin).
+type Dataset struct {
+	c             *Cluster
+	id            int64
+	cols          []string
+	PartitionedBy []string
+}
+
+// Cols returns the dataset schema.
+func (d *Dataset) Cols() []string { return d.cols }
+
+// Broadcast is a handle to a relation replicated on every worker.
+type Broadcast struct {
+	id   int64
+	cols []string
+	rows int
+}
+
+// Cols returns the broadcast relation's schema.
+func (b *Broadcast) Cols() []string { return b.cols }
+
+// Ctx is the worker-side view during a phase: partition access, broadcast
+// access and the shuffle primitive. Phases are SPMD: every worker runs the
+// same closure; all workers must perform the same sequence of Exchange
+// calls.
+type Ctx struct {
+	w        *Worker
+	phaseSeq int64
+	calls    int
+	// pending buffers messages that arrived ahead of the barrier this
+	// worker is currently waiting on: a fast peer may already be sending
+	// for the phase's next Exchange call while this worker still collects
+	// the current one.
+	pending []*DataMsg
+}
+
+// recvSeq receives the next message of the given exchange sequence,
+// buffering messages that belong to later exchanges of the same phase.
+func (ctx *Ctx) recvSeq(seq int64) (*DataMsg, error) {
+	for i, m := range ctx.pending {
+		if m.Seq == seq {
+			ctx.pending = append(ctx.pending[:i], ctx.pending[i+1:]...)
+			return m, nil
+		}
+	}
+	c := ctx.w.cluster
+	for {
+		msg, err := c.recv(ctx.w.id)
+		if err != nil {
+			return nil, err
+		}
+		if msg.Seq == seq {
+			return msg, nil
+		}
+		if msg.Kind == KindShuffle && msg.Seq > seq {
+			ctx.pending = append(ctx.pending, msg)
+			continue
+		}
+		return nil, fmt.Errorf("cluster: protocol violation: got kind=%d seq=%d while waiting for seq=%d",
+			msg.Kind, msg.Seq, seq)
+	}
+}
+
+// WorkerID returns this worker's id (0-based).
+func (ctx *Ctx) WorkerID() int { return ctx.w.id }
+
+// NumWorkers returns the cluster size.
+func (ctx *Ctx) NumWorkers() int { return len(ctx.w.cluster.workers) }
+
+// TaskMemRows exposes the per-task memory budget to plan code.
+func (ctx *Ctx) TaskMemRows() int { return ctx.w.cluster.cfg.TaskMemRows }
+
+// Partition returns this worker's partition of ds (empty if unset).
+func (ctx *Ctx) Partition(ds *Dataset) *core.Relation {
+	if p, ok := ctx.w.store[ds.id]; ok {
+		return p
+	}
+	return core.NewRelation(ds.cols...)
+}
+
+// SetPartition replaces this worker's partition of ds.
+func (ctx *Ctx) SetPartition(ds *Dataset, rel *core.Relation) {
+	if !core.ColsEqual(rel.Cols(), ds.cols) {
+		panic(fmt.Sprintf("cluster: partition schema %v does not match dataset %v", rel.Cols(), ds.cols))
+	}
+	ctx.w.store[ds.id] = rel
+}
+
+// BroadcastValue returns the replicated relation of a broadcast handle.
+func (ctx *Ctx) BroadcastValue(b *Broadcast) *core.Relation {
+	if r, ok := ctx.w.bcast[b.id]; ok {
+		return r
+	}
+	return core.NewRelation(b.cols...)
+}
+
+// Worker exposes the per-worker attachment map (for embedded engines).
+func (ctx *Ctx) Worker() *Worker { return ctx.w }
+
+// Exchange hash-partitions rel by the given columns across all workers and
+// returns the rows this worker receives, merged with set semantics. All
+// workers of the phase must call Exchange the same number of times in the
+// same order; each call is one shuffle (one synchronization barrier, rows
+// crossing the network counted in the metrics). byCols nil means hash the
+// whole row.
+func (ctx *Ctx) Exchange(rel *core.Relation, byCols []string) (*core.Relation, error) {
+	c := ctx.w.cluster
+	n := len(c.workers)
+	ctx.calls++
+	seq := ctx.phaseSeq<<20 | int64(ctx.calls)
+	if ctx.w.id == 0 {
+		// One barrier per SPMD Exchange call; count it once.
+		c.metrics.ShufflePhases.Add(1)
+	}
+
+	at := make([]int, 0, len(rel.Cols()))
+	if byCols == nil {
+		for i := range rel.Cols() {
+			at = append(at, i)
+		}
+	} else {
+		for _, col := range byCols {
+			idx := core.ColIndex(rel.Cols(), col)
+			if idx < 0 {
+				return nil, fmt.Errorf("cluster: exchange column %q not in schema %v", col, rel.Cols())
+			}
+			at = append(at, idx)
+		}
+	}
+	buckets := make([][][]core.Value, n)
+	for _, row := range rel.Rows() {
+		b := int(core.HashValuesAt(row, at) % uint64(n))
+		buckets[b] = append(buckets[b], row)
+	}
+	out := core.NewRelation(rel.Cols()...)
+	// Send own bucket locally first (no network), then peers.
+	for _, row := range buckets[ctx.w.id] {
+		cp := make([]core.Value, len(row))
+		copy(cp, row)
+		out.Add(cp)
+	}
+	c.metrics.LocalRecords.Add(int64(len(buckets[ctx.w.id])))
+	for peer := 0; peer < n; peer++ {
+		if peer == ctx.w.id {
+			continue
+		}
+		msg := &DataMsg{Kind: KindShuffle, Seq: seq, From: ctx.w.id, Rows: buckets[peer]}
+		c.metrics.ShuffleRecords.Add(int64(len(buckets[peer])))
+		c.metrics.ShuffleBytes.Add(msg.wireBytes())
+		if err := c.transport.Send(peer, msg); err != nil {
+			return nil, err
+		}
+	}
+	// Barrier: one batch from every peer.
+	for received := 0; received < n-1; received++ {
+		msg, err := ctx.recvSeq(seq)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range msg.Rows {
+			out.Add(row)
+		}
+	}
+	return out, nil
+}
+
+// recv receives one data-plane message for a node, aborting if the
+// transport shuts down.
+func (c *Cluster) recv(node int) (*DataMsg, error) {
+	select {
+	case msg, ok := <-c.transport.Inbox(node):
+		if !ok {
+			return nil, errors.New("cluster: transport closed")
+		}
+		return msg, nil
+	case <-c.transport.Done():
+		return nil, errors.New("cluster: transport shut down mid-exchange")
+	}
+}
+
+// AllGather replicates rel to every peer and returns the union of all
+// workers' relations — the heavyweight exchange a non-co-partitionable
+// distributed join needs. Like Exchange it is an SPMD barrier; traffic is
+// counted as shuffle bytes ((n-1)× the input volume).
+func (ctx *Ctx) AllGather(rel *core.Relation) (*core.Relation, error) {
+	c := ctx.w.cluster
+	n := len(c.workers)
+	ctx.calls++
+	seq := ctx.phaseSeq<<20 | int64(ctx.calls)
+	if ctx.w.id == 0 {
+		c.metrics.ShufflePhases.Add(1)
+	}
+	out := rel.Clone()
+	c.metrics.LocalRecords.Add(int64(rel.Len()))
+	for peer := 0; peer < n; peer++ {
+		if peer == ctx.w.id {
+			continue
+		}
+		msg := &DataMsg{Kind: KindShuffle, Seq: seq, From: ctx.w.id, Rows: rel.Rows()}
+		c.metrics.ShuffleRecords.Add(int64(rel.Len()))
+		c.metrics.ShuffleBytes.Add(msg.wireBytes())
+		if err := c.transport.Send(peer, msg); err != nil {
+			return nil, err
+		}
+	}
+	for received := 0; received < n-1; received++ {
+		msg, err := ctx.recvSeq(seq)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range msg.Rows {
+			out.Add(row)
+		}
+	}
+	return out, nil
+}
+
+// RunPhase runs f on every live worker in parallel and waits for all of
+// them; the first error aborts the phase. Exchange calls inside the phase
+// are synchronized shuffles.
+func (c *Cluster) RunPhase(f func(ctx *Ctx) error) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("cluster: closed")
+	}
+	c.mu.Unlock()
+	// A dead worker fails the phase before anyone shuffles, so live
+	// workers are never stranded at a barrier waiting for its batches.
+	for i, w := range c.workers {
+		if w.dead.Load() {
+			return fmt.Errorf("cluster: worker %d is dead", i)
+		}
+	}
+	seq := c.seq.Add(1)
+	errs := make([]error, len(c.workers))
+	var wg sync.WaitGroup
+	for i, w := range c.workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("cluster: worker %d panicked: %v", i, r)
+				}
+			}()
+			errs[i] = f(&Ctx{w: w, phaseSeq: seq})
+		}(i, w)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// NewDataset registers an empty dataset handle with the given schema.
+func (c *Cluster) NewDataset(cols ...string) *Dataset {
+	return &Dataset{c: c, id: c.nextID.Add(1), cols: core.SortCols(cols)}
+}
+
+// Parallelize splits rel across the workers and ships each partition to its
+// worker (scatter). With byCols non-nil the split hashes on those columns —
+// the stable-column partitioning of §III-B; otherwise rows go round-robin.
+func (c *Cluster) Parallelize(rel *core.Relation, byCols []string) (*Dataset, error) {
+	ds := c.NewDataset(rel.Cols()...)
+	ds.PartitionedBy = byCols
+	parts := core.SplitRelation(rel, len(c.workers), byCols)
+	seq := c.seq.Add(1) << 20
+	// Ship partitions concurrently with the receiving phase.
+	sendErr := make(chan error, 1)
+	go func() {
+		var firstErr error
+		for i, p := range parts {
+			msg := &DataMsg{Kind: KindScatter, Seq: seq, From: DriverNode, ID: ds.id, Rows: p.Rows()}
+			c.metrics.ScatterRecords.Add(int64(p.Len()))
+			c.metrics.ScatterBytes.Add(msg.wireBytes())
+			if err := c.transport.Send(i, msg); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		sendErr <- firstErr
+	}()
+	err := c.RunPhase(func(ctx *Ctx) error {
+		msg, rerr := c.recv(ctx.w.id)
+		if rerr != nil {
+			return rerr
+		}
+		if msg.Kind != KindScatter || msg.Seq != seq || msg.ID != ds.id {
+			return fmt.Errorf("cluster: protocol violation during scatter (kind=%d)", msg.Kind)
+		}
+		part := core.NewRelationSized(len(msg.Rows), rel.Cols()...)
+		for _, row := range msg.Rows {
+			part.Add(row)
+		}
+		ctx.w.store[ds.id] = part
+		return nil
+	})
+	if serr := <-sendErr; serr != nil && err == nil {
+		err = serr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// BroadcastRel replicates rel onto every worker (the broadcast join input
+// pattern of P s_plw) and returns a handle.
+func (c *Cluster) BroadcastRel(rel *core.Relation) (*Broadcast, error) {
+	b := &Broadcast{id: c.nextID.Add(1), cols: rel.Cols(), rows: rel.Len()}
+	seq := c.seq.Add(1) << 20
+	sendErr := make(chan error, 1)
+	go func() {
+		var firstErr error
+		for i := range c.workers {
+			msg := &DataMsg{Kind: KindBroadcast, Seq: seq, From: DriverNode, ID: b.id, Rows: rel.Rows()}
+			c.metrics.BroadcastRecords.Add(int64(rel.Len()))
+			c.metrics.BroadcastBytes.Add(msg.wireBytes())
+			if err := c.transport.Send(i, msg); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		sendErr <- firstErr
+	}()
+	err := c.RunPhase(func(ctx *Ctx) error {
+		msg, rerr := c.recv(ctx.w.id)
+		if rerr != nil {
+			return rerr
+		}
+		if msg.Kind != KindBroadcast || msg.Seq != seq || msg.ID != b.id {
+			return fmt.Errorf("cluster: protocol violation during broadcast (kind=%d)", msg.Kind)
+		}
+		r := core.NewRelationSized(len(msg.Rows), rel.Cols()...)
+		for _, row := range msg.Rows {
+			r.Add(row)
+		}
+		ctx.w.bcast[b.id] = r
+		return nil
+	})
+	if serr := <-sendErr; serr != nil && err == nil {
+		err = serr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Collect gathers all partitions of ds on the driver, merging with set
+// semantics.
+func (c *Cluster) Collect(ds *Dataset) (*core.Relation, error) {
+	seq := c.seq.Add(1) << 20
+	out := core.NewRelation(ds.cols...)
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < len(c.workers); i++ {
+			msg, rerr := c.recv(DriverNode)
+			if rerr != nil {
+				done <- rerr
+				return
+			}
+			if msg.Kind != KindCollect || msg.Seq != seq {
+				done <- fmt.Errorf("cluster: protocol violation during collect (kind=%d)", msg.Kind)
+				return
+			}
+			for _, row := range msg.Rows {
+				out.Add(row)
+			}
+		}
+		done <- nil
+	}()
+	phaseErr := c.RunPhase(func(ctx *Ctx) error {
+		part := ctx.Partition(ds)
+		msg := &DataMsg{Kind: KindCollect, Seq: seq, From: ctx.w.id, ID: ds.id, Rows: part.Rows()}
+		c.metrics.CollectRecords.Add(int64(part.Len()))
+		c.metrics.CollectBytes.Add(msg.wireBytes())
+		return c.transport.Send(DriverNode, msg)
+	})
+	if phaseErr != nil {
+		// The receiver goroutine unblocks when the transport closes.
+		return nil, phaseErr
+	}
+	if recvErr := <-done; recvErr != nil {
+		return nil, recvErr
+	}
+	return out, nil
+}
+
+// Count sums partition sizes.
+func (c *Cluster) Count(ds *Dataset) (int, error) {
+	var total atomic.Int64
+	err := c.RunPhase(func(ctx *Ctx) error {
+		total.Add(int64(ctx.Partition(ds).Len()))
+		return nil
+	})
+	return int(total.Load()), err
+}
+
+// Distinct repartitions ds by full row hash so that duplicates meet on the
+// same worker and are eliminated — Spark's distinct(), one full shuffle.
+func (c *Cluster) Distinct(ds *Dataset) (*Dataset, error) {
+	out := c.NewDataset(ds.cols...)
+	err := c.RunPhase(func(ctx *Ctx) error {
+		merged, err := ctx.Exchange(ctx.Partition(ds), nil)
+		if err != nil {
+			return err
+		}
+		ctx.SetPartition(out, merged)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Free drops a dataset's partitions on all workers.
+func (c *Cluster) Free(ds *Dataset) error {
+	return c.RunPhase(func(ctx *Ctx) error {
+		delete(ctx.w.store, ds.id)
+		return nil
+	})
+}
+
+// FreeBroadcast drops a broadcast from all workers.
+func (c *Cluster) FreeBroadcast(b *Broadcast) error {
+	return c.RunPhase(func(ctx *Ctx) error {
+		delete(ctx.w.bcast, b.id)
+		return nil
+	})
+}

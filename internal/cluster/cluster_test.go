@@ -1,0 +1,549 @@
+package cluster
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func randomRel(rng *rand.Rand, n, domain int) *core.Relation {
+	r := core.NewRelation(core.ColSrc, core.ColTrg)
+	for i := 0; i < n; i++ {
+		r.Add([]core.Value{core.Value(rng.Intn(domain)), core.Value(rng.Intn(domain))})
+	}
+	return r
+}
+
+func newTestCluster(t *testing.T, kind TransportKind, workers int) *Cluster {
+	t.Helper()
+	c, err := New(Config{Workers: workers, Transport: kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func transports(t *testing.T, workers int, f func(t *testing.T, c *Cluster)) {
+	t.Run("chan", func(t *testing.T) { f(t, newTestCluster(t, TransportChan, workers)) })
+	t.Run("tcp", func(t *testing.T) { f(t, newTestCluster(t, TransportTCP, workers)) })
+}
+
+func TestParallelizeCollectRoundTrip(t *testing.T) {
+	transports(t, 4, func(t *testing.T, c *Cluster) {
+		rng := rand.New(rand.NewSource(1))
+		rel := randomRel(rng, 500, 100)
+		for _, byCols := range [][]string{nil, {core.ColSrc}} {
+			ds, err := c.Parallelize(rel, byCols)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Collect(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(rel) {
+				t.Fatalf("byCols=%v: round trip lost rows: %d vs %d", byCols, got.Len(), rel.Len())
+			}
+			n, err := c.Count(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != rel.Len() {
+				t.Fatalf("count = %d, want %d", n, rel.Len())
+			}
+		}
+	})
+}
+
+func TestPartitionsAreDisjointAndComplete(t *testing.T) {
+	transports(t, 3, func(t *testing.T, c *Cluster) {
+		rng := rand.New(rand.NewSource(2))
+		rel := randomRel(rng, 300, 60)
+		ds, err := c.Parallelize(rel, []string{core.ColSrc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Gather partition contents through a phase into per-worker slots.
+		parts := make([]*core.Relation, c.NumWorkers())
+		if err := c.RunPhase(func(ctx *Ctx) error {
+			parts[ctx.WorkerID()] = ctx.Partition(ds).Clone()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		srcOwner := map[core.Value]int{}
+		for i, p := range parts {
+			total += p.Len()
+			for _, row := range p.Rows() {
+				src := row[core.ColIndex(p.Cols(), core.ColSrc)]
+				if prev, ok := srcOwner[src]; ok && prev != i {
+					t.Fatalf("src %d on workers %d and %d", src, prev, i)
+				}
+				srcOwner[src] = i
+			}
+		}
+		if total != rel.Len() {
+			t.Fatalf("partitions have %d rows, want %d", total, rel.Len())
+		}
+	})
+}
+
+func TestBroadcast(t *testing.T) {
+	transports(t, 4, func(t *testing.T, c *Cluster) {
+		rng := rand.New(rand.NewSource(3))
+		rel := randomRel(rng, 120, 40)
+		b, err := c.BroadcastRel(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunPhase(func(ctx *Ctx) error {
+			got := ctx.BroadcastValue(b)
+			if !got.Equal(rel) {
+				t.Errorf("worker %d: broadcast mismatch", ctx.WorkerID())
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		m := c.Metrics().Snapshot()
+		if m.BroadcastRecords != int64(rel.Len()*c.NumWorkers()) {
+			t.Fatalf("broadcast records = %d, want %d", m.BroadcastRecords, rel.Len()*c.NumWorkers())
+		}
+	})
+}
+
+func TestExchangeRepartitions(t *testing.T) {
+	transports(t, 4, func(t *testing.T, c *Cluster) {
+		rng := rand.New(rand.NewSource(4))
+		rel := randomRel(rng, 400, 50)
+		ds, err := c.Parallelize(rel, nil) // round robin: srcs scattered
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := c.NewDataset(core.ColSrc, core.ColTrg)
+		if err := c.RunPhase(func(ctx *Ctx) error {
+			merged, err := ctx.Exchange(ctx.Partition(ds), []string{core.ColSrc})
+			if err != nil {
+				return err
+			}
+			ctx.SetPartition(out, merged)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// After exchange on src, each src lives on exactly one worker.
+		parts := make([]*core.Relation, c.NumWorkers())
+		if err := c.RunPhase(func(ctx *Ctx) error {
+			parts[ctx.WorkerID()] = ctx.Partition(out).Clone()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		owner := map[core.Value]int{}
+		for i, p := range parts {
+			for _, row := range p.Rows() {
+				src := row[core.ColIndex(p.Cols(), core.ColSrc)]
+				if prev, ok := owner[src]; ok && prev != i {
+					t.Errorf("src %d on two workers", src)
+				}
+				owner[src] = i
+			}
+		}
+		got, err := c.Collect(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(rel) {
+			t.Fatal("exchange lost rows")
+		}
+		if c.Metrics().Snapshot().ShuffleRecords == 0 {
+			t.Fatal("exchange moved no records over the wire")
+		}
+	})
+}
+
+func TestDistinctMergesDuplicatesAcrossWorkers(t *testing.T) {
+	transports(t, 4, func(t *testing.T, c *Cluster) {
+		// Build per-worker partitions that all contain the same rows.
+		ds := c.NewDataset(core.ColSrc, core.ColTrg)
+		if err := c.RunPhase(func(ctx *Ctx) error {
+			p := core.NewRelation(core.ColSrc, core.ColTrg)
+			for i := 0; i < 50; i++ {
+				p.Add([]core.Value{core.Value(i), core.Value(i + 1)})
+			}
+			ctx.SetPartition(ds, p)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		n, err := c.Count(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 50*c.NumWorkers() {
+			t.Fatalf("pre-distinct count = %d", n)
+		}
+		dd, err := c.Distinct(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n2, err := c.Count(dd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n2 != 50 {
+			t.Fatalf("post-distinct count = %d, want 50", n2)
+		}
+	})
+}
+
+func TestMultipleExchangesInOnePhase(t *testing.T) {
+	transports(t, 3, func(t *testing.T, c *Cluster) {
+		rng := rand.New(rand.NewSource(5))
+		rel := randomRel(rng, 200, 30)
+		ds, err := c.Parallelize(rel, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := c.NewDataset(core.ColSrc, core.ColTrg)
+		if err := c.RunPhase(func(ctx *Ctx) error {
+			a, err := ctx.Exchange(ctx.Partition(ds), []string{core.ColSrc})
+			if err != nil {
+				return err
+			}
+			b, err := ctx.Exchange(a, []string{core.ColTrg})
+			if err != nil {
+				return err
+			}
+			ctx.SetPartition(out, b)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Collect(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(rel) {
+			t.Fatal("chained exchanges lost rows")
+		}
+	})
+}
+
+func TestWorkerIsolationNoSharedMemory(t *testing.T) {
+	// Mutating a collected relation must not affect worker partitions:
+	// rows are copied/serialized through the transport.
+	transports(t, 2, func(t *testing.T, c *Cluster) {
+		rel := core.NewRelation(core.ColSrc, core.ColTrg)
+		rel.Add([]core.Value{1, 2})
+		rel.Add([]core.Value{3, 4})
+		ds, err := c.Parallelize(rel, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Collect(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range got.Rows() {
+			row[0] = 999 // vandalize the driver copy
+		}
+		again, err := c.Collect(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !again.Equal(rel) {
+			t.Fatal("worker partitions were corrupted through a collected copy")
+		}
+	})
+}
+
+func TestKillWorkerFailsCleanly(t *testing.T) {
+	transports(t, 3, func(t *testing.T, c *Cluster) {
+		rel := core.NewRelation(core.ColSrc, core.ColTrg)
+		rel.Add([]core.Value{1, 2})
+		ds, err := c.Parallelize(rel, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.KillWorker(1)
+		if _, err := c.Collect(ds); err == nil {
+			t.Fatal("collect with a dead worker should fail")
+		}
+		if err := c.RunPhase(func(ctx *Ctx) error { return nil }); err == nil {
+			t.Fatal("phase with a dead worker should fail")
+		}
+	})
+}
+
+func TestTransportCloseMidUse(t *testing.T) {
+	c := newTestCluster(t, TransportTCP, 3)
+	rel := core.NewRelation(core.ColSrc, core.ColTrg)
+	for i := 0; i < 100; i++ {
+		rel.Add([]core.Value{core.Value(i), core.Value(i + 1)})
+	}
+	ds, err := c.Parallelize(rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Collect(ds); err == nil {
+		t.Fatal("collect after close should fail")
+	}
+}
+
+func TestExchangeBadColumn(t *testing.T) {
+	c := newTestCluster(t, TransportChan, 2)
+	rel := core.NewRelation(core.ColSrc, core.ColTrg)
+	rel.Add([]core.Value{1, 2})
+	ds, err := c.Parallelize(rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.RunPhase(func(ctx *Ctx) error {
+		_, err := ctx.Exchange(ctx.Partition(ds), []string{"nope"})
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("expected bad-column error, got %v", err)
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	c := newTestCluster(t, TransportChan, 4)
+	rng := rand.New(rand.NewSource(6))
+	rel := randomRel(rng, 300, 40)
+	before := c.Metrics().Snapshot()
+	ds, err := c.Parallelize(rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterScatter := c.Metrics().Snapshot().Diff(before)
+	if afterScatter.ScatterRecords != int64(rel.Len()) {
+		t.Fatalf("scatter records = %d, want %d", afterScatter.ScatterRecords, rel.Len())
+	}
+	if afterScatter.ShuffleRecords != 0 {
+		t.Fatal("scatter should not count as shuffle")
+	}
+	if _, err := c.Distinct(ds); err != nil {
+		t.Fatal(err)
+	}
+	d := c.Metrics().Snapshot().Diff(before)
+	if d.ShufflePhases != 1 {
+		t.Fatalf("shuffle phases = %d, want 1", d.ShufflePhases)
+	}
+	if d.ShuffleRecords+d.LocalRecords != int64(rel.Len()) {
+		t.Fatalf("shuffled %d + local %d ≠ %d", d.ShuffleRecords, d.LocalRecords, rel.Len())
+	}
+	if d.ShuffleBytes <= 0 {
+		t.Fatal("no shuffle bytes counted")
+	}
+	c.Metrics().Reset()
+	if c.Metrics().Snapshot().NetworkBytes() != 0 {
+		t.Fatal("reset did not zero counters")
+	}
+}
+
+func TestTCPWireBytesAreReal(t *testing.T) {
+	c := newTestCluster(t, TransportTCP, 2)
+	rel := core.NewRelation(core.ColSrc, core.ColTrg)
+	for i := 0; i < 64; i++ {
+		rel.Add([]core.Value{core.Value(i), core.Value(i)})
+	}
+	before := c.Metrics().Snapshot()
+	ds, err := c.Parallelize(rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Collect(ds); err != nil {
+		t.Fatal(err)
+	}
+	d := c.Metrics().Snapshot().Diff(before)
+	// 64 rows × 2 cols × 8 bytes = 1024 payload bytes each way + headers.
+	if d.ScatterBytes < 1024 || d.CollectBytes < 1024 {
+		t.Fatalf("wire bytes too small: scatter=%d collect=%d", d.ScatterBytes, d.CollectBytes)
+	}
+}
+
+func TestFreeDataset(t *testing.T) {
+	c := newTestCluster(t, TransportChan, 2)
+	rel := core.NewRelation(core.ColSrc, core.ColTrg)
+	rel.Add([]core.Value{1, 2})
+	ds, err := c.Parallelize(rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Free(ds); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Count(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("freed dataset still has %d rows", n)
+	}
+}
+
+// TestManyChainedExchangesWithSkew stresses the out-of-order buffering:
+// workers proceed through many exchange barriers at deliberately different
+// speeds, so fast workers send for barrier k+1 while slow ones still
+// collect barrier k.
+func TestManyChainedExchangesWithSkew(t *testing.T) {
+	transports(t, 4, func(t *testing.T, c *Cluster) {
+		rng := rand.New(rand.NewSource(9))
+		rel := randomRel(rng, 120, 25)
+		ds, err := c.Parallelize(rel, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := c.NewDataset(core.ColSrc, core.ColTrg)
+		if err := c.RunPhase(func(ctx *Ctx) error {
+			cur := ctx.Partition(ds)
+			for i := 0; i < 40; i++ {
+				// Skew: some workers burn time before each barrier.
+				if ctx.WorkerID()%2 == 0 {
+					time.Sleep(time.Duration(ctx.WorkerID()) * time.Millisecond)
+				}
+				by := []string{core.ColSrc}
+				if i%2 == 1 {
+					by = []string{core.ColTrg}
+				}
+				next, err := ctx.Exchange(cur, by)
+				if err != nil {
+					return err
+				}
+				cur = next
+			}
+			ctx.SetPartition(out, cur)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Collect(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(rel) {
+			t.Fatal("chained skewed exchanges lost rows")
+		}
+	})
+}
+
+func TestEmptyRelationOps(t *testing.T) {
+	transports(t, 3, func(t *testing.T, c *Cluster) {
+		empty := core.NewRelation(core.ColSrc, core.ColTrg)
+		ds, err := c.Parallelize(empty, []string{core.ColSrc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Collect(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != 0 {
+			t.Fatalf("collect of empty = %d rows", got.Len())
+		}
+		b, err := c.BroadcastRel(empty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunPhase(func(ctx *Ctx) error {
+			if ctx.BroadcastValue(b).Len() != 0 {
+				t.Error("empty broadcast has rows")
+			}
+			out, err := ctx.Exchange(ctx.Partition(ds), nil)
+			if err != nil {
+				return err
+			}
+			if out.Len() != 0 {
+				t.Error("exchange of empty has rows")
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestSingleWorkerCluster(t *testing.T) {
+	c := newTestCluster(t, TransportChan, 1)
+	rng := rand.New(rand.NewSource(8))
+	rel := randomRel(rng, 50, 10)
+	ds, err := c.Parallelize(rel, []string{core.ColSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := c.Distinct(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Collect(dd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(rel) {
+		t.Fatal("single-worker round trip failed")
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	transports(t, 3, func(t *testing.T, c *Cluster) {
+		ds := c.NewDataset(core.ColSrc, core.ColTrg)
+		if err := c.RunPhase(func(ctx *Ctx) error {
+			p := core.NewRelation(core.ColSrc, core.ColTrg)
+			p.Add([]core.Value{core.Value(ctx.WorkerID()), core.Value(100 + ctx.WorkerID())})
+			gathered, err := ctx.AllGather(p)
+			if err != nil {
+				return err
+			}
+			if gathered.Len() != ctx.NumWorkers() {
+				t.Errorf("worker %d gathered %d rows, want %d",
+					ctx.WorkerID(), gathered.Len(), ctx.NumWorkers())
+			}
+			ctx.SetPartition(ds, gathered)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// All workers hold identical gathered sets.
+		got, err := c.Collect(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != c.NumWorkers() {
+			t.Fatalf("collected %d distinct rows, want %d", got.Len(), c.NumWorkers())
+		}
+	})
+}
+
+func TestWideRowsOverTCP(t *testing.T) {
+	c := newTestCluster(t, TransportTCP, 2)
+	cols := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	rel := core.NewRelation(cols...)
+	for i := 0; i < 200; i++ {
+		row := make([]core.Value, len(cols))
+		for j := range row {
+			row[j] = core.Value(i*10 + j)
+		}
+		rel.Add(row)
+	}
+	ds, err := c.Parallelize(rel, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Collect(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(rel) {
+		t.Fatal("wide rows corrupted over TCP")
+	}
+}

@@ -1,0 +1,325 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// MsgKind tags the purpose of a data-plane message; metrics are accounted
+// per kind.
+type MsgKind byte
+
+const (
+	// KindShuffle is worker→worker repartitioning traffic.
+	KindShuffle MsgKind = iota + 1
+	// KindBroadcast is driver→worker replication of a constant relation.
+	KindBroadcast
+	// KindScatter is driver→worker delivery of initial partitions.
+	KindScatter
+	// KindCollect is worker→driver result gathering.
+	KindCollect
+)
+
+// DataMsg is one data-plane message: a batch of rows for a given exchange
+// phase. Schemas travel in the control plane (the phase closure knows the
+// dataset's columns); only raw values cross the wire.
+type DataMsg struct {
+	Kind MsgKind
+	Seq  int64 // exchange phase this batch belongs to
+	From int   // sending node (DriverNode for the driver)
+	ID   int64 // dataset / broadcast identifier
+	Rows [][]core.Value
+}
+
+// wireBytes estimates (chan transport) or measures (TCP transport) the
+// size of a message on the wire: a fixed header plus 8 bytes per value.
+func (m *DataMsg) wireBytes() int64 {
+	n := int64(msgHeaderSize)
+	for _, r := range m.Rows {
+		n += int64(8 * len(r))
+	}
+	return n
+}
+
+// Transport moves data-plane messages between nodes. Node ids 0..n-1 are
+// workers; DriverNode is the driver. Implementations must be safe for
+// concurrent Send from multiple nodes.
+type Transport interface {
+	// Send delivers msg to node `to`. It blocks until the message is
+	// handed to the target's inbox (chan) or written to the socket (TCP).
+	Send(to int, msg *DataMsg) error
+	// Inbox returns the reception channel of a node.
+	Inbox(node int) <-chan *DataMsg
+	// Done is closed when the transport shuts down; receivers select on it
+	// so a torn-down transport cannot strand a barrier.
+	Done() <-chan struct{}
+	// Close tears the transport down; pending Sends fail.
+	Close() error
+}
+
+// DriverNode is the node id of the driver in the transport.
+const DriverNode = -1
+
+const msgHeaderSize = 1 + 8 + 4 + 8 + 4 + 4 // kind, seq, from, id, arity, nrows
+
+// --- in-process channel transport -------------------------------------------
+
+// ChanTransport delivers messages over Go channels. Rows are deep-copied on
+// send so that workers cannot share memory through messages — the same
+// isolation a real network gives.
+type ChanTransport struct {
+	inboxes map[int]chan *DataMsg
+	closed  chan struct{}
+	once    sync.Once
+}
+
+// NewChanTransport builds a channel transport for n workers plus a driver.
+func NewChanTransport(n int) *ChanTransport {
+	t := &ChanTransport{
+		inboxes: make(map[int]chan *DataMsg, n+1),
+		closed:  make(chan struct{}),
+	}
+	cap := 4*n + 8
+	for i := 0; i < n; i++ {
+		t.inboxes[i] = make(chan *DataMsg, cap)
+	}
+	t.inboxes[DriverNode] = make(chan *DataMsg, cap)
+	return t
+}
+
+// Send implements Transport.
+func (t *ChanTransport) Send(to int, msg *DataMsg) error {
+	inbox, ok := t.inboxes[to]
+	if !ok {
+		return fmt.Errorf("cluster: no such node %d", to)
+	}
+	cp := &DataMsg{Kind: msg.Kind, Seq: msg.Seq, From: msg.From, ID: msg.ID}
+	cp.Rows = make([][]core.Value, len(msg.Rows))
+	for i, r := range msg.Rows {
+		row := make([]core.Value, len(r))
+		copy(row, r)
+		cp.Rows[i] = row
+	}
+	select {
+	case inbox <- cp:
+		return nil
+	case <-t.closed:
+		return errors.New("cluster: transport closed")
+	}
+}
+
+// Inbox implements Transport.
+func (t *ChanTransport) Inbox(node int) <-chan *DataMsg { return t.inboxes[node] }
+
+// Done implements Transport.
+func (t *ChanTransport) Done() <-chan struct{} { return t.closed }
+
+// Close implements Transport.
+func (t *ChanTransport) Close() error {
+	t.once.Do(func() { close(t.closed) })
+	return nil
+}
+
+// --- TCP transport -----------------------------------------------------------
+
+// TCPTransport moves messages over real loopback TCP sockets with
+// length-prefixed binary frames — the data plane of a genuinely distributed
+// deployment, usable for measuring actual wire bytes.
+type TCPTransport struct {
+	n         int
+	listeners map[int]net.Listener
+	addrs     map[int]string
+	inboxes   map[int]chan *DataMsg
+
+	mu    sync.Mutex
+	conns map[int]net.Conn // keyed by target node
+	wg    sync.WaitGroup
+	once  sync.Once
+	down  chan struct{}
+}
+
+// NewTCPTransport starts one loopback listener per node (n workers plus the
+// driver).
+func NewTCPTransport(n int) (*TCPTransport, error) {
+	t := &TCPTransport{
+		n:         n,
+		listeners: make(map[int]net.Listener, n+1),
+		addrs:     make(map[int]string, n+1),
+		inboxes:   make(map[int]chan *DataMsg, n+1),
+		conns:     make(map[int]net.Conn),
+		down:      make(chan struct{}),
+	}
+	nodes := make([]int, 0, n+1)
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, i)
+	}
+	nodes = append(nodes, DriverNode)
+	for _, node := range nodes {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("cluster: listen for node %d: %w", node, err)
+		}
+		t.listeners[node] = l
+		t.addrs[node] = l.Addr().String()
+		t.inboxes[node] = make(chan *DataMsg, 4*n+8)
+		t.wg.Add(1)
+		go t.acceptLoop(node, l)
+	}
+	return t, nil
+}
+
+func (t *TCPTransport) acceptLoop(node int, l net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go t.readLoop(node, conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(node int, conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	for {
+		msg, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		select {
+		case t.inboxes[node] <- msg:
+		case <-t.down:
+			return
+		}
+	}
+}
+
+// Send implements Transport: it lazily dials a pooled connection to the
+// target node and writes one frame.
+func (t *TCPTransport) Send(to int, msg *DataMsg) error {
+	select {
+	case <-t.down:
+		return errors.New("cluster: transport closed")
+	default:
+	}
+	addr, ok := t.addrs[to]
+	if !ok {
+		return fmt.Errorf("cluster: no such node %d", to)
+	}
+	// One pooled conn per (sender goroutine is serialized by phase, but
+	// different senders target the same node concurrently) — key the pool
+	// by (from,to) to avoid interleaved frames.
+	key := (msg.From+1)*1000000 + to + 1
+	t.mu.Lock()
+	conn, ok := t.conns[key]
+	if !ok {
+		var err error
+		conn, err = net.Dial("tcp", addr)
+		if err != nil {
+			t.mu.Unlock()
+			return fmt.Errorf("cluster: dial node %d: %w", to, err)
+		}
+		t.conns[key] = conn
+	}
+	t.mu.Unlock()
+	return writeFrame(conn, msg)
+}
+
+// Inbox implements Transport.
+func (t *TCPTransport) Inbox(node int) <-chan *DataMsg { return t.inboxes[node] }
+
+// Done implements Transport.
+func (t *TCPTransport) Done() <-chan struct{} { return t.down }
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.once.Do(func() {
+		close(t.down)
+		for _, l := range t.listeners {
+			l.Close()
+		}
+		t.mu.Lock()
+		for _, c := range t.conns {
+			c.Close()
+		}
+		t.mu.Unlock()
+	})
+	return nil
+}
+
+// writeFrame encodes msg as a length-prefixed binary frame. Frames from a
+// given (from,to) pair are serialized by the connection pool.
+func writeFrame(w io.Writer, msg *DataMsg) error {
+	arity := 0
+	if len(msg.Rows) > 0 {
+		arity = len(msg.Rows[0])
+	}
+	payload := msgHeaderSize + 8*arity*len(msg.Rows)
+	buf := make([]byte, 4+payload)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(payload))
+	buf[4] = byte(msg.Kind)
+	binary.LittleEndian.PutUint64(buf[5:], uint64(msg.Seq))
+	binary.LittleEndian.PutUint32(buf[13:], uint32(int32(msg.From)))
+	binary.LittleEndian.PutUint64(buf[17:], uint64(msg.ID))
+	binary.LittleEndian.PutUint32(buf[25:], uint32(arity))
+	binary.LittleEndian.PutUint32(buf[29:], uint32(len(msg.Rows)))
+	off := 4 + msgHeaderSize
+	for _, row := range msg.Rows {
+		if len(row) != arity {
+			return fmt.Errorf("cluster: ragged rows in message (arity %d vs %d)", len(row), arity)
+		}
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(v))
+			off += 8
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame decodes one frame.
+func readFrame(r io.Reader) (*DataMsg, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	payload := binary.LittleEndian.Uint32(lenBuf[:])
+	if payload < msgHeaderSize || payload > 1<<30 {
+		return nil, fmt.Errorf("cluster: bad frame length %d", payload)
+	}
+	buf := make([]byte, payload)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	msg := &DataMsg{
+		Kind: MsgKind(buf[0]),
+		Seq:  int64(binary.LittleEndian.Uint64(buf[1:])),
+		From: int(int32(binary.LittleEndian.Uint32(buf[9:]))),
+		ID:   int64(binary.LittleEndian.Uint64(buf[13:])),
+	}
+	arity := int(binary.LittleEndian.Uint32(buf[21:]))
+	nRows := int(binary.LittleEndian.Uint32(buf[25:]))
+	if arity < 0 || nRows < 0 || msgHeaderSize+8*arity*nRows != int(payload) {
+		return nil, fmt.Errorf("cluster: inconsistent frame (arity=%d rows=%d payload=%d)", arity, nRows, payload)
+	}
+	off := msgHeaderSize
+	msg.Rows = make([][]core.Value, nRows)
+	for i := 0; i < nRows; i++ {
+		row := make([]core.Value, arity)
+		for j := 0; j < arity; j++ {
+			row[j] = core.Value(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		msg.Rows[i] = row
+	}
+	return msg, nil
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Env binds free relation variables to database relations.
+type Env struct {
+	Rels map[string]*Relation
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env { return &Env{Rels: make(map[string]*Relation)} }
+
+// Bind associates a relation with a name, replacing any previous binding.
+func (e *Env) Bind(name string, r *Relation) { e.Rels[name] = r }
+
+// Lookup returns the relation bound to name.
+func (e *Env) Lookup(name string) (*Relation, bool) {
+	r, ok := e.Rels[name]
+	return r, ok
+}
+
+// with returns a copy of e with one extra binding (used for recursion
+// variables during fixpoint evaluation).
+func (e *Env) with(name string, r *Relation) *Env {
+	out := &Env{Rels: make(map[string]*Relation, len(e.Rels)+1)}
+	for k, v := range e.Rels {
+		out.Rels[k] = v
+	}
+	out.Rels[name] = r
+	return out
+}
+
+// SchemaEnv derives the schema environment of the bound relations.
+func (e *Env) SchemaEnv() SchemaEnv {
+	out := make(SchemaEnv, len(e.Rels))
+	for k, v := range e.Rels {
+		out[k] = v.Cols()
+	}
+	return out
+}
+
+// EvalStats accumulates counters describing an evaluation, used by the
+// benchmarks and the cost-model validation experiment.
+type EvalStats struct {
+	FixpointIterations int // total semi-naive iterations across fixpoints
+	TuplesProduced     int // tuples added across all fixpoint deltas
+	MaxDelta           int // largest single delta
+	OpTuples           int // tuples materialized across all operators
+}
+
+// Evaluator evaluates µ-RA terms against an Env using semi-naive fixpoint
+// iteration (Algorithm 1 of the paper). The zero value is not usable; use
+// NewEvaluator.
+type Evaluator struct {
+	env     *Env
+	MaxIter int // safety valve per fixpoint; 0 means no limit
+	Stats   EvalStats
+}
+
+// NewEvaluator returns an evaluator over env.
+func NewEvaluator(env *Env) *Evaluator {
+	return &Evaluator{env: env}
+}
+
+// Eval evaluates t. It validates the term's schema first so that relation
+// operations cannot fail mid-flight.
+func (ev *Evaluator) Eval(t Term) (*Relation, error) {
+	if _, err := Schema(t, ev.env.SchemaEnv()); err != nil {
+		return nil, err
+	}
+	return ev.eval(t, ev.env)
+}
+
+// Eval is a convenience one-shot evaluation of t under env.
+func Eval(t Term, env *Env) (*Relation, error) {
+	return NewEvaluator(env).Eval(t)
+}
+
+func (ev *Evaluator) eval(t Term, env *Env) (*Relation, error) {
+	out, err := ev.evalNode(t, env)
+	if err == nil && out != nil {
+		ev.Stats.OpTuples += out.Len()
+	}
+	return out, err
+}
+
+func (ev *Evaluator) evalNode(t Term, env *Env) (*Relation, error) {
+	switch n := t.(type) {
+	case *Var:
+		r, ok := env.Lookup(n.Name)
+		if !ok {
+			return nil, fmt.Errorf("core: unbound relation variable %q", n.Name)
+		}
+		return r, nil
+	case *ConstTuple:
+		r := NewRelation(n.Cols...)
+		row := make([]Value, len(n.Vals))
+		copy(row, n.Vals)
+		r.Add(row)
+		return r, nil
+	case *Union:
+		l, err := ev.eval(n.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.eval(n.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return l.Union(r), nil
+	case *Join:
+		l, err := ev.eval(n.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.eval(n.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return l.Join(r), nil
+	case *Antijoin:
+		l, err := ev.eval(n.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.eval(n.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return l.Antijoin(r), nil
+	case *Filter:
+		r, err := ev.eval(n.T, env)
+		if err != nil {
+			return nil, err
+		}
+		return r.Filter(n.Cond), nil
+	case *Rename:
+		r, err := ev.eval(n.T, env)
+		if err != nil {
+			return nil, err
+		}
+		return r.Rename(n.From, n.To)
+	case *AntiProject:
+		r, err := ev.eval(n.T, env)
+		if err != nil {
+			return nil, err
+		}
+		return r.Drop(n.Cols...)
+	case *Fixpoint:
+		return ev.evalFixpoint(n, env)
+	default:
+		return nil, fmt.Errorf("core: eval: unknown term %T", t)
+	}
+}
+
+func (ev *Evaluator) evalFixpoint(fp *Fixpoint, env *Env) (*Relation, error) {
+	d, err := Decompose(fp)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ev.eval(d.Const, env)
+	if err != nil {
+		return nil, err
+	}
+	return ev.RunFixpoint(d, r, env)
+}
+
+// RunFixpoint executes Algorithm 1 of the paper on an already-decomposed
+// fixpoint starting from the given constant part:
+//
+//	X = R; new = R
+//	while new ≠ ∅:
+//	    new = φ(new) \ X
+//	    X = X ∪ new
+//	return X
+//
+// Applying φ to the delta only is sound because Fcond makes φ distribute
+// over singletons (Proposition 1). The initial relation may be any subset
+// of (or stand-in for) the fixpoint's constant part, which is exactly what
+// the fixpoint-splitting plans rely on: each worker calls RunFixpoint on
+// its own portion Ri.
+func (ev *Evaluator) RunFixpoint(d *Decomposed, init *Relation, env *Env) (*Relation, error) {
+	x := init.Clone()
+	if len(d.PhiBranches) == 0 {
+		return x, nil
+	}
+	nu := init
+	iter := 0
+	for nu.Len() > 0 {
+		iter++
+		if ev.MaxIter > 0 && iter > ev.MaxIter {
+			return nil, fmt.Errorf("core: fixpoint exceeded %d iterations", ev.MaxIter)
+		}
+		stepEnv := env.with(d.X, nu)
+		var delta *Relation
+		for _, br := range d.PhiBranches {
+			out, err := ev.eval(br, stepEnv)
+			if err != nil {
+				return nil, err
+			}
+			if delta == nil {
+				delta = out
+			} else {
+				delta.UnionInPlace(out)
+			}
+		}
+		nu = delta.Diff(x)
+		added := x.UnionInPlace(nu)
+		ev.Stats.FixpointIterations++
+		ev.Stats.TuplesProduced += added
+		if added > ev.Stats.MaxDelta {
+			ev.Stats.MaxDelta = added
+		}
+	}
+	return x, nil
+}
+
+// SplitRelation partitions r into n parts. When byCols is non-empty the
+// split hashes on those columns (every tuple sharing the byCols values
+// lands in the same part — the stable-column partitioning of §III-B);
+// otherwise rows are dealt round-robin. Parts may be empty.
+func SplitRelation(r *Relation, n int, byCols []string) []*Relation {
+	if n < 1 {
+		panic("core: SplitRelation with n < 1")
+	}
+	parts := make([]*Relation, n)
+	for i := range parts {
+		parts[i] = NewRelation(r.Cols()...)
+	}
+	if len(byCols) > 0 {
+		at := make([]int, len(byCols))
+		for i, c := range byCols {
+			idx := ColIndex(r.Cols(), c)
+			if idx < 0 {
+				panic(fmt.Sprintf("core: SplitRelation: column %q not in schema %v", c, r.Cols()))
+			}
+			at[i] = idx
+		}
+		for _, row := range r.Rows() {
+			h := HashValuesAt(row, at)
+			parts[int(h%uint64(n))].Add(row)
+		}
+		return parts
+	}
+	for i, row := range r.Rows() {
+		parts[i%n].Add(row)
+	}
+	return parts
+}
+
+// HashValuesAt hashes the values of row at the given positions (FNV-1a).
+// It is the canonical partitioning hash used across the engine so that the
+// centralized splitter and the distributed partitioner agree.
+func HashValuesAt(row []Value, at []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, idx := range at {
+		v := uint64(row[idx])
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return h
+}

@@ -1,0 +1,178 @@
+package core
+
+import "fmt"
+
+// CheckFcond verifies the three conditions of Definition 1 of the paper for
+// the fixpoint µ(X = Ψ):
+//
+//   - positive: for all subterms φ1 ▷ φ2 of Ψ, X does not occur free in φ2;
+//   - linear: for all subterms φ1 ⋈ φ2 and φ1 ▷ φ2 of Ψ, X occurs free in
+//     at most one operand;
+//   - non mutually recursive: X does not occur free inside a nested
+//     fixpoint µ(Y = ψ) of Ψ (occurrences within a rebinding µ(X = γ) are
+//     bound, hence allowed).
+//
+// These conditions guarantee that Ψ distributes over singletons
+// (Proposition 1) and therefore that the fixpoint exists, can be computed
+// semi-naively (Algorithm 1), and can be split (Proposition 3).
+func CheckFcond(fp *Fixpoint) error {
+	return checkFcond(fp.Body, fp.X)
+}
+
+func checkFcond(t Term, x string) error {
+	switch n := t.(type) {
+	case *Antijoin:
+		if ContainsVar(n.R, x) {
+			return fmt.Errorf("core: fixpoint not positive: %s occurs on the right of antijoin %s", x, n)
+		}
+		return checkFcond(n.L, x)
+	case *Join:
+		if ContainsVar(n.L, x) && ContainsVar(n.R, x) {
+			return fmt.Errorf("core: fixpoint not linear: %s occurs on both sides of join %s", x, n)
+		}
+		if err := checkFcond(n.L, x); err != nil {
+			return err
+		}
+		return checkFcond(n.R, x)
+	case *Fixpoint:
+		if n.X == x {
+			return nil // X is shadowed inside; occurrences are bound
+		}
+		if ContainsVar(n, x) {
+			return fmt.Errorf("core: mutually recursive fixpoints: %s occurs free in nested %s", x, n)
+		}
+		return nil
+	default:
+		for _, c := range t.children() {
+			if err := checkFcond(c, x); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// CheckFcondDeep verifies Fcond for t's every fixpoint subterm.
+func CheckFcondDeep(t Term) error {
+	var err error
+	Walk(t, func(s Term) bool {
+		if err != nil {
+			return false
+		}
+		if fp, ok := s.(*Fixpoint); ok {
+			if e := CheckFcond(fp); e != nil {
+				err = e
+				return false
+			}
+		}
+		return true
+	})
+	return err
+}
+
+// Decomposed is a fixpoint in the decomposed form µ(X = R ∪ φ) of
+// Proposition 2: Const is the union of the body's branches that are
+// constant in X (the constant part R), and PhiBranches are the normalized
+// branches containing X (whose union is the variable part φ, which
+// satisfies φ(∅) = ∅).
+type Decomposed struct {
+	X           string
+	Const       Term   // R: the constant part (never nil)
+	PhiBranches []Term // branches of φ, each containing X; may be empty
+}
+
+// Phi returns the variable part as a single term, or nil when the fixpoint
+// has no recursive branch (µ(X = R) = R).
+func (d *Decomposed) Phi() Term {
+	if len(d.PhiBranches) == 0 {
+		return nil
+	}
+	return UnionOf(d.PhiBranches)
+}
+
+// Fixpoint reassembles the decomposed term µ(X = R ∪ φ).
+func (d *Decomposed) Fixpoint() *Fixpoint {
+	branches := append([]Term{d.Const}, d.PhiBranches...)
+	return &Fixpoint{X: d.X, Body: UnionOf(branches)}
+}
+
+// Decompose checks Fcond and rewrites the body of fp into the decomposed
+// form µ(X = R ∪ φ) by distributing filters, renames, anti-projections,
+// joins and antijoins over unions until all unions sit at the top, then
+// partitioning the branches into those constant in X (R) and those
+// containing X (φ). Every returned φ branch is strict in X — substituting
+// the empty relation for X makes the branch empty — which Proposition 2
+// requires.
+func Decompose(fp *Fixpoint) (*Decomposed, error) {
+	if err := CheckFcond(fp); err != nil {
+		return nil, err
+	}
+	branches := normalizeBranches(fp.Body)
+	d := &Decomposed{X: fp.X}
+	var constBranches []Term
+	for _, br := range branches {
+		if ContainsVar(br, fp.X) {
+			d.PhiBranches = append(d.PhiBranches, br)
+		} else {
+			constBranches = append(constBranches, br)
+		}
+	}
+	if len(constBranches) == 0 {
+		return nil, fmt.Errorf("core: fixpoint %s has no constant part (would be empty or undefined)", fp)
+	}
+	d.Const = UnionOf(constBranches)
+	return d, nil
+}
+
+// normalizeBranches pulls unions to the top of a term by distributing the
+// unary operators and joins over them, returning the flattened branch list:
+//
+//	σ(a ∪ b)     → σ(a) ∪ σ(b)        ρ, π̃ likewise
+//	(a ∪ b) ⋈ c  → (a ⋈ c) ∪ (b ⋈ c)   and symmetrically
+//	(a ∪ b) ▷ c  → (a ▷ c) ∪ (b ▷ c)
+//
+// Antijoin right operands and nested fixpoints are treated as leaves
+// (the right operand of ▷ is constant in X by positivity, and unions inside
+// it cannot be distributed out soundly).
+func normalizeBranches(t Term) []Term {
+	switch n := t.(type) {
+	case *Union:
+		return append(normalizeBranches(n.L), normalizeBranches(n.R)...)
+	case *Filter:
+		return wrapBranches(normalizeBranches(n.T), func(b Term) Term {
+			return &Filter{Cond: n.Cond, T: b}
+		})
+	case *Rename:
+		return wrapBranches(normalizeBranches(n.T), func(b Term) Term {
+			return &Rename{From: n.From, To: n.To, T: b}
+		})
+	case *AntiProject:
+		return wrapBranches(normalizeBranches(n.T), func(b Term) Term {
+			return &AntiProject{Cols: n.Cols, T: b}
+		})
+	case *Join:
+		lb := normalizeBranches(n.L)
+		rb := normalizeBranches(n.R)
+		out := make([]Term, 0, len(lb)*len(rb))
+		for _, l := range lb {
+			for _, r := range rb {
+				out = append(out, &Join{L: l, R: r})
+			}
+		}
+		return out
+	case *Antijoin:
+		return wrapBranches(normalizeBranches(n.L), func(b Term) Term {
+			return &Antijoin{L: b, R: n.R}
+		})
+	default:
+		return []Term{t}
+	}
+}
+
+func wrapBranches(branches []Term, wrap func(Term) Term) []Term {
+	out := make([]Term, len(branches))
+	for i, b := range branches {
+		out[i] = wrap(b)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package core
+
+// This file provides structural pattern matchers for the composition and
+// closure shapes that the Query2Mu translation produces and that the
+// rewriter (internal/rewrite) transforms: relation composition
+// π̃m(ρ^m_trg(L) ⋈ ρ^m_src(R)) and the two linear fixpoint forms
+// µ(X = R ∪ X∘E) (left-to-right) and µ(X = R ∪ E∘X) (right-to-left).
+
+// MatchCompose recognizes a term built by Compose and returns its two
+// operands.
+func MatchCompose(t Term) (l, r Term, ok bool) {
+	ap, ok := t.(*AntiProject)
+	if !ok || len(ap.Cols) != 1 || ap.Cols[0] != composeMid {
+		return nil, nil, false
+	}
+	j, ok := ap.T.(*Join)
+	if !ok {
+		return nil, nil, false
+	}
+	lr, ok := j.L.(*Rename)
+	if !ok || lr.From != ColTrg || lr.To != composeMid {
+		return nil, nil, false
+	}
+	rr, ok := j.R.(*Rename)
+	if !ok || rr.From != ColSrc || rr.To != composeMid {
+		return nil, nil, false
+	}
+	return lr.T, rr.T, true
+}
+
+// LinearShape describes a matched linear fixpoint.
+type LinearShape int
+
+const (
+	// ShapeNone: the fixpoint is not a single-branch composition loop.
+	ShapeNone LinearShape = iota
+	// ShapeLR: µ(X = R ∪ X∘E) — appends E on the right (left-to-right).
+	ShapeLR
+	// ShapeRL: µ(X = R ∪ E∘X) — prepends E on the left (right-to-left).
+	ShapeRL
+)
+
+func (s LinearShape) String() string {
+	switch s {
+	case ShapeLR:
+		return "ltr"
+	case ShapeRL:
+		return "rtl"
+	default:
+		return "none"
+	}
+}
+
+// MatchLinearFixpoint recognizes a fixpoint whose body is a union with
+// exactly one recursive branch of composition shape, and returns its
+// constant part R (the union of the non-recursive branches), the composed
+// step relation E (constant in X), and the direction. Matching is purely
+// structural on the original body — unions inside R or E are kept as they
+// are — so closures over alternations like (a|b)+ match.
+func MatchLinearFixpoint(fp *Fixpoint) (r, e Term, shape LinearShape) {
+	var constBranches, xBranches []Term
+	for _, br := range UnionBranches(fp.Body) {
+		if ContainsVar(br, fp.X) {
+			xBranches = append(xBranches, br)
+		} else {
+			constBranches = append(constBranches, br)
+		}
+	}
+	if len(xBranches) != 1 || len(constBranches) == 0 {
+		return nil, nil, ShapeNone
+	}
+	l, rr, ok := MatchCompose(xBranches[0])
+	if !ok {
+		return nil, nil, ShapeNone
+	}
+	lIsX := isVar(l, fp.X)
+	rIsX := isVar(rr, fp.X)
+	rTerm := UnionOf(constBranches)
+	switch {
+	case lIsX && !ContainsVar(rr, fp.X):
+		return rTerm, rr, ShapeLR
+	case rIsX && !ContainsVar(l, fp.X):
+		return rTerm, l, ShapeRL
+	default:
+		return nil, nil, ShapeNone
+	}
+}
+
+// MatchClosure recognizes a pure transitive closure E+: a linear fixpoint
+// whose constant part is structurally identical to its step relation.
+func MatchClosure(fp *Fixpoint) (e Term, shape LinearShape) {
+	r, e, shape := MatchLinearFixpoint(fp)
+	if shape == ShapeNone {
+		return nil, ShapeNone
+	}
+	if !TermEqual(r, e) {
+		return nil, ShapeNone
+	}
+	return e, shape
+}
+
+func isVar(t Term, name string) bool {
+	v, ok := t.(*Var)
+	return ok && v.Name == name
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// This file holds testing/quick property tests on the core data structures
+// and invariants.
+
+// smallCols generates random small sorted column sets for quick tests.
+type smallCols []string
+
+func (smallCols) Generate(rng *rand.Rand, size int) reflect.Value {
+	all := []string{"a", "b", "c", "d", "e"}
+	n := 1 + rng.Intn(4)
+	seen := map[string]bool{}
+	var out []string
+	for len(out) < n {
+		c := all[rng.Intn(len(all))]
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return reflect.ValueOf(smallCols(SortCols(out)))
+}
+
+func TestQuickColsAlgebra(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	// Union is commutative and contains both operands.
+	if err := quick.Check(func(a, b smallCols) bool {
+		u1 := ColsUnion([]string(a), []string(b))
+		u2 := ColsUnion([]string(b), []string(a))
+		if !ColsEqual(u1, u2) {
+			return false
+		}
+		for _, c := range a {
+			if ColIndex(u1, c) < 0 {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// a = (a∩b) ∪ (a\b), disjointly.
+	if err := quick.Check(func(a, b smallCols) bool {
+		inter := ColsIntersect([]string(a), []string(b))
+		minus := ColsMinus([]string(a), []string(b))
+		if len(ColsIntersect(inter, minus)) != 0 {
+			return false
+		}
+		return ColsEqual(ColsUnion(inter, minus), []string(a))
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDictInternStable(t *testing.T) {
+	d := NewDict()
+	if err := quick.Check(func(s string) bool {
+		v1 := d.Intern(s)
+		v2 := d.Intern(s)
+		if v1 != v2 {
+			return false
+		}
+		got, ok := d.Lookup(s)
+		return ok && got == v1 && d.String(v1) == s
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHashDeterministic(t *testing.T) {
+	if err := quick.Check(func(a, b, c int64) bool {
+		row := []Value{a, b, c}
+		h1 := HashValuesAt(row, []int{0, 2})
+		h2 := HashValuesAt([]Value{a, 99, c}, []int{0, 2})
+		return h1 == h2 // only the selected positions matter
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSplitRelationPartitionsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	if err := quick.Check(func(nRows uint8, parts uint8) bool {
+		n := int(parts)%6 + 1
+		r := NewRelation(ColSrc, ColTrg)
+		for i := 0; i < int(nRows); i++ {
+			r.Add([]Value{Value(rng.Intn(20)), Value(rng.Intn(20))})
+		}
+		for _, byCols := range [][]string{nil, {ColSrc}, {ColSrc, ColTrg}} {
+			merged := NewRelation(ColSrc, ColTrg)
+			total := 0
+			for _, p := range SplitRelation(r, n, byCols) {
+				total += p.Len()
+				merged.UnionInPlace(p)
+			}
+			if total != r.Len() || !merged.Equal(r) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRowKeyInjective(t *testing.T) {
+	if err := quick.Check(func(a1, a2, b1, b2 int64) bool {
+		k1 := RowKey([]Value{a1, a2})
+		k2 := RowKey([]Value{b1, b2})
+		same := a1 == b1 && a2 == b2
+		return (k1 == k2) == same
+	}, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRelationUnionLaws: |a∪b| ≤ |a|+|b|, a ⊆ a∪b, idempotence.
+func TestQuickRelationUnionLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	if err := quick.Check(func(na, nb uint8) bool {
+		a := randomBinaryRelation(rng, int(na)%30, 8)
+		b := randomBinaryRelation(rng, int(nb)%30, 8)
+		u := a.Union(b)
+		if u.Len() > a.Len()+b.Len() {
+			return false
+		}
+		for _, row := range a.Rows() {
+			if !u.Has(row) {
+				return false
+			}
+		}
+		return u.Union(u).Equal(u)
+	}, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickJoinAssociative: (a⋈b)⋈c = a⋈(b⋈c) on random binary relations
+// with overlapping schemas.
+func TestQuickJoinAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(654))
+	for trial := 0; trial < 60; trial++ {
+		a := randomBinaryRelation(rng, 15, 6)                        // (src,trg)
+		b, _ := randomBinaryRelation(rng, 15, 6).Rename(ColSrc, "m") // (m,trg)→ joins a on trg
+		bb, _ := b.Rename(ColTrg, "u")                               // (m,u)
+		c, _ := randomBinaryRelation(rng, 15, 6).Rename(ColTrg, "u") // (src,u)
+		l := a.Join(bb).Join(c)
+		r := a.Join(bb.Join(c))
+		if !l.Equal(r) {
+			t.Fatalf("trial %d: join not associative", trial)
+		}
+	}
+}
+
+// TestQuickFilterDistributesOverUnion: σ(a∪b) = σ(a)∪σ(b).
+func TestQuickFilterDistributesOverUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(987))
+	for trial := 0; trial < 60; trial++ {
+		a := randomBinaryRelation(rng, 20, 6)
+		b := randomBinaryRelation(rng, 20, 6)
+		cond := EqConst{Col: ColSrc, Val: Value(rng.Intn(6))}
+		l := a.Union(b).Filter(cond)
+		r := a.Filter(cond).Union(b.Filter(cond))
+		if !l.Equal(r) {
+			t.Fatalf("trial %d: filter does not distribute", trial)
+		}
+	}
+}
+
+// TestQuickDropCommutes: dropping two columns in either order agrees.
+func TestQuickDropCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	for trial := 0; trial < 40; trial++ {
+		r := NewRelation("a", "b", "c")
+		for i := 0; i < 25; i++ {
+			r.Add([]Value{Value(rng.Intn(4)), Value(rng.Intn(4)), Value(rng.Intn(4))})
+		}
+		ab, err := r.Drop("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err = ab.Drop("b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := r.Drop("b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err = ba.Drop("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		both, err := r.Drop("a", "b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ab.Equal(ba) || !ab.Equal(both) {
+			t.Fatalf("trial %d: drop order matters", trial)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is a set of tuples over a fixed schema, the µ-RA data model.
+// The schema is a sorted list of column names; each row is a []Value
+// aligned with it. Set semantics are enforced on insertion: adding a
+// duplicate row is a no-op. Row iteration order is insertion order, which
+// keeps evaluation deterministic for a deterministic input.
+type Relation struct {
+	cols []string
+	rows [][]Value
+	set  map[string]struct{}
+}
+
+// NewRelation returns an empty relation over the given columns.
+// Columns are copied and sorted; duplicate column names panic, since a
+// schema with duplicates is a programming error, never data-dependent.
+func NewRelation(cols ...string) *Relation {
+	sorted := SortCols(cols)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			panic(fmt.Sprintf("core: duplicate column %q in schema", sorted[i]))
+		}
+	}
+	return &Relation{cols: sorted, set: make(map[string]struct{})}
+}
+
+// NewRelationSized is NewRelation with a capacity hint for the row storage.
+func NewRelationSized(n int, cols ...string) *Relation {
+	r := NewRelation(cols...)
+	r.rows = make([][]Value, 0, n)
+	r.set = make(map[string]struct{}, n)
+	return r
+}
+
+// Cols returns the relation's schema (sorted). The returned slice must not
+// be modified.
+func (r *Relation) Cols() []string { return r.cols }
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return len(r.cols) }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Rows returns the underlying row storage. The slice and the rows must be
+// treated as read-only; use Add to insert.
+func (r *Relation) Rows() [][]Value { return r.rows }
+
+// RowKey packs a row into a string key usable as a map key. Rows of equal
+// values always produce equal keys.
+func RowKey(row []Value) string {
+	b := make([]byte, 8*len(row))
+	for i, v := range row {
+		binary.BigEndian.PutUint64(b[i*8:], uint64(v))
+	}
+	return string(b)
+}
+
+// UnpackRowKey reverses RowKey given the arity of the packed row.
+func UnpackRowKey(key string, arity int) []Value {
+	row := make([]Value, arity)
+	for i := range row {
+		row[i] = Value(binary.BigEndian.Uint64([]byte(key[i*8 : i*8+8])))
+	}
+	return row
+}
+
+// Add inserts a row (aligned with Cols()), returning true if it was new.
+// The row is stored directly; callers must not reuse the slice afterwards.
+func (r *Relation) Add(row []Value) bool {
+	if len(row) != len(r.cols) {
+		panic(fmt.Sprintf("core: row arity %d does not match schema %v", len(row), r.cols))
+	}
+	k := RowKey(row)
+	if _, dup := r.set[k]; dup {
+		return false
+	}
+	r.set[k] = struct{}{}
+	r.rows = append(r.rows, row)
+	return true
+}
+
+// AddKeyed inserts a row whose key has already been computed.
+func (r *Relation) AddKeyed(key string, row []Value) bool {
+	if _, dup := r.set[key]; dup {
+		return false
+	}
+	r.set[key] = struct{}{}
+	r.rows = append(r.rows, row)
+	return true
+}
+
+// Has reports whether the relation contains the row.
+func (r *Relation) Has(row []Value) bool {
+	_, ok := r.set[RowKey(row)]
+	return ok
+}
+
+// HasKey reports whether the relation contains a row with the packed key.
+func (r *Relation) HasKey(key string) bool {
+	_, ok := r.set[key]
+	return ok
+}
+
+// AddTuple inserts a tuple given as column→value pairs in any column order.
+func (r *Relation) AddTuple(cols []string, vals []Value) bool {
+	if len(cols) != len(vals) || len(cols) != len(r.cols) {
+		panic("core: AddTuple arity mismatch")
+	}
+	row := make([]Value, len(r.cols))
+	for i, c := range cols {
+		idx := ColIndex(r.cols, c)
+		if idx < 0 {
+			panic(fmt.Sprintf("core: AddTuple column %q not in schema %v", c, r.cols))
+		}
+		row[idx] = vals[i]
+	}
+	return r.Add(row)
+}
+
+// Clone returns a deep-enough copy: rows are shared (treated immutable),
+// the set and row slice are fresh.
+func (r *Relation) Clone() *Relation {
+	out := NewRelationSized(len(r.rows), r.cols...)
+	for _, row := range r.rows {
+		out.Add(row)
+	}
+	return out
+}
+
+// Equal reports whether two relations have the same schema and tuple set.
+func (r *Relation) Equal(o *Relation) bool {
+	if !ColsEqual(r.cols, o.cols) || len(r.rows) != len(o.rows) {
+		return false
+	}
+	for k := range r.set {
+		if _, ok := o.set[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation for debugging: schema then sorted rows.
+func (r *Relation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v{", r.cols)
+	rows := make([]string, 0, len(r.rows))
+	for _, row := range r.rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprint(v)
+		}
+		rows = append(rows, "("+strings.Join(parts, ",")+")")
+	}
+	sort.Strings(rows)
+	sb.WriteString(strings.Join(rows, " "))
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// Union returns r ∪ o. Schemas must be equal.
+func (r *Relation) Union(o *Relation) *Relation {
+	if !ColsEqual(r.cols, o.cols) {
+		panic(fmt.Sprintf("core: union schema mismatch %v vs %v", r.cols, o.cols))
+	}
+	out := NewRelationSized(len(r.rows)+len(o.rows), r.cols...)
+	for _, row := range r.rows {
+		out.Add(row)
+	}
+	for _, row := range o.rows {
+		out.Add(row)
+	}
+	return out
+}
+
+// UnionInPlace adds all rows of o into r, returning the number added.
+func (r *Relation) UnionInPlace(o *Relation) int {
+	if !ColsEqual(r.cols, o.cols) {
+		panic(fmt.Sprintf("core: union schema mismatch %v vs %v", r.cols, o.cols))
+	}
+	n := 0
+	for _, row := range o.rows {
+		if r.Add(row) {
+			n++
+		}
+	}
+	return n
+}
+
+// Diff returns r \ o. Schemas must be equal.
+func (r *Relation) Diff(o *Relation) *Relation {
+	if !ColsEqual(r.cols, o.cols) {
+		panic(fmt.Sprintf("core: diff schema mismatch %v vs %v", r.cols, o.cols))
+	}
+	out := NewRelation(r.cols...)
+	for _, row := range r.rows {
+		if !o.Has(row) {
+			out.Add(row)
+		}
+	}
+	return out
+}
+
+// joinPlan precomputes the row recombination of a natural join between
+// schemas a and b: the output schema and, for each output column, where it
+// comes from.
+type joinPlan struct {
+	outCols []string
+	fromA   []int // index into a's row, or -1
+	fromB   []int // index into b's row, or -1 (only consulted when fromA<0)
+	common  []string
+	commonA []int // positions of common cols in a
+	commonB []int // positions of common cols in b
+}
+
+func newJoinPlan(a, b []string) joinPlan {
+	p := joinPlan{outCols: ColsUnion(a, b), common: ColsIntersect(a, b)}
+	p.fromA = make([]int, len(p.outCols))
+	p.fromB = make([]int, len(p.outCols))
+	for i, c := range p.outCols {
+		p.fromA[i] = ColIndex(a, c)
+		p.fromB[i] = ColIndex(b, c)
+	}
+	for _, c := range p.common {
+		p.commonA = append(p.commonA, ColIndex(a, c))
+		p.commonB = append(p.commonB, ColIndex(b, c))
+	}
+	return p
+}
+
+func keyAt(row []Value, at []int) string {
+	b := make([]byte, 8*len(at))
+	for i, idx := range at {
+		binary.BigEndian.PutUint64(b[i*8:], uint64(row[idx]))
+	}
+	return string(b)
+}
+
+// combine builds an output row of the join from one row of each side.
+func (p *joinPlan) combine(arow, brow []Value) []Value {
+	outRow := make([]Value, len(p.outCols))
+	for i := range p.outCols {
+		if p.fromA[i] >= 0 {
+			outRow[i] = arow[p.fromA[i]]
+		} else {
+			outRow[i] = brow[p.fromB[i]]
+		}
+	}
+	return outRow
+}
+
+// Join returns the natural join r ⋈ o: tuples that agree on all common
+// columns, combined over the union schema. With no common columns it is the
+// cartesian product. The smaller side is hashed on the common columns and
+// the larger side probes.
+func (r *Relation) Join(o *Relation) *Relation {
+	p := newJoinPlan(r.cols, o.cols)
+	out := NewRelation(p.outCols...)
+	if r.Len() <= o.Len() {
+		ht := make(map[string][][]Value, r.Len())
+		for _, row := range r.rows {
+			k := keyAt(row, p.commonA)
+			ht[k] = append(ht[k], row)
+		}
+		for _, brow := range o.rows {
+			for _, arow := range ht[keyAt(brow, p.commonB)] {
+				out.Add(p.combine(arow, brow))
+			}
+		}
+	} else {
+		ht := make(map[string][][]Value, o.Len())
+		for _, row := range o.rows {
+			k := keyAt(row, p.commonB)
+			ht[k] = append(ht[k], row)
+		}
+		for _, arow := range r.rows {
+			for _, brow := range ht[keyAt(arow, p.commonA)] {
+				out.Add(p.combine(arow, brow))
+			}
+		}
+	}
+	return out
+}
+
+// Antijoin returns r ▷ o: the tuples of r that do not join with any tuple
+// of o on their common columns. With no common columns, the result is r if
+// o is empty and the empty relation otherwise.
+func (r *Relation) Antijoin(o *Relation) *Relation {
+	p := newJoinPlan(r.cols, o.cols)
+	out := NewRelation(r.cols...)
+	if len(p.common) == 0 {
+		if o.Len() == 0 {
+			return r.Clone()
+		}
+		return out
+	}
+	seen := make(map[string]struct{}, o.Len())
+	for _, row := range o.rows {
+		seen[keyAt(row, p.commonB)] = struct{}{}
+	}
+	for _, row := range r.rows {
+		if _, hit := seen[keyAt(row, p.commonA)]; !hit {
+			out.Add(row)
+		}
+	}
+	return out
+}
+
+// Filter returns the tuples of r satisfying cond.
+func (r *Relation) Filter(cond Condition) *Relation {
+	out := NewRelation(r.cols...)
+	for _, row := range r.rows {
+		if cond.Holds(r.cols, row) {
+			out.Add(row)
+		}
+	}
+	return out
+}
+
+// Rename returns r with column from renamed to to. It is an error if from
+// is missing or to already exists.
+func (r *Relation) Rename(from, to string) (*Relation, error) {
+	if from == to {
+		return r.Clone(), nil
+	}
+	if ColIndex(r.cols, from) < 0 {
+		return nil, fmt.Errorf("core: rename: column %q not in schema %v", from, r.cols)
+	}
+	if ColIndex(r.cols, to) >= 0 {
+		return nil, fmt.Errorf("core: rename: column %q already in schema %v", to, r.cols)
+	}
+	newCols := make([]string, len(r.cols))
+	for i, c := range r.cols {
+		if c == from {
+			newCols[i] = to
+		} else {
+			newCols[i] = c
+		}
+	}
+	out := NewRelationSized(len(r.rows), newCols...)
+	// Row values must be permuted into the new sorted column order.
+	perm := make([]int, len(out.cols))
+	for i, c := range out.cols {
+		orig := c
+		if c == to {
+			orig = from
+		}
+		perm[i] = ColIndex(r.cols, orig)
+	}
+	for _, row := range r.rows {
+		nrow := make([]Value, len(row))
+		for i, j := range perm {
+			nrow[i] = row[j]
+		}
+		out.Add(nrow)
+	}
+	return out, nil
+}
+
+// Drop returns r with the given columns removed (the anti-projection π̃).
+// Duplicate result tuples are merged by set semantics.
+func (r *Relation) Drop(cols ...string) (*Relation, error) {
+	for _, c := range cols {
+		if ColIndex(r.cols, c) < 0 {
+			return nil, fmt.Errorf("core: drop: column %q not in schema %v", c, r.cols)
+		}
+	}
+	keep := ColsMinus(r.cols, SortCols(cols))
+	idx := make([]int, len(keep))
+	for i, c := range keep {
+		idx[i] = ColIndex(r.cols, c)
+	}
+	out := NewRelationSized(len(r.rows), keep...)
+	for _, row := range r.rows {
+		nrow := make([]Value, len(idx))
+		for i, j := range idx {
+			nrow[i] = row[j]
+		}
+		out.Add(nrow)
+	}
+	return out, nil
+}
+
+// Project returns r restricted to the given columns (classical projection,
+// provided for frontends; µ-RA itself only uses anti-projection).
+func (r *Relation) Project(cols ...string) (*Relation, error) {
+	sorted := SortCols(cols)
+	return r.Drop(ColsMinus(r.cols, sorted)...)
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustDecompose(t *testing.T, fp *Fixpoint) *Decomposed {
+	t.Helper()
+	d, err := Decompose(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func binarySchemaEnv(names ...string) SchemaEnv {
+	env := SchemaEnv{}
+	for _, n := range names {
+		env[n] = []string{ColSrc, ColTrg}
+	}
+	return env
+}
+
+func TestStableColsLeftToRight(t *testing.T) {
+	// µ(X = S ∪ X∘E): evaluating left to right keeps 'src' stable (§III-B).
+	d := mustDecompose(t, reachFixpoint())
+	got, err := StableCols(d, binarySchemaEnv("S", "E"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ColsEqual(got, []string{ColSrc}) {
+		t.Fatalf("stable = %v, want [src]", got)
+	}
+}
+
+func TestStableColsRightToLeft(t *testing.T) {
+	// µ(X = S ∪ E∘X): the reversed plan keeps 'trg' stable instead.
+	fp := &Fixpoint{X: "X", Body: &Union{
+		L: &Var{Name: "S"},
+		R: Compose(&Var{Name: "E"}, &Var{Name: "X"}),
+	}}
+	got, err := StableCols(mustDecompose(t, fp), binarySchemaEnv("S", "E"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ColsEqual(got, []string{ColTrg}) {
+		t.Fatalf("stable = %v, want [trg]", got)
+	}
+}
+
+func TestStableColsBothDirectionsBranches(t *testing.T) {
+	// A merged fixpoint that appends on both sides (as produced by the
+	// merge-fixpoints rewriting for a+/b+) has no stable column.
+	fp := &Fixpoint{X: "X", Body: &Union{
+		L: &Var{Name: "AB"},
+		R: &Union{
+			L: Compose(&Var{Name: "A"}, &Var{Name: "X"}),
+			R: Compose(&Var{Name: "X"}, &Var{Name: "B"}),
+		},
+	}}
+	got, err := StableCols(mustDecompose(t, fp), binarySchemaEnv("AB", "A", "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("stable = %v, want none", got)
+	}
+}
+
+func TestStableColsExtraColumnSurvives(t *testing.T) {
+	// A fixpoint whose tuples carry an extra column k untouched by φ keeps
+	// k stable even though both src and trg churn (the paper's anbn
+	// discussion: extra columns beyond src/trg keep partitioning viable).
+	env := SchemaEnv{
+		"S": []string{"k", ColSrc, ColTrg},
+		"E": []string{ColSrc, ColTrg},
+	}
+	fp := &Fixpoint{X: "X", Body: &Union{
+		L: &Var{Name: "S"},
+		R: Compose3(&Var{Name: "X"}, &Var{Name: "E"}),
+	}}
+	got, err := StableCols(mustDecompose(t, fp), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ColsEqual(got, []string{"k", ColSrc}) {
+		t.Fatalf("stable = %v, want [k src]", got)
+	}
+}
+
+func TestStableColsFilterPreserves(t *testing.T) {
+	fp := &Fixpoint{X: "X", Body: &Union{
+		L: &Var{Name: "S"},
+		R: &Filter{Cond: NeConst{Col: ColTrg, Val: 0},
+			T: Compose(&Var{Name: "X"}, &Var{Name: "E"})},
+	}}
+	got, err := StableCols(mustDecompose(t, fp), binarySchemaEnv("S", "E"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ColsEqual(got, []string{ColSrc}) {
+		t.Fatalf("stable = %v, want [src]", got)
+	}
+}
+
+func TestStableColsNoRecursionAllStable(t *testing.T) {
+	fp := &Fixpoint{X: "X", Body: &Var{Name: "S"}}
+	got, err := StableCols(mustDecompose(t, fp), binarySchemaEnv("S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ColsEqual(got, []string{ColSrc, ColTrg}) {
+		t.Fatalf("stable = %v, want all", got)
+	}
+}
+
+// TestStableColumnSoundness is the semantic property behind §III-B: for
+// every tuple e of the fixpoint and stable column c, some tuple of R has
+// the same value at c. Verified on random graphs for both directions.
+func TestStableColumnSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		e := randomBinaryRelation(rng, 30, 9)
+		s := randomBinaryRelation(rng, 8, 9)
+		env := NewEnv()
+		env.Bind("E", e)
+		env.Bind("S", s)
+		for _, fp := range []*Fixpoint{
+			reachFixpoint(),
+			{X: "X", Body: &Union{L: &Var{Name: "S"}, R: Compose(&Var{Name: "E"}, &Var{Name: "X"})}},
+		} {
+			d := mustDecompose(t, fp)
+			stable, err := StableCols(d, env.SchemaEnv())
+			if err != nil {
+				t.Fatal(err)
+			}
+			result, err := Eval(fp, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range stable {
+				rIdx := ColIndex(s.Cols(), c)
+				resIdx := ColIndex(result.Cols(), c)
+				seen := map[Value]bool{}
+				for _, row := range s.Rows() {
+					seen[row[rIdx]] = true
+				}
+				for _, row := range result.Rows() {
+					if !seen[row[resIdx]] {
+						t.Fatalf("trial %d: tuple %v has unstable value at %q", trial, row, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Compose3 composes a ternary relation (k,src,trg) with a binary (src,trg)
+// edge relation, keeping k.
+func Compose3(l, r Term) Term {
+	return &AntiProject{Cols: []string{composeMid}, T: &Join{
+		L: &Rename{From: ColTrg, To: composeMid, T: l},
+		R: &Rename{From: ColSrc, To: composeMid, T: r},
+	}}
+}

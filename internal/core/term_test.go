@@ -1,0 +1,167 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemaInference(t *testing.T) {
+	env := binarySchemaEnv("E", "S")
+	cases := []struct {
+		term Term
+		want []string
+	}{
+		{&Var{Name: "E"}, []string{ColSrc, ColTrg}},
+		{NewConstTuple([]string{"a"}, []Value{1}), []string{"a"}},
+		{&Union{L: &Var{Name: "E"}, R: &Var{Name: "S"}}, []string{ColSrc, ColTrg}},
+		{&Join{L: &Var{Name: "E"}, R: &Var{Name: "S"}}, []string{ColSrc, ColTrg}},
+		{Compose(&Var{Name: "S"}, &Var{Name: "E"}), []string{ColSrc, ColTrg}},
+		{&Rename{From: ColTrg, To: "mid", T: &Var{Name: "E"}}, []string{"mid", ColSrc}},
+		{&AntiProject{Cols: []string{ColTrg}, T: &Var{Name: "E"}}, []string{ColSrc}},
+		{&Antijoin{L: &Var{Name: "E"}, R: &Var{Name: "S"}}, []string{ColSrc, ColTrg}},
+		{reachFixpoint(), []string{ColSrc, ColTrg}},
+	}
+	for _, tc := range cases {
+		got, err := Schema(tc.term, env)
+		if err != nil {
+			t.Fatalf("Schema(%s): %v", tc.term, err)
+		}
+		if !ColsEqual(got, tc.want) {
+			t.Fatalf("Schema(%s) = %v, want %v", tc.term, got, tc.want)
+		}
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	env := binarySchemaEnv("E")
+	bad := []Term{
+		&Var{Name: "missing"},
+		&Union{L: &Var{Name: "E"}, R: NewConstTuple([]string{"a"}, []Value{1})},
+		&Filter{Cond: EqConst{Col: "zz", Val: 1}, T: &Var{Name: "E"}},
+		&Rename{From: "zz", To: "yy", T: &Var{Name: "E"}},
+		&Rename{From: ColSrc, To: ColTrg, T: &Var{Name: "E"}},
+		&AntiProject{Cols: []string{"zz"}, T: &Var{Name: "E"}},
+		&Fixpoint{X: "X", Body: Compose(&Var{Name: "X"}, &Var{Name: "E"})},
+	}
+	for _, term := range bad {
+		if _, err := Schema(term, env); err == nil {
+			t.Fatalf("Schema(%s) should fail", term)
+		}
+	}
+}
+
+func TestFreeVarsAndContains(t *testing.T) {
+	fp := reachFixpoint()
+	fv := FreeVars(fp)
+	if len(fv) != 2 || fv[0] != "E" || fv[1] != "S" {
+		t.Fatalf("FreeVars = %v, want [E S]", fv)
+	}
+	if ContainsVar(fp, "X") {
+		t.Fatal("X is bound inside the fixpoint; must not be free")
+	}
+	if !ContainsVar(fp.Body, "X") {
+		t.Fatal("X must be free in the body")
+	}
+}
+
+func TestSubstituteRespectsBinding(t *testing.T) {
+	fp := reachFixpoint()
+	// Substituting X at the top level must not touch the bound X.
+	got := Substitute(fp, "X", &Var{Name: "Z"})
+	if !TermEqual(got, fp) {
+		t.Fatalf("substitution descended into binder: %s", got)
+	}
+	// Substituting a free var works everywhere.
+	got2 := Substitute(fp, "E", &Var{Name: "E2"})
+	if ContainsVar(got2, "E") || !ContainsVar(got2, "E2") {
+		t.Fatalf("substitution failed: %s", got2)
+	}
+}
+
+func TestRewriteBottomUp(t *testing.T) {
+	// Replace every Var E with Var F via Rewrite.
+	fp := reachFixpoint()
+	got := Rewrite(fp, func(t Term) Term {
+		if v, ok := t.(*Var); ok && v.Name == "E" {
+			return &Var{Name: "F"}
+		}
+		return t
+	})
+	if ContainsVar(got, "E") || !ContainsVar(got, "F") {
+		t.Fatalf("rewrite failed: %s", got)
+	}
+	// Original untouched (immutability).
+	if !ContainsVar(fp, "E") {
+		t.Fatal("rewrite mutated the original term")
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	var names []string
+	Walk(reachFixpoint(), func(t Term) bool {
+		if v, ok := t.(*Var); ok {
+			names = append(names, v.Name)
+		}
+		return true
+	})
+	joined := strings.Join(names, ",")
+	if joined != "S,X,E" {
+		t.Fatalf("walk order = %s, want S,X,E", joined)
+	}
+}
+
+func TestUnionBranchesRoundTrip(t *testing.T) {
+	u := &Union{
+		L: &Var{Name: "A"},
+		R: &Union{L: &Var{Name: "B"}, R: &Var{Name: "C"}},
+	}
+	br := UnionBranches(u)
+	if len(br) != 3 {
+		t.Fatalf("branches = %d, want 3", len(br))
+	}
+	round := UnionOf(br)
+	if !TermEqual(round, u) {
+		t.Fatalf("round trip %s ≠ %s", round, u)
+	}
+}
+
+func TestTermStringsCanonical(t *testing.T) {
+	a := reachFixpoint()
+	b := reachFixpoint()
+	if a.String() != b.String() {
+		t.Fatal("identical terms print differently")
+	}
+	if !TermEqual(a, b) {
+		t.Fatal("TermEqual false for identical terms")
+	}
+}
+
+func TestEdgeRelTerms(t *testing.T) {
+	triples := NewRelation(ColSrc, ColPred, ColTrg)
+	triples.AddTuple([]string{ColSrc, ColPred, ColTrg}, []Value{1, 100, 2})
+	triples.AddTuple([]string{ColSrc, ColPred, ColTrg}, []Value{2, 200, 3})
+	env := NewEnv()
+	env.Bind("T", triples)
+
+	got, err := Eval(EdgeRel("T", 100), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || !got.Has([]Value{1, 2}) {
+		t.Fatalf("EdgeRel = %v", got)
+	}
+	inv, err := Eval(InverseEdgeRel("T", 100), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Len() != 1 || !inv.Has([]Value{2, 1}) {
+		t.Fatalf("InverseEdgeRel = %v", inv)
+	}
+}
+
+func TestConstTupleSortsCols(t *testing.T) {
+	ct := NewConstTuple([]string{"b", "a"}, []Value{2, 1})
+	if ct.Cols[0] != "a" || ct.Vals[0] != 1 {
+		t.Fatalf("NewConstTuple not sorted: %v %v", ct.Cols, ct.Vals)
+	}
+}

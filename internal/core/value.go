@@ -1,0 +1,194 @@
+// Package core implements the µ-RA recursive relational algebra of
+// Jachiet et al. (SIGMOD 2020) as used by Dist-µ-RA (Chlyah, Genevès,
+// Layaïda — ICDE 2025): the data model (relations as sets of tuples mapping
+// column names to values), the term grammar of Fig. 1 of the paper
+// (union, natural join, antijoin, filter, rename, anti-projection and the
+// fixpoint operator µ), the Fcond well-formedness conditions, the
+// decomposition of a fixpoint into its constant and variable parts, the
+// static stable-column analysis of §III-B, and a centralized semi-naive
+// evaluator (Algorithm 1) that serves as the reference semantics for all
+// distributed plans.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Value is the domain of µ-RA tuples. Graph node identifiers and interned
+// string labels (predicates, entity names) are all represented as int64 so
+// relations can store flat rows and hash them cheaply. Use a Dict to map
+// external strings to Values and back.
+type Value = int64
+
+// Dict interns strings to dense Values and supports reverse lookup.
+// It is safe for concurrent use.
+//
+// A Dict is how external identifiers (RDF entities such as "Japan",
+// predicate labels such as "isLocatedIn") enter the engine: generators and
+// loaders intern every string once, and query frontends intern constants at
+// parse time so that the evaluator only ever compares int64s.
+type Dict struct {
+	mu   sync.RWMutex
+	ids  map[string]Value
+	strs []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]Value)}
+}
+
+// Intern returns the Value for s, assigning the next dense id on first use.
+func (d *Dict) Intern(s string) Value {
+	d.mu.RLock()
+	if v, ok := d.ids[s]; ok {
+		d.mu.RUnlock()
+		return v
+	}
+	d.mu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if v, ok := d.ids[s]; ok {
+		return v
+	}
+	v := Value(len(d.strs))
+	d.ids[s] = v
+	d.strs = append(d.strs, s)
+	return v
+}
+
+// Lookup returns the Value for s without interning it.
+func (d *Dict) Lookup(s string) (Value, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	v, ok := d.ids[s]
+	return v, ok
+}
+
+// String returns the string interned as v, or a numeric placeholder if v
+// was never interned (e.g. raw node ids from a synthetic graph).
+func (d *Dict) String(v Value) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if v >= 0 && int(v) < len(d.strs) {
+		return d.strs[v]
+	}
+	return fmt.Sprintf("#%d", v)
+}
+
+// Len reports how many distinct strings have been interned.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.strs)
+}
+
+// Strings returns a copy of all interned strings ordered by Value.
+func (d *Dict) Strings() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, len(d.strs))
+	copy(out, d.strs)
+	return out
+}
+
+// Canonical column names used throughout the engine for binary edge
+// relations. The paper's examples use src/dst (Fig. 2) and src/trg (§III-B);
+// we standardise on src/trg with dst as an accepted alias in loaders.
+const (
+	ColSrc  = "src"
+	ColTrg  = "trg"
+	ColPred = "pred"
+)
+
+// SortCols returns a sorted copy of cols. Relation schemas are kept in
+// sorted order so that structurally equal relations have identical layouts.
+func SortCols(cols []string) []string {
+	out := make([]string, len(cols))
+	copy(out, cols)
+	sort.Strings(out)
+	return out
+}
+
+// ColsEqual reports whether two sorted column lists are identical.
+func ColsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ColsUnion returns the sorted union of two sorted column lists.
+func ColsUnion(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// ColsIntersect returns the sorted intersection of two sorted column lists.
+func ColsIntersect(a, b []string) []string {
+	var out []string
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// ColsMinus returns the sorted difference a \ b of two sorted column lists.
+func ColsMinus(a, b []string) []string {
+	var out []string
+	j := 0
+	for _, c := range a {
+		for j < len(b) && b[j] < c {
+			j++
+		}
+		if j < len(b) && b[j] == c {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// ColIndex returns the position of col in cols, or -1.
+func ColIndex(cols []string, col string) int {
+	for i, c := range cols {
+		if c == col {
+			return i
+		}
+	}
+	return -1
+}

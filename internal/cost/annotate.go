@@ -1,0 +1,68 @@
+package cost
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Annotate renders t as an indented tree with the estimator's cardinality
+// and cumulative cost at every node — the EXPLAIN view of a logical plan.
+// Subterms under fixpoints are annotated with the recursion variable bound
+// to the fixpoint's own estimate (the steady-state view).
+func (es *Estimator) Annotate(t core.Term) (string, error) {
+	var sb strings.Builder
+	if err := es.annotate(t, map[string]*Estimate{}, 0, &sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func nodeLabel(t core.Term) string {
+	switch n := t.(type) {
+	case *core.Var:
+		return n.Name
+	case *core.ConstTuple:
+		return n.String()
+	case *core.Union:
+		return "∪"
+	case *core.Join:
+		return "⋈"
+	case *core.Antijoin:
+		return "▷"
+	case *core.Filter:
+		return "σ[" + n.Cond.String() + "]"
+	case *core.Rename:
+		return "ρ[" + n.From + "→" + n.To + "]"
+	case *core.AntiProject:
+		return "π̃[" + strings.Join(n.Cols, ",") + "]"
+	case *core.Fixpoint:
+		return "µ(" + n.X + ")"
+	default:
+		return fmt.Sprintf("%T", t)
+	}
+}
+
+func (es *Estimator) annotate(t core.Term, bound map[string]*Estimate, depth int, sb *strings.Builder) error {
+	est, err := es.estimate(t, bound)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sb, "%s%-24s rows≈%-12.4g cost≈%.4g\n",
+		strings.Repeat("  ", depth), nodeLabel(t), est.Rows, est.Cost)
+	childBound := bound
+	if fp, ok := t.(*core.Fixpoint); ok {
+		childBound = make(map[string]*Estimate, len(bound)+1)
+		for k, v := range bound {
+			childBound[k] = v
+		}
+		childBound[fp.X] = est
+	}
+	for _, c := range core.Children(t) {
+		if err := es.annotate(c, childBound, depth+1, sb); err != nil {
+			return err
+		}
+	}
+	return nil
+}

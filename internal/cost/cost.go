@@ -1,0 +1,456 @@
+// Package cost implements the CostEstimator of Dist-µ-RA (§IV): a
+// Selinger-style cost model based on cardinality estimation for µ-RA
+// subterms, with the logarithm-based technique of Lawal et al.
+// (CIKM 2020, [22]/[24] in the paper) for fixpoints: the number of
+// semi-naive iterations is estimated as the logarithm of the ratio between
+// the fixpoint's saturation bound and its seed size under the recursion's
+// per-step expansion factor.
+//
+// Costs are abstract work units (tuples scanned, hashed and produced); the
+// estimator ranks equivalent logical plans so the best one can be selected
+// for physical planning, reproducing the Fig. 15 experiment.
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// RelStats summarizes a base relation: row count and per-column distinct
+// counts.
+type RelStats struct {
+	Rows     float64
+	Distinct map[string]float64
+	Cols     []string
+}
+
+// StatsOf computes exact statistics of a relation (used to seed the
+// catalog; PostgreSQL's ANALYZE plays this role in the paper's system).
+func StatsOf(r *core.Relation) *RelStats {
+	s := &RelStats{
+		Rows:     float64(r.Len()),
+		Distinct: make(map[string]float64, r.Arity()),
+		Cols:     r.Cols(),
+	}
+	for i, c := range r.Cols() {
+		seen := make(map[core.Value]struct{})
+		for _, row := range r.Rows() {
+			seen[row[i]] = struct{}{}
+		}
+		s.Distinct[c] = float64(len(seen))
+	}
+	return s
+}
+
+// Catalog provides statistics for the free relation variables of a term.
+type Catalog struct {
+	Rels map[string]*RelStats
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{Rels: make(map[string]*RelStats)} }
+
+// Bind registers statistics for a relation name.
+func (c *Catalog) Bind(name string, s *RelStats) { c.Rels[name] = s }
+
+// BindRelation computes and registers exact statistics for r.
+func (c *Catalog) BindRelation(name string, r *core.Relation) {
+	c.Bind(name, StatsOf(r))
+}
+
+// FromEnv builds a catalog with exact statistics for every relation in env.
+func FromEnv(env *core.Env) *Catalog {
+	c := NewCatalog()
+	for name, r := range env.Rels {
+		c.BindRelation(name, r)
+	}
+	return c
+}
+
+// Estimate is the estimated profile of a subterm: output cardinality,
+// per-column distinct counts, and cumulative cost (abstract work units).
+type Estimate struct {
+	Rows     float64
+	Distinct map[string]float64
+	Cols     []string
+	Cost     float64
+}
+
+func (e *Estimate) clone() *Estimate {
+	d := make(map[string]float64, len(e.Distinct))
+	for k, v := range e.Distinct {
+		d[k] = v
+	}
+	return &Estimate{Rows: e.Rows, Distinct: d, Cols: e.Cols, Cost: e.Cost}
+}
+
+// clampDistinct caps every distinct count by the row count (a column cannot
+// have more distinct values than there are rows).
+func (e *Estimate) clampDistinct() {
+	for k, v := range e.Distinct {
+		e.Distinct[k] = math.Max(1, math.Min(v, e.Rows))
+	}
+	if e.Rows < 0 {
+		e.Rows = 0
+	}
+}
+
+// Estimator estimates µ-RA term cardinalities and costs against a catalog.
+type Estimator struct {
+	Cat *Catalog
+	// MaxFixpointIters bounds the simulated geometric growth of fixpoint
+	// estimation (default 64).
+	MaxFixpointIters int
+}
+
+// NewEstimator returns an estimator over cat.
+func NewEstimator(cat *Catalog) *Estimator {
+	return &Estimator{Cat: cat, MaxFixpointIters: 64}
+}
+
+// Estimate computes the profile of t. Recursion variables of enclosing
+// fixpoints must not occur free (Estimate handles fixpoints internally).
+func (es *Estimator) Estimate(t core.Term) (*Estimate, error) {
+	return es.estimate(t, map[string]*Estimate{})
+}
+
+// EstimateCost is a convenience wrapper returning only the cost; it returns
+// +Inf on estimation errors so that ill-formed plans rank last.
+func (es *Estimator) EstimateCost(t core.Term) float64 {
+	e, err := es.Estimate(t)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return e.Cost
+}
+
+func (es *Estimator) estimate(t core.Term, bound map[string]*Estimate) (*Estimate, error) {
+	switch n := t.(type) {
+	case *core.Var:
+		if b, ok := bound[n.Name]; ok {
+			return b.clone(), nil
+		}
+		s, ok := es.Cat.Rels[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("cost: no statistics for relation %q", n.Name)
+		}
+		d := make(map[string]float64, len(s.Distinct))
+		for k, v := range s.Distinct {
+			d[k] = v
+		}
+		return &Estimate{Rows: s.Rows, Distinct: d, Cols: s.Cols, Cost: s.Rows}, nil
+	case *core.ConstTuple:
+		d := map[string]float64{}
+		for _, c := range n.Cols {
+			d[c] = 1
+		}
+		return &Estimate{Rows: 1, Distinct: d, Cols: n.Cols, Cost: 1}, nil
+	case *core.Union:
+		l, err := es.estimate(n.L, bound)
+		if err != nil {
+			return nil, err
+		}
+		r, err := es.estimate(n.R, bound)
+		if err != nil {
+			return nil, err
+		}
+		out := &Estimate{Rows: l.Rows + r.Rows, Distinct: map[string]float64{}, Cols: l.Cols}
+		for _, c := range l.Cols {
+			out.Distinct[c] = l.Distinct[c] + r.Distinct[c]
+		}
+		out.Cost = l.Cost + r.Cost + out.Rows // dedup pass
+		out.clampDistinct()
+		return out, nil
+	case *core.Join:
+		l, err := es.estimate(n.L, bound)
+		if err != nil {
+			return nil, err
+		}
+		r, err := es.estimate(n.R, bound)
+		if err != nil {
+			return nil, err
+		}
+		return joinEstimate(l, r), nil
+	case *core.Antijoin:
+		l, err := es.estimate(n.L, bound)
+		if err != nil {
+			return nil, err
+		}
+		r, err := es.estimate(n.R, bound)
+		if err != nil {
+			return nil, err
+		}
+		out := l.clone()
+		// Standard heuristic: half the probing side survives.
+		out.Rows = l.Rows / 2
+		out.Cost = l.Cost + r.Cost + l.Rows + r.Rows
+		out.clampDistinct()
+		return out, nil
+	case *core.Filter:
+		in, err := es.estimate(n.T, bound)
+		if err != nil {
+			return nil, err
+		}
+		out := in.clone()
+		sel := condSelectivity(n.Cond, in)
+		out.Rows = in.Rows * sel
+		for _, c := range n.Cond.Columns() {
+			if isEqConstOn(n.Cond, c) {
+				out.Distinct[c] = 1
+			}
+		}
+		out.Cost = in.Cost + in.Rows
+		out.clampDistinct()
+		return out, nil
+	case *core.Rename:
+		in, err := es.estimate(n.T, bound)
+		if err != nil {
+			return nil, err
+		}
+		out := in.clone()
+		if n.From != n.To {
+			out.Distinct[n.To] = out.Distinct[n.From]
+			delete(out.Distinct, n.From)
+			cols := make([]string, 0, len(in.Cols))
+			for _, c := range in.Cols {
+				if c == n.From {
+					cols = append(cols, n.To)
+				} else {
+					cols = append(cols, c)
+				}
+			}
+			out.Cols = core.SortCols(cols)
+		}
+		return out, nil
+	case *core.AntiProject:
+		in, err := es.estimate(n.T, bound)
+		if err != nil {
+			return nil, err
+		}
+		out := in.clone()
+		out.Cols = core.ColsMinus(in.Cols, n.Cols)
+		// Deduplication can shrink the result to the product of the
+		// remaining distinct counts.
+		maxRows := 1.0
+		for _, c := range out.Cols {
+			maxRows *= math.Max(1, out.Distinct[c])
+			if maxRows > in.Rows {
+				maxRows = in.Rows
+				break
+			}
+		}
+		if len(out.Cols) == 0 {
+			maxRows = 1
+		}
+		for _, c := range n.Cols {
+			delete(out.Distinct, c)
+		}
+		out.Rows = math.Min(in.Rows, maxRows)
+		out.Cost = in.Cost + in.Rows
+		out.clampDistinct()
+		return out, nil
+	case *core.Fixpoint:
+		return es.estimateFixpoint(n, bound)
+	default:
+		return nil, fmt.Errorf("cost: unknown term %T", t)
+	}
+}
+
+func joinEstimate(l, r *Estimate) *Estimate {
+	common := core.ColsIntersect(l.Cols, r.Cols)
+	sel := 1.0
+	for _, c := range common {
+		sel /= math.Max(1, math.Max(l.Distinct[c], r.Distinct[c]))
+	}
+	out := &Estimate{
+		Rows:     l.Rows * r.Rows * sel,
+		Distinct: map[string]float64{},
+		Cols:     core.ColsUnion(l.Cols, r.Cols),
+	}
+	for _, c := range out.Cols {
+		lv, lOk := l.Distinct[c]
+		rv, rOk := r.Distinct[c]
+		switch {
+		case lOk && rOk:
+			out.Distinct[c] = math.Min(lv, rv)
+		case lOk:
+			out.Distinct[c] = lv
+		default:
+			out.Distinct[c] = rv
+		}
+	}
+	out.Cost = l.Cost + r.Cost + l.Rows + r.Rows + out.Rows
+	out.clampDistinct()
+	return out
+}
+
+func condSelectivity(c core.Condition, in *Estimate) float64 {
+	switch n := c.(type) {
+	case core.EqConst:
+		return 1 / math.Max(1, in.Distinct[n.Col])
+	case core.NeConst:
+		return 1 - 1/math.Max(1, in.Distinct[n.Col])
+	case core.EqCols:
+		return 1 / math.Max(1, math.Max(in.Distinct[n.A], in.Distinct[n.B]))
+	case core.And:
+		s := 1.0
+		for _, sub := range n {
+			s *= condSelectivity(sub, in)
+		}
+		return s
+	case core.Or:
+		s := 0.0
+		for _, sub := range n {
+			s += condSelectivity(sub, in)
+		}
+		return math.Min(1, s)
+	default:
+		return 0.5
+	}
+}
+
+func isEqConstOn(c core.Condition, col string) bool {
+	switch n := c.(type) {
+	case core.EqConst:
+		return n.Col == col
+	case core.And:
+		for _, sub := range n {
+			if isEqConstOn(sub, col) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// estimateFixpoint implements the logarithm-based fixpoint estimation. The
+// seed is the constant part R; one symbolic application of φ to the seed
+// yields the per-iteration expansion factor f; the result grows
+// geometrically until it saturates at the schema's distinct-value bound, so
+// the iteration count is logarithmic in (bound / |R|) base f. The cost sums
+// the per-iteration φ work over those simulated iterations — exactly the
+// shape of semi-naive evaluation.
+func (es *Estimator) estimateFixpoint(fp *core.Fixpoint, bound map[string]*Estimate) (*Estimate, error) {
+	d, err := core.Decompose(fp)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := es.estimate(d.Const, bound)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.PhiBranches) == 0 {
+		return seed, nil
+	}
+	// Estimate one application of φ on the seed.
+	phiOnSeed := func(x *Estimate) (*Estimate, float64, error) {
+		nb := make(map[string]*Estimate, len(bound)+1)
+		for k, v := range bound {
+			nb[k] = v
+		}
+		nb[d.X] = x
+		var total *Estimate
+		var stepCost float64
+		for _, br := range d.PhiBranches {
+			e, err := es.estimate(br, nb)
+			if err != nil {
+				return nil, 0, err
+			}
+			stepCost += e.Cost
+			if total == nil {
+				total = e
+			} else {
+				total.Rows += e.Rows
+				for c, v := range e.Distinct {
+					total.Distinct[c] = math.Max(total.Distinct[c], v)
+				}
+			}
+		}
+		total.clampDistinct()
+		return total, stepCost, nil
+	}
+
+	first, stepCost, err := phiOnSeed(seed)
+	if err != nil {
+		return nil, err
+	}
+	f := 1.0
+	if seed.Rows > 0 {
+		f = first.Rows / seed.Rows
+	}
+	// Saturation bound: the product of the largest distinct counts seen for
+	// each output column.
+	satBound := 1.0
+	for _, c := range seed.Cols {
+		dom := math.Max(seed.Distinct[c], first.Distinct[c])
+		satBound *= math.Max(1, dom)
+		if satBound > 1e15 {
+			satBound = 1e15
+			break
+		}
+	}
+	maxIters := es.MaxFixpointIters
+	if maxIters <= 0 {
+		maxIters = 64
+	}
+	total := seed.Rows
+	delta := seed.Rows
+	cost := seed.Cost
+	iters := 0
+	for iters < maxIters && delta >= 1 && total < satBound {
+		delta *= f
+		// Deltas shrink as the result saturates (semi-naive subtracts the
+		// accumulated set); damp geometric blow-ups.
+		if total+delta > satBound {
+			delta = satBound - total
+		}
+		total += delta
+		cost += stepCost * math.Max(1, delta/math.Max(1, seed.Rows))
+		iters++
+		if f <= 1 {
+			// Sub-linear growth: the recursion dies out in about
+			// log(seed)/log(1/f) steps; stop once the delta is negligible.
+			if delta < 1 {
+				break
+			}
+		}
+	}
+	out := &Estimate{
+		Rows:     math.Min(total, satBound),
+		Distinct: map[string]float64{},
+		Cols:     seed.Cols,
+		Cost:     cost,
+	}
+	for _, c := range seed.Cols {
+		out.Distinct[c] = math.Max(seed.Distinct[c], first.Distinct[c])
+	}
+	out.clampDistinct()
+	return out, nil
+}
+
+// Ranked pairs a plan with its estimated cost.
+type Ranked struct {
+	Plan core.Term
+	Cost float64
+}
+
+// SelectBest estimates every plan and returns the cheapest together with
+// the full ranking (in input order). Plans that fail to estimate rank +Inf.
+func SelectBest(plans []core.Term, cat *Catalog) (best core.Term, ranking []Ranked) {
+	es := NewEstimator(cat)
+	bestCost := math.Inf(1)
+	for _, p := range plans {
+		c := es.EstimateCost(p)
+		ranking = append(ranking, Ranked{Plan: p, Cost: c})
+		if c < bestCost {
+			bestCost = c
+			best = p
+		}
+	}
+	if best == nil && len(plans) > 0 {
+		best = plans[0]
+	}
+	return best, ranking
+}

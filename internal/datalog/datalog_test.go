@@ -1,0 +1,399 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/rpq"
+	"repro/internal/ucrpq"
+)
+
+// edgeRel builds the EDB predicate e(X,Y) from pairs.
+func edgeRel(pairs [][2]core.Value) *Rel {
+	r := NewRel(2)
+	for _, p := range pairs {
+		r.Add([]core.Value{p[0], p[1]})
+	}
+	return r
+}
+
+// tcProgram is the left-linear transitive closure of e.
+func tcProgram() *Program {
+	return &Program{Rules: []Rule{
+		{Head: NewAtom("tc", V("X"), V("Y")), Body: []Atom{NewAtom("e", V("X"), V("Y"))}},
+		{Head: NewAtom("tc", V("X"), V("Y")), Body: []Atom{
+			NewAtom("tc", V("X"), V("Z")), NewAtom("e", V("Z"), V("Y")),
+		}},
+	}}
+}
+
+func TestSemiNaiveTransitiveClosure(t *testing.T) {
+	edb := DB{"e": edgeRel([][2]core.Value{{1, 2}, {2, 3}, {3, 4}})}
+	db, stats, err := Eval(tcProgram(), edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := db["tc"]
+	want := [][2]core.Value{{1, 2}, {2, 3}, {3, 4}, {1, 3}, {2, 4}, {1, 4}}
+	if tc.Len() != len(want) {
+		t.Fatalf("tc has %d tuples, want %d: %v", tc.Len(), len(want), tc.Rows())
+	}
+	for _, p := range want {
+		if !tc.Has([]core.Value{p[0], p[1]}) {
+			t.Fatalf("missing %v", p)
+		}
+	}
+	if stats.Iterations < 2 {
+		t.Fatalf("iterations = %d", stats.Iterations)
+	}
+}
+
+func TestEvalAgainstMuRA(t *testing.T) {
+	// The Datalog TC must equal the µ-RA closure on random graphs.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		var pairs [][2]core.Value
+		e := core.NewRelation(core.ColSrc, core.ColTrg)
+		for i := 0; i < 30; i++ {
+			p := [2]core.Value{core.Value(rng.Intn(9)), core.Value(rng.Intn(9))}
+			pairs = append(pairs, p)
+			e.Add([]core.Value{p[0], p[1]})
+		}
+		env := core.NewEnv()
+		env.Bind("E", e)
+		want, err := core.Eval(core.ClosureLR("X", &core.Var{Name: "E"}), env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, _, err := Eval(tcProgram(), DB{"e": edgeRel(pairs)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if db["tc"].Len() != want.Len() {
+			t.Fatalf("trial %d: datalog %d vs µ-RA %d", trial, db["tc"].Len(), want.Len())
+		}
+	}
+}
+
+func TestValidateRejectsUnboundHead(t *testing.T) {
+	p := &Program{Rules: []Rule{
+		{Head: NewAtom("p", V("X"), V("Y")), Body: []Atom{NewAtom("e", V("X"), V("Z"))}},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected range-restriction error")
+	}
+}
+
+func TestSCCOrder(t *testing.T) {
+	// q depends on tc; tc must come first.
+	prog := tcProgram()
+	prog.Rules = append(prog.Rules, Rule{
+		Head: NewAtom("q", V("X")),
+		Body: []Atom{NewAtom("tc", V("X"), C(4))},
+	})
+	sccs := SCCs(prog)
+	if len(sccs) != 2 {
+		t.Fatalf("SCCs = %d, want 2", len(sccs))
+	}
+	if !sccs[0]["tc"] || !sccs[1]["q"] {
+		t.Fatalf("wrong SCC order: %v", sccs)
+	}
+}
+
+func TestMagicBoundFirstArgRestricts(t *testing.T) {
+	// Query tc(1, Y): magic sets must avoid computing the closure of the
+	// disconnected component.
+	pairs := [][2]core.Value{{1, 2}, {2, 3}}
+	for i := core.Value(100); i < 160; i++ {
+		pairs = append(pairs, [2]core.Value{i, i + 1})
+	}
+	edb := DB{"e": edgeRel(pairs)}
+	query := NewAtom("tc", C(1), V("Y"))
+
+	full, fullStats, err := Query(tcProgram(), edb, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	magicProg, magicQuery, err := MagicTransform(tcProgram(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimized, optStats, err := Query(magicProg, edb, magicQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimized.Len() != full.Len() {
+		t.Fatalf("magic answers %d ≠ full answers %d", optimized.Len(), full.Len())
+	}
+	for _, row := range optimized.Rows() {
+		if !full.Has(row) {
+			t.Fatalf("magic derived spurious %v", row)
+		}
+	}
+	if optStats.Derived >= fullStats.Derived {
+		t.Fatalf("magic derived %d tuples, full %d — no restriction happened",
+			optStats.Derived, fullStats.Derived)
+	}
+}
+
+func TestMagicBoundSecondArgDoesNotRestrictLeftLinear(t *testing.T) {
+	// The asymmetry the paper exploits (class C2): a binding on the
+	// second argument of a left-linear TC cannot be pushed by magic sets;
+	// the closure is still fully materialized.
+	pairs := [][2]core.Value{}
+	for i := core.Value(0); i < 40; i++ {
+		pairs = append(pairs, [2]core.Value{i, i + 1})
+	}
+	edb := DB{"e": edgeRel(pairs)}
+	query := NewAtom("tc", V("X"), C(3))
+	magicProg, magicQuery, err := MagicTransform(tcProgram(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, fullStats, err := Query(tcProgram(), edb, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimized, optStats, err := Query(magicProg, edb, magicQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimized.Len() != full.Len() {
+		t.Fatalf("magic answers %d ≠ full %d", optimized.Len(), full.Len())
+	}
+	// The whole tc is still derived (within a small tolerance of guard
+	// bookkeeping).
+	if optStats.Derived < fullStats.Derived {
+		t.Fatalf("left-linear fb query should not be restricted: %d < %d",
+			optStats.Derived, fullStats.Derived)
+	}
+}
+
+func TestMagicPreservesAnswersOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 15; trial++ {
+		var pairs [][2]core.Value
+		for i := 0; i < 25; i++ {
+			pairs = append(pairs, [2]core.Value{core.Value(rng.Intn(8)), core.Value(rng.Intn(8))})
+		}
+		edb := DB{"e": edgeRel(pairs)}
+		for _, query := range []Atom{
+			NewAtom("tc", C(1), V("Y")),
+			NewAtom("tc", V("X"), C(2)),
+			NewAtom("tc", C(0), C(5)),
+		} {
+			full, _, err := Query(tcProgram(), edb, query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mp, mq, err := MagicTransform(tcProgram(), query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := Query(mp, edb, mq)
+			if err != nil {
+				t.Fatalf("trial %d query %s: %v\nprogram:\n%s", trial, query, err, mp)
+			}
+			if got.Len() != full.Len() {
+				t.Fatalf("trial %d query %s: magic %d ≠ full %d\nprogram:\n%s",
+					trial, query, got.Len(), full.Len(), mp)
+			}
+		}
+	}
+}
+
+func TestUCRPQTranslation(t *testing.T) {
+	dict := core.NewDict()
+	la, lb := dict.Intern("a"), dict.Intern("b")
+	triples := core.NewRelation(core.ColSrc, core.ColPred, core.ColTrg)
+	add := func(s core.Value, l core.Value, t core.Value) {
+		triples.AddTuple([]string{core.ColSrc, core.ColPred, core.ColTrg}, []core.Value{s, l, t})
+	}
+	add(1, la, 2)
+	add(2, la, 3)
+	add(3, lb, 4)
+	add(4, lb, 5)
+	env := core.NewEnv()
+	env.Bind("G", triples)
+
+	queries := []string{
+		"?x,?y <- ?x a+ ?y",
+		"?x,?y <- ?x a+/b+ ?y",
+		"?x,?y <- ?x (a|b)+ ?y",
+		"?x <- ?x a+/b #4",
+		"?x,?y <- ?x -a/b ?y",
+		"?x,?y <- ?x a+ ?y, ?y b ?z",
+	}
+	for _, qs := range queries {
+		q := ucrpq.MustParse(qs)
+		// Reference: µ-RA translation evaluated centrally.
+		muTerm, err := ucrpq.Translate(q, "G", dict, rpq.LeftToRight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Eval(muTerm, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Datalog translation + magic + evaluation.
+		tr := NewTranslator("g", dict)
+		prog, queryAtom, err := tr.Translate(q)
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		mp, mq, err := MagicTransform(prog, queryAtom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := Query(mp, EdgeDB("g", triples), mq)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", qs, err, mp)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("%s: datalog %d rows ≠ µ-RA %d rows\nprogram:\n%s",
+				qs, got.Len(), want.Len(), prog)
+		}
+	}
+}
+
+func TestDecomposablePivot(t *testing.T) {
+	scc := map[string]bool{"tc": true}
+	if k, ok := DecomposablePivot(tcProgram().Rules, scc); !ok || k != 0 {
+		t.Fatalf("left-linear TC: pivot=%d ok=%v, want 0 true", k, ok)
+	}
+	rightLinear := &Program{Rules: []Rule{
+		{Head: NewAtom("tc", V("X"), V("Y")), Body: []Atom{NewAtom("e", V("X"), V("Y"))}},
+		{Head: NewAtom("tc", V("X"), V("Y")), Body: []Atom{
+			NewAtom("e", V("X"), V("Z")), NewAtom("tc", V("Z"), V("Y")),
+		}},
+	}}
+	if k, ok := DecomposablePivot(rightLinear.Rules, scc); !ok || k != 1 {
+		t.Fatalf("right-linear TC: pivot=%d ok=%v, want 1 true", k, ok)
+	}
+	sg := &Program{Rules: []Rule{
+		{Head: NewAtom("sg", V("X"), V("Y")), Body: []Atom{
+			NewAtom("e", V("P"), V("X")), NewAtom("e", V("P"), V("Y")),
+		}},
+		{Head: NewAtom("sg", V("X"), V("Y")), Body: []Atom{
+			NewAtom("e", V("P"), V("X")), NewAtom("sg", V("P"), V("Q")), NewAtom("e", V("Q"), V("Y")),
+		}},
+	}}
+	if _, ok := DecomposablePivot(sg.Rules, map[string]bool{"sg": true}); ok {
+		t.Fatal("same-generation must not be decomposable")
+	}
+}
+
+func TestDistributedMatchesCentralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	c, err := cluster.New(cluster.Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	de := NewDistEngine(c)
+
+	for trial := 0; trial < 8; trial++ {
+		var pairs [][2]core.Value
+		for i := 0; i < 30; i++ {
+			pairs = append(pairs, [2]core.Value{core.Value(rng.Intn(9)), core.Value(rng.Intn(9))})
+		}
+		edb := DB{"e": edgeRel(pairs)}
+
+		// Decomposable: left-linear TC.
+		query := NewAtom("tc", V("X"), V("Y"))
+		want, _, err := Query(tcProgram(), edb, query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, rep, err := de.Run(tcProgram(), edb, query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("trial %d: distributed %d ≠ central %d", trial, got.Len(), want.Len())
+		}
+		if rep.DecomposableSCCs != 1 {
+			t.Fatalf("TC should be decomposable: %+v", rep)
+		}
+
+		// Non-decomposable: same generation.
+		sg := &Program{Rules: []Rule{
+			{Head: NewAtom("sg", V("X"), V("Y")), Body: []Atom{
+				NewAtom("e", V("P"), V("X")), NewAtom("e", V("P"), V("Y")),
+			}},
+			{Head: NewAtom("sg", V("X"), V("Y")), Body: []Atom{
+				NewAtom("e", V("P"), V("X")), NewAtom("sg", V("P"), V("Q")), NewAtom("e", V("Q"), V("Y")),
+			}},
+		}}
+		sgQuery := NewAtom("sg", V("X"), V("Y"))
+		wantSG, _, err := Query(sg, edb, sgQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSG, repSG, err := de.Run(sg, edb, sgQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotSG.Len() != wantSG.Len() {
+			t.Fatalf("trial %d: SG distributed %d ≠ central %d", trial, gotSG.Len(), wantSG.Len())
+		}
+		if repSG.DecomposableSCCs != 0 || repSG.GlobalIterations == 0 {
+			t.Fatalf("SG should use the global loop: %+v", repSG)
+		}
+	}
+}
+
+func TestDistributedShuffleAccounting(t *testing.T) {
+	c, err := cluster.New(cluster.Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	de := NewDistEngine(c)
+	var pairs [][2]core.Value
+	for i := core.Value(0); i < 30; i++ {
+		pairs = append(pairs, [2]core.Value{i, i + 1})
+	}
+	edb := DB{"e": edgeRel(pairs)}
+
+	// Decomposable TC: no shuffle barriers during the loop.
+	c.Metrics().Reset()
+	if _, _, err := de.Run(tcProgram(), edb, NewAtom("tc", V("X"), V("Y"))); err != nil {
+		t.Fatal(err)
+	}
+	if ph := c.Metrics().Snapshot().ShufflePhases; ph != 0 {
+		t.Fatalf("decomposable TC used %d shuffle phases, want 0", ph)
+	}
+
+	// Non-decomposable SG: one barrier per predicate per iteration.
+	sg := &Program{Rules: []Rule{
+		{Head: NewAtom("sg", V("X"), V("Y")), Body: []Atom{
+			NewAtom("e", V("P"), V("X")), NewAtom("e", V("P"), V("Y")),
+		}},
+		{Head: NewAtom("sg", V("X"), V("Y")), Body: []Atom{
+			NewAtom("e", V("P"), V("X")), NewAtom("sg", V("P"), V("Q")), NewAtom("e", V("Q"), V("Y")),
+		}},
+	}}
+	c.Metrics().Reset()
+	_, rep, err := de.Run(sg, edb, NewAtom("sg", V("X"), V("Y")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := c.Metrics().Snapshot().ShufflePhases
+	if int(ph) != rep.GlobalIterations {
+		t.Fatalf("SG: %d shuffle phases for %d iterations", ph, rep.GlobalIterations)
+	}
+}
+
+func TestPosColsRoundTrip(t *testing.T) {
+	r := NewRel(3)
+	r.Add([]core.Value{3, 1, 2})
+	r.Add([]core.Value{9, 8, 7})
+	cols := PosCols(3)
+	back := FromRelation(r.ToRelation(cols), cols)
+	if back.Len() != 2 || !back.Has([]core.Value{3, 1, 2}) || !back.Has([]core.Value{9, 8, 7}) {
+		t.Fatalf("round trip failed: %v", back.Rows())
+	}
+}

@@ -1,0 +1,225 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/core"
+)
+
+// Parse reads a Datalog program in conventional textual syntax:
+//
+//	tc(X,Y) :- edge(X,Y).
+//	tc(X,Y) :- tc(X,Z), edge(Z,Y).
+//	seed(42).
+//
+// Identifiers starting with an upper-case letter (or underscore) are
+// variables; bare integers are numeric constants; lower-case identifiers
+// and single-quoted strings are symbolic constants interned through dict.
+// '%' starts a comment to end of line.
+func Parse(input string, dict *core.Dict) (*Program, error) {
+	p := &progParser{input: input, dict: dict}
+	prog := &Program{}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.input) {
+			break
+		}
+		rule, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, rule)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse panicking on error (for tests and fixed programs).
+func MustParse(input string, dict *core.Dict) *Program {
+	p, err := Parse(input, dict)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseAtom parses a single atom such as "tc(1,X)" (for queries).
+func ParseAtom(input string, dict *core.Dict) (Atom, error) {
+	p := &progParser{input: input, dict: dict}
+	p.skipSpace()
+	a, err := p.parseAtom()
+	if err != nil {
+		return Atom{}, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return Atom{}, fmt.Errorf("datalog: trailing input %q", p.input[p.pos:])
+	}
+	return a, nil
+}
+
+type progParser struct {
+	input string
+	pos   int
+	dict  *core.Dict
+}
+
+func (p *progParser) skipSpace() {
+	for p.pos < len(p.input) {
+		c := p.input[p.pos]
+		if c == '%' { // comment to end of line
+			for p.pos < len(p.input) && p.input[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		break
+	}
+}
+
+func (p *progParser) fail(format string, args ...any) error {
+	prefix := p.input
+	if p.pos < len(prefix) {
+		prefix = prefix[p.pos:]
+	}
+	if len(prefix) > 25 {
+		prefix = prefix[:25] + "…"
+	}
+	return fmt.Errorf("datalog: %s at %q (offset %d)", fmt.Sprintf(format, args...), prefix, p.pos)
+}
+
+func (p *progParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.input) || p.input[p.pos] != c {
+		return p.fail("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *progParser) parseRule() (Rule, error) {
+	head, err := p.parseAtom()
+	if err != nil {
+		return Rule{}, err
+	}
+	p.skipSpace()
+	r := Rule{Head: head}
+	if strings.HasPrefix(p.input[p.pos:], ":-") {
+		p.pos += 2
+		for {
+			atom, err := p.parseAtom()
+			if err != nil {
+				return Rule{}, err
+			}
+			r.Body = append(r.Body, atom)
+			p.skipSpace()
+			if p.pos < len(p.input) && p.input[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expect('.'); err != nil {
+		return Rule{}, err
+	}
+	return r, nil
+}
+
+func (p *progParser) parseAtom() (Atom, error) {
+	p.skipSpace()
+	name, err := p.parseIdent()
+	if err != nil {
+		return Atom{}, err
+	}
+	if err := p.expect('('); err != nil {
+		return Atom{}, err
+	}
+	a := Atom{Pred: name}
+	for {
+		arg, err := p.parseArg()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Args = append(a.Args, arg)
+		p.skipSpace()
+		if p.pos < len(p.input) && p.input[p.pos] == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect(')'); err != nil {
+		return Atom{}, err
+	}
+	return a, nil
+}
+
+func (p *progParser) parseIdent() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.input) {
+		c := rune(p.input[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == ':' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.fail("expected identifier")
+	}
+	return p.input[start:p.pos], nil
+}
+
+func (p *progParser) parseArg() (Arg, error) {
+	p.skipSpace()
+	if p.pos >= len(p.input) {
+		return Arg{}, p.fail("expected argument")
+	}
+	c := p.input[p.pos]
+	switch {
+	case c == '\'':
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.input) && p.input[p.pos] != '\'' {
+			p.pos++
+		}
+		if p.pos >= len(p.input) {
+			return Arg{}, p.fail("unterminated quoted constant")
+		}
+		s := p.input[start:p.pos]
+		p.pos++
+		return C(p.dict.Intern(s)), nil
+	case c >= '0' && c <= '9' || c == '-':
+		start := p.pos
+		p.pos++
+		for p.pos < len(p.input) && p.input[p.pos] >= '0' && p.input[p.pos] <= '9' {
+			p.pos++
+		}
+		n, err := strconv.ParseInt(p.input[start:p.pos], 10, 64)
+		if err != nil {
+			return Arg{}, p.fail("bad number: %v", err)
+		}
+		return C(core.Value(n)), nil
+	default:
+		ident, err := p.parseIdent()
+		if err != nil {
+			return Arg{}, err
+		}
+		first := rune(ident[0])
+		if unicode.IsUpper(first) || first == '_' {
+			return V(ident), nil
+		}
+		return C(p.dict.Intern(ident)), nil
+	}
+}

@@ -1,0 +1,110 @@
+package datalog
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseProgram(t *testing.T) {
+	dict := core.NewDict()
+	prog, err := Parse(`
+		% transitive closure
+		tc(X,Y) :- edge(X,Y).
+		tc(X,Y) :- tc(X,Z), edge(Z,Y).
+		seed(42).
+		labeled(X,Y) :- g(X, knows, Y).
+	`, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 4 {
+		t.Fatalf("rules = %d, want 4", len(prog.Rules))
+	}
+	if prog.Rules[2].Head.Pred != "seed" || prog.Rules[2].Head.Args[0].Const != 42 {
+		t.Fatalf("fact parsed wrong: %s", prog.Rules[2])
+	}
+	// 'knows' must have been interned as a constant, not a variable.
+	arg := prog.Rules[3].Body[0].Args[1]
+	if arg.IsVar {
+		t.Fatal("lowercase identifier parsed as variable")
+	}
+	if v, ok := dict.Lookup("knows"); !ok || v != arg.Const {
+		t.Fatal("constant not interned")
+	}
+}
+
+func TestParsedProgramEvaluates(t *testing.T) {
+	dict := core.NewDict()
+	prog := MustParse(`
+		tc(X,Y) :- edge(X,Y).
+		tc(X,Y) :- tc(X,Z), edge(Z,Y).
+	`, dict)
+	edb := DB{"edge": edgeRel([][2]core.Value{{1, 2}, {2, 3}})}
+	q, err := ParseAtom("tc(1,Y)", dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Query(prog, edb, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("tc(1,Y) = %d rows, want 2", got.Len())
+	}
+}
+
+func TestParseQuoted(t *testing.T) {
+	dict := core.NewDict()
+	prog := MustParse(`p(X) :- g(X, 'Kevin Bacon').`, dict)
+	if prog.Rules[0].Body[0].Args[1].IsVar {
+		t.Fatal("quoted constant parsed as variable")
+	}
+	if _, ok := dict.Lookup("Kevin Bacon"); !ok {
+		t.Fatal("quoted constant not interned")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	dict := core.NewDict()
+	bad := []string{
+		"p(X)",            // missing period
+		"p(X) :- q(X",     // unterminated atom
+		"p(X) :- .",       // empty body atom
+		"p() .",           // no args
+		"p(X) :- q(Y).",   // not range restricted
+		"p('oops) .",      // unterminated quote
+		"p(X) :- q(X,Y).", // head var ok, but q arity differs from later use
+	}
+	for _, in := range bad[:6] {
+		if _, err := Parse(in, dict); err == nil {
+			t.Fatalf("Parse(%q) should fail", in)
+		}
+	}
+	// Arity conflict across rules.
+	if _, err := Parse("p(X) :- q(X). p(X) :- q(X,X).", dict); err == nil {
+		t.Fatal("arity conflict accepted")
+	}
+}
+
+func TestParseAtomTrailing(t *testing.T) {
+	dict := core.NewDict()
+	if _, err := ParseAtom("tc(1,Y) extra", dict); err == nil {
+		t.Fatal("trailing input accepted")
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	dict := core.NewDict()
+	prog := MustParse(`
+		tc(X,Y) :- edge(X,Y).
+		tc(X,Y) :- tc(X,Z), edge(Z,Y).
+	`, dict)
+	again, err := Parse(prog.String(), dict)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", prog.String(), err)
+	}
+	if again.String() != prog.String() {
+		t.Fatalf("round trip changed program:\n%s\nvs\n%s", prog, again)
+	}
+}

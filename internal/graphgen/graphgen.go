@@ -1,0 +1,231 @@
+// Package graphgen generates the datasets of the Dist-µ-RA evaluation
+// (§V-B) at laptop scale, deterministically from a seed:
+//
+//   - rnd_n_p        Erdős-Rényi random graphs (optionally edge-labeled),
+//   - tree_n         random recursive trees,
+//   - uniprot_n      gMark-style protein graphs with the Uniprot predicate
+//     schema (interacts, encodes, occurs, hasKeyword,
+//     reference, authoredBy, publishes),
+//   - Yago(scale)    a synthetic knowledge graph carrying the Yago
+//     predicate vocabulary and named entities used by the
+//     paper's queries Q1–Q25,
+//   - SGGraph(name)  topology stand-ins for the real graphs of Fig. 11
+//     (trees, genealogies, social networks).
+//
+// Real Yago/SNAP data cannot ship with this reproduction; the generators
+// preserve what the experiments depend on — predicate vocabulary,
+// heavy-tailed degree distributions, hierarchy depths and reachability —
+// as documented in DESIGN.md.
+package graphgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Graph is a labeled directed graph stored as a triple relation
+// (src, pred, trg) with all identifiers interned in Dict.
+type Graph struct {
+	Name    string
+	Dict    *core.Dict
+	Triples *core.Relation
+}
+
+// NewGraph returns an empty graph.
+func NewGraph(name string) *Graph {
+	return &Graph{
+		Name:    name,
+		Dict:    core.NewDict(),
+		Triples: core.NewRelation(core.ColSrc, core.ColPred, core.ColTrg),
+	}
+}
+
+// Edges returns the number of triples.
+func (g *Graph) Edges() int { return g.Triples.Len() }
+
+// Add inserts a triple given as strings, interning identifiers.
+func (g *Graph) Add(src, pred, trg string) {
+	g.AddV(g.Dict.Intern(src), g.Dict.Intern(pred), g.Dict.Intern(trg))
+}
+
+// AddV inserts a triple of already-interned values.
+func (g *Graph) AddV(src, pred, trg core.Value) {
+	g.Triples.AddTuple([]string{core.ColSrc, core.ColPred, core.ColTrg},
+		[]core.Value{src, pred, trg})
+}
+
+// Binary extracts the (src, trg) relation of one predicate.
+func (g *Graph) Binary(pred string) *core.Relation {
+	out := core.NewRelation(core.ColSrc, core.ColTrg)
+	p, ok := g.Dict.Lookup(pred)
+	if !ok {
+		return out
+	}
+	si := core.ColIndex(g.Triples.Cols(), core.ColSrc)
+	pi := core.ColIndex(g.Triples.Cols(), core.ColPred)
+	ti := core.ColIndex(g.Triples.Cols(), core.ColTrg)
+	for _, row := range g.Triples.Rows() {
+		if row[pi] == p {
+			out.Add([]core.Value{row[si], row[ti]})
+		}
+	}
+	return out
+}
+
+// PredCounts returns the number of edges per predicate name.
+func (g *Graph) PredCounts() map[string]int {
+	pi := core.ColIndex(g.Triples.Cols(), core.ColPred)
+	out := map[string]int{}
+	for _, row := range g.Triples.Rows() {
+		out[g.Dict.String(row[pi])]++
+	}
+	return out
+}
+
+// Env returns a core.Env binding the triple relation under the given name.
+func (g *Graph) Env(rel string) *core.Env {
+	env := core.NewEnv()
+	env.Bind(rel, g.Triples)
+	return env
+}
+
+// WriteTSV writes "src<TAB>pred<TAB>trg" lines using the dictionary.
+func (g *Graph) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	si := core.ColIndex(g.Triples.Cols(), core.ColSrc)
+	pi := core.ColIndex(g.Triples.Cols(), core.ColPred)
+	ti := core.ColIndex(g.Triples.Cols(), core.ColTrg)
+	for _, row := range g.Triples.Rows() {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\n",
+			g.Dict.String(row[si]), g.Dict.String(row[pi]), g.Dict.String(row[ti])); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses a graph written by WriteTSV (or any 3-column TSV).
+func ReadTSV(r io.Reader, name string) (*Graph, error) {
+	g := NewGraph(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("graphgen: line %d: want 3 tab-separated fields, got %d", line, len(parts))
+		}
+		g.Add(parts[0], parts[1], parts[2])
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// node builds a dense node name.
+func node(prefix string, i int) string { return prefix + fmt.Sprint(i) }
+
+// ErdosRenyi generates rnd_n_p: each of the n·(n−1) ordered pairs is an
+// edge with probability p, labeled uniformly from labels (a single label
+// "e" when labels is empty). Geometric skip sampling keeps generation
+// linear in the number of edges.
+func ErdosRenyi(n int, p float64, labels []string, seed int64) *Graph {
+	g := NewGraph(fmt.Sprintf("rnd_%d_%g", n, p))
+	if len(labels) == 0 {
+		labels = []string{"e"}
+	}
+	lab := make([]core.Value, len(labels))
+	for i, l := range labels {
+		lab[i] = g.Dict.Intern(l)
+	}
+	nodes := make([]core.Value, n)
+	for i := range nodes {
+		nodes[i] = g.Dict.Intern(node("n", i))
+	}
+	if p <= 0 || n < 2 {
+		return g
+	}
+	rng := rand.New(rand.NewSource(seed))
+	total := int64(n) * int64(n-1)
+	idx := int64(-1)
+	for {
+		// Skip ~Geometric(p) pairs.
+		skip := int64(1)
+		if p < 1 {
+			u := rng.Float64()
+			skip = 1 + int64(logf(1-u)/logf(1-p))
+		}
+		idx += skip
+		if idx >= total {
+			break
+		}
+		s := int(idx / int64(n-1))
+		t := int(idx % int64(n-1))
+		if t >= s {
+			t++ // skip self-loops
+		}
+		g.AddV(nodes[s], lab[rng.Intn(len(lab))], nodes[t])
+	}
+	return g
+}
+
+func logf(x float64) float64 {
+	// Tiny wrapper so the sampling formula reads clearly.
+	if x <= 0 {
+		return -1e300
+	}
+	return math.Log(x)
+}
+
+// RandomTree generates tree_n: node i+1 is attached as a child of a
+// uniformly random node among 0..i (§V-B).
+func RandomTree(n int, labels []string, seed int64) *Graph {
+	g := NewGraph(fmt.Sprintf("tree_%d", n))
+	if len(labels) == 0 {
+		labels = []string{"e"}
+	}
+	lab := make([]core.Value, len(labels))
+	for i, l := range labels {
+		lab[i] = g.Dict.Intern(l)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nodes := make([]core.Value, n)
+	for i := range nodes {
+		nodes[i] = g.Dict.Intern(node("n", i))
+	}
+	for i := 1; i < n; i++ {
+		parent := rng.Intn(i)
+		g.AddV(nodes[parent], lab[rng.Intn(len(lab))], nodes[i])
+	}
+	return g
+}
+
+// zipfTarget draws an index in [0,n) with a heavy-tailed preference for
+// small indices (exponent ≈ 1.5), giving the hub-dominated degree
+// distributions of real knowledge graphs.
+func zipfTarget(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	u := rng.Float64()
+	idx := int(math.Pow(float64(n), u)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}

@@ -1,0 +1,220 @@
+package graphgen
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestErdosRenyiEdgeCount(t *testing.T) {
+	n, p := 500, 0.01
+	g := ErdosRenyi(n, p, nil, 7)
+	expected := float64(n) * float64(n-1) * p
+	got := float64(g.Edges())
+	if math.Abs(got-expected) > 4*math.Sqrt(expected) {
+		t.Fatalf("edges = %v, expected ≈ %v", got, expected)
+	}
+	// No self loops.
+	si := core.ColIndex(g.Triples.Cols(), core.ColSrc)
+	ti := core.ColIndex(g.Triples.Cols(), core.ColTrg)
+	for _, row := range g.Triples.Rows() {
+		if row[si] == row[ti] {
+			t.Fatalf("self loop at %v", row[si])
+		}
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(200, 0.01, []string{"x", "y"}, 42)
+	b := ErdosRenyi(200, 0.01, []string{"x", "y"}, 42)
+	if !a.Triples.Equal(b.Triples) {
+		t.Fatal("same seed produced different graphs")
+	}
+	c := ErdosRenyi(200, 0.01, []string{"x", "y"}, 43)
+	if a.Triples.Equal(c.Triples) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	n := 300
+	g := RandomTree(n, nil, 3)
+	if g.Edges() != n-1 {
+		t.Fatalf("tree has %d edges, want %d", g.Edges(), n-1)
+	}
+	// Every node except the root has exactly one parent.
+	ti := core.ColIndex(g.Triples.Cols(), core.ColTrg)
+	parents := map[core.Value]int{}
+	for _, row := range g.Triples.Rows() {
+		parents[row[ti]]++
+	}
+	for v, c := range parents {
+		if c != 1 {
+			t.Fatalf("node %d has %d parents", v, c)
+		}
+	}
+}
+
+func TestUniprotShape(t *testing.T) {
+	g := Uniprot(5000, 11)
+	if g.Edges() < 4000 || g.Edges() > 6500 {
+		t.Fatalf("edges = %d, want ≈5000", g.Edges())
+	}
+	counts := g.PredCounts()
+	for _, p := range UniprotPredicates {
+		if counts[p] == 0 {
+			t.Fatalf("predicate %s has no edges", p)
+		}
+	}
+	if counts["int"] < counts["pub"] {
+		t.Fatal("interacts should dominate publishes")
+	}
+	// The anchored constant must exist with hKw in-edges.
+	kw, ok := g.Dict.Lookup(UniprotConstant)
+	if !ok {
+		t.Fatalf("constant %s missing", UniprotConstant)
+	}
+	hkw := g.Binary("hKw")
+	found := false
+	ti := core.ColIndex(hkw.Cols(), core.ColTrg)
+	for _, row := range hkw.Rows() {
+		if row[ti] == kw {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("kw0 has no hasKeyword in-edges")
+	}
+}
+
+func TestYagoShape(t *testing.T) {
+	g := Yago(600, 5)
+	counts := g.PredCounts()
+	for _, p := range YagoPredicates {
+		if counts[p] == 0 {
+			t.Fatalf("predicate %s has no edges", p)
+		}
+	}
+	for _, e := range YagoEntities {
+		if _, ok := g.Dict.Lookup(e); !ok {
+			t.Fatalf("named entity %s missing", e)
+		}
+	}
+	// The isLocatedIn closure from some place must reach a country:
+	// check Japan has IsL in-edges transitively (non-empty IsL+ to Japan).
+	env := g.Env("G")
+	japan, _ := g.Dict.Lookup("Japan")
+	isl, _ := g.Dict.Lookup("IsL")
+	closure := core.ClosureRL("X", core.EdgeRel("G", isl))
+	filtered := &core.Filter{Cond: core.EqConst{Col: core.ColTrg, Val: japan}, T: closure}
+	rel, err := core.Eval(filtered, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() == 0 {
+		t.Fatal("nothing is located (transitively) in Japan")
+	}
+	// Kevin Bacon must have actedIn edges.
+	kb, _ := g.Dict.Lookup("Kevin_Bacon")
+	acted := g.Binary("actedIn")
+	si := core.ColIndex(acted.Cols(), core.ColSrc)
+	found := false
+	for _, row := range acted.Rows() {
+		if row[si] == kb {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("Kevin_Bacon never acted")
+	}
+}
+
+func TestYagoDeterministic(t *testing.T) {
+	a := Yago(200, 9)
+	b := Yago(200, 9)
+	if !a.Triples.Equal(b.Triples) {
+		t.Fatal("same seed produced different yago graphs")
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	g := Uniprot(500, 2)
+	var buf bytes.Buffer
+	if err := g.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(&buf, "back")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Edges() != g.Edges() {
+		t.Fatalf("round trip: %d edges vs %d", back.Edges(), g.Edges())
+	}
+	// Predicate counts must match even though interned ids may differ.
+	a, b := g.PredCounts(), back.PredCounts()
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("pred %s: %d vs %d", k, v, b[k])
+		}
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	if _, err := ReadTSV(bytes.NewBufferString("a\tb\n"), "bad"); err == nil {
+		t.Fatal("expected error for 2-column line")
+	}
+	g, err := ReadTSV(bytes.NewBufferString("# comment\n\na\tp\tb\n"), "ok")
+	if err != nil || g.Edges() != 1 {
+		t.Fatalf("comment/blank handling failed: %v %d", err, g.Edges())
+	}
+}
+
+func TestSGGraphClasses(t *testing.T) {
+	for _, name := range []string{"AcTree", "Epinions", "Coauth-MAG", "Fr-Royalty", "unknown"} {
+		g := SGGraph(name, 400, 1)
+		if g.Edges() == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+		if g.Name != name {
+			t.Fatalf("name = %s, want %s", g.Name, name)
+		}
+	}
+	tree := SGGraph("AcTree", 400, 1)
+	er := SGGraph("Epinions", 400, 1)
+	if tree.Edges() == er.Edges() {
+		t.Fatal("topology classes should differ")
+	}
+}
+
+func TestBinaryExtraction(t *testing.T) {
+	g := NewGraph("t")
+	g.Add("x", "p", "y")
+	g.Add("x", "q", "z")
+	p := g.Binary("p")
+	if p.Len() != 1 {
+		t.Fatalf("binary(p) = %d rows", p.Len())
+	}
+	if g.Binary("nope").Len() != 0 {
+		t.Fatal("binary of unknown predicate should be empty")
+	}
+}
+
+func TestZipfTargetRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	hist := map[int]int{}
+	for i := 0; i < 5000; i++ {
+		v := zipfTarget(rng, 100)
+		if v < 0 || v >= 100 {
+			t.Fatalf("out of range: %d", v)
+		}
+		hist[v]++
+	}
+	if hist[0] < hist[50] {
+		t.Fatal("zipf should prefer small indices")
+	}
+}

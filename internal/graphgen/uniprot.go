@@ -1,0 +1,138 @@
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Uniprot predicate names, abbreviated as in the paper's Fig. 8: "int" is
+// interacts, "enc" encodes, "occ" occurs, "hKw" hasKeyword, "ref"
+// reference, "auth" authoredBy, "pub" publishes.
+var UniprotPredicates = []string{"int", "enc", "occ", "hKw", "ref", "auth", "pub"}
+
+// UniprotConstant is the anchored entity used by the benchmark's C-queries
+// (Q28, Q30, Q36, …): a hub keyword guaranteed to exist.
+const UniprotConstant = "kw0"
+
+// Uniprot generates uniprot_n: a gMark-style protein graph with
+// approximately `edges` triples. Entity populations and per-predicate
+// degree distributions follow the shape of the Uniprot schema the gMark
+// benchmark models: proteins interact (scale-free), genes encode proteins,
+// proteins occur in annotations, carry keywords (heavily reused hubs),
+// reference publications; publications are authored and published.
+func Uniprot(edges int, seed int64) *Graph {
+	if edges < 100 {
+		edges = 100
+	}
+	g := NewGraph(fmt.Sprintf("uniprot_%d", edges))
+	rng := rand.New(rand.NewSource(seed))
+
+	// Entity populations sized so that total degree lands near `edges`.
+	nProt := edges / 4
+	if nProt < 10 {
+		nProt = 10
+	}
+	proteins := internAll(g, "prot", nProt)
+	genes := internAll(g, "gene", nProt/2+1)
+	annots := internAll(g, "ann", nProt/5+1)
+	keywords := internAll(g, "kw", nProt/20+2)
+	pubs := internAll(g, "pubn", nProt/3+1)
+	authors := internAll(g, "auth", nProt/6+1)
+	journals := internAll(g, "jour", nProt/50+2)
+
+	pred := map[string]core.Value{}
+	for _, p := range UniprotPredicates {
+		pred[p] = g.Dict.Intern(p)
+	}
+	pick := func(s []core.Value) core.Value { return s[rng.Intn(len(s))] }
+	zipfPick := func(s []core.Value) core.Value { return s[zipfTarget(rng, len(s))] }
+
+	// Edge budget split (fractions roughly matching gMark's uniprot
+	// configuration).
+	budget := map[string]int{
+		"int":  edges * 25 / 100,
+		"enc":  edges * 12 / 100,
+		"occ":  edges * 18 / 100,
+		"hKw":  edges * 15 / 100,
+		"ref":  edges * 15 / 100,
+		"auth": edges * 10 / 100,
+		"pub":  edges * 5 / 100,
+	}
+	for i := 0; i < budget["int"]; i++ {
+		g.AddV(pick(proteins), pred["int"], zipfPick(proteins))
+	}
+	for i := 0; i < budget["enc"]; i++ {
+		g.AddV(pick(genes), pred["enc"], zipfPick(proteins))
+	}
+	for i := 0; i < budget["occ"]; i++ {
+		g.AddV(pick(proteins), pred["occ"], zipfPick(annots))
+	}
+	for i := 0; i < budget["hKw"]; i++ {
+		g.AddV(pick(proteins), pred["hKw"], zipfPick(keywords))
+	}
+	for i := 0; i < budget["ref"]; i++ {
+		g.AddV(pick(proteins), pred["ref"], zipfPick(pubs))
+	}
+	for i := 0; i < budget["auth"]; i++ {
+		g.AddV(pick(pubs), pred["auth"], zipfPick(authors))
+	}
+	for i := 0; i < budget["pub"]; i++ {
+		g.AddV(pick(journals), pred["pub"], zipfPick(pubs))
+	}
+	// Guarantee the anchor entities of the benchmark's C-queries are live:
+	// prot0 needs occ/int/ref/hKw out-edges and enc in-edges, pubn0 needs
+	// auth out-edges, jour0 needs pub out-edges.
+	kw0 := g.Dict.Intern(UniprotConstant)
+	for k := 0; k < 6; k++ {
+		g.AddV(pick(proteins), pred["hKw"], kw0)
+		g.AddV(proteins[0], pred["occ"], zipfPick(annots))
+		g.AddV(proteins[0], pred["int"], pick(proteins))
+		g.AddV(proteins[0], pred["ref"], zipfPick(pubs))
+		g.AddV(proteins[0], pred["hKw"], zipfPick(keywords))
+		g.AddV(pick(genes), pred["enc"], proteins[0])
+		g.AddV(pubs[0], pred["auth"], zipfPick(authors))
+		g.AddV(journals[0], pred["pub"], zipfPick(pubs))
+		g.AddV(journals[0], pred["pub"], pubs[0])
+	}
+	return g
+}
+
+// SGGraph produces the Fig. 11 graph stand-ins by topology class. The
+// paper evaluates same-generation and anbn queries on real graphs from the
+// Colorado index and SNAP; each stand-in reproduces the relevant topology:
+// genealogies and taxonomies are trees or near-trees (deep generations),
+// social networks are Erdős-Rényi-like, citation/co-author graphs are
+// denser random graphs. Edges carry a small set of predicates so the
+// Filtered/Joined SG variants have a 'pred' column to restrict on.
+func SGGraph(name string, scale int, seed int64) *Graph {
+	labels := []string{"a", "b", "c"}
+	switch name {
+	case "AcTree", "acTree", "Wikitree", "Wikitree_0", "Fr-Royalty", "Ragusan", "Wikidata_p", "Wikidata_c":
+		// Genealogy-like: a random tree plus a few cross links.
+		g := RandomTree(scale, labels, seed)
+		rng := rand.New(rand.NewSource(seed + 1))
+		la := g.Dict.Intern("a")
+		for i := 0; i < scale/20; i++ {
+			g.AddV(g.Dict.Intern(node("n", rng.Intn(scale))), la,
+				g.Dict.Intern(node("n", rng.Intn(scale))))
+		}
+		g.Name = name
+		return g
+	case "Epinions", "Reddit", "Facebook", "Higgs-RW", "TW-Cannes", "Isle-of-Man":
+		// Social-network-like: sparse ER.
+		g := ErdosRenyi(scale, 2.0/float64(scale), labels, seed)
+		g.Name = name
+		return g
+	case "Coauth-MAG", "Gottron":
+		// Denser collaboration graphs.
+		g := ErdosRenyi(scale, 4.0/float64(scale), labels, seed)
+		g.Name = name
+		return g
+	default:
+		g := ErdosRenyi(scale, 2.0/float64(scale), labels, seed)
+		g.Name = name
+		return g
+	}
+}

@@ -1,0 +1,221 @@
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Yago predicate names, abbreviated exactly as in the paper's query tables
+// (Fig. 7): "IsL" is isLocatedIn, "dw" is dealsWith, "haa" is
+// hasAcademicAdvisor, "hWP" is hasWonPrize, "isAff" is isAffiliatedTo.
+var YagoPredicates = []string{
+	"hasChild", "isConnectedTo", "isMarriedTo", "livesIn", "IsL", "dw",
+	"actedIn", "type", "owns", "wasBornIn", "playsFor", "hWP",
+	"influences", "created", "directed", "isLeaderOf", "isAff", "haa",
+	"rdfs:subClassOf",
+}
+
+// YagoEntities are the named constants referenced by Q1–Q25; the generator
+// guarantees they exist and are wired so the anchored queries have
+// non-empty frontiers.
+var YagoEntities = []string{
+	"Japan", "Argentina", "United_States", "USA", "Kevin_Bacon",
+	"S_Airport", "JLT", "Jay_Kappraff", "Marie_Curie", "London",
+	"Lionel_Messi", "SH", "wce",
+}
+
+// Yago generates a synthetic knowledge graph with the Yago vocabulary.
+// scale controls entity counts; the edge count is roughly 12×scale. The
+// topology mirrors what the paper's queries exercise: a multi-level
+// isLocatedIn hierarchy rooted at country entities, dealsWith links among
+// countries, bipartite actedIn/created/directed with hub works, hasChild
+// and haa/influences forests over people, an isConnectedTo flight network
+// over airports, playsFor/isAff between people, teams and organizations,
+// and type/subClassOf taxonomies including the wce class.
+func Yago(scale int, seed int64) *Graph {
+	if scale < 20 {
+		scale = 20
+	}
+	g := NewGraph(fmt.Sprintf("yago_%d", scale))
+	rng := rand.New(rand.NewSource(seed))
+
+	people := internAll(g, "person", scale)
+	places := internAll(g, "place", scale/3)
+	movies := internAll(g, "movie", scale/4)
+	teams := internAll(g, "team", scale/12)
+	orgs := internAll(g, "org", scale/10)
+	airports := internAll(g, "airport", scale/12)
+	prizes := internAll(g, "prize", scale/25+2)
+	classes := internAll(g, "class", scale/25+4)
+
+	countries := []core.Value{}
+	for _, c := range []string{"Japan", "Argentina", "United_States", "USA", "Germany", "France"} {
+		countries = append(countries, g.Dict.Intern(c))
+	}
+	named := func(s string) core.Value { return g.Dict.Intern(s) }
+	kevin := named("Kevin_Bacon")
+	shannon := named("S_Airport")
+	jlt := named("JLT")
+	kappraff := named("Jay_Kappraff")
+	curie := named("Marie_Curie")
+	london := named("London")
+	messi := named("Lionel_Messi")
+	hawking := named("SH")
+	wce := named("wce")
+	people = append(people, kevin, jlt, kappraff, curie, messi, hawking)
+	places = append(places, london)
+	airports = append(airports, shannon)
+	classes = append(classes, wce)
+
+	pred := map[string]core.Value{}
+	for _, p := range YagoPredicates {
+		pred[p] = g.Dict.Intern(p)
+	}
+	pick := func(s []core.Value) core.Value { return s[rng.Intn(len(s))] }
+	zipfPick := func(s []core.Value) core.Value { return s[zipfTarget(rng, len(s))] }
+
+	// isLocatedIn hierarchy: each place points to a place of strictly
+	// smaller index (levels), index 0..len(countries)-1 being countries.
+	hier := append(append([]core.Value{}, countries...), places...)
+	for i := len(countries); i < len(hier); i++ {
+		parent := zipfTarget(rng, i)
+		g.AddV(hier[i], pred["IsL"], hier[parent])
+		if rng.Intn(4) == 0 { // some places have a second container
+			g.AddV(hier[i], pred["IsL"], hier[zipfTarget(rng, i)])
+		}
+	}
+	// dealsWith among countries (dense enough for dw+ chains).
+	for i := range countries {
+		for j := range countries {
+			if i != j && rng.Intn(2) == 0 {
+				g.AddV(countries[i], pred["dw"], countries[j])
+			}
+		}
+	}
+	// People: birth, residence, marriage, children, advisors, influence.
+	for i, p := range people {
+		g.AddV(p, pred["wasBornIn"], zipfPick(hier))
+		if rng.Intn(2) == 0 {
+			g.AddV(p, pred["livesIn"], zipfPick(hier))
+		}
+		if rng.Intn(3) == 0 {
+			g.AddV(p, pred["isMarriedTo"], pick(people))
+		}
+		if i > 0 && rng.Intn(2) == 0 {
+			g.AddV(people[rng.Intn(i)], pred["hasChild"], p)
+		}
+		if i > 0 && rng.Intn(4) == 0 {
+			g.AddV(p, pred["haa"], people[rng.Intn(i)])
+		}
+		if rng.Intn(4) == 0 {
+			g.AddV(p, pred["influences"], pick(people))
+		}
+		if rng.Intn(5) == 0 {
+			g.AddV(p, pred["hWP"], zipfPick(prizes))
+		}
+		if rng.Intn(6) == 0 {
+			g.AddV(p, pred["isLeaderOf"], pick(orgs))
+		}
+		if rng.Intn(5) == 0 {
+			g.AddV(p, pred["owns"], zipfPick(orgs))
+		}
+		if rng.Intn(3) == 0 {
+			g.AddV(p, pred["playsFor"], zipfPick(teams))
+		}
+		if rng.Intn(6) == 0 {
+			g.AddV(p, pred["isAff"], pick(orgs))
+		}
+	}
+	// Work graph: acted/created/directed with hub movies.
+	for _, p := range people {
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			if rng.Intn(2) == 0 {
+				g.AddV(p, pred["actedIn"], zipfPick(movies))
+			}
+		}
+		if rng.Intn(5) == 0 {
+			g.AddV(p, pred["created"], zipfPick(movies))
+		}
+		if rng.Intn(8) == 0 {
+			g.AddV(p, pred["directed"], zipfPick(movies))
+		}
+	}
+	// Make the anchored entities well-connected.
+	for k := 0; k < 6; k++ {
+		g.AddV(kevin, pred["actedIn"], zipfPick(movies))
+		g.AddV(curie, pred["hWP"], zipfPick(prizes))
+		g.AddV(messi, pred["playsFor"], zipfPick(teams))
+		g.AddV(pick(people), pred["wasBornIn"], london)
+		g.AddV(pick(people), pred["haa"], hawking)
+		g.AddV(hawking, pred["influences"], pick(people))
+		g.AddV(kappraff, pred["livesIn"], zipfPick(hier))
+		g.AddV(jlt, pred["wasBornIn"], zipfPick(hier))
+		g.AddV(pick(people), pred["wasBornIn"],
+			firstTarget(g, kappraff, pred["livesIn"], zipfPick(hier)))
+	}
+	// Airports: flight network including Shannon.
+	for _, a := range airports {
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			g.AddV(a, pred["isConnectedTo"], pick(airports))
+		}
+		g.AddV(a, pred["IsL"], zipfPick(hier))
+	}
+	for k := 0; k < 4; k++ {
+		g.AddV(pick(airports), pred["isConnectedTo"], shannon)
+		g.AddV(shannon, pred["isConnectedTo"], pick(airports))
+	}
+	// Teams and orgs: affiliation, ownership chains, locations.
+	for _, t := range teams {
+		g.AddV(t, pred["isAff"], pick(orgs))
+		g.AddV(t, pred["IsL"], zipfPick(hier))
+	}
+	for i, o := range orgs {
+		g.AddV(o, pred["IsL"], zipfPick(hier))
+		if i > 0 && rng.Intn(3) == 0 {
+			g.AddV(o, pred["owns"], orgs[rng.Intn(i)])
+		}
+	}
+	// Taxonomy: subClassOf chains and type edges; capitals typed wce.
+	for i := 1; i < len(classes); i++ {
+		g.AddV(classes[i], pred["rdfs:subClassOf"], classes[zipfTarget(rng, i)])
+	}
+	for _, p := range people {
+		if rng.Intn(3) == 0 {
+			g.AddV(p, pred["type"], zipfPick(classes))
+		}
+	}
+	for i, pl := range hier {
+		if rng.Intn(4) == 0 {
+			g.AddV(pl, pred["type"], zipfPick(classes))
+		}
+		if i < len(hier)/5 { // upper hierarchy levels are "capitals"
+			g.AddV(pl, pred["type"], wce)
+		}
+	}
+	g.AddV(london, pred["type"], wce)
+	return g
+}
+
+// firstTarget returns an existing livesIn target of src, or fallback.
+// (Keeps JLT-style queries satisfiable without scanning.)
+func firstTarget(g *Graph, src, p core.Value, fallback core.Value) core.Value {
+	si := core.ColIndex(g.Triples.Cols(), core.ColSrc)
+	pi := core.ColIndex(g.Triples.Cols(), core.ColPred)
+	ti := core.ColIndex(g.Triples.Cols(), core.ColTrg)
+	for _, row := range g.Triples.Rows() {
+		if row[si] == src && row[pi] == p {
+			return row[ti]
+		}
+	}
+	return fallback
+}
+
+func internAll(g *Graph, prefix string, n int) []core.Value {
+	out := make([]core.Value, n)
+	for i := range out {
+		out[i] = g.Dict.Intern(node(prefix, i))
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+// Package localdb is an embedded relational engine — the stand-in for the
+// per-worker PostgreSQL instances that Dist-µ-RA's P pg_plw physical plan
+// uses (§III-D). Each worker of the cluster runs its own DB: tables with
+// persistent hash indexes, an executor that evaluates µ-RA terms with
+// index-backed joins, memoization of constant subterms across fixpoint
+// iterations, and a semi-naive recursive executor (the WITH RECURSIVE
+// analog). The point of the substitution is preserved: local loops run
+// inside an indexed, optimized engine whose per-iteration work is
+// proportional to the delta, not to the full step relation.
+package localdb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// DB is a collection of named tables, private to one worker.
+type DB struct {
+	tables map[string]*Table
+}
+
+// Open returns an empty database.
+func Open() *DB { return &DB{tables: make(map[string]*Table)} }
+
+// CreateTable registers rel under name (replacing any previous table) and
+// returns the table. The relation is used as-is; callers hand over
+// ownership.
+func (db *DB) CreateTable(name string, rel *core.Relation) *Table {
+	t := &Table{rel: rel, indexes: make(map[string]*Index)}
+	db.tables[name] = t
+	return t
+}
+
+// Table returns a table by name.
+func (db *DB) Table(name string) (*Table, bool) {
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// Drop removes a table.
+func (db *DB) Drop(name string) { delete(db.tables, name) }
+
+// Names lists the registered tables.
+func (db *DB) Names() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	return core.SortCols(out)
+}
+
+// Table is a stored relation with hash indexes.
+type Table struct {
+	rel     *core.Relation
+	indexes map[string]*Index
+}
+
+// Relation returns the table's data (read-only).
+func (t *Table) Relation() *core.Relation { return t.rel }
+
+// EnsureIndex builds (or returns) the hash index over the given columns.
+func (t *Table) EnsureIndex(cols ...string) (*Index, error) {
+	return ensureIndexOn(t.rel, t.indexes, cols)
+}
+
+// Index is a hash index over a column set: packed key → matching rows.
+type Index struct {
+	Cols []string
+	at   []int
+	m    map[string][][]core.Value
+}
+
+func indexKeyName(cols []string) string {
+	out := ""
+	for _, c := range cols {
+		out += c + "\x00"
+	}
+	return out
+}
+
+func keyAt(row []core.Value, at []int) string {
+	b := make([]byte, 8*len(at))
+	for i, idx := range at {
+		binary.BigEndian.PutUint64(b[i*8:], uint64(row[idx]))
+	}
+	return string(b)
+}
+
+func buildIndex(rel *core.Relation, cols []string) (*Index, error) {
+	at := make([]int, len(cols))
+	for i, c := range cols {
+		idx := core.ColIndex(rel.Cols(), c)
+		if idx < 0 {
+			return nil, fmt.Errorf("localdb: index column %q not in schema %v", c, rel.Cols())
+		}
+		at[i] = idx
+	}
+	ix := &Index{Cols: cols, at: at, m: make(map[string][][]core.Value, rel.Len())}
+	for _, row := range rel.Rows() {
+		k := keyAt(row, at)
+		ix.m[k] = append(ix.m[k], row)
+	}
+	return ix, nil
+}
+
+func ensureIndexOn(rel *core.Relation, cache map[string]*Index, cols []string) (*Index, error) {
+	name := indexKeyName(cols)
+	if ix, ok := cache[name]; ok {
+		return ix, nil
+	}
+	ix, err := buildIndex(rel, cols)
+	if err != nil {
+		return nil, err
+	}
+	cache[name] = ix
+	return ix, nil
+}
+
+// Probe returns the rows whose indexed columns equal vals.
+func (ix *Index) Probe(vals []core.Value) [][]core.Value {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint64(b[i*8:], uint64(v))
+	}
+	return ix.m[string(b)]
+}
+
+// Len returns the number of distinct keys.
+func (ix *Index) Len() int { return len(ix.m) }

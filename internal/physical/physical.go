@@ -1,0 +1,564 @@
+// Package physical implements the PhysicalPlanGenerator of Dist-µ-RA
+// (§III): the distributed execution strategies for recursive µ-RA terms on
+// the cluster substrate.
+//
+//   - Pgld — "global loop on the driver" (§III-C.1): the natural Spark
+//     implementation of semi-naive iteration. The recursion variable lives
+//     as a row-hash-partitioned dataset; every iteration evaluates φ on the
+//     delta partitions and repartitions the produced tuples (one shuffle
+//     barrier per iteration) so the union/difference can deduplicate.
+//
+//   - Ps_plw — "parallel local loops on the workers", Spark variant
+//     (§III-D): the constant part is split across workers (by stable
+//     columns when they exist, §III-B), the relations of the variable part
+//     are broadcast, and each worker runs its whole fixpoint locally with
+//     partition-wise set operations (the SetRDD pattern) — no data exchange
+//     during the loop. When the split used a stable column the local
+//     results are provably disjoint and the final distinct is skipped.
+//
+//   - Ppg_plw — same loop placement, but each worker executes its fixpoint
+//     inside its embedded localdb engine (the PostgreSQL stand-in), paying
+//     a marshalling boundary on the way in and out but gaining persistent
+//     indexes and cached constant subplans (§III-D).
+//
+// Plan selection follows the paper's heuristic: Ppg_plw when the estimated
+// size of the variable part's constant datasets exceeds the per-task
+// memory budget, Ps_plw otherwise.
+package physical
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/localdb"
+)
+
+// Kind selects a physical plan for fixpoints.
+type Kind int
+
+const (
+	// Auto applies the §III-D heuristic between Splw and Pgplw.
+	Auto Kind = iota
+	// Gld is the global-loop-on-driver baseline Pgld.
+	Gld
+	// Splw is P s_plw: parallel local loops with broadcast joins.
+	Splw
+	// Pgplw is P pg_plw: parallel local loops inside localdb.
+	Pgplw
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Gld:
+		return "Pgld"
+	case Splw:
+		return "Ps_plw"
+	case Pgplw:
+		return "Ppg_plw"
+	default:
+		return "auto"
+	}
+}
+
+// FixpointReport describes how one fixpoint was executed.
+type FixpointReport struct {
+	Kind          Kind
+	StableCols    []string
+	Partitioned   bool // true when split on stable columns (distinct skipped)
+	Iterations    int  // driver loop count (Gld) or max local iterations (Pplw)
+	ConstPartRows int
+	BroadcastRows int
+	ResultRows    int
+}
+
+// Report accumulates per-fixpoint execution details of a query.
+type Report struct {
+	Fixpoints []FixpointReport
+}
+
+// Iterations sums iteration counts across fixpoints.
+func (r *Report) Iterations() int {
+	total := 0
+	for _, f := range r.Fixpoints {
+		total += f.Iterations
+	}
+	return total
+}
+
+// Planner executes µ-RA terms: non-recursive operators run on the driver
+// (the glue Spark's Catalyst handles in the paper), and every fixpoint is
+// executed distributively on the cluster with the selected plan.
+type Planner struct {
+	C   *cluster.Cluster
+	Env *core.Env
+	// Force pins the fixpoint plan; Auto applies the heuristic.
+	Force Kind
+	// DisableStablePartitioning makes the Pplw plans ignore stable columns
+	// and fall back to round-robin splitting plus a final distinct shuffle
+	// — the ablation for the §III-B partitioning optimization.
+	DisableStablePartitioning bool
+
+	fresh atomic.Int64
+}
+
+// NewPlanner returns a planner over a cluster and a driver-side database.
+func NewPlanner(c *cluster.Cluster, env *core.Env) *Planner {
+	return &Planner{C: c, Env: env}
+}
+
+// Execute evaluates t and reports how its fixpoints ran.
+func (p *Planner) Execute(t core.Term) (*core.Relation, *Report, error) {
+	if _, err := core.Schema(t, p.Env.SchemaEnv()); err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{}
+	rel, err := p.eval(t, rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rel, rep, nil
+}
+
+func (p *Planner) eval(t core.Term, rep *Report) (*core.Relation, error) {
+	switch n := t.(type) {
+	case *core.Var:
+		r, ok := p.Env.Lookup(n.Name)
+		if !ok {
+			return nil, fmt.Errorf("physical: unbound relation %q", n.Name)
+		}
+		return r, nil
+	case *core.ConstTuple:
+		r := core.NewRelation(n.Cols...)
+		row := make([]core.Value, len(n.Vals))
+		copy(row, n.Vals)
+		r.Add(row)
+		return r, nil
+	case *core.Union:
+		l, err := p.eval(n.L, rep)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.eval(n.R, rep)
+		if err != nil {
+			return nil, err
+		}
+		return l.Union(r), nil
+	case *core.Join:
+		l, err := p.eval(n.L, rep)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.eval(n.R, rep)
+		if err != nil {
+			return nil, err
+		}
+		return l.Join(r), nil
+	case *core.Antijoin:
+		l, err := p.eval(n.L, rep)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.eval(n.R, rep)
+		if err != nil {
+			return nil, err
+		}
+		return l.Antijoin(r), nil
+	case *core.Filter:
+		r, err := p.eval(n.T, rep)
+		if err != nil {
+			return nil, err
+		}
+		return r.Filter(n.Cond), nil
+	case *core.Rename:
+		r, err := p.eval(n.T, rep)
+		if err != nil {
+			return nil, err
+		}
+		return r.Rename(n.From, n.To)
+	case *core.AntiProject:
+		r, err := p.eval(n.T, rep)
+		if err != nil {
+			return nil, err
+		}
+		return r.Drop(n.Cols...)
+	case *core.Fixpoint:
+		return p.runFixpoint(n, rep)
+	default:
+		return nil, fmt.Errorf("physical: unknown term %T", t)
+	}
+}
+
+// prepared is a fixpoint ready for distributed execution: the constant
+// part is materialized, nested constant fixpoints inside φ are
+// pre-evaluated and replaced by fresh relation variables, and every free
+// relation the φ branches reference is resolved to a driver-side relation
+// ready for broadcast.
+type prepared struct {
+	d        *core.Decomposed
+	seed     *core.Relation
+	phiRels  map[string]*core.Relation // name → relation to broadcast
+	stable   []string
+	phiConst int // total rows of the φ constant relations
+}
+
+func (p *Planner) prepare(fp *core.Fixpoint, rep *Report) (*prepared, error) {
+	d, err := core.Decompose(fp)
+	if err != nil {
+		return nil, err
+	}
+	seed, err := p.eval(d.Const, rep)
+	if err != nil {
+		return nil, err
+	}
+	// Materialize nested fixpoints inside φ (constant in X under Fcond) so
+	// the workers only see flat relational steps.
+	extra := map[string]*core.Relation{}
+	branches := make([]core.Term, len(d.PhiBranches))
+	for i, br := range d.PhiBranches {
+		var walkErr error
+		branches[i] = core.Rewrite(br, func(s core.Term) core.Term {
+			if walkErr != nil {
+				return s
+			}
+			if inner, ok := s.(*core.Fixpoint); ok {
+				rel, err := p.runFixpoint(inner, rep)
+				if err != nil {
+					walkErr = err
+					return s
+				}
+				name := fmt.Sprintf("@mat%d", p.fresh.Add(1))
+				extra[name] = rel
+				return &core.Var{Name: name}
+			}
+			return s
+		})
+		if walkErr != nil {
+			return nil, walkErr
+		}
+	}
+	pd := &core.Decomposed{X: d.X, Const: d.Const, PhiBranches: branches}
+
+	// Resolve every free variable the φ branches use.
+	phiRels := map[string]*core.Relation{}
+	total := 0
+	for _, br := range branches {
+		for _, v := range core.FreeVars(br) {
+			if v == d.X {
+				continue
+			}
+			if _, done := phiRels[v]; done {
+				continue
+			}
+			if r, ok := extra[v]; ok {
+				phiRels[v] = r
+			} else if r, ok := p.Env.Lookup(v); ok {
+				phiRels[v] = r
+			} else {
+				return nil, fmt.Errorf("physical: unbound relation %q in fixpoint body", v)
+			}
+			total += phiRels[v].Len()
+		}
+	}
+	schemaEnv := p.Env.SchemaEnv()
+	for name, r := range extra {
+		schemaEnv[name] = r.Cols()
+	}
+	stable, err := core.StableCols(pd, schemaEnv)
+	if err != nil {
+		return nil, err
+	}
+	return &prepared{d: pd, seed: seed, phiRels: phiRels, stable: stable, phiConst: total}, nil
+}
+
+// choose applies the §III-D heuristic.
+func (p *Planner) choose(pr *prepared) Kind {
+	if p.Force != Auto {
+		return p.Force
+	}
+	if pr.phiConst > p.C.Config().TaskMemRows {
+		return Pgplw
+	}
+	return Splw
+}
+
+func (p *Planner) runFixpoint(fp *core.Fixpoint, rep *Report) (*core.Relation, error) {
+	pr, err := p.prepare(fp, rep)
+	if err != nil {
+		return nil, err
+	}
+	if len(pr.d.PhiBranches) == 0 {
+		rep.Fixpoints = append(rep.Fixpoints, FixpointReport{
+			Kind: p.Force, ConstPartRows: pr.seed.Len(), ResultRows: pr.seed.Len(),
+		})
+		return pr.seed, nil
+	}
+	kind := p.choose(pr)
+	var (
+		out *core.Relation
+		fr  FixpointReport
+	)
+	switch kind {
+	case Gld:
+		out, fr, err = p.runGld(pr)
+	case Pgplw:
+		out, fr, err = p.runPlw(pr, true)
+	default:
+		out, fr, err = p.runPlw(pr, false)
+	}
+	if err != nil {
+		return nil, err
+	}
+	fr.Kind = kind
+	fr.ConstPartRows = pr.seed.Len()
+	fr.BroadcastRows = pr.phiConst
+	fr.ResultRows = out.Len()
+	rep.Fixpoints = append(rep.Fixpoints, fr)
+	return out, nil
+}
+
+// broadcastPhiRels ships the φ constant relations to all workers and
+// returns handles keyed by relation name.
+func (p *Planner) broadcastPhiRels(pr *prepared) (map[string]*cluster.Broadcast, func(), error) {
+	handles := map[string]*cluster.Broadcast{}
+	free := func() {
+		for _, h := range handles {
+			p.C.FreeBroadcast(h)
+		}
+	}
+	for name, rel := range pr.phiRels {
+		h, err := p.C.BroadcastRel(rel)
+		if err != nil {
+			free()
+			return nil, nil, err
+		}
+		handles[name] = h
+	}
+	return handles, free, nil
+}
+
+// localEnv rebuilds a core.Env on a worker from the broadcast handles.
+func localEnv(ctx *cluster.Ctx, handles map[string]*cluster.Broadcast) *core.Env {
+	env := core.NewEnv()
+	for name, h := range handles {
+		env.Bind(name, ctx.BroadcastValue(h))
+	}
+	return env
+}
+
+// runGld executes the fixpoint with a global loop on the driver: the
+// recursion variable X and the delta are row-hash-partitioned datasets;
+// each iteration computes φ(delta) on every worker, repartitions the
+// produced tuples by row hash (the per-iteration shuffle of Fig. 3), and
+// applies the set difference and union partition-locally.
+func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
+	fr := FixpointReport{StableCols: pr.stable}
+	handles, freeB, err := p.broadcastPhiRels(pr)
+	if err != nil {
+		return nil, fr, err
+	}
+	defer freeB()
+
+	rowHash := pr.seed.Cols()
+	xDS, err := p.C.Parallelize(pr.seed, rowHash)
+	if err != nil {
+		return nil, fr, err
+	}
+	defer p.C.Free(xDS)
+	newDS, err := p.C.Parallelize(pr.seed, rowHash)
+	if err != nil {
+		return nil, fr, err
+	}
+	defer p.C.Free(newDS)
+
+	d := pr.d
+	for {
+		var added atomic.Int64
+		err := p.C.RunPhase(func(ctx *cluster.Ctx) error {
+			env := localEnv(ctx, handles)
+			nu := ctx.Partition(newDS)
+			stepEnv := core.NewEnv()
+			for k, v := range env.Rels {
+				stepEnv.Bind(k, v)
+			}
+			stepEnv.Bind(d.X, nu)
+			ev := core.NewEvaluator(stepEnv)
+			var delta *core.Relation
+			for _, br := range d.PhiBranches {
+				out, err := ev.Eval(br)
+				if err != nil {
+					return err
+				}
+				if delta == nil {
+					delta = out
+				} else {
+					delta.UnionInPlace(out)
+				}
+			}
+			// The per-iteration shuffle: candidates meet the partition of X
+			// that owns their row hash, where dedup is local.
+			candidate, err := ctx.Exchange(delta, nil)
+			if err != nil {
+				return err
+			}
+			x := ctx.Partition(xDS)
+			fresh := candidate.Diff(x)
+			x.UnionInPlace(fresh)
+			ctx.SetPartition(xDS, x)
+			ctx.SetPartition(newDS, fresh)
+			added.Add(int64(fresh.Len()))
+			return nil
+		})
+		if err != nil {
+			return nil, fr, err
+		}
+		fr.Iterations++
+		if added.Load() == 0 {
+			break
+		}
+	}
+	out, err := p.C.Collect(xDS)
+	if err != nil {
+		return nil, fr, err
+	}
+	return out, fr, nil
+}
+
+// runPlw executes the fixpoint as parallel local loops on the workers
+// (§III-A, Prop. 3): the constant part is split (by stable columns when
+// available), the φ relations are broadcast once, and each worker runs its
+// entire fixpoint without any exchange. usePg selects the localdb-backed
+// variant Ppg_plw; otherwise the worker loops with the in-memory evaluator
+// and partition-wise set semantics (Ps_plw).
+func (p *Planner) runPlw(pr *prepared, usePg bool) (*core.Relation, FixpointReport, error) {
+	fr := FixpointReport{StableCols: pr.stable}
+	handles, freeB, err := p.broadcastPhiRels(pr)
+	if err != nil {
+		return nil, fr, err
+	}
+	defer freeB()
+
+	byCols := pr.stable
+	if len(byCols) == 0 || p.DisableStablePartitioning {
+		byCols = nil
+	}
+	fr.Partitioned = byCols != nil
+	seedDS, err := p.C.Parallelize(pr.seed, byCols)
+	if err != nil {
+		return nil, fr, err
+	}
+	defer p.C.Free(seedDS)
+	resDS := p.C.NewDataset(pr.seed.Cols()...)
+	defer p.C.Free(resDS)
+
+	d := pr.d
+	var maxIters atomic.Int64
+	var mu sync.Mutex
+	phase := func(ctx *cluster.Ctx) error {
+		part := ctx.Partition(seedDS)
+		var local *core.Relation
+		var iters int
+		var err error
+		if usePg {
+			local, iters, err = runLocalPg(ctx, d, part, handles)
+		} else {
+			env := localEnv(ctx, handles)
+			ev := core.NewEvaluator(env)
+			local, err = ev.RunFixpoint(d, part, env)
+			iters = ev.Stats.FixpointIterations
+		}
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if int64(iters) > maxIters.Load() {
+			maxIters.Store(int64(iters))
+		}
+		mu.Unlock()
+		ctx.SetPartition(resDS, local)
+		return nil
+	}
+	if err := p.C.RunPhase(phase); err != nil {
+		return nil, fr, err
+	}
+	fr.Iterations = int(maxIters.Load())
+
+	final := resDS
+	if !fr.Partitioned {
+		// No stable column: the local fixpoints may overlap; a distinct
+		// shuffle performs the deduplicating union of Prop. 3.
+		dd, err := p.C.Distinct(resDS)
+		if err != nil {
+			return nil, fr, err
+		}
+		defer p.C.Free(dd)
+		final = dd
+	}
+	out, err := p.C.Collect(final)
+	if err != nil {
+		return nil, fr, err
+	}
+	return out, fr, nil
+}
+
+// runLocalPg is the worker body of Ppg_plw: load the broadcast relations
+// as localdb tables (once per worker; reused across fixpoints), marshal the
+// seed partition across the engine boundary, run the fixpoint inside the
+// engine, and marshal the result back — the Spark↔PostgreSQL iterator
+// boundary of the paper.
+func runLocalPg(ctx *cluster.Ctx, d *core.Decomposed, seed *core.Relation, handles map[string]*cluster.Broadcast) (*core.Relation, int, error) {
+	w := ctx.Worker()
+	db, _ := w.Local["localdb"].(*localdb.DB)
+	if db == nil {
+		db = localdb.Open()
+		w.Local["localdb"] = db
+	}
+	for name, h := range handles {
+		rel := ctx.BroadcastValue(h)
+		if tab, ok := db.Table(name); !ok || tab.Relation() != rel {
+			db.CreateTable(name, rel)
+		}
+	}
+	ex := localdb.NewExecutor(db)
+	in := marshalBoundary(seed)
+	res, err := ex.RunFixpoint(d, in, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return marshalBoundary(res), ex.Stats.FixpointIters, nil
+}
+
+// marshalBoundary serializes and deserializes every row through a textual
+// wire format — the cost of moving tuples between the dataflow layer and
+// the embedded engine (PostgreSQL's client protocol is text-based; the
+// paper attributes P pg_plw's overhead on small data to exactly this
+// marshalling and transfer, §III-D).
+func marshalBoundary(rel *core.Relation) *core.Relation {
+	out := core.NewRelationSized(rel.Len(), rel.Cols()...)
+	arity := rel.Arity()
+	var sb strings.Builder
+	for _, row := range rel.Rows() {
+		sb.Reset()
+		for i, v := range row {
+			if i > 0 {
+				sb.WriteByte('\t')
+			}
+			sb.WriteString(strconv.FormatInt(int64(v), 10))
+		}
+		fields := strings.Split(sb.String(), "\t")
+		nrow := make([]core.Value, arity)
+		for i, f := range fields {
+			n, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				panic("physical: marshal boundary round-trip failed: " + err.Error())
+			}
+			nrow[i] = core.Value(n)
+		}
+		out.Add(nrow)
+	}
+	return out
+}

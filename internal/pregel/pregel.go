@@ -1,0 +1,283 @@
+// Package pregel is a vertex-centric BSP graph engine on the cluster
+// substrate — the stand-in for GraphX/Pregel, the paper's second baseline
+// (§V-C). Vertices are hash-partitioned across workers; computation
+// proceeds in supersteps; messages produced in superstep k are shuffled to
+// their target vertex's worker at the barrier and consumed in superstep
+// k+1; the run halts when no messages remain.
+//
+// Regular path queries are evaluated the way the paper describes for
+// GraphX: the RPQ is compiled to an NFA (internal/rpq) and each vertex
+// tracks the (origin, automaton-state) pairs that have reached it,
+// forwarding them along matching edges. A query anchored at a constant
+// subject starts messages from that single vertex (which is why GraphX is
+// only competitive when the filter comes first, the paper's Q17
+// observation); an unanchored query starts from every vertex, and the
+// (origin × state) message volume is what makes the model struggle on
+// RPQs with large intermediate results.
+package pregel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/rpq"
+)
+
+// ErrMessageBudget is returned when a run exceeds its message budget — the
+// analogue of the out-of-memory crashes the paper reports for GraphX.
+var ErrMessageBudget = errors.New("pregel: message budget exceeded (simulated out-of-memory)")
+
+type edge struct {
+	label core.Value
+	to    core.Value
+}
+
+// adjacency is the per-worker graph fragment: the out- and in-edges of the
+// vertices this worker owns.
+type adjacency struct {
+	out      map[core.Value][]edge
+	in       map[core.Value][]edge
+	vertices []core.Value
+}
+
+// Graph is a vertex-partitioned labeled graph resident on the cluster.
+type Graph struct {
+	c        *cluster.Cluster
+	key      string
+	vertices int
+}
+
+var graphCounter atomic.Int64
+
+// LoadGraph distributes a triple relation (src, pred, trg) onto the
+// cluster: every vertex is owned by hash(vertex) mod workers; its worker
+// stores both its outgoing and incoming labeled edges.
+func LoadGraph(c *cluster.Cluster, triples *core.Relation) (*Graph, error) {
+	g := &Graph{c: c, key: fmt.Sprintf("pregel:%d", graphCounter.Add(1))}
+	bysrc, err := c.Parallelize(triples, []string{core.ColSrc})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Free(bysrc)
+	bytrg, err := c.Parallelize(triples, []string{core.ColTrg})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Free(bytrg)
+	var vcount atomic.Int64
+	err = c.RunPhase(func(ctx *cluster.Ctx) error {
+		adj := &adjacency{out: map[core.Value][]edge{}, in: map[core.Value][]edge{}}
+		outPart := ctx.Partition(bysrc)
+		si := core.ColIndex(outPart.Cols(), core.ColSrc)
+		pi := core.ColIndex(outPart.Cols(), core.ColPred)
+		ti := core.ColIndex(outPart.Cols(), core.ColTrg)
+		for _, row := range outPart.Rows() {
+			adj.out[row[si]] = append(adj.out[row[si]], edge{label: row[pi], to: row[ti]})
+		}
+		inPart := ctx.Partition(bytrg)
+		for _, row := range inPart.Rows() {
+			adj.in[row[ti]] = append(adj.in[row[ti]], edge{label: row[pi], to: row[si]})
+		}
+		seen := map[core.Value]bool{}
+		n := uint64(ctx.NumWorkers())
+		me := ctx.WorkerID()
+		addVertex := func(v core.Value) {
+			if owner(v, n) == me && !seen[v] {
+				seen[v] = true
+				adj.vertices = append(adj.vertices, v)
+			}
+		}
+		for _, row := range outPart.Rows() {
+			addVertex(row[si])
+		}
+		for _, row := range inPart.Rows() {
+			addVertex(row[ti])
+		}
+		vcount.Add(int64(len(adj.vertices)))
+		ctx.Worker().Local[g.key] = adj
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.vertices = int(vcount.Load())
+	return g, nil
+}
+
+// owner must agree with the stable-column hash partitioner of the cluster
+// (Parallelize hashes single columns with core.HashValuesAt).
+func owner(v core.Value, n uint64) int {
+	return int(core.HashValuesAt([]core.Value{v}, []int{0}) % n)
+}
+
+// Vertices returns the number of distinct vertices loaded.
+func (g *Graph) Vertices() int { return g.vertices }
+
+// RPQOptions configures an RPQ run.
+type RPQOptions struct {
+	// StartNodes anchors the query at the given origins; nil starts from
+	// every vertex (the unanchored ?x expr ?y form).
+	StartNodes []core.Value
+	// MaxSupersteps bounds the run (0 = no bound beyond convergence).
+	MaxSupersteps int
+	// MaxMessages aborts the run with ErrMessageBudget once the total
+	// message count passes the budget (0 = unlimited) — the simulated
+	// memory capacity of the cluster.
+	MaxMessages int64
+}
+
+// RPQResult is the outcome of an RPQ evaluation.
+type RPQResult struct {
+	// Pairs holds (src, trg) rows: origin nodes and the nodes reached by a
+	// path matching the expression.
+	Pairs      *core.Relation
+	Supersteps int
+	Messages   int64
+}
+
+// message row schema: (dst, origin, state) — sorted column order.
+var msgCols = []string{"dst", "origin", "state"}
+
+type rpqState struct {
+	visited map[[2]core.Value]map[int]bool // (vertex, origin) → states seen
+	results *core.Relation
+	outbox  *core.Relation
+}
+
+// RunRPQ evaluates the automaton over the distributed graph.
+func (g *Graph) RunRPQ(nfa *rpq.NFA, opts RPQOptions) (*RPQResult, error) {
+	c := g.c
+	n := uint64(c.NumWorkers())
+	stateKey := g.key + ":rpq"
+	defer c.RunPhase(func(ctx *cluster.Ctx) error {
+		delete(ctx.Worker().Local, stateKey)
+		return nil
+	})
+
+	var totalMsgs atomic.Int64
+	startSet := map[core.Value]bool{}
+	for _, v := range opts.StartNodes {
+		startSet[v] = true
+	}
+
+	// Superstep 0: seed (origin, start-state closure) at the origins and
+	// emit the first messages.
+	err := c.RunPhase(func(ctx *cluster.Ctx) error {
+		adj := ctx.Worker().Local[g.key].(*adjacency)
+		st := &rpqState{
+			visited: map[[2]core.Value]map[int]bool{},
+			results: core.NewRelation(core.ColSrc, core.ColTrg),
+			outbox:  core.NewRelation(msgCols...),
+		}
+		ctx.Worker().Local[stateKey] = st
+		startStates := nfa.EpsClosure(map[int]bool{nfa.Start: true})
+		for _, v := range adj.vertices {
+			if opts.StartNodes != nil && !startSet[v] {
+				continue
+			}
+			for s := range startStates {
+				st.deliver(nfa, adj, v, v, s)
+			}
+		}
+		totalMsgs.Add(int64(st.outbox.Len()))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RPQResult{}
+	for {
+		if opts.MaxMessages > 0 && totalMsgs.Load() > opts.MaxMessages {
+			return nil, fmt.Errorf("%w: %d messages", ErrMessageBudget, totalMsgs.Load())
+		}
+		var pending atomic.Int64
+		err := c.RunPhase(func(ctx *cluster.Ctx) error {
+			adj := ctx.Worker().Local[g.key].(*adjacency)
+			st := ctx.Worker().Local[stateKey].(*rpqState)
+			inbox, err := ctx.Exchange(st.outbox, []string{"dst"})
+			if err != nil {
+				return err
+			}
+			st.outbox = core.NewRelation(msgCols...)
+			di := core.ColIndex(inbox.Cols(), "dst")
+			oi := core.ColIndex(inbox.Cols(), "origin")
+			si := core.ColIndex(inbox.Cols(), "state")
+			for _, row := range inbox.Rows() {
+				if owner(row[di], n) != ctx.WorkerID() {
+					return fmt.Errorf("pregel: message for %d delivered to worker %d", row[di], ctx.WorkerID())
+				}
+				st.deliver(nfa, adj, row[di], row[oi], int(row[si]))
+			}
+			pending.Add(int64(st.outbox.Len()))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Supersteps++
+		totalMsgs.Add(pending.Load())
+		if pending.Load() == 0 {
+			break
+		}
+		if opts.MaxSupersteps > 0 && res.Supersteps >= opts.MaxSupersteps {
+			return nil, fmt.Errorf("pregel: no convergence after %d supersteps", res.Supersteps)
+		}
+	}
+	res.Messages = totalMsgs.Load()
+
+	// Gather the per-worker result fragments.
+	resultDS := c.NewDataset(core.ColSrc, core.ColTrg)
+	defer c.Free(resultDS)
+	if err := c.RunPhase(func(ctx *cluster.Ctx) error {
+		st := ctx.Worker().Local[stateKey].(*rpqState)
+		ctx.SetPartition(resultDS, st.results)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	pairs, err := c.Collect(resultDS)
+	if err != nil {
+		return nil, err
+	}
+	res.Pairs = pairs
+	return res, nil
+}
+
+// deliver processes one (origin, state) arrival at vertex v: expand the
+// ε-closure, record acceptance, and emit messages along matching edges.
+func (st *rpqState) deliver(nfa *rpq.NFA, adj *adjacency, v, origin core.Value, state int) {
+	states := nfa.EpsClosure(map[int]bool{state: true})
+	key := [2]core.Value{v, origin}
+	seen := st.visited[key]
+	if seen == nil {
+		seen = map[int]bool{}
+		st.visited[key] = seen
+	}
+	for s := range states {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		if s == nfa.Accept {
+			st.results.Add([]core.Value{origin, v})
+		}
+		for _, tr := range nfa.Trans[s] {
+			var nbrs []edge
+			if tr.Inverse {
+				nbrs = adj.in[v]
+			} else {
+				nbrs = adj.out[v]
+			}
+			for _, e := range nbrs {
+				if e.label != tr.Label {
+					continue
+				}
+				st.outbox.Add([]core.Value{e.to, origin, core.Value(tr.To)})
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package pregel
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/rpq"
+)
+
+func newCluster(t *testing.T, kind cluster.TransportKind) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Workers: 3, Transport: kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func triplesOf(edges []rpq.LabeledEdge) *core.Relation {
+	r := core.NewRelation(core.ColSrc, core.ColPred, core.ColTrg)
+	for _, e := range edges {
+		r.AddTuple([]string{core.ColSrc, core.ColPred, core.ColTrg},
+			[]core.Value{e.Src, e.Label, e.Trg})
+	}
+	return r
+}
+
+func pairsSet(rel *core.Relation) map[[2]core.Value]bool {
+	si := core.ColIndex(rel.Cols(), core.ColSrc)
+	ti := core.ColIndex(rel.Cols(), core.ColTrg)
+	out := map[[2]core.Value]bool{}
+	for _, row := range rel.Rows() {
+		out[[2]core.Value{row[si], row[ti]}] = true
+	}
+	return out
+}
+
+func TestRPQMatchesNFAReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	c := newCluster(t, cluster.TransportChan)
+	dict := core.NewDict()
+	labels := []core.Value{dict.Intern("a"), dict.Intern("b"), dict.Intern("c")}
+	exprs := []string{"a+", "a/b", "(a|b)+", "a+/b", "(a/-a)+", "-a+", "(a|b)+/c"}
+	for trial := 0; trial < 12; trial++ {
+		var edges []rpq.LabeledEdge
+		for i := 0; i < 16; i++ {
+			edges = append(edges, rpq.LabeledEdge{
+				Src:   core.Value(rng.Intn(7) + 50),
+				Trg:   core.Value(rng.Intn(7) + 50),
+				Label: labels[rng.Intn(len(labels))],
+			})
+		}
+		g, err := LoadGraph(c, triplesOf(edges))
+		if err != nil {
+			t.Fatal(err)
+		}
+		expr := rpq.MustParse(exprs[trial%len(exprs)])
+		nfa := rpq.CompileNFA(expr, dict)
+		want := rpq.EvalNFA(nfa, edges)
+		res, err := g.RunRPQ(nfa, RPQOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := pairsSet(res.Pairs)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (%s): pregel %d pairs, reference %d\n got: %v\nwant: %v",
+				trial, expr, len(got), len(want), got, want)
+		}
+		for p := range want {
+			if !got[p] {
+				t.Fatalf("trial %d (%s): missing %v", trial, expr, p)
+			}
+		}
+	}
+}
+
+func TestRPQAnchoredStart(t *testing.T) {
+	c := newCluster(t, cluster.TransportChan)
+	dict := core.NewDict()
+	la := dict.Intern("a")
+	edges := []rpq.LabeledEdge{
+		{Src: 1, Trg: 2, Label: la},
+		{Src: 2, Trg: 3, Label: la},
+		{Src: 10, Trg: 11, Label: la},
+	}
+	g, err := LoadGraph(c, triplesOf(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfa := rpq.CompileNFA(rpq.MustParse("a+"), dict)
+	res, err := g.RunRPQ(nfa, RPQOptions{StartNodes: []core.Value{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pairsSet(res.Pairs)
+	want := map[[2]core.Value]bool{{1, 2}: true, {1, 3}: true}
+	if len(got) != len(want) {
+		t.Fatalf("anchored run: %v, want %v", got, want)
+	}
+	// Anchoring must also reduce message volume versus the full start.
+	full, err := g.RunRPQ(nfa, RPQOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Messages <= res.Messages {
+		t.Fatalf("anchored messages %d not fewer than full %d", res.Messages, full.Messages)
+	}
+}
+
+func TestRPQMessageBudget(t *testing.T) {
+	c := newCluster(t, cluster.TransportChan)
+	dict := core.NewDict()
+	la := dict.Intern("a")
+	var edges []rpq.LabeledEdge
+	for i := 0; i < 40; i++ {
+		edges = append(edges, rpq.LabeledEdge{
+			Src: core.Value(i), Trg: core.Value((i + 1) % 40), Label: la,
+		})
+	}
+	g, err := LoadGraph(c, triplesOf(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfa := rpq.CompileNFA(rpq.MustParse("a+"), dict)
+	_, err = g.RunRPQ(nfa, RPQOptions{MaxMessages: 50})
+	if !errors.Is(err, ErrMessageBudget) {
+		t.Fatalf("expected message-budget error, got %v", err)
+	}
+}
+
+func TestRPQSuperstepsTrackPathLength(t *testing.T) {
+	c := newCluster(t, cluster.TransportChan)
+	dict := core.NewDict()
+	la := dict.Intern("a")
+	var edges []rpq.LabeledEdge
+	for i := 0; i < 12; i++ {
+		edges = append(edges, rpq.LabeledEdge{Src: core.Value(i), Trg: core.Value(i + 1), Label: la})
+	}
+	g, err := LoadGraph(c, triplesOf(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfa := rpq.CompileNFA(rpq.MustParse("a+"), dict)
+	res, err := g.RunRPQ(nfa, RPQOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 12-edge chain needs about 12 supersteps to saturate.
+	if res.Supersteps < 11 || res.Supersteps > 14 {
+		t.Fatalf("supersteps = %d, want ≈12", res.Supersteps)
+	}
+	if res.Pairs.Len() != 12*13/2 {
+		t.Fatalf("pairs = %d, want %d", res.Pairs.Len(), 12*13/2)
+	}
+}
+
+func TestRPQOverTCP(t *testing.T) {
+	c := newCluster(t, cluster.TransportTCP)
+	dict := core.NewDict()
+	la, lb := dict.Intern("a"), dict.Intern("b")
+	rng := rand.New(rand.NewSource(62))
+	var edges []rpq.LabeledEdge
+	for i := 0; i < 20; i++ {
+		l := la
+		if rng.Intn(2) == 0 {
+			l = lb
+		}
+		edges = append(edges, rpq.LabeledEdge{
+			Src: core.Value(rng.Intn(8)), Trg: core.Value(rng.Intn(8)), Label: l,
+		})
+	}
+	g, err := LoadGraph(c, triplesOf(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfa := rpq.CompileNFA(rpq.MustParse("a+/b"), dict)
+	want := rpq.EvalNFA(nfa, edges)
+	res, err := g.RunRPQ(nfa, RPQOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pairsSet(res.Pairs); len(got) != len(want) {
+		t.Fatalf("TCP run: %d pairs, want %d", len(got), len(want))
+	}
+	// Superstep messages must have crossed the wire.
+	if c.Metrics().Snapshot().ShufflePhases == 0 {
+		t.Fatal("no superstep shuffles recorded")
+	}
+}
+
+func TestLoadGraphVertexCount(t *testing.T) {
+	c := newCluster(t, cluster.TransportChan)
+	dict := core.NewDict()
+	la := dict.Intern("a")
+	edges := []rpq.LabeledEdge{
+		{Src: 1, Trg: 2, Label: la},
+		{Src: 2, Trg: 3, Label: la},
+		{Src: 3, Trg: 1, Label: la},
+	}
+	g, err := LoadGraph(c, triplesOf(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Vertices() != 3 {
+		t.Fatalf("vertices = %d, want 3", g.Vertices())
+	}
+}

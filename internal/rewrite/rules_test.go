@@ -1,0 +1,234 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// ruleEnv is a schema env with binary relations A, B, E, S.
+func ruleEnv() core.SchemaEnv {
+	return core.SchemaEnv{
+		"A": {core.ColSrc, core.ColTrg},
+		"B": {core.ColSrc, core.ColTrg},
+		"E": {core.ColSrc, core.ColTrg},
+		"S": {core.ColSrc, core.ColTrg},
+	}
+}
+
+// checkRuleSemantics applies the rule to term and verifies every rewrite
+// evaluates identically on random instances.
+func checkRuleSemantics(t *testing.T, rule func(*Rewriter, core.Term, core.SchemaEnv) []core.Term,
+	term core.Term, wantFire bool) []core.Term {
+	t.Helper()
+	env := ruleEnv()
+	rw := NewRewriter(env)
+	out := rule(rw, term, env)
+	if wantFire && len(out) == 0 {
+		t.Fatalf("rule did not fire on %s", term)
+	}
+	if !wantFire && len(out) != 0 {
+		t.Fatalf("rule fired unexpectedly on %s → %v", term, out)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		renv := core.NewEnv()
+		for _, name := range []string{"A", "B", "E", "S"} {
+			r := core.NewRelation(core.ColSrc, core.ColTrg)
+			for i := 0; i < 15; i++ {
+				r.Add([]core.Value{core.Value(rng.Intn(7)), core.Value(rng.Intn(7))})
+			}
+			renv.Bind(name, r)
+		}
+		want, err := core.Eval(term, renv)
+		if err != nil {
+			t.Fatalf("eval original: %v", err)
+		}
+		for _, nt := range out {
+			got, err := core.Eval(nt, renv)
+			if err != nil {
+				t.Fatalf("eval rewrite %s: %v", nt, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("trial %d: rewrite changed semantics:\n  %s\n→ %s", trial, term, nt)
+			}
+		}
+	}
+	return out
+}
+
+func av() core.Term { return &core.Var{Name: "A"} }
+func bv() core.Term { return &core.Var{Name: "B"} }
+func ev() core.Term { return &core.Var{Name: "E"} }
+
+func srcFilter(t core.Term) *core.Filter {
+	return &core.Filter{Cond: core.EqConst{Col: core.ColSrc, Val: 3}, T: t}
+}
+
+func TestRuleFilterPushUnion(t *testing.T) {
+	out := checkRuleSemantics(t, ruleFilterPushUnion, srcFilter(&core.Union{L: av(), R: bv()}), true)
+	if _, ok := out[0].(*core.Union); !ok {
+		t.Fatalf("expected union at root, got %s", out[0])
+	}
+	checkRuleSemantics(t, ruleFilterPushUnion, srcFilter(av()), false)
+}
+
+func TestRuleFilterPushJoin(t *testing.T) {
+	// Both sides share the filtered column → two rewrites.
+	out := checkRuleSemantics(t, ruleFilterPushJoin, srcFilter(&core.Join{L: av(), R: bv()}), true)
+	if len(out) != 2 {
+		t.Fatalf("expected 2 rewrites (either side), got %d", len(out))
+	}
+	// Column on one side only.
+	renamed := &core.Rename{From: core.ColSrc, To: "k", T: bv()}
+	out2 := checkRuleSemantics(t, ruleFilterPushJoin, srcFilter(&core.Join{L: av(), R: renamed}), true)
+	if len(out2) != 1 {
+		t.Fatalf("expected 1 rewrite, got %d", len(out2))
+	}
+}
+
+func TestRuleFilterPushAntijoin(t *testing.T) {
+	checkRuleSemantics(t, ruleFilterPushAntijoin, srcFilter(&core.Antijoin{L: av(), R: bv()}), true)
+}
+
+func TestRuleFilterPushRename(t *testing.T) {
+	// σ[k=3](ρ src→k (A)) → ρ src→k (σ[src=3](A))
+	term := &core.Filter{
+		Cond: core.EqConst{Col: "k", Val: 3},
+		T:    &core.Rename{From: core.ColSrc, To: "k", T: av()},
+	}
+	out := checkRuleSemantics(t, ruleFilterPushRename, term, true)
+	inner, ok := out[0].(*core.Rename)
+	if !ok {
+		t.Fatalf("expected rename at root, got %s", out[0])
+	}
+	f, ok := inner.T.(*core.Filter)
+	if !ok || f.Cond.String() != "src=3" {
+		t.Fatalf("condition not renamed: %s", out[0])
+	}
+}
+
+func TestRuleFilterPushAntiProject(t *testing.T) {
+	term := srcFilter(&core.AntiProject{Cols: []string{core.ColTrg}, T: av()})
+	checkRuleSemantics(t, ruleFilterPushAntiProject, term, true)
+	// Filter on the dropped column cannot push (ill-formed anyway).
+	bad := &core.Filter{Cond: core.EqConst{Col: core.ColTrg, Val: 1},
+		T: &core.AntiProject{Cols: []string{core.ColTrg}, T: av()}}
+	env := ruleEnv()
+	if got := ruleFilterPushAntiProject(NewRewriter(env), bad, env); len(got) != 0 {
+		t.Fatalf("pushed through dropped column: %v", got)
+	}
+}
+
+func TestRuleFilterMerge(t *testing.T) {
+	term := srcFilter(&core.Filter{Cond: core.NeConst{Col: core.ColTrg, Val: 0}, T: av()})
+	out := checkRuleSemantics(t, ruleFilterMerge, term, true)
+	if _, ok := out[0].(*core.Filter); !ok {
+		t.Fatalf("expected single filter, got %s", out[0])
+	}
+	if _, ok := out[0].(*core.Filter).T.(*core.Var); !ok {
+		t.Fatalf("filters not fused: %s", out[0])
+	}
+}
+
+func TestRuleAntiProjectPushUnionAndJoin(t *testing.T) {
+	checkRuleSemantics(t, ruleAntiProjectPushUnion,
+		&core.AntiProject{Cols: []string{core.ColTrg}, T: &core.Union{L: av(), R: bv()}}, true)
+	// Join: drop a column present only on one side and not a join column.
+	left := &core.Rename{From: core.ColTrg, To: "mid", T: av()}  // (mid,src)
+	right := &core.Rename{From: core.ColSrc, To: "mid", T: bv()} // (mid,trg)
+	term := &core.AntiProject{Cols: []string{core.ColSrc}, T: &core.Join{L: left, R: right}}
+	checkRuleSemantics(t, ruleAntiProjectPushJoin, term, true)
+	// Dropping the join column must not push.
+	bad := &core.AntiProject{Cols: []string{"mid"}, T: &core.Join{L: left, R: right}}
+	env := ruleEnv()
+	if got := ruleAntiProjectPushJoin(NewRewriter(env), bad, env); len(got) != 0 {
+		t.Fatalf("pushed a join column drop: %v", got)
+	}
+}
+
+func TestRuleAntiProjectPushRenameCancel(t *testing.T) {
+	// π̃[k](ρ src→k (A)) ≡ π̃[src](A): the rename disappears.
+	term := &core.AntiProject{Cols: []string{"k"},
+		T: &core.Rename{From: core.ColSrc, To: "k", T: av()}}
+	out := checkRuleSemantics(t, ruleAntiProjectPushRename, term, true)
+	ap, ok := out[0].(*core.AntiProject)
+	if !ok || ap.Cols[0] != core.ColSrc {
+		t.Fatalf("rename not cancelled: %s", out[0])
+	}
+	if _, ok := ap.T.(*core.Var); !ok {
+		t.Fatalf("rename survived: %s", out[0])
+	}
+}
+
+func TestRuleFoldComposeRight(t *testing.T) {
+	// A ∘ E+ → µ(Z = A∘E ∪ Z∘E)
+	term := core.Compose(av(), core.ClosureLR("X", ev()))
+	out := checkRuleSemantics(t, ruleFoldComposeRight, term, true)
+	fp, ok := out[0].(*core.Fixpoint)
+	if !ok {
+		t.Fatalf("expected fixpoint, got %s", out[0])
+	}
+	if _, _, shape := core.MatchLinearFixpoint(fp); shape != core.ShapeLR {
+		t.Fatalf("folded shape = %v", shape)
+	}
+	// Also fires on a general LR-linear fixpoint (seeded from S).
+	gen := &core.Fixpoint{X: "X", Body: &core.Union{
+		L: &core.Var{Name: "S"},
+		R: core.Compose(&core.Var{Name: "X"}, ev()),
+	}}
+	checkRuleSemantics(t, ruleFoldComposeRight, core.Compose(av(), gen), true)
+	// Does NOT fire on an RL-linear non-closure (would be unsound).
+	rl := &core.Fixpoint{X: "X", Body: &core.Union{
+		L: &core.Var{Name: "S"},
+		R: core.Compose(ev(), &core.Var{Name: "X"}),
+	}}
+	env := ruleEnv()
+	if got := ruleFoldComposeRight(NewRewriter(env), core.Compose(av(), rl), env); len(got) != 0 {
+		t.Fatalf("unsound fold fired: %v", got)
+	}
+}
+
+func TestRuleFoldComposeLeft(t *testing.T) {
+	term := core.Compose(core.ClosureRL("X", ev()), av())
+	out := checkRuleSemantics(t, ruleFoldComposeLeft, term, true)
+	if _, _, shape := core.MatchLinearFixpoint(out[0].(*core.Fixpoint)); shape != core.ShapeRL {
+		t.Fatalf("folded shape = %v", shape)
+	}
+}
+
+func TestRuleMergeClosures(t *testing.T) {
+	term := core.Compose(core.ClosureLR("X", av()), core.ClosureLR("Y", bv()))
+	out := checkRuleSemantics(t, ruleMergeClosures, term, true)
+	fp := out[0].(*core.Fixpoint)
+	d, err := core.Decompose(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.PhiBranches) != 2 {
+		t.Fatalf("merged fixpoint has %d recursive branches, want 2", len(d.PhiBranches))
+	}
+	// Not fired when one side is a general (non-closure) fixpoint.
+	gen := &core.Fixpoint{X: "X", Body: &core.Union{
+		L: &core.Var{Name: "S"},
+		R: core.Compose(&core.Var{Name: "X"}, av()),
+	}}
+	env := ruleEnv()
+	if got := ruleMergeClosures(NewRewriter(env), core.Compose(gen, core.ClosureLR("Y", bv())), env); len(got) != 0 {
+		t.Fatalf("merged a non-closure: %v", got)
+	}
+}
+
+func TestRuleComposeAssoc(t *testing.T) {
+	term := core.Compose(core.Compose(av(), bv()), ev())
+	out := checkRuleSemantics(t, ruleComposeAssoc, term, true)
+	// The re-associated form has the nested compose on the right.
+	l, r, ok := core.MatchCompose(out[0])
+	if !ok {
+		t.Fatalf("not a compose: %s", out[0])
+	}
+	if _, _, isCompose := core.MatchCompose(r); !isCompose {
+		t.Fatalf("expected right-nested compose, got %s / %s", l, r)
+	}
+}

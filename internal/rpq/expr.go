@@ -1,0 +1,153 @@
+// Package rpq implements regular path expressions: the regular expressions
+// over edge labels at the heart of UCRPQ queries (§IV of the Dist-µ-RA
+// paper). It provides a parser for the paper's surface syntax
+// (label, -label for traversing an edge backwards, e1/e2 concatenation,
+// e1|e2 alternation, e+ transitive closure, parentheses), a translation to
+// µ-RA terms in either recursion direction, and a Thompson NFA construction
+// used by the Pregel (GraphX-like) baseline engine.
+package rpq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a regular path expression.
+type Expr interface {
+	fmt.Stringer
+	// precedence for printing: higher binds tighter.
+	prec() int
+}
+
+// Label traverses a single edge with the given predicate label; Inverse
+// traverses it backwards (the paper's -label).
+type Label struct {
+	Name    string
+	Inverse bool
+}
+
+// Concat is the path concatenation e1/e2/…/en.
+type Concat struct{ Parts []Expr }
+
+// Alt is the alternation e1|e2|…|en.
+type Alt struct{ Parts []Expr }
+
+// Plus is the transitive closure e+ (one or more repetitions).
+type Plus struct{ Sub Expr }
+
+func (l *Label) prec() int  { return 3 }
+func (p *Plus) prec() int   { return 3 }
+func (c *Concat) prec() int { return 2 }
+func (a *Alt) prec() int    { return 1 }
+
+func wrap(e Expr, parentPrec int) string {
+	s := e.String()
+	if e.prec() < parentPrec {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func (l *Label) String() string {
+	if l.Inverse {
+		return "-" + l.Name
+	}
+	return l.Name
+}
+
+func (c *Concat) String() string {
+	parts := make([]string, len(c.Parts))
+	for i, p := range c.Parts {
+		parts[i] = wrap(p, c.prec())
+	}
+	return strings.Join(parts, "/")
+}
+
+func (a *Alt) String() string {
+	parts := make([]string, len(a.Parts))
+	for i, p := range a.Parts {
+		parts[i] = wrap(p, a.prec())
+	}
+	return strings.Join(parts, "|")
+}
+
+func (p *Plus) String() string { return wrap(p.Sub, p.prec()) + "+" }
+
+// Labels returns the distinct predicate names used in e, in first-use order.
+func Labels(e Expr) []string {
+	seen := map[string]bool{}
+	var out []string
+	var visit func(Expr)
+	visit = func(e Expr) {
+		switch n := e.(type) {
+		case *Label:
+			if !seen[n.Name] {
+				seen[n.Name] = true
+				out = append(out, n.Name)
+			}
+		case *Concat:
+			for _, p := range n.Parts {
+				visit(p)
+			}
+		case *Alt:
+			for _, p := range n.Parts {
+				visit(p)
+			}
+		case *Plus:
+			visit(n.Sub)
+		}
+	}
+	visit(e)
+	return out
+}
+
+// HasClosure reports whether e contains a transitive closure (and therefore
+// translates to a recursive µ-RA term).
+func HasClosure(e Expr) bool {
+	switch n := e.(type) {
+	case *Label:
+		return false
+	case *Concat:
+		for _, p := range n.Parts {
+			if HasClosure(p) {
+				return true
+			}
+		}
+		return false
+	case *Alt:
+		for _, p := range n.Parts {
+			if HasClosure(p) {
+				return true
+			}
+		}
+		return false
+	case *Plus:
+		return true
+	}
+	return false
+}
+
+// Reverse returns the expression matching the reversed paths of e: every
+// label is inverted and every concatenation is flipped. Useful for
+// evaluating a query from its target side.
+func Reverse(e Expr) Expr {
+	switch n := e.(type) {
+	case *Label:
+		return &Label{Name: n.Name, Inverse: !n.Inverse}
+	case *Concat:
+		parts := make([]Expr, len(n.Parts))
+		for i, p := range n.Parts {
+			parts[len(n.Parts)-1-i] = Reverse(p)
+		}
+		return &Concat{Parts: parts}
+	case *Alt:
+		parts := make([]Expr, len(n.Parts))
+		for i, p := range n.Parts {
+			parts[i] = Reverse(p)
+		}
+		return &Alt{Parts: parts}
+	case *Plus:
+		return &Plus{Sub: Reverse(n.Sub)}
+	}
+	panic(fmt.Sprintf("rpq: unknown expression %T", e))
+}

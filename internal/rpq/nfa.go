@@ -1,0 +1,174 @@
+package rpq
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// NFA is a Thompson automaton over edge labels. Transitions are labeled
+// with an interned predicate and a direction: an Inverse transition
+// traverses a graph edge backwards. The Pregel baseline evaluates RPQs by
+// propagating (origin, state) pairs along graph edges according to this
+// automaton — the standard way of running regular path queries on a
+// vertex-centric system (§VI of the paper).
+type NFA struct {
+	Start  int
+	Accept int
+	Trans  [][]NFAEdge // indexed by state
+	Eps    [][]int     // ε-transitions, indexed by state
+}
+
+// NFAEdge is a labeled automaton transition.
+type NFAEdge struct {
+	Label   core.Value
+	Inverse bool
+	To      int
+}
+
+// NumStates returns the number of automaton states.
+func (n *NFA) NumStates() int { return len(n.Trans) }
+
+// CompileNFA builds the Thompson NFA of e, interning labels through dict.
+func CompileNFA(e Expr, dict *core.Dict) *NFA {
+	b := &nfaBuilder{}
+	start, accept := b.build(e, dict)
+	return &NFA{Start: start, Accept: accept, Trans: b.trans, Eps: b.eps}
+}
+
+type nfaBuilder struct {
+	trans [][]NFAEdge
+	eps   [][]int
+}
+
+func (b *nfaBuilder) newState() int {
+	b.trans = append(b.trans, nil)
+	b.eps = append(b.eps, nil)
+	return len(b.trans) - 1
+}
+
+func (b *nfaBuilder) addEps(from, to int) {
+	b.eps[from] = append(b.eps[from], to)
+}
+
+func (b *nfaBuilder) build(e Expr, dict *core.Dict) (start, accept int) {
+	switch n := e.(type) {
+	case *Label:
+		s, t := b.newState(), b.newState()
+		b.trans[s] = append(b.trans[s], NFAEdge{
+			Label: dict.Intern(n.Name), Inverse: n.Inverse, To: t,
+		})
+		return s, t
+	case *Concat:
+		s, t := b.build(n.Parts[0], dict)
+		for _, p := range n.Parts[1:] {
+			ps, pt := b.build(p, dict)
+			b.addEps(t, ps)
+			t = pt
+		}
+		return s, t
+	case *Alt:
+		s, t := b.newState(), b.newState()
+		for _, p := range n.Parts {
+			ps, pt := b.build(p, dict)
+			b.addEps(s, ps)
+			b.addEps(pt, t)
+		}
+		return s, t
+	case *Plus:
+		ss, st := b.build(n.Sub, dict)
+		s, t := b.newState(), b.newState()
+		b.addEps(s, ss)
+		b.addEps(st, t)
+		b.addEps(st, ss) // loop: one or more repetitions
+		return s, t
+	default:
+		panic(fmt.Sprintf("rpq: unknown expression %T", e))
+	}
+}
+
+// EpsClosure expands a set of states with everything reachable through
+// ε-transitions. The input map is modified in place and returned.
+func (n *NFA) EpsClosure(states map[int]bool) map[int]bool {
+	stack := make([]int, 0, len(states))
+	for s := range states {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.Eps[s] {
+			if !states[t] {
+				states[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return states
+}
+
+// LabeledEdge is a graph edge (src --label--> trg) for NFA evaluation.
+type LabeledEdge struct {
+	Src, Trg, Label core.Value
+}
+
+// EvalNFA computes the pairs (x, y) of graph nodes connected by a path
+// matching the automaton, by breadth-first search over the product of the
+// graph and the automaton (one BFS origin per graph node — the message
+// pattern the Pregel baseline uses). It is the reference evaluator used to
+// cross-check the µ-RA translation.
+func EvalNFA(n *NFA, edges []LabeledEdge) map[[2]core.Value]bool {
+	type key struct {
+		label   core.Value
+		node    core.Value
+		inverse bool
+	}
+	adj := map[key][]core.Value{}
+	nodeSet := map[core.Value]bool{}
+	for _, e := range edges {
+		adj[key{e.Label, e.Src, false}] = append(adj[key{e.Label, e.Src, false}], e.Trg)
+		adj[key{e.Label, e.Trg, true}] = append(adj[key{e.Label, e.Trg, true}], e.Src)
+		nodeSet[e.Src] = true
+		nodeSet[e.Trg] = true
+	}
+
+	results := map[[2]core.Value]bool{}
+	type pst struct {
+		node  core.Value
+		state int
+	}
+	for origin := range nodeSet {
+		startStates := n.EpsClosure(map[int]bool{n.Start: true})
+		visited := map[pst]bool{}
+		var queue []pst
+		for s := range startStates {
+			p := pst{origin, s}
+			visited[p] = true
+			queue = append(queue, p)
+			if s == n.Accept {
+				results[[2]core.Value{origin, origin}] = true
+			}
+		}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, tr := range n.Trans[cur.state] {
+				for _, next := range adj[key{tr.Label, cur.node, tr.Inverse}] {
+					targets := n.EpsClosure(map[int]bool{tr.To: true})
+					for s := range targets {
+						p := pst{next, s}
+						if visited[p] {
+							continue
+						}
+						visited[p] = true
+						queue = append(queue, p)
+						if s == n.Accept {
+							results[[2]core.Value{origin, next}] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return results
+}

@@ -1,0 +1,208 @@
+package rpq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the paper's path-expression syntax:
+//
+//	expr  := seq ('|' seq)*
+//	seq   := atom ('/' atom)*
+//	atom  := base '+'*
+//	base  := label | '-' base | '(' expr ')'
+//	label := [letters digits _ : .]+
+//
+// Examples from the paper: "isMarriedTo/livesIn/IsL+/dw+",
+// "(actedIn/-actedIn)+", "-type/(IsL+/dw|dw)".
+func Parse(input string) (Expr, error) {
+	p := &parser{input: input}
+	p.next()
+	e, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("rpq: unexpected %q at offset %d in %q", p.tok.text, p.tok.pos, input)
+	}
+	return e, nil
+}
+
+// MustParse is Parse, panicking on error. For tests and static query
+// tables.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokLabel
+	tokSlash
+	tokPipe
+	tokPlus
+	tokMinus
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type parser struct {
+	input string
+	pos   int
+	tok   token
+}
+
+func isLabelRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == ':' || r == '.' || r == '\''
+}
+
+func (p *parser) next() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t') {
+		p.pos++
+	}
+	start := p.pos
+	if p.pos >= len(p.input) {
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	c := p.input[p.pos]
+	switch c {
+	case '/':
+		p.pos++
+		p.tok = token{kind: tokSlash, text: "/", pos: start}
+	case '|':
+		p.pos++
+		p.tok = token{kind: tokPipe, text: "|", pos: start}
+	case '+':
+		p.pos++
+		p.tok = token{kind: tokPlus, text: "+", pos: start}
+	case '-':
+		p.pos++
+		p.tok = token{kind: tokMinus, text: "-", pos: start}
+	case '(':
+		p.pos++
+		p.tok = token{kind: tokLParen, text: "(", pos: start}
+	case ')':
+		p.pos++
+		p.tok = token{kind: tokRParen, text: ")", pos: start}
+	default:
+		var sb strings.Builder
+		for p.pos < len(p.input) {
+			r := rune(p.input[p.pos])
+			if !isLabelRune(r) {
+				break
+			}
+			sb.WriteByte(p.input[p.pos])
+			p.pos++
+		}
+		if sb.Len() == 0 {
+			p.tok = token{kind: tokEOF, text: string(c), pos: start}
+			return
+		}
+		p.tok = token{kind: tokLabel, text: sb.String(), pos: start}
+	}
+}
+
+func (p *parser) parseAlt() (Expr, error) {
+	first, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Expr{first}
+	for p.tok.kind == tokPipe {
+		p.next()
+		e, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return &Alt{Parts: parts}, nil
+}
+
+func (p *parser) parseSeq() (Expr, error) {
+	first, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Expr{first}
+	for p.tok.kind == tokSlash {
+		p.next()
+		e, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return &Concat{Parts: parts}, nil
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	e, err := p.parseBase()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPlus {
+		p.next()
+		e = &Plus{Sub: e}
+	}
+	return e, nil
+}
+
+func (p *parser) parseBase() (Expr, error) {
+	switch p.tok.kind {
+	case tokLabel:
+		name := p.tok.text
+		p.next()
+		return &Label{Name: name}, nil
+	case tokMinus:
+		p.next()
+		sub, err := p.parseBase()
+		if err != nil {
+			return nil, err
+		}
+		return invert(sub)
+	case tokLParen:
+		p.next()
+		e, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("rpq: missing ')' at offset %d in %q", p.tok.pos, p.input)
+		}
+		p.next()
+		return e, nil
+	default:
+		return nil, fmt.Errorf("rpq: unexpected %q at offset %d in %q", p.tok.text, p.tok.pos, p.input)
+	}
+}
+
+// invert applies '-' to a base expression. On a label it flips direction;
+// on a parenthesized expression it reverses the whole sub-path.
+func invert(e Expr) (Expr, error) {
+	switch n := e.(type) {
+	case *Label:
+		return &Label{Name: n.Name, Inverse: !n.Inverse}, nil
+	default:
+		return Reverse(e), nil
+	}
+}

@@ -1,0 +1,257 @@
+package rpq
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	cases := []string{
+		"hasChild+",
+		"isConnectedTo+",
+		"isMarriedTo/livesIn/IsL+/dw+",
+		"(actedIn/-actedIn)+",
+		"-type/(IsL+/dw|dw)",
+		"isMarriedTo+/owns/IsL+|owns/IsL+",
+		"(IsL|dw|rdfs:subClassOf|isConnectedTo)+",
+		"(-wasBornIn/hWP/-hWP/wasBornIn)+",
+		"(-created/created)+/directed",
+		"(haa|influences)+/(isMarriedTo|hasChild)+",
+		"-hKw/(ref/-ref)+",
+		"(int|(enc/-enc))+",
+		"(enc/-enc|occ/-occ)+",
+	}
+	for _, in := range cases {
+		e, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		again, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("reparse of %q → %q: %v", in, e.String(), err)
+		}
+		if e.String() != again.String() {
+			t.Fatalf("print/parse not stable: %q → %q → %q", in, e.String(), again.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "(a", "a|", "a//b", "+a", "a)", "-/a"} {
+		if _, err := Parse(in); err == nil {
+			t.Fatalf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	e := MustParse("a/b|c+")
+	alt, ok := e.(*Alt)
+	if !ok || len(alt.Parts) != 2 {
+		t.Fatalf("want top-level alt with 2 parts, got %T %v", e, e)
+	}
+	if _, ok := alt.Parts[0].(*Concat); !ok {
+		t.Fatalf("first part should be concat, got %T", alt.Parts[0])
+	}
+	if _, ok := alt.Parts[1].(*Plus); !ok {
+		t.Fatalf("second part should be plus, got %T", alt.Parts[1])
+	}
+}
+
+func TestInverseOfGroupReverses(t *testing.T) {
+	e := MustParse("-(a/b)")
+	want := MustParse("-b/-a")
+	if e.String() != want.String() {
+		t.Fatalf("-(a/b) = %s, want %s", e, want)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	cases := map[string]string{
+		"a":       "-a",
+		"a/b":     "-b/-a",
+		"a|b":     "-a|-b",
+		"a+":      "-a+",
+		"(a/b+)+": "(-b+/-a)+",
+	}
+	for in, want := range cases {
+		got := Reverse(MustParse(in)).String()
+		if got != want {
+			t.Fatalf("Reverse(%s) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	e := MustParse("a/-b/(a|c)+")
+	got := Labels(e)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("Labels = %v", got)
+	}
+}
+
+func TestHasClosure(t *testing.T) {
+	if HasClosure(MustParse("a/b|c")) {
+		t.Fatal("a/b|c has no closure")
+	}
+	if !HasClosure(MustParse("a/(b|c+)")) {
+		t.Fatal("a/(b|c+) has a closure")
+	}
+}
+
+// tripleEnv builds an Env binding "G" to a triple relation from edges.
+func tripleEnv(edges []LabeledEdge) *core.Env {
+	r := core.NewRelation(core.ColSrc, core.ColPred, core.ColTrg)
+	for _, e := range edges {
+		r.AddTuple([]string{core.ColSrc, core.ColPred, core.ColTrg},
+			[]core.Value{e.Src, e.Label, e.Trg})
+	}
+	env := core.NewEnv()
+	env.Bind("G", r)
+	return env
+}
+
+func evalMu(t *testing.T, e Expr, dict *core.Dict, dir Direction, edges []LabeledEdge) map[[2]core.Value]bool {
+	t.Helper()
+	tr := NewTranslator("G", dict, dir)
+	term := tr.Term(e)
+	rel, err := core.Eval(term, tripleEnv(edges))
+	if err != nil {
+		t.Fatalf("eval %s: %v", term, err)
+	}
+	out := map[[2]core.Value]bool{}
+	si := core.ColIndex(rel.Cols(), core.ColSrc)
+	ti := core.ColIndex(rel.Cols(), core.ColTrg)
+	for _, row := range rel.Rows() {
+		out[[2]core.Value{row[si], row[ti]}] = true
+	}
+	return out
+}
+
+func pairsEqual(a, b map[[2]core.Value]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTranslationMatchesNFAOnFixedExprs(t *testing.T) {
+	dict := core.NewDict()
+	la, lb, lc := dict.Intern("a"), dict.Intern("b"), dict.Intern("c")
+	edges := []LabeledEdge{
+		{1, 2, la}, {2, 3, la}, {3, 4, lb}, {4, 5, lb},
+		{1, 5, lc}, {5, 2, la}, {2, 6, lb}, {6, 1, lc},
+		{3, 3, lb}, {4, 2, lc},
+	}
+	for _, in := range []string{
+		"a", "-a", "a/b", "a|b", "a+", "(a/b)+", "a/b+", "a+/b+",
+		"(a|b)+", "-a/b", "(a/-a)+", "a/(b|c)+", "(a|b|c)+", "(-a/b)+/c",
+	} {
+		e := MustParse(in)
+		nfa := CompileNFA(e, dict)
+		want := EvalNFA(nfa, edges)
+		for _, dir := range []Direction{LeftToRight, RightToLeft} {
+			got := evalMu(t, e, dict, dir, edges)
+			if !pairsEqual(got, want) {
+				t.Fatalf("%s (%s): µ-RA %v ≠ NFA %v", in, dir, got, want)
+			}
+		}
+	}
+}
+
+// randomExpr draws a random path expression of bounded depth over labels
+// a, b, c.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return &Label{
+			Name:    string(rune('a' + rng.Intn(3))),
+			Inverse: rng.Intn(4) == 0,
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return &Concat{Parts: []Expr{randomExpr(rng, depth-1), randomExpr(rng, depth-1)}}
+	case 1:
+		return &Alt{Parts: []Expr{randomExpr(rng, depth-1), randomExpr(rng, depth-1)}}
+	default:
+		return &Plus{Sub: randomExpr(rng, depth-1)}
+	}
+}
+
+// TestPropertyTranslationMatchesNFA cross-checks the µ-RA translation
+// against the product-automaton evaluation on random expressions and
+// random small multigraphs, in both recursion directions.
+func TestPropertyTranslationMatchesNFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dict := core.NewDict()
+	labels := []core.Value{dict.Intern("a"), dict.Intern("b"), dict.Intern("c")}
+	for trial := 0; trial < 60; trial++ {
+		var edges []LabeledEdge
+		n := 4 + rng.Intn(4)
+		for i := 0; i < 12; i++ {
+			edges = append(edges, LabeledEdge{
+				Src:   core.Value(rng.Intn(n)),
+				Trg:   core.Value(rng.Intn(n)),
+				Label: labels[rng.Intn(len(labels))],
+			})
+		}
+		e := randomExpr(rng, 3)
+		nfa := CompileNFA(e, dict)
+		want := EvalNFA(nfa, edges)
+		for _, dir := range []Direction{LeftToRight, RightToLeft} {
+			got := evalMu(t, e, dict, dir, edges)
+			if !pairsEqual(got, want) {
+				t.Fatalf("trial %d expr %s dir %s:\n µ-RA %v\n NFA  %v\n edges %v",
+					trial, e, dir, got, want, edges)
+			}
+		}
+	}
+}
+
+// TestPropertyReverseSemantics: (x,y) matches e iff (y,x) matches
+// Reverse(e).
+func TestPropertyReverseSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	dict := core.NewDict()
+	labels := []core.Value{dict.Intern("a"), dict.Intern("b"), dict.Intern("c")}
+	for trial := 0; trial < 40; trial++ {
+		var edges []LabeledEdge
+		for i := 0; i < 10; i++ {
+			edges = append(edges, LabeledEdge{
+				Src:   core.Value(rng.Intn(5)),
+				Trg:   core.Value(rng.Intn(5)),
+				Label: labels[rng.Intn(len(labels))],
+			})
+		}
+		e := randomExpr(rng, 3)
+		fwd := EvalNFA(CompileNFA(e, dict), edges)
+		bwd := EvalNFA(CompileNFA(Reverse(e), dict), edges)
+		if len(fwd) != len(bwd) {
+			t.Fatalf("trial %d: |fwd|=%d |bwd|=%d for %s", trial, len(fwd), len(bwd), e)
+		}
+		for p := range fwd {
+			if !bwd[[2]core.Value{p[1], p[0]}] {
+				t.Fatalf("trial %d: pair %v in e but %v not in Reverse(e) for %s", trial, p, [2]core.Value{p[1], p[0]}, e)
+			}
+		}
+	}
+}
+
+func TestNFAStructure(t *testing.T) {
+	dict := core.NewDict()
+	n := CompileNFA(MustParse("a+"), dict)
+	if n.NumStates() != 4 {
+		t.Fatalf("a+ should have 4 Thompson states, got %d", n.NumStates())
+	}
+	start := n.EpsClosure(map[int]bool{n.Start: true})
+	if start[n.Accept] {
+		t.Fatal("a+ must not accept the empty path")
+	}
+}

@@ -1,0 +1,84 @@
+package rpq
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Direction selects how transitive closures are evaluated when translating
+// to µ-RA. The paper's translation generates both plans for every recursion
+// (§III-B "Applicability of data partitioning"): left-to-right keeps the
+// source column stable, right-to-left keeps the target column stable, and
+// the rewriter needs both to push filters/joins from either side.
+type Direction int
+
+const (
+	// LeftToRight builds µ(X = e ∪ X∘e).
+	LeftToRight Direction = iota
+	// RightToLeft builds µ(X = e ∪ e∘X).
+	RightToLeft
+)
+
+func (d Direction) String() string {
+	if d == LeftToRight {
+		return "ltr"
+	}
+	return "rtl"
+}
+
+// Translator turns path expressions into µ-RA terms over a triple relation
+// rel(src, pred, trg). Predicate names are interned through Dict so the
+// generated filters compare int64s.
+type Translator struct {
+	Rel  string
+	Dict *core.Dict
+	Dir  Direction
+
+	fresh int
+}
+
+// NewTranslator returns a Translator over the triple relation rel.
+func NewTranslator(rel string, dict *core.Dict, dir Direction) *Translator {
+	return &Translator{Rel: rel, Dict: dict, Dir: dir}
+}
+
+// FreshVar returns a new recursion-variable name, unique per translator.
+func (tr *Translator) FreshVar() string {
+	tr.fresh++
+	return fmt.Sprintf("X%d", tr.fresh)
+}
+
+// Term translates e into a µ-RA term with schema (src, trg): the pairs of
+// nodes connected by a path matching e.
+func (tr *Translator) Term(e Expr) core.Term {
+	switch n := e.(type) {
+	case *Label:
+		v := tr.Dict.Intern(n.Name)
+		if n.Inverse {
+			return core.InverseEdgeRel(tr.Rel, v)
+		}
+		return core.EdgeRel(tr.Rel, v)
+	case *Concat:
+		t := tr.Term(n.Parts[0])
+		for _, p := range n.Parts[1:] {
+			t = core.Compose(t, tr.Term(p))
+		}
+		return t
+	case *Alt:
+		branches := make([]core.Term, len(n.Parts))
+		for i, p := range n.Parts {
+			branches[i] = tr.Term(p)
+		}
+		return core.UnionOf(branches)
+	case *Plus:
+		sub := tr.Term(n.Sub)
+		x := tr.FreshVar()
+		if tr.Dir == RightToLeft {
+			return core.ClosureRL(x, sub)
+		}
+		return core.ClosureLR(x, sub)
+	default:
+		panic(fmt.Sprintf("rpq: unknown expression %T", e))
+	}
+}

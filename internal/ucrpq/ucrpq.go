@@ -1,0 +1,320 @@
+// Package ucrpq implements the UCRPQ frontend of Dist-µ-RA: parsing
+// conjunctions of regular path queries in the paper's surface syntax
+//
+//	?x,?y <- ?x isMarriedTo/livesIn/IsL+/dw+ Argentina, ?y knows+ ?x
+//
+// and the Query2Mu translation (§IV) into µ-RA terms, generating a plan
+// for each recursion direction so that the rewriter can push filters and
+// joins from either side and a stable column is always available for
+// partitioning (§III-B, "Applicability of data partitioning").
+package ucrpq
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rpq"
+)
+
+// Endpoint is one end of a regular path atom: either a variable (?x) or a
+// constant entity (Japan).
+type Endpoint struct {
+	IsVar bool
+	Name  string // variable name without '?', or the constant's entity name
+}
+
+func (e Endpoint) String() string {
+	if e.IsVar {
+		return "?" + e.Name
+	}
+	return e.Name
+}
+
+// Atom is a regular path atom: Subj Path Obj.
+type Atom struct {
+	Subj Endpoint
+	Path rpq.Expr
+	Obj  Endpoint
+}
+
+func (a Atom) String() string {
+	return a.Subj.String() + " " + a.Path.String() + " " + a.Obj.String()
+}
+
+// Query is a conjunctive regular path query with a projection head.
+// (Unions of CRPQs are expressed as alternation inside path expressions or
+// by evaluating several queries and uniting results.)
+type Query struct {
+	Head  []string // projected variable names, without '?'
+	Atoms []Atom
+}
+
+func (q Query) String() string {
+	head := make([]string, len(q.Head))
+	for i, h := range q.Head {
+		head[i] = "?" + h
+	}
+	atoms := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		atoms[i] = a.String()
+	}
+	return strings.Join(head, ",") + " <- " + strings.Join(atoms, ", ")
+}
+
+// Vars returns the distinct variables used in the query body, in first-use
+// order.
+func (q Query) Vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(e Endpoint) {
+		if e.IsVar && !seen[e.Name] {
+			seen[e.Name] = true
+			out = append(out, e.Name)
+		}
+	}
+	for _, a := range q.Atoms {
+		add(a.Subj)
+		add(a.Obj)
+	}
+	return out
+}
+
+// Parse parses the paper's UCRPQ syntax. The head and body are separated by
+// "<-" (or "←"); atoms are comma-separated; each atom is three
+// whitespace-separated fields: subject, path expression, object.
+func Parse(input string) (*Query, error) {
+	text := strings.ReplaceAll(input, "←", "<-")
+	parts := strings.SplitN(text, "<-", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("ucrpq: missing '<-' in %q", input)
+	}
+	q := &Query{}
+	for _, h := range strings.Split(parts[0], ",") {
+		h = strings.TrimSpace(h)
+		if h == "" {
+			continue
+		}
+		if !strings.HasPrefix(h, "?") {
+			return nil, fmt.Errorf("ucrpq: head item %q is not a variable", h)
+		}
+		q.Head = append(q.Head, h[1:])
+	}
+	if len(q.Head) == 0 {
+		return nil, fmt.Errorf("ucrpq: empty head in %q", input)
+	}
+	for _, as := range strings.Split(parts[1], ",") {
+		as = strings.TrimSpace(as)
+		if as == "" {
+			return nil, fmt.Errorf("ucrpq: empty atom in %q", input)
+		}
+		fields := strings.Fields(as)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("ucrpq: atom %q must have form 'subj path obj'", as)
+		}
+		subj, err := parseEndpoint(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		path, err := rpq.Parse(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("ucrpq: atom %q: %w", as, err)
+		}
+		obj, err := parseEndpoint(fields[2])
+		if err != nil {
+			return nil, err
+		}
+		q.Atoms = append(q.Atoms, Atom{Subj: subj, Path: path, Obj: obj})
+	}
+	bodyVars := map[string]bool{}
+	for _, v := range q.Vars() {
+		bodyVars[v] = true
+	}
+	for _, h := range q.Head {
+		if !bodyVars[h] {
+			return nil, fmt.Errorf("ucrpq: head variable ?%s does not appear in the body", h)
+		}
+	}
+	return q, nil
+}
+
+// MustParse is Parse, panicking on error.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// UnionQuery is a union of conjunctive regular path queries — the full
+// UCRPQ class. All disjuncts must project the same head variables.
+type UnionQuery struct {
+	Queries []*Query
+}
+
+func (u *UnionQuery) String() string {
+	parts := make([]string, len(u.Queries))
+	for i, q := range u.Queries {
+		parts[i] = q.String()
+	}
+	return strings.Join(parts, " UNION ")
+}
+
+// ParseUnion parses disjuncts separated by the keyword UNION:
+//
+//	?x <- ?x a+ C UNION ?x <- ?x b+ C
+//
+// A single disjunct is also accepted.
+func ParseUnion(input string) (*UnionQuery, error) {
+	u := &UnionQuery{}
+	var head []string
+	for _, part := range strings.Split(input, " UNION ") {
+		q, err := Parse(part)
+		if err != nil {
+			return nil, err
+		}
+		if head == nil {
+			head = q.Head
+		} else if !sameHead(head, q.Head) {
+			return nil, fmt.Errorf("ucrpq: UNION disjuncts project different heads: %v vs %v", head, q.Head)
+		}
+		u.Queries = append(u.Queries, q)
+	}
+	return u, nil
+}
+
+func sameHead(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	// Head order is irrelevant: columns are named by variable.
+	set := map[string]bool{}
+	for _, v := range a {
+		set[v] = true
+	}
+	for _, v := range b {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// TranslateUnion compiles a union query: each disjunct translates
+// independently and the results are united (schemas agree because the
+// heads agree).
+func TranslateUnion(u *UnionQuery, rel string, dict *core.Dict, dir rpq.Direction) (core.Term, error) {
+	if len(u.Queries) == 0 {
+		return nil, fmt.Errorf("ucrpq: empty union")
+	}
+	terms := make([]core.Term, len(u.Queries))
+	for i, q := range u.Queries {
+		t, err := Translate(q, rel, dict, dir)
+		if err != nil {
+			return nil, err
+		}
+		terms[i] = t
+	}
+	return core.UnionOf(terms), nil
+}
+
+func parseEndpoint(s string) (Endpoint, error) {
+	if strings.HasPrefix(s, "?") {
+		if len(s) == 1 {
+			return Endpoint{}, fmt.Errorf("ucrpq: empty variable name")
+		}
+		return Endpoint{IsVar: true, Name: s[1:]}, nil
+	}
+	return Endpoint{Name: s}, nil
+}
+
+// varCol is the µ-RA column name carrying a query variable's bindings.
+func varCol(v string) string { return "?" + v }
+
+// Translate performs Query2Mu: it compiles q into a µ-RA term over the
+// triple relation rel(src, pred, trg), evaluating every transitive closure
+// in the given direction. The resulting term's schema has one column "?v"
+// per head variable.
+func Translate(q *Query, rel string, dict *core.Dict, dir rpq.Direction) (core.Term, error) {
+	tr := rpq.NewTranslator(rel, dict, dir)
+	var conj core.Term
+	for i, a := range q.Atoms {
+		at, err := translateAtom(tr, a, i, dict)
+		if err != nil {
+			return nil, err
+		}
+		if conj == nil {
+			conj = at
+		} else {
+			conj = &core.Join{L: conj, R: at}
+		}
+	}
+	if conj == nil {
+		return nil, fmt.Errorf("ucrpq: query %s has no atoms", q)
+	}
+	// Project onto the head: drop every non-head column.
+	keep := map[string]bool{}
+	for _, h := range q.Head {
+		keep[varCol(h)] = true
+	}
+	schema, err := core.Schema(conj, core.SchemaEnv{rel: []string{core.ColPred, core.ColSrc, core.ColTrg}})
+	if err != nil {
+		return nil, fmt.Errorf("ucrpq: translated term is ill-formed: %w", err)
+	}
+	var drop []string
+	for _, c := range schema {
+		if !keep[c] {
+			drop = append(drop, c)
+		}
+	}
+	if len(drop) > 0 {
+		conj = &core.AntiProject{Cols: core.SortCols(drop), T: conj}
+	}
+	return conj, nil
+}
+
+// translateAtom builds the (…) term of one atom with its endpoints renamed
+// to variable columns or filtered on constants.
+func translateAtom(tr *rpq.Translator, a Atom, idx int, dict *core.Dict) (core.Term, error) {
+	t := tr.Term(a.Path)
+	// Handle the object first, then the subject, so renames never collide
+	// with the still-present src column.
+	switch {
+	case a.Obj.IsVar && a.Subj.IsVar && a.Obj.Name == a.Subj.Name:
+		// ?x path ?x: keep both ends, equate, then keep one column.
+		tmp := fmt.Sprintf("@loop%d", idx)
+		t = &core.Rename{From: core.ColTrg, To: tmp, T: t}
+		t = &core.Rename{From: core.ColSrc, To: varCol(a.Subj.Name), T: t}
+		t = &core.Filter{Cond: core.EqCols{A: varCol(a.Subj.Name), B: tmp}, T: t}
+		return &core.AntiProject{Cols: []string{tmp}, T: t}, nil
+	case a.Obj.IsVar:
+		t = &core.Rename{From: core.ColTrg, To: varCol(a.Obj.Name), T: t}
+	default:
+		t = &core.Filter{Cond: core.EqConst{Col: core.ColTrg, Val: dict.Intern(a.Obj.Name)}, T: t}
+		t = &core.AntiProject{Cols: []string{core.ColTrg}, T: t}
+	}
+	switch {
+	case a.Subj.IsVar:
+		t = &core.Rename{From: core.ColSrc, To: varCol(a.Subj.Name), T: t}
+	default:
+		t = &core.Filter{Cond: core.EqConst{Col: core.ColSrc, Val: dict.Intern(a.Subj.Name)}, T: t}
+		t = &core.AntiProject{Cols: []string{core.ColSrc}, T: t}
+	}
+	return t, nil
+}
+
+// TranslateBoth returns the left-to-right and right-to-left plans of q —
+// the two plans Query2Mu always generates so that a stable column exists
+// for at least one of them.
+func TranslateBoth(q *Query, rel string, dict *core.Dict) (ltr, rtl core.Term, err error) {
+	ltr, err = Translate(q, rel, dict, rpq.LeftToRight)
+	if err != nil {
+		return nil, nil, err
+	}
+	rtl, err = Translate(q, rel, dict, rpq.RightToLeft)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ltr, rtl, nil
+}

@@ -1,0 +1,318 @@
+package ucrpq
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rpq"
+)
+
+func TestParsePaperQueries(t *testing.T) {
+	// A representative sample of Fig. 7 and Fig. 8 of the paper, covering
+	// every syntactic feature: constants on either side, inverses, groups,
+	// alternation, concatenated closures, multi-atom conjunctions.
+	queries := []string{
+		"?x,?y <- ?x hasChild+ ?y",
+		"?x <- ?x isMarriedTo/livesIn/IsL+/dw+ Argentina",
+		"?x <- ?x (actedIn/-actedIn)+ Kevin_Bacon",
+		"?area <- wce -type/(IsL+/dw|dw) ?area",
+		"?person <- ?person isMarriedTo+/owns/IsL+|owns/IsL+ USA",
+		"?x,?y <- ?x (IsL|dw|rdfs:subClassOf|isConnectedTo)+ ?y",
+		"?x <- Jay_Kappraff (livesIn/IsL/-livesIn)+ ?x",
+		"?x,?y <- ?x (wasBornIn/IsL/-wasBornIn)+/isMarriedTo ?y",
+		"?x <- London -wasBornIn/(playsFor/-playsFor)+ ?x",
+		"?x,?y <- ?x isConnectedTo+/IsL+/dw+/owns+ ?y",
+		"?x,?y,?z,?t <- ?x (enc/-enc)+ ?y, ?x int+ ?z, ?x ref ?t",
+		"?x,?y <- ?x (int|(enc/-enc))+ ?y, C (occ/-occ)+ ?y",
+		"?x <- ?x int+/ref ?y, C -pub/(auth/-auth)+ ?y",
+		"?x <- C (ref/-ref)+ ?x",
+	}
+	for _, s := range queries {
+		q, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if _, err := Parse(q.String()); err != nil {
+			t.Fatalf("reparse of %q → %q: %v", s, q.String(), err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"?x ?x a+ ?y",           // missing arrow
+		"<- ?x a ?y",            // empty head
+		"?z <- ?x a ?y",         // head var not in body
+		"?x <- ?x a",            // malformed atom
+		"?x <- ?x a+b ?y extra", // four fields
+		"x <- ?x a ?x",          // head not a variable
+		"?x <- ?x (a ?x",        // bad path expression
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Fatalf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	q := MustParse("?x,?y <- ?x a+ ?y, ?y b ?z, C d ?x")
+	vars := q.Vars()
+	if len(vars) != 3 || vars[0] != "x" || vars[1] != "y" || vars[2] != "z" {
+		t.Fatalf("Vars = %v", vars)
+	}
+}
+
+// testGraph builds a small labeled graph and env. Edges, by label:
+//
+//	a: 1→2, 2→3, 3→4           b: 4→5, 2→5
+//	knows: 5→6, 6→7            likes: 7→1
+type testGraph struct {
+	dict *core.Dict
+	env  *core.Env
+}
+
+func newTestGraph() *testGraph {
+	d := core.NewDict()
+	r := core.NewRelation(core.ColSrc, core.ColPred, core.ColTrg)
+	add := func(s core.Value, p string, t core.Value) {
+		r.AddTuple([]string{core.ColSrc, core.ColPred, core.ColTrg},
+			[]core.Value{s, d.Intern(p), t})
+	}
+	add(1, "a", 2)
+	add(2, "a", 3)
+	add(3, "a", 4)
+	add(4, "b", 5)
+	add(2, "b", 5)
+	add(5, "knows", 6)
+	add(6, "knows", 7)
+	add(7, "likes", 1)
+	env := core.NewEnv()
+	env.Bind("G", r)
+	return &testGraph{dict: d, env: env}
+}
+
+func evalQuery(t *testing.T, g *testGraph, query string, dir rpq.Direction) *core.Relation {
+	t.Helper()
+	q := MustParse(query)
+	term, err := Translate(q, "G", g.dict, dir)
+	if err != nil {
+		t.Fatalf("Translate(%q): %v", query, err)
+	}
+	rel, err := core.Eval(term, g.env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v\nterm: %s", query, err, term)
+	}
+	return rel
+}
+
+func TestTranslateSimpleEdge(t *testing.T) {
+	g := newTestGraph()
+	got := evalQuery(t, g, "?x,?y <- ?x b ?y", rpq.LeftToRight)
+	want := core.NewRelation("?x", "?y")
+	want.AddTuple([]string{"?x", "?y"}, []core.Value{4, 5})
+	want.AddTuple([]string{"?x", "?y"}, []core.Value{2, 5})
+	if !got.Equal(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTranslateClosure(t *testing.T) {
+	g := newTestGraph()
+	for _, dir := range []rpq.Direction{rpq.LeftToRight, rpq.RightToLeft} {
+		got := evalQuery(t, g, "?x,?y <- ?x a+ ?y", dir)
+		want := core.NewRelation("?x", "?y")
+		for _, p := range [][2]core.Value{
+			{1, 2}, {2, 3}, {3, 4}, {1, 3}, {2, 4}, {1, 4},
+		} {
+			want.AddTuple([]string{"?x", "?y"}, []core.Value{p[0], p[1]})
+		}
+		if !got.Equal(want) {
+			t.Fatalf("dir %v: got %v want %v", dir, got, want)
+		}
+	}
+}
+
+func TestTranslateConstantFilter(t *testing.T) {
+	g := newTestGraph()
+	// Intern node 5 under a name so the query can reference it.
+	// Node ids and entity ids share the value space; here we pick an
+	// entity name whose interned id we then use as the node id.
+	node5 := g.dict.Intern("Entity5")
+	r, _ := g.env.Lookup("G")
+	r.AddTuple([]string{core.ColSrc, core.ColPred, core.ColTrg},
+		[]core.Value{5, g.dict.Intern("isA"), node5})
+
+	got := evalQuery(t, g, "?x <- ?x b/isA Entity5", rpq.LeftToRight)
+	want := core.NewRelation("?x")
+	want.AddTuple([]string{"?x"}, []core.Value{4})
+	want.AddTuple([]string{"?x"}, []core.Value{2})
+	if !got.Equal(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTranslateConjunction(t *testing.T) {
+	g := newTestGraph()
+	got := evalQuery(t, g, "?x,?z <- ?x a+ ?y, ?y b ?z", rpq.LeftToRight)
+	want := core.NewRelation("?x", "?z")
+	// a+ reaching 4 then b: 1,2,3 →4→5 ; a+ reaching 2 then b: 1→2→5.
+	for _, p := range [][2]core.Value{{1, 5}, {2, 5}, {3, 5}} {
+		want.AddTuple([]string{"?x", "?z"}, []core.Value{p[0], p[1]})
+	}
+	if !got.Equal(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTranslateSameVarBothEnds(t *testing.T) {
+	g := newTestGraph()
+	// Cycle 1 →a 2 →b 5 →knows 6 →knows 7 →likes 1.
+	got := evalQuery(t, g, "?x <- ?x a/b/knows/knows/likes ?x", rpq.LeftToRight)
+	want := core.NewRelation("?x")
+	want.AddTuple([]string{"?x"}, []core.Value{1})
+	if !got.Equal(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTranslateBothDirectionsAgree(t *testing.T) {
+	g := newTestGraph()
+	queries := []string{
+		"?x,?y <- ?x a+ ?y",
+		"?x,?y <- ?x a+/b ?y",
+		"?x,?y <- ?x (a|b)+ ?y",
+		"?x,?y <- ?x a+/b/knows+ ?y",
+		"?x <- ?x a+ #4",
+	}
+	for _, s := range queries {
+		q := MustParse(s)
+		ltr, rtl, err := TranslateBoth(q, "G", g.dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.Eval(ltr, g.env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := core.Eval(rtl, g.env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("%s: ltr %v ≠ rtl %v", s, a, b)
+		}
+	}
+}
+
+// TestPropertySingleAtomMatchesNFA cross-checks Translate against the NFA
+// reference for random single-atom var-var queries on random graphs.
+func TestPropertySingleAtomMatchesNFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	dict := core.NewDict()
+	labels := []string{"a", "b", "c"}
+	var labelVals []core.Value
+	for _, l := range labels {
+		labelVals = append(labelVals, dict.Intern(l))
+	}
+	exprs := []string{"a+", "a/b", "(a|b)+", "a+/b", "b/a+", "(a/-a)+", "a+/b+", "(a|b|c)+"}
+	for trial := 0; trial < 30; trial++ {
+		r := core.NewRelation(core.ColSrc, core.ColPred, core.ColTrg)
+		var edges []rpq.LabeledEdge
+		for i := 0; i < 14; i++ {
+			e := rpq.LabeledEdge{
+				Src:   core.Value(rng.Intn(6) + 100),
+				Trg:   core.Value(rng.Intn(6) + 100),
+				Label: labelVals[rng.Intn(len(labelVals))],
+			}
+			edges = append(edges, e)
+			r.AddTuple([]string{core.ColSrc, core.ColPred, core.ColTrg},
+				[]core.Value{e.Src, e.Label, e.Trg})
+		}
+		env := core.NewEnv()
+		env.Bind("G", r)
+		expr := exprs[trial%len(exprs)]
+		q := MustParse("?x,?y <- ?x " + expr + " ?y")
+		want := rpq.EvalNFA(rpq.CompileNFA(rpq.MustParse(expr), dict), edges)
+		for _, dir := range []rpq.Direction{rpq.LeftToRight, rpq.RightToLeft} {
+			term, err := Translate(q, "G", dict, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel, err := core.Eval(term, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := map[[2]core.Value]bool{}
+			xi := core.ColIndex(rel.Cols(), "?x")
+			yi := core.ColIndex(rel.Cols(), "?y")
+			for _, row := range rel.Rows() {
+				got[[2]core.Value{row[xi], row[yi]}] = true
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d %s dir %v: got %d pairs, want %d", trial, expr, dir, len(got), len(want))
+			}
+			for p := range want {
+				if !got[p] {
+					t.Fatalf("trial %d %s dir %v: missing pair %v", trial, expr, dir, p)
+				}
+			}
+		}
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	u, err := ParseUnion("?x <- ?x a+ ?y UNION ?x <- ?y b ?x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Queries) != 2 {
+		t.Fatalf("disjuncts = %d", len(u.Queries))
+	}
+	if _, err := ParseUnion(u.String()); err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	// Mismatched heads rejected.
+	if _, err := ParseUnion("?x <- ?x a ?y UNION ?y <- ?x a ?y"); err == nil {
+		t.Fatal("mismatched heads accepted")
+	}
+	// Single disjunct fine.
+	u1, err := ParseUnion("?x,?y <- ?x a ?y")
+	if err != nil || len(u1.Queries) != 1 {
+		t.Fatalf("single disjunct: %v %d", err, len(u1.Queries))
+	}
+}
+
+func TestTranslateUnionSemantics(t *testing.T) {
+	g := newTestGraph()
+	u, err := ParseUnion("?x,?y <- ?x a ?y UNION ?x,?y <- ?x b ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	term, err := TranslateUnion(u, "G", g.dict, rpq.LeftToRight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Eval(term, g.env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a-edges (3) plus b-edges (2).
+	if got.Len() != 5 {
+		t.Fatalf("union rows = %d, want 5: %v", got.Len(), got)
+	}
+	// The union deduplicates: uniting a query with itself changes nothing.
+	u2, _ := ParseUnion("?x,?y <- ?x a ?y UNION ?x,?y <- ?x a ?y")
+	term2, err := TranslateUnion(u2, "G", g.dict, rpq.LeftToRight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := core.Eval(term2, g.env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Len() != 3 {
+		t.Fatalf("self-union rows = %d, want 3", got2.Len())
+	}
+}
