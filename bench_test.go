@@ -50,6 +50,34 @@ func runTerm(b *testing.B, c *cluster.Cluster, env *core.Env, term core.Term, ki
 	}
 }
 
+// BenchmarkClosureKnowsDeep is the end-to-end fixpoint hot path: a deep
+// knows+ transitive closure executed through the full distributed engine
+// (plan selection, broadcast, parallel local loops, collect). This is the
+// benchmark the streaming data plane refactor is accountable to at the
+// system level.
+func BenchmarkClosureKnowsDeep(b *testing.B) {
+	g := graphgen.NewGraph("bench")
+	for i := 0; i < 300; i++ {
+		g.Add(fmt.Sprintf("p%d", i), "knows", fmt.Sprintf("p%d", i+1))
+	}
+	prep, err := benchkit.PrepareMuRA(g, "?x,?y <- ?x knows+ ?y",
+		benchkit.Budget{MaxPlans: 32}, benchkit.MuRAOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := g.Env(benchkit.EdgeRelName)
+	for _, kind := range []physical.Kind{physical.Splw, physical.Pgplw, physical.Gld} {
+		b.Run(kind.String(), func(b *testing.B) {
+			c := mustCluster(b, 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runTerm(b, c, env, prep.Best, kind)
+			}
+		})
+	}
+}
+
 // BenchmarkFig05ConstantPartSweep reproduces Fig. 5 (left): Ppg_plw vs
 // Ps_plw on a transitive-closure fixpoint while the constant part grows.
 func BenchmarkFig05ConstantPartSweep(b *testing.B) {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,8 +30,16 @@ func main() {
 		queryID   = flag.String("query", "Q24", "query for fig15")
 		workers   = flag.Int("workers", 0, "override worker count")
 		timeout   = flag.Duration("timeout", 0, "override per-query timeout")
+		jsonPath  = flag.String("json", "BENCH_results.json",
+			"write machine-readable results (query, plan, seconds, shuffle records, network bytes) to this file; empty disables")
 	)
 	flag.Parse()
+
+	var rec *benchkit.Recorder
+	if *jsonPath != "" {
+		rec = &benchkit.Recorder{}
+		benchkit.SetRecorder(rec)
+	}
 
 	scale := benchkit.DefaultScale()
 	if *scaleName == "test" {
@@ -44,6 +53,7 @@ func main() {
 	}
 
 	run := func(name string, f func() *benchkit.Table) {
+		rec.SetExperiment(name)
 		start := time.Now()
 		t := f()
 		t.Print(os.Stdout)
@@ -88,6 +98,59 @@ func main() {
 	if want("fig15") {
 		run("fig15", func() *benchkit.Table { return benchkit.Fig15(scale, *queryID) })
 	}
+
+	if rec != nil && len(rec.Records()) == 0 {
+		// Nothing ran (e.g. a typo'd -experiment): don't clobber a
+		// previous run's results with an empty array.
+		fmt.Fprintf(os.Stderr, "murabench: no records collected; leaving %s untouched\n", *jsonPath)
+		rec = nil
+	}
+	if rec != nil {
+		merged := mergeRecords(*jsonPath, rec.Records())
+		if err := writeRecords(*jsonPath, merged); err != nil {
+			fmt.Fprintf(os.Stderr, "murabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records (%d new) to %s\n", len(merged), len(rec.Records()), *jsonPath)
+	}
+}
+
+// mergeRecords combines this run's records with an existing results file:
+// experiments re-run now replace their old records, experiments not
+// selected this time are kept, so a partial run never erases the rest of
+// the perf trajectory. An unreadable or non-JSON existing file is
+// ignored (fresh start).
+func mergeRecords(path string, fresh []benchkit.Record) []benchkit.Record {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fresh
+	}
+	var old []benchkit.Record
+	if json.Unmarshal(data, &old) != nil {
+		return fresh
+	}
+	reran := map[string]bool{}
+	for _, r := range fresh {
+		reran[r.Experiment] = true
+	}
+	var merged []benchkit.Record
+	for _, r := range old {
+		if !reran[r.Experiment] {
+			merged = append(merged, r)
+		}
+	}
+	return append(merged, fresh...)
+}
+
+func writeRecords(path string, recs []benchkit.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
 }
 
 // printQueries reproduces the workload tables (Fig. 7 and Fig. 8).

@@ -143,14 +143,11 @@ func (e *Engine) Close() error { return e.clust.Close() }
 // AddTriple inserts one labeled edge.
 func (e *Engine) AddTriple(src, pred, trg string) { e.graph.Add(src, pred, trg) }
 
-// LoadTSV bulk-loads "src<TAB>pred<TAB>trg" lines.
+// LoadTSV bulk-loads "src<TAB>pred<TAB>trg" lines, merging them into the
+// engine's graph: triples previously inserted via AddTriple (or earlier
+// LoadTSV calls) are kept, and all identifiers share one dictionary.
 func (e *Engine) LoadTSV(r io.Reader) error {
-	g, err := graphgen.ReadTSV(r, e.graph.Name)
-	if err != nil {
-		return err
-	}
-	e.graph = g
-	return nil
+	return e.graph.ReadTSVInto(r)
 }
 
 // UseGraph replaces the engine's graph with a pre-built one (generator

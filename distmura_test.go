@@ -137,6 +137,37 @@ func TestLoadTSVAndStats(t *testing.T) {
 	}
 }
 
+// TestLoadTSVMergesWithAddTriple is the regression test for LoadTSV
+// discarding the graph built so far: triples added via AddTriple (and via
+// earlier LoadTSV calls) must survive a bulk load, queryable together.
+func TestLoadTSVMergesWithAddTriple(t *testing.T) {
+	e := openTest(t, Options{Workers: 2})
+	e.AddTriple("alice", "knows", "bob")
+	if err := e.LoadTSV(strings.NewReader("bob\tknows\tcarol\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadTSV(strings.NewReader("carol\tknows\tdave\nalice\tknows\tbob\n")); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Triples != 3 || st.Predicates["knows"] != 3 {
+		t.Fatalf("stats after merge = %+v, want 3 knows triples", st)
+	}
+	res, err := e.Query("?x <- alice knows+ ?x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, row := range res.Rows {
+		got[row[0]] = true
+	}
+	for _, want := range []string{"bob", "carol", "dave"} {
+		if !got[want] {
+			t.Fatalf("closure misses %q after TSV merge: %v", want, res.Rows)
+		}
+	}
+}
+
 func TestQueryErrors(t *testing.T) {
 	e := openTest(t, Options{Workers: 2})
 	e.AddTriple("a", "p", "b")

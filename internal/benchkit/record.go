@@ -1,0 +1,111 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Record is one machine-readable benchmark observation: what ran, how
+// long it took, and what it cost the network. cmd/murabench collects
+// these into BENCH_results.json so successive PRs have a comparable perf
+// trajectory.
+type Record struct {
+	Experiment     string  `json:"experiment,omitempty"`
+	Query          string  `json:"query"`
+	System         string  `json:"system"`
+	Plan           string  `json:"plan,omitempty"`
+	Seconds        float64 `json:"seconds"`
+	Rows           int     `json:"rows"`
+	TimedOut       bool    `json:"timed_out,omitempty"`
+	Crashed        bool    `json:"crashed,omitempty"`
+	ShuffleRecords int64   `json:"shuffle_records"`
+	NetworkBytes   int64   `json:"network_bytes"`
+}
+
+// Recorder accumulates Records; it is safe for concurrent use. A nil
+// Recorder ignores everything, so instrumented code paths need no guards.
+type Recorder struct {
+	mu         sync.Mutex
+	experiment string
+	records    []Record
+}
+
+// SetExperiment labels subsequently recorded runs.
+func (r *Recorder) SetExperiment(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.experiment = name
+	r.mu.Unlock()
+}
+
+// add records one run.
+func (r *Recorder) add(rec Record) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	rec.Experiment = r.experiment
+	r.records = append(r.records, rec)
+	r.mu.Unlock()
+}
+
+// Records returns a copy of everything recorded so far.
+func (r *Recorder) Records() []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Record, len(r.records))
+	copy(out, r.records)
+	return out
+}
+
+// WriteJSON renders the records as an indented JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	recs := r.Records()
+	if recs == nil {
+		recs = []Record{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// active is the recorder the Run* entry points report into (nil = off).
+var (
+	activeMu sync.RWMutex
+	active   *Recorder
+)
+
+// SetRecorder installs (or, with nil, removes) the package-level recorder
+// that every Run* entry point reports into.
+func SetRecorder(r *Recorder) {
+	activeMu.Lock()
+	active = r
+	activeMu.Unlock()
+}
+
+// recordRun reports one finished run to the active recorder.
+func recordRun(query string, res *Result) {
+	activeMu.RLock()
+	r := active
+	activeMu.RUnlock()
+	if r == nil || res == nil {
+		return
+	}
+	r.add(Record{
+		Query:          query,
+		System:         res.System,
+		Plan:           res.Info,
+		Seconds:        res.Seconds,
+		Rows:           res.Rows,
+		TimedOut:       res.TimedOut,
+		Crashed:        res.Crashed,
+		ShuffleRecords: res.Metrics.ShuffleRecords,
+		NetworkBytes:   res.Metrics.NetworkBytes(),
+	})
+}

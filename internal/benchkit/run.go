@@ -169,14 +169,21 @@ func RunMuRA(g *graphgen.Graph, queryText string, b Budget, opts MuRAOptions) *R
 	if err != nil {
 		return &Result{System: "Dist-µ-RA", Crashed: true, Err: err}
 	}
-	res := RunMuRATerm(g.Env(EdgeRelName), prep.Best, b, opts)
+	res := runMuRATerm(g.Env(EdgeRelName), prep.Best, b, opts)
 	res.Info = fmt.Sprintf("%s plans=%d", res.Info, prep.PlanSpace)
+	recordRun(queryText, res)
 	return res
 }
 
 // RunMuRATerm executes an already-chosen µ-RA term distributively (used
 // for the C7 queries and the plan-comparison experiments).
 func RunMuRATerm(env *core.Env, term core.Term, b Budget, opts MuRAOptions) *Result {
+	res := runMuRATerm(env, term, b, opts)
+	recordRun(term.String(), res)
+	return res
+}
+
+func runMuRATerm(env *core.Env, term core.Term, b Budget, opts MuRAOptions) *Result {
 	res := runWithBudget(b, cluster.TransportChan, func(c *cluster.Cluster) (*Result, error) {
 		planner := physical.NewPlanner(c, env)
 		planner.Force = opts.Force
@@ -220,11 +227,19 @@ func RunBigDatalog(g *graphgen.Graph, queryText string, b Budget) *Result {
 		return &Result{System: "BigDatalog", Crashed: true, Err: err}
 	}
 	edb := datalog.EdgeDB(EdgeRelName, g.Triples)
-	return RunDatalogProgram(mp, edb, mq, b)
+	res := runDatalogProgram(mp, edb, mq, b)
+	recordRun(queryText, res)
+	return res
 }
 
 // RunDatalogProgram executes a prepared Datalog program distributively.
 func RunDatalogProgram(prog *datalog.Program, edb datalog.DB, query datalog.Atom, b Budget) *Result {
+	res := runDatalogProgram(prog, edb, query, b)
+	recordRun(query.String(), res)
+	return res
+}
+
+func runDatalogProgram(prog *datalog.Program, edb datalog.DB, query datalog.Atom, b Budget) *Result {
 	res := runWithBudget(b, cluster.TransportChan, func(c *cluster.Cluster) (*Result, error) {
 		de := datalog.NewDistEngine(c)
 		rel, rep, err := de.Run(prog, edb, query)
@@ -303,6 +318,7 @@ func RunGraphX(g *graphgen.Graph, queryText string, b Budget) *Result {
 		return &Result{Rows: joined.Len(), Info: fmt.Sprintf("supersteps=%d", supersteps)}, nil
 	})
 	res.System = "GraphX"
+	recordRun(queryText, res)
 	return res
 }
 

@@ -261,41 +261,59 @@ func (ctx *Ctx) Exchange(rel *core.Relation, byCols []string) (*core.Relation, e
 			at = append(at, idx)
 		}
 	}
-	buckets := make([][][]core.Value, n)
-	for _, row := range rel.Rows() {
-		b := int(core.HashValuesAt(row, at) % uint64(n))
-		buckets[b] = append(buckets[b], row)
+	arity := rel.Arity()
+	buckets := make([]*core.Batch, n)
+	for i := range buckets {
+		if i != ctx.w.id {
+			buckets[i] = core.NewBatch(arity)
+		}
 	}
 	out := core.NewRelation(rel.Cols()...)
-	// Send own bucket locally first (no network), then peers.
-	for _, row := range buckets[ctx.w.id] {
-		cp := make([]core.Value, len(row))
-		copy(cp, row)
-		out.Add(cp)
+	local := int64(0)
+	for _, row := range rel.Rows() {
+		b := int(core.HashValuesAt(row, at) % uint64(n))
+		if b == ctx.w.id {
+			// Own bucket stays local: straight into the output (one copy,
+			// no network).
+			out.AddCopy(row)
+			local++
+			continue
+		}
+		buckets[b].AppendRow(row)
 	}
-	c.metrics.LocalRecords.Add(int64(len(buckets[ctx.w.id])))
+	c.metrics.LocalRecords.Add(local)
 	for peer := 0; peer < n; peer++ {
 		if peer == ctx.w.id {
 			continue
 		}
-		msg := &DataMsg{Kind: KindShuffle, Seq: seq, From: ctx.w.id, Rows: buckets[peer]}
-		c.metrics.ShuffleRecords.Add(int64(len(buckets[peer])))
+		msg := &DataMsg{Kind: KindShuffle, Seq: seq, From: ctx.w.id, Batch: buckets[peer]}
+		c.metrics.ShuffleRecords.Add(int64(buckets[peer].Len()))
 		c.metrics.ShuffleBytes.Add(msg.wireBytes())
 		if err := c.transport.Send(peer, msg); err != nil {
 			return nil, err
 		}
 	}
-	// Barrier: one batch from every peer.
+	// Barrier: one batch from every peer. Received batches are fresh
+	// copies, so their rows can be aliased into the output relation.
 	for received := 0; received < n-1; received++ {
 		msg, err := ctx.recvSeq(seq)
 		if err != nil {
 			return nil, err
 		}
-		for _, row := range msg.Rows {
-			out.Add(row)
-		}
+		addBatch(out, msg.Batch)
 	}
 	return out, nil
+}
+
+// addBatch merges a received batch's rows into a relation, aliasing the
+// batch's backing buffer (transport batches are immutable fresh copies).
+func addBatch(dst *core.Relation, b *core.Batch) {
+	if b == nil {
+		return
+	}
+	for i := 0; i < b.Len(); i++ {
+		dst.Add(b.Row(i))
+	}
 }
 
 // recv receives one data-plane message for a node, aborting if the
@@ -326,11 +344,14 @@ func (ctx *Ctx) AllGather(rel *core.Relation) (*core.Relation, error) {
 	}
 	out := rel.Clone()
 	c.metrics.LocalRecords.Add(int64(rel.Len()))
+	batch := core.BatchFromRows(rel.Arity(), rel.Rows())
+	// One size scan for the shared batch, not one per peer.
+	encSize := uvarintSize(batch.Values())
 	for peer := 0; peer < n; peer++ {
 		if peer == ctx.w.id {
 			continue
 		}
-		msg := &DataMsg{Kind: KindShuffle, Seq: seq, From: ctx.w.id, Rows: rel.Rows()}
+		msg := &DataMsg{Kind: KindShuffle, Seq: seq, From: ctx.w.id, Batch: batch, encSize: encSize}
 		c.metrics.ShuffleRecords.Add(int64(rel.Len()))
 		c.metrics.ShuffleBytes.Add(msg.wireBytes())
 		if err := c.transport.Send(peer, msg); err != nil {
@@ -342,9 +363,7 @@ func (ctx *Ctx) AllGather(rel *core.Relation) (*core.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, row := range msg.Rows {
-			out.Add(row)
-		}
+		addBatch(out, msg.Batch)
 	}
 	return out, nil
 }
@@ -403,7 +422,8 @@ func (c *Cluster) Parallelize(rel *core.Relation, byCols []string) (*Dataset, er
 	go func() {
 		var firstErr error
 		for i, p := range parts {
-			msg := &DataMsg{Kind: KindScatter, Seq: seq, From: DriverNode, ID: ds.id, Rows: p.Rows()}
+			msg := &DataMsg{Kind: KindScatter, Seq: seq, From: DriverNode, ID: ds.id,
+				Batch: core.BatchFromRows(p.Arity(), p.Rows())}
 			c.metrics.ScatterRecords.Add(int64(p.Len()))
 			c.metrics.ScatterBytes.Add(msg.wireBytes())
 			if err := c.transport.Send(i, msg); err != nil && firstErr == nil {
@@ -420,10 +440,8 @@ func (c *Cluster) Parallelize(rel *core.Relation, byCols []string) (*Dataset, er
 		if msg.Kind != KindScatter || msg.Seq != seq || msg.ID != ds.id {
 			return fmt.Errorf("cluster: protocol violation during scatter (kind=%d)", msg.Kind)
 		}
-		part := core.NewRelationSized(len(msg.Rows), rel.Cols()...)
-		for _, row := range msg.Rows {
-			part.Add(row)
-		}
+		part := core.NewRelationSized(msg.rows(), rel.Cols()...)
+		addBatch(part, msg.Batch)
 		ctx.w.store[ds.id] = part
 		return nil
 	})
@@ -443,9 +461,11 @@ func (c *Cluster) BroadcastRel(rel *core.Relation) (*Broadcast, error) {
 	seq := c.seq.Add(1) << 20
 	sendErr := make(chan error, 1)
 	go func() {
+		batch := core.BatchFromRows(rel.Arity(), rel.Rows())
+		encSize := uvarintSize(batch.Values())
 		var firstErr error
 		for i := range c.workers {
-			msg := &DataMsg{Kind: KindBroadcast, Seq: seq, From: DriverNode, ID: b.id, Rows: rel.Rows()}
+			msg := &DataMsg{Kind: KindBroadcast, Seq: seq, From: DriverNode, ID: b.id, Batch: batch, encSize: encSize}
 			c.metrics.BroadcastRecords.Add(int64(rel.Len()))
 			c.metrics.BroadcastBytes.Add(msg.wireBytes())
 			if err := c.transport.Send(i, msg); err != nil && firstErr == nil {
@@ -462,10 +482,8 @@ func (c *Cluster) BroadcastRel(rel *core.Relation) (*Broadcast, error) {
 		if msg.Kind != KindBroadcast || msg.Seq != seq || msg.ID != b.id {
 			return fmt.Errorf("cluster: protocol violation during broadcast (kind=%d)", msg.Kind)
 		}
-		r := core.NewRelationSized(len(msg.Rows), rel.Cols()...)
-		for _, row := range msg.Rows {
-			r.Add(row)
-		}
+		r := core.NewRelationSized(msg.rows(), rel.Cols()...)
+		addBatch(r, msg.Batch)
 		ctx.w.bcast[b.id] = r
 		return nil
 	})
@@ -495,15 +513,14 @@ func (c *Cluster) Collect(ds *Dataset) (*core.Relation, error) {
 				done <- fmt.Errorf("cluster: protocol violation during collect (kind=%d)", msg.Kind)
 				return
 			}
-			for _, row := range msg.Rows {
-				out.Add(row)
-			}
+			addBatch(out, msg.Batch)
 		}
 		done <- nil
 	}()
 	phaseErr := c.RunPhase(func(ctx *Ctx) error {
 		part := ctx.Partition(ds)
-		msg := &DataMsg{Kind: KindCollect, Seq: seq, From: ctx.w.id, ID: ds.id, Rows: part.Rows()}
+		msg := &DataMsg{Kind: KindCollect, Seq: seq, From: ctx.w.id, ID: ds.id,
+			Batch: core.BatchFromRows(part.Arity(), part.Rows())}
 		c.metrics.CollectRecords.Add(int64(part.Len()))
 		c.metrics.CollectBytes.Add(msg.wireBytes())
 		return c.transport.Send(DriverNode, msg)

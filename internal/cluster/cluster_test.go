@@ -366,9 +366,16 @@ func TestTCPWireBytesAreReal(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := c.Metrics().Snapshot().Diff(before)
-	// 64 rows × 2 cols × 8 bytes = 1024 payload bytes each way + headers.
-	if d.ScatterBytes < 1024 || d.CollectBytes < 1024 {
+	// 64 rows × 2 cols, every value < 128 → exactly 1 varint byte per
+	// value plus one frame header per message. Each direction must carry
+	// at least the 128 value bytes, and strictly less than the 8-byte-per-
+	// value framing the batch encoding replaced (1024 bytes + headers).
+	if d.ScatterBytes < 128 || d.CollectBytes < 128 {
 		t.Fatalf("wire bytes too small: scatter=%d collect=%d", d.ScatterBytes, d.CollectBytes)
+	}
+	if d.ScatterBytes >= 1024 || d.CollectBytes >= 1024 {
+		t.Fatalf("varint batch frames did not shrink traffic: scatter=%d collect=%d",
+			d.ScatterBytes, d.CollectBytes)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"net"
 	"sync"
 
@@ -26,30 +27,62 @@ const (
 	KindCollect
 )
 
-// DataMsg is one data-plane message: a batch of rows for a given exchange
-// phase. Schemas travel in the control plane (the phase closure knows the
-// dataset's columns); only raw values cross the wire.
+// DataMsg is one data-plane message: a column-aligned batch of rows for a
+// given exchange phase, carried as one flat value buffer instead of the
+// seed's per-row slices (one allocation per batch on copy/decode, not one
+// per row). Schemas travel in the control plane (the phase closure knows
+// the dataset's columns); only raw values cross the wire.
 type DataMsg struct {
-	Kind MsgKind
-	Seq  int64 // exchange phase this batch belongs to
-	From int   // sending node (DriverNode for the driver)
-	ID   int64 // dataset / broadcast identifier
-	Rows [][]core.Value
+	Kind  MsgKind
+	Seq   int64 // exchange phase this batch belongs to
+	From  int   // sending node (DriverNode for the driver)
+	ID    int64 // dataset / broadcast identifier
+	Batch *core.Batch
+
+	// encSize caches the varint-encoded value size so the metrics pass and
+	// the TCP frame writer scan the batch once, not twice.
+	encSize int
 }
 
-// wireBytes estimates (chan transport) or measures (TCP transport) the
-// size of a message on the wire: a fixed header plus 8 bytes per value.
+// rows returns the batch row count (nil batch = 0 rows).
+func (m *DataMsg) rows() int {
+	if m.Batch == nil {
+		return 0
+	}
+	return m.Batch.Len()
+}
+
+// wireBytes is the size of the message in the TCP transport's encoding —
+// a fixed header plus varint-packed values — and the figure the metrics
+// report for both transports, so NetworkBytes is comparable across data
+// planes. Interned values are small dense integers, so varint framing
+// typically packs a value into 1–2 bytes instead of 8.
 func (m *DataMsg) wireBytes() int64 {
-	n := int64(msgHeaderSize)
-	for _, r := range m.Rows {
-		n += int64(8 * len(r))
+	return int64(msgHeaderSize + m.valueBytes())
+}
+
+// valueBytes returns (computing once) the varint-encoded size of the
+// batch's values.
+func (m *DataMsg) valueBytes() int {
+	if m.encSize == 0 && m.Batch != nil {
+		m.encSize = uvarintSize(m.Batch.Values())
+	}
+	return m.encSize
+}
+
+// uvarintSize sums the LEB128-encoded sizes of vals.
+func uvarintSize(vals []core.Value) int {
+	n := 0
+	for _, v := range vals {
+		n += (bits.Len64(uint64(v)|1) + 6) / 7
 	}
 	return n
 }
 
 // Transport moves data-plane messages between nodes. Node ids 0..n-1 are
 // workers; DriverNode is the driver. Implementations must be safe for
-// concurrent Send from multiple nodes.
+// concurrent Send from multiple nodes. Received batches are fresh copies;
+// receivers may alias their rows.
 type Transport interface {
 	// Send delivers msg to node `to`. It blocks until the message is
 	// handed to the target's inbox (chan) or written to the socket (TCP).
@@ -70,9 +103,10 @@ const msgHeaderSize = 1 + 8 + 4 + 8 + 4 + 4 // kind, seq, from, id, arity, nrows
 
 // --- in-process channel transport -------------------------------------------
 
-// ChanTransport delivers messages over Go channels. Rows are deep-copied on
+// ChanTransport delivers messages over Go channels. Batches are copied on
 // send so that workers cannot share memory through messages — the same
-// isolation a real network gives.
+// isolation a real network gives — but the copy is one flat buffer per
+// batch, not one allocation per row.
 type ChanTransport struct {
 	inboxes map[int]chan *DataMsg
 	closed  chan struct{}
@@ -100,11 +134,10 @@ func (t *ChanTransport) Send(to int, msg *DataMsg) error {
 		return fmt.Errorf("cluster: no such node %d", to)
 	}
 	cp := &DataMsg{Kind: msg.Kind, Seq: msg.Seq, From: msg.From, ID: msg.ID}
-	cp.Rows = make([][]core.Value, len(msg.Rows))
-	for i, r := range msg.Rows {
-		row := make([]core.Value, len(r))
-		copy(row, r)
-		cp.Rows[i] = row
+	if msg.Batch != nil {
+		vals := make([]core.Value, len(msg.Batch.Values()))
+		copy(vals, msg.Batch.Values())
+		cp.Batch = core.NewBatchValues(msg.Batch.Arity(), msg.Batch.Len(), vals)
 	}
 	select {
 	case inbox <- cp:
@@ -129,8 +162,10 @@ func (t *ChanTransport) Close() error {
 // --- TCP transport -----------------------------------------------------------
 
 // TCPTransport moves messages over real loopback TCP sockets with
-// length-prefixed binary frames — the data plane of a genuinely distributed
-// deployment, usable for measuring actual wire bytes.
+// length-prefixed binary batch frames — the data plane of a genuinely
+// distributed deployment, usable for measuring actual wire bytes. Values
+// are varint-packed, so frames are sized by information content rather
+// than 8 bytes per value.
 type TCPTransport struct {
 	n         int
 	listeners map[int]net.Listener
@@ -256,14 +291,17 @@ func (t *TCPTransport) Close() error {
 	return nil
 }
 
-// writeFrame encodes msg as a length-prefixed binary frame. Frames from a
-// given (from,to) pair are serialized by the connection pool.
+// writeFrame encodes msg as a length-prefixed binary batch frame: the
+// fixed header followed by the batch's values varint-packed in row-major
+// order. Frames from a given (from,to) pair are serialized by the
+// connection pool.
 func writeFrame(w io.Writer, msg *DataMsg) error {
-	arity := 0
-	if len(msg.Rows) > 0 {
-		arity = len(msg.Rows[0])
+	arity, nRows := 0, 0
+	var vals []core.Value
+	if msg.Batch != nil {
+		arity, nRows, vals = msg.Batch.Arity(), msg.Batch.Len(), msg.Batch.Values()
 	}
-	payload := msgHeaderSize + 8*arity*len(msg.Rows)
+	payload := msgHeaderSize + msg.valueBytes()
 	buf := make([]byte, 4+payload)
 	binary.LittleEndian.PutUint32(buf[0:], uint32(payload))
 	buf[4] = byte(msg.Kind)
@@ -271,16 +309,13 @@ func writeFrame(w io.Writer, msg *DataMsg) error {
 	binary.LittleEndian.PutUint32(buf[13:], uint32(int32(msg.From)))
 	binary.LittleEndian.PutUint64(buf[17:], uint64(msg.ID))
 	binary.LittleEndian.PutUint32(buf[25:], uint32(arity))
-	binary.LittleEndian.PutUint32(buf[29:], uint32(len(msg.Rows)))
+	binary.LittleEndian.PutUint32(buf[29:], uint32(nRows))
 	off := 4 + msgHeaderSize
-	for _, row := range msg.Rows {
-		if len(row) != arity {
-			return fmt.Errorf("cluster: ragged rows in message (arity %d vs %d)", len(row), arity)
-		}
-		for _, v := range row {
-			binary.LittleEndian.PutUint64(buf[off:], uint64(v))
-			off += 8
-		}
+	for _, v := range vals {
+		off += binary.PutUvarint(buf[off:], uint64(v))
+	}
+	if off != len(buf) {
+		return fmt.Errorf("cluster: frame size mismatch (%d vs %d)", off, len(buf))
 	}
 	_, err := w.Write(buf)
 	return err
@@ -308,18 +343,26 @@ func readFrame(r io.Reader) (*DataMsg, error) {
 	}
 	arity := int(binary.LittleEndian.Uint32(buf[21:]))
 	nRows := int(binary.LittleEndian.Uint32(buf[25:]))
-	if arity < 0 || nRows < 0 || msgHeaderSize+8*arity*nRows != int(payload) {
+	// Every value costs at least one varint byte, so the header's claimed
+	// value count is bounded by the payload actually received — reject
+	// inconsistent frames before allocating for them.
+	if arity < 0 || nRows < 0 || (arity > 0 && nRows > (1<<30)/arity) ||
+		arity*nRows > int(payload)-msgHeaderSize {
 		return nil, fmt.Errorf("cluster: inconsistent frame (arity=%d rows=%d payload=%d)", arity, nRows, payload)
 	}
+	vals := make([]core.Value, arity*nRows)
 	off := msgHeaderSize
-	msg.Rows = make([][]core.Value, nRows)
-	for i := 0; i < nRows; i++ {
-		row := make([]core.Value, arity)
-		for j := 0; j < arity; j++ {
-			row[j] = core.Value(binary.LittleEndian.Uint64(buf[off:]))
-			off += 8
+	for i := range vals {
+		v, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("cluster: truncated frame (value %d of %d)", i, len(vals))
 		}
-		msg.Rows[i] = row
+		vals[i] = core.Value(v)
+		off += n
 	}
+	if off != int(payload) {
+		return nil, fmt.Errorf("cluster: trailing bytes in frame (%d vs %d)", off, payload)
+	}
+	msg.Batch = core.NewBatchValues(arity, nRows, vals)
 	return msg, nil
 }

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// chainRelation builds a path graph 0→1→…→n-1 as a (src,trg) relation: the
+// worst case for semi-naive closure depth (n-1 iterations).
+func chainRelation(n int) *Relation {
+	r := NewRelationSized(n, ColSrc, ColTrg)
+	for i := 0; i < n-1; i++ {
+		r.Add([]Value{Value(i), Value(i + 1)})
+	}
+	return r
+}
+
+// sparseRelation builds a random sparse (src,trg) relation.
+func sparseRelation(rng *rand.Rand, nodes, edges int) *Relation {
+	r := NewRelationSized(edges, ColSrc, ColTrg)
+	for i := 0; i < edges; i++ {
+		r.Add([]Value{Value(rng.Intn(nodes)), Value(rng.Intn(nodes))})
+	}
+	return r
+}
+
+// BenchmarkFixpointDeepClosure is the fixpoint hot path of the engine: the
+// transitive closure of a deep chain (knows+ on a path graph), which pays
+// one semi-naive iteration per hop. This is the microbenchmark the
+// streaming data plane is accountable to.
+func BenchmarkFixpointDeepClosure(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		edges := chainRelation(n)
+		term := ClosureLR("X", &Var{Name: "E"})
+		env := NewEnv()
+		env.Bind("E", edges)
+		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, err := Eval(term, env)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Len() != n*(n-1)/2 {
+					b.Fatalf("closure size = %d, want %d", out.Len(), n*(n-1)/2)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFixpointSparseClosure measures the same loop on a random sparse
+// graph: fewer iterations, much larger deltas per iteration.
+func BenchmarkFixpointSparseClosure(b *testing.B) {
+	edges := sparseRelation(rand.New(rand.NewSource(7)), 400, 800)
+	term := ClosureLR("X", &Var{Name: "E"})
+	env := NewEnv()
+	env.Bind("E", edges)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(term, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFixpointPipelines compares the two evaluators the engine
+// carries on the same deep-closure hot path: the streaming iterator
+// pipeline with reusable join indexes (the default) against the seed's
+// stage-by-stage materializing evaluator (the reference / ablation).
+func BenchmarkFixpointPipelines(b *testing.B) {
+	edges := chainRelation(192)
+	term := ClosureLR("X", &Var{Name: "E"})
+	env := NewEnv()
+	env.Bind("E", edges)
+	for _, mat := range []bool{false, true} {
+		name := "streaming"
+		if mat {
+			name = "materializing"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev := NewEvaluator(env)
+				ev.Materializing = mat
+				if _, err := ev.Eval(term); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 )
 
 // Env binds free relation variables to database relations.
@@ -47,21 +48,61 @@ type EvalStats struct {
 	FixpointIterations int // total semi-naive iterations across fixpoints
 	TuplesProduced     int // tuples added across all fixpoint deltas
 	MaxDelta           int // largest single delta
-	OpTuples           int // tuples materialized across all operators
+	OpTuples           int // tuples materialized at operator/pipeline sinks
+	IndexBuilds        int // join indexes built
+	IndexReuses        int // join index cache hits (reuse across iterations)
 }
 
 // Evaluator evaluates µ-RA terms against an Env using semi-naive fixpoint
 // iteration (Algorithm 1 of the paper). The zero value is not usable; use
 // NewEvaluator.
+//
+// By default operators execute as a streaming iterator pipeline: tuples
+// flow through join/filter/rename/anti-projection/union in column-aligned
+// batches and are only materialized (and deduplicated) at pipeline sinks.
+// Joins and antijoins probe JoinIndexes; indexes over relations that are
+// constant with respect to the running fixpoints are cached on the
+// evaluator, so a fixpoint builds them once and every semi-naive delta
+// iteration reuses them. Setting Materializing restores the seed's
+// stage-by-stage materializing evaluation — the reference semantics the
+// property tests compare against, and the ablation baseline.
 type Evaluator struct {
 	env     *Env
 	MaxIter int // safety valve per fixpoint; 0 means no limit
 	Stats   EvalStats
+	// Materializing forces the materializing reference evaluator.
+	Materializing bool
+	// FixpointHandler, when set, is invoked for fixpoint terms instead of
+	// the local semi-naive loop — the hook the physical planner uses to
+	// execute fixpoints distributively while every other operator streams
+	// through the local pipeline.
+	FixpointHandler func(fp *Fixpoint, env *Env) (*Relation, error)
+
+	// dynamic names the recursion variables of fixpoints currently being
+	// iterated: terms mentioning them change every iteration and are never
+	// cached or used as join build sides when avoidable.
+	dynamic map[string]bool
+	// indexes caches JoinIndexes keyed by (relation identity, columns).
+	indexes map[indexCacheKey]*JoinIndex
+	// consts memoizes materialized subterms that are constant w.r.t. the
+	// running fixpoints, so φ's constant operands are evaluated once per
+	// fixpoint instead of once per iteration.
+	consts map[string]*Relation
+}
+
+type indexCacheKey struct {
+	rel  *Relation
+	cols string
 }
 
 // NewEvaluator returns an evaluator over env.
 func NewEvaluator(env *Env) *Evaluator {
-	return &Evaluator{env: env}
+	return &Evaluator{
+		env:     env,
+		dynamic: make(map[string]bool),
+		indexes: make(map[indexCacheKey]*JoinIndex),
+		consts:  make(map[string]*Relation),
+	}
 }
 
 // Eval evaluates t. It validates the term's schema first so that relation
@@ -78,15 +119,12 @@ func Eval(t Term, env *Env) (*Relation, error) {
 	return NewEvaluator(env).Eval(t)
 }
 
+// eval materializes t under env, dispatching to the streaming pipeline or
+// the materializing reference evaluator.
 func (ev *Evaluator) eval(t Term, env *Env) (*Relation, error) {
-	out, err := ev.evalNode(t, env)
-	if err == nil && out != nil {
-		ev.Stats.OpTuples += out.Len()
+	if ev.Materializing {
+		return ev.evalMat(t, env)
 	}
-	return out, err
-}
-
-func (ev *Evaluator) evalNode(t Term, env *Env) (*Relation, error) {
 	switch n := t.(type) {
 	case *Var:
 		r, ok := env.Lookup(n.Name)
@@ -94,65 +132,236 @@ func (ev *Evaluator) evalNode(t Term, env *Env) (*Relation, error) {
 			return nil, fmt.Errorf("core: unbound relation variable %q", n.Name)
 		}
 		return r, nil
+	case *Fixpoint:
+		if ev.FixpointHandler != nil {
+			return ev.FixpointHandler(n, env)
+		}
+		return ev.evalFixpoint(n, env)
+	}
+	it, err := ev.stream(t, env)
+	if err != nil {
+		return nil, err
+	}
+	out := Materialize(it)
+	ev.Stats.OpTuples += out.Len()
+	return out, nil
+}
+
+// stream builds the iterator pipeline for t under env.
+func (ev *Evaluator) stream(t Term, env *Env) (Iterator, error) {
+	switch n := t.(type) {
+	case *Var:
+		r, ok := env.Lookup(n.Name)
+		if !ok {
+			return nil, fmt.Errorf("core: unbound relation variable %q", n.Name)
+		}
+		return ScanRelation(r), nil
 	case *ConstTuple:
-		r := NewRelation(n.Cols...)
 		row := make([]Value, len(n.Vals))
 		copy(row, n.Vals)
-		r.Add(row)
-		return r, nil
+		return &singletonIter{cols: n.Cols, row: row}, nil
 	case *Union:
-		l, err := ev.eval(n.L, env)
+		l, err := ev.stream(n.L, env)
 		if err != nil {
 			return nil, err
 		}
-		r, err := ev.eval(n.R, env)
+		r, err := ev.stream(n.R, env)
 		if err != nil {
 			return nil, err
 		}
-		return l.Union(r), nil
+		if !ColsEqual(l.Cols(), r.Cols()) {
+			return nil, fmt.Errorf("core: union schema mismatch %v vs %v", l.Cols(), r.Cols())
+		}
+		return UnionStream(l, r), nil
 	case *Join:
-		l, err := ev.eval(n.L, env)
-		if err != nil {
-			return nil, err
-		}
-		r, err := ev.eval(n.R, env)
-		if err != nil {
-			return nil, err
-		}
-		return l.Join(r), nil
+		return ev.streamJoin(n, env)
 	case *Antijoin:
-		l, err := ev.eval(n.L, env)
-		if err != nil {
-			return nil, err
-		}
-		r, err := ev.eval(n.R, env)
-		if err != nil {
-			return nil, err
-		}
-		return l.Antijoin(r), nil
+		return ev.streamAntijoin(n, env)
 	case *Filter:
-		r, err := ev.eval(n.T, env)
+		in, err := ev.stream(n.T, env)
 		if err != nil {
 			return nil, err
 		}
-		return r.Filter(n.Cond), nil
+		for _, c := range n.Cond.Columns() {
+			if ColIndex(in.Cols(), c) < 0 {
+				return nil, fmt.Errorf("core: filter column %q not in schema %v", c, in.Cols())
+			}
+		}
+		return FilterStream(in, n.Cond), nil
 	case *Rename:
-		r, err := ev.eval(n.T, env)
+		in, err := ev.stream(n.T, env)
 		if err != nil {
 			return nil, err
 		}
-		return r.Rename(n.From, n.To)
+		if n.From != n.To {
+			if ColIndex(in.Cols(), n.From) < 0 {
+				return nil, fmt.Errorf("core: rename: column %q not in schema %v", n.From, in.Cols())
+			}
+			if ColIndex(in.Cols(), n.To) >= 0 {
+				return nil, fmt.Errorf("core: rename: column %q already in schema %v", n.To, in.Cols())
+			}
+		}
+		return RenameStream(in, n.From, n.To), nil
 	case *AntiProject:
-		r, err := ev.eval(n.T, env)
+		in, err := ev.stream(n.T, env)
 		if err != nil {
 			return nil, err
 		}
-		return r.Drop(n.Cols...)
+		for _, c := range n.Cols {
+			if ColIndex(in.Cols(), c) < 0 {
+				return nil, fmt.Errorf("core: drop: column %q not in schema %v", c, in.Cols())
+			}
+		}
+		return DropStream(in, n.Cols...), nil
 	case *Fixpoint:
-		return ev.evalFixpoint(n, env)
+		rel, err := ev.evalOperand(t, env)
+		if err != nil {
+			return nil, err
+		}
+		return ScanRelation(rel), nil
 	default:
 		return nil, fmt.Errorf("core: eval: unknown term %T", t)
 	}
+}
+
+// isDynamic reports whether t mentions any currently-iterating recursion
+// variable.
+func (ev *Evaluator) isDynamic(t Term) bool {
+	for name := range ev.dynamic {
+		if ContainsVar(t, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// evalOperand materializes an operand term, memoizing results for terms
+// that are constant with respect to the running fixpoints (φ's constant
+// operands are evaluated once per fixpoint, not once per iteration).
+func (ev *Evaluator) evalOperand(t Term, env *Env) (*Relation, error) {
+	if v, ok := t.(*Var); ok {
+		r, ok := env.Lookup(v.Name)
+		if !ok {
+			return nil, fmt.Errorf("core: unbound relation variable %q", v.Name)
+		}
+		return r, nil
+	}
+	cacheable := len(ev.dynamic) > 0 && !ev.isDynamic(t)
+	var key string
+	if cacheable {
+		key = t.String()
+		if r, ok := ev.consts[key]; ok {
+			return r, nil
+		}
+	}
+	r, err := ev.eval(t, env)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		ev.consts[key] = r
+	}
+	return r, nil
+}
+
+func joinIndexKey(cols []string) string { return strings.Join(cols, "\x00") }
+
+// indexFor builds (or fetches from the evaluator cache) a JoinIndex over
+// rel's cols. Only indexes over stable relations are cached: a cached
+// entry is keyed by relation identity, so it is reused for as long as the
+// same relation object keeps being probed — in particular across every
+// iteration of a fixpoint whose constant side it indexes.
+func (ev *Evaluator) indexFor(rel *Relation, cols []string, stable bool) (*JoinIndex, error) {
+	if stable {
+		k := indexCacheKey{rel: rel, cols: joinIndexKey(cols)}
+		if ix, ok := ev.indexes[k]; ok {
+			ev.Stats.IndexReuses++
+			return ix, nil
+		}
+		ix, err := BuildJoinIndex(rel, cols)
+		if err != nil {
+			return nil, err
+		}
+		ev.Stats.IndexBuilds++
+		ev.indexes[k] = ix
+		return ix, nil
+	}
+	ev.Stats.IndexBuilds++
+	return BuildJoinIndex(rel, cols)
+}
+
+// streamJoin plans a hash join: the build side is materialized and
+// indexed on the common columns, the probe side streams. When exactly one
+// side is dynamic (mentions an iterating recursion variable), the constant
+// side is the build side so its index is built once and reused across all
+// delta iterations; otherwise bare relation variables are preferred as
+// build sides (their indexes are cacheable), then the smaller relation.
+func (ev *Evaluator) streamJoin(n *Join, env *Env) (Iterator, error) {
+	build, probe := n.R, n.L
+	lDyn, rDyn := ev.isDynamic(n.L), ev.isDynamic(n.R)
+	switch {
+	case lDyn && !rDyn:
+		// Default: build on the right, probe with the dynamic left.
+	case rDyn && !lDyn:
+		build, probe = n.L, n.R
+	default:
+		_, lVar := n.L.(*Var)
+		_, rVar := n.R.(*Var)
+		if lVar && rVar {
+			lr, _ := ev.evalOperand(n.L, env)
+			rr, _ := ev.evalOperand(n.R, env)
+			if lr != nil && rr != nil && lr.Len() < rr.Len() {
+				build, probe = n.L, n.R
+			}
+		} else if lVar {
+			build, probe = n.L, n.R
+		}
+	}
+	buildRel, err := ev.evalOperand(build, env)
+	if err != nil {
+		return nil, err
+	}
+	probeIt, err := ev.stream(probe, env)
+	if err != nil {
+		return nil, err
+	}
+	common := ColsIntersect(probeIt.Cols(), buildRel.Cols())
+	ix, err := ev.indexFor(buildRel, common, !ev.isDynamic(build))
+	if err != nil {
+		return nil, err
+	}
+	return JoinStream(probeIt, ix, buildRel.Cols()), nil
+}
+
+// streamAntijoin plans l ▷ r: the right side is materialized (constant
+// under Fcond whenever a fixpoint is running, hence cached) and indexed on
+// the common columns; left rows stream and are emitted when no match
+// exists.
+func (ev *Evaluator) streamAntijoin(n *Antijoin, env *Env) (Iterator, error) {
+	l, err := ev.stream(n.L, env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ev.evalOperand(n.R, env)
+	if err != nil {
+		return nil, err
+	}
+	common := ColsIntersect(l.Cols(), right.Cols())
+	if len(common) == 0 {
+		if right.Len() == 0 {
+			return l, nil
+		}
+		return &emptyIter{cols: l.Cols()}, nil
+	}
+	ix, err := ev.indexFor(right, common, !ev.isDynamic(n.R))
+	if err != nil {
+		return nil, err
+	}
+	probeAt := make([]int, len(common))
+	for i, c := range common {
+		probeAt[i] = ColIndex(l.Cols(), c)
+	}
+	return AntijoinStream(l, ix, probeAt), nil
 }
 
 func (ev *Evaluator) evalFixpoint(fp *Fixpoint, env *Env) (*Relation, error) {
@@ -165,6 +374,18 @@ func (ev *Evaluator) evalFixpoint(fp *Fixpoint, env *Env) (*Relation, error) {
 		return nil, err
 	}
 	return ev.RunFixpoint(d, r, env)
+}
+
+// markDynamic flags a recursion variable as iterating and returns the
+// restore function.
+func (ev *Evaluator) markDynamic(x string) func() {
+	prev := ev.dynamic[x]
+	ev.dynamic[x] = true
+	return func() {
+		if !prev {
+			delete(ev.dynamic, x)
+		}
+	}
 }
 
 // RunFixpoint executes Algorithm 1 of the paper on an already-decomposed
@@ -181,7 +402,184 @@ func (ev *Evaluator) evalFixpoint(fp *Fixpoint, env *Env) (*Relation, error) {
 // of (or stand-in for) the fixpoint's constant part, which is exactly what
 // the fixpoint-splitting plans rely on: each worker calls RunFixpoint on
 // its own portion Ri.
+//
+// The streaming implementation fuses the set difference and union into the
+// accumulator: φ(new) streams directly into X, and the rows that were
+// actually new become the next delta — one hash probe per produced tuple,
+// with the constant side's join indexes built once before the first
+// iteration and reused by every later one.
 func (ev *Evaluator) RunFixpoint(d *Decomposed, init *Relation, env *Env) (*Relation, error) {
+	if ev.Materializing {
+		return ev.runFixpointMat(d, init, env)
+	}
+	x := init.Clone()
+	if len(d.PhiBranches) == 0 {
+		return x, nil
+	}
+	restore := ev.markDynamic(d.X)
+	defer restore()
+	nu := init
+	iter := 0
+	for nu.Len() > 0 {
+		iter++
+		if ev.MaxIter > 0 && iter > ev.MaxIter {
+			return nil, fmt.Errorf("core: fixpoint exceeded %d iterations", ev.MaxIter)
+		}
+		stepEnv := env.with(d.X, nu)
+		next := NewRelation(x.Cols()...)
+		for _, br := range d.PhiBranches {
+			it, err := ev.stream(br, stepEnv)
+			if err != nil {
+				return nil, err
+			}
+			for b := it.Next(); b != nil; b = it.Next() {
+				for i := 0; i < b.Len(); i++ {
+					if stored, added := x.insert(b.Row(i), true); added {
+						next.Add(stored)
+					}
+				}
+			}
+		}
+		nu = next
+		ev.Stats.FixpointIterations++
+		ev.Stats.TuplesProduced += next.Len()
+		if next.Len() > ev.Stats.MaxDelta {
+			ev.Stats.MaxDelta = next.Len()
+		}
+	}
+	return x, nil
+}
+
+// EvalPhiDelta evaluates φ(nu) — the union of the decomposed fixpoint's
+// recursive branches with X bound to nu — into one materialized delta
+// relation under the given base environment (defaulting to the
+// evaluator's). X is marked dynamic for the evaluation, so the constant
+// sides' join indexes are cached on the evaluator and reused when the
+// caller loops (the driver-side global loop Pgld calls this once per
+// iteration on each worker).
+func (ev *Evaluator) EvalPhiDelta(d *Decomposed, nu *Relation, env *Env) (*Relation, error) {
+	if env == nil {
+		env = ev.env
+	}
+	restore := ev.markDynamic(d.X)
+	defer restore()
+	stepEnv := env.with(d.X, nu)
+	out := NewRelation(nu.Cols()...)
+	for _, br := range d.PhiBranches {
+		if ev.Materializing {
+			rel, err := ev.evalMat(br, stepEnv)
+			if err != nil {
+				return nil, err
+			}
+			out.UnionInPlace(rel)
+			continue
+		}
+		it, err := ev.stream(br, stepEnv)
+		if err != nil {
+			return nil, err
+		}
+		Drain(it, out)
+	}
+	return out, nil
+}
+
+// --- materializing reference evaluator ---------------------------------------
+
+// evalMat is the seed's evaluator: every operator materializes a full
+// deduplicated Relation. It is kept verbatim as the reference semantics
+// for the streaming pipeline (property-tested equal) and as the ablation
+// baseline for the benchmarks.
+func (ev *Evaluator) evalMat(t Term, env *Env) (*Relation, error) {
+	out, err := ev.evalNodeMat(t, env)
+	if err == nil && out != nil {
+		ev.Stats.OpTuples += out.Len()
+	}
+	return out, err
+}
+
+func (ev *Evaluator) evalNodeMat(t Term, env *Env) (*Relation, error) {
+	switch n := t.(type) {
+	case *Var:
+		r, ok := env.Lookup(n.Name)
+		if !ok {
+			return nil, fmt.Errorf("core: unbound relation variable %q", n.Name)
+		}
+		return r, nil
+	case *ConstTuple:
+		r := NewRelation(n.Cols...)
+		row := make([]Value, len(n.Vals))
+		copy(row, n.Vals)
+		r.Add(row)
+		return r, nil
+	case *Union:
+		l, err := ev.evalMat(n.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.evalMat(n.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return l.Union(r), nil
+	case *Join:
+		l, err := ev.evalMat(n.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.evalMat(n.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return l.Join(r), nil
+	case *Antijoin:
+		l, err := ev.evalMat(n.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.evalMat(n.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return l.Antijoin(r), nil
+	case *Filter:
+		r, err := ev.evalMat(n.T, env)
+		if err != nil {
+			return nil, err
+		}
+		return r.Filter(n.Cond), nil
+	case *Rename:
+		r, err := ev.evalMat(n.T, env)
+		if err != nil {
+			return nil, err
+		}
+		return r.Rename(n.From, n.To)
+	case *AntiProject:
+		r, err := ev.evalMat(n.T, env)
+		if err != nil {
+			return nil, err
+		}
+		return r.Drop(n.Cols...)
+	case *Fixpoint:
+		if ev.FixpointHandler != nil {
+			return ev.FixpointHandler(n, env)
+		}
+		d, err := Decompose(n)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ev.evalMat(d.Const, env)
+		if err != nil {
+			return nil, err
+		}
+		return ev.runFixpointMat(d, r, env)
+	default:
+		return nil, fmt.Errorf("core: eval: unknown term %T", t)
+	}
+}
+
+// runFixpointMat is the seed's semi-naive loop: delta materialized per
+// branch, then diffed against X, then unioned in.
+func (ev *Evaluator) runFixpointMat(d *Decomposed, init *Relation, env *Env) (*Relation, error) {
 	x := init.Clone()
 	if len(d.PhiBranches) == 0 {
 		return x, nil
@@ -196,7 +594,7 @@ func (ev *Evaluator) RunFixpoint(d *Decomposed, init *Relation, env *Env) (*Rela
 		stepEnv := env.with(d.X, nu)
 		var delta *Relation
 		for _, br := range d.PhiBranches {
-			out, err := ev.eval(br, stepEnv)
+			out, err := ev.evalMat(br, stepEnv)
 			if err != nil {
 				return nil, err
 			}
@@ -254,16 +652,12 @@ func SplitRelation(r *Relation, n int, byCols []string) []*Relation {
 // It is the canonical partitioning hash used across the engine so that the
 // centralized splitter and the distributed partitioner agree.
 func HashValuesAt(row []Value, at []int) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
+	h := uint64(fnvOffset64)
 	for _, idx := range at {
 		v := uint64(row[idx])
 		for i := 0; i < 8; i++ {
 			h ^= v & 0xff
-			h *= prime64
+			h *= fnvPrime64
 			v >>= 8
 		}
 	}

@@ -1,0 +1,504 @@
+package core
+
+import "fmt"
+
+// This file is the streaming data plane of the evaluator: µ-RA operators
+// implemented as composable iterators over column-aligned row batches,
+// replacing the seed's stage-by-stage materialization of a full Relation
+// per operator. A pipeline allocates a handful of reusable batch buffers
+// regardless of data size; tuples are only materialized (and deduplicated)
+// at pipeline sinks — fixpoint accumulators and API boundaries.
+//
+// Set discipline: scans of relations are duplicate-free by construction,
+// and filter, rename and join preserve that; only anti-projection and
+// union can introduce duplicates, so exactly those two operators carry an
+// inline distinct. Every stream therefore has set semantics end to end,
+// matching the reference (materializing) evaluator without per-operator
+// rehashing.
+
+// BatchRows is the soft target for rows per batch. Operators may emit
+// slightly larger batches (a join flushes all matches of its current probe
+// row) but never unboundedly larger.
+const BatchRows = 1024
+
+// Batch is a column-aligned batch of rows over one schema, stored as a
+// single flat row-major value buffer. Row(i) returns a view into the
+// buffer; views are only valid until the producing iterator's next Next
+// call unless the batch is known to be freshly allocated (e.g. decoded
+// from the wire).
+type Batch struct {
+	arity int
+	n     int
+	vals  []Value
+}
+
+// NewBatch returns an empty batch for rows of the given arity.
+func NewBatch(arity int) *Batch { return &Batch{arity: arity} }
+
+// NewBatchValues wraps an existing flat buffer of n rows of the given
+// arity (used by transports decoding wire frames).
+func NewBatchValues(arity, n int, vals []Value) *Batch {
+	return &Batch{arity: arity, n: n, vals: vals}
+}
+
+// BatchFromRows flattens rows (each of the given arity) into a batch.
+func BatchFromRows(arity int, rows [][]Value) *Batch {
+	b := &Batch{arity: arity, n: len(rows), vals: make([]Value, 0, arity*len(rows))}
+	for _, row := range rows {
+		b.vals = append(b.vals, row...)
+	}
+	return b
+}
+
+// Arity returns the number of columns per row.
+func (b *Batch) Arity() int { return b.arity }
+
+// Len returns the number of rows.
+func (b *Batch) Len() int { return b.n }
+
+// Values returns the flat row-major value buffer (read-only).
+func (b *Batch) Values() []Value { return b.vals }
+
+// Row returns a view of row i, valid as described on Batch.
+func (b *Batch) Row(i int) []Value {
+	return b.vals[i*b.arity : (i+1)*b.arity : (i+1)*b.arity]
+}
+
+// AppendRow appends a copy of row; its length must equal the batch arity
+// (a mismatch would silently misalign every later Row view).
+func (b *Batch) AppendRow(row []Value) {
+	if len(row) != b.arity {
+		panic(fmt.Sprintf("core: batch arity %d does not match row length %d", b.arity, len(row)))
+	}
+	b.vals = append(b.vals, row...)
+	b.n++
+}
+
+// appendEmptyRow extends the batch by one uninitialized row and returns a
+// writable view of it.
+func (b *Batch) appendEmptyRow() []Value {
+	start := len(b.vals)
+	for i := 0; i < b.arity; i++ {
+		b.vals = append(b.vals, 0)
+	}
+	b.n++
+	return b.vals[start : start+b.arity : start+b.arity]
+}
+
+// reset empties the batch keeping its buffer.
+func (b *Batch) reset() {
+	b.vals = b.vals[:0]
+	b.n = 0
+}
+
+// full reports whether the batch reached the soft size target.
+func (b *Batch) full() bool { return b.n >= BatchRows }
+
+// Iterator streams a relation-valued expression as batches. Next returns
+// nil when the stream is exhausted; the returned batch is valid only until
+// the following Next call.
+type Iterator interface {
+	// Cols returns the stream's schema (sorted).
+	Cols() []string
+	// Next returns the next non-empty batch, or nil at end of stream.
+	Next() *Batch
+}
+
+// --- sources -----------------------------------------------------------------
+
+// relationIter scans a materialized relation. It remembers its source so
+// join planning can index the relation instead of draining the stream.
+type relationIter struct {
+	rel *Relation
+	pos int
+	out *Batch
+}
+
+// ScanRelation streams rel.
+func ScanRelation(rel *Relation) Iterator {
+	return &relationIter{rel: rel, out: NewBatch(rel.Arity())}
+}
+
+func (it *relationIter) Cols() []string { return it.rel.Cols() }
+
+func (it *relationIter) Next() *Batch {
+	rows := it.rel.Rows()
+	if it.pos >= len(rows) {
+		return nil
+	}
+	it.out.reset()
+	for it.pos < len(rows) && !it.out.full() {
+		it.out.AppendRow(rows[it.pos])
+		it.pos++
+	}
+	return it.out
+}
+
+// singletonIter yields one constant row (the {c→v} term).
+type singletonIter struct {
+	cols []string
+	row  []Value
+	done bool
+}
+
+func (it *singletonIter) Cols() []string { return it.cols }
+
+func (it *singletonIter) Next() *Batch {
+	if it.done {
+		return nil
+	}
+	it.done = true
+	b := NewBatch(len(it.row))
+	b.AppendRow(it.row)
+	return b
+}
+
+// emptyIter yields nothing.
+type emptyIter struct{ cols []string }
+
+func (it *emptyIter) Cols() []string { return it.cols }
+func (it *emptyIter) Next() *Batch   { return nil }
+
+// --- stateless row transforms ------------------------------------------------
+
+// filterIter streams the rows of in satisfying cond.
+type filterIter struct {
+	in   Iterator
+	cond Condition
+	out  *Batch
+}
+
+// FilterStream applies σ[cond] to in.
+func FilterStream(in Iterator, cond Condition) Iterator {
+	return &filterIter{in: in, cond: cond, out: NewBatch(len(in.Cols()))}
+}
+
+func (it *filterIter) Cols() []string { return it.in.Cols() }
+
+func (it *filterIter) Next() *Batch {
+	cols := it.in.Cols()
+	it.out.reset()
+	for {
+		b := it.in.Next()
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			row := b.Row(i)
+			if it.cond.Holds(cols, row) {
+				it.out.AppendRow(row)
+			}
+		}
+		if it.out.full() {
+			break
+		}
+	}
+	if it.out.Len() == 0 {
+		return nil
+	}
+	return it.out
+}
+
+// renameIter permutes rows into the sorted order of the renamed schema.
+type renameIter struct {
+	in   Iterator
+	cols []string
+	perm []int // output position → input position
+	out  *Batch
+}
+
+// RenameStream applies ρ[from→to] to in. The caller must have validated
+// the rename against the schema (from present, to absent).
+func RenameStream(in Iterator, from, to string) Iterator {
+	if from == to {
+		return in
+	}
+	oldCols := in.Cols()
+	newCols := make([]string, len(oldCols))
+	for i, c := range oldCols {
+		if c == from {
+			newCols[i] = to
+		} else {
+			newCols[i] = c
+		}
+	}
+	newCols = SortCols(newCols)
+	return &renameIter{
+		in:   in,
+		cols: newCols,
+		perm: renamePerm(oldCols, newCols, from, to),
+		out:  NewBatch(len(newCols)),
+	}
+}
+
+func (it *renameIter) Cols() []string { return it.cols }
+
+func (it *renameIter) Next() *Batch {
+	b := it.in.Next()
+	if b == nil {
+		return nil
+	}
+	it.out.reset()
+	for i := 0; i < b.Len(); i++ {
+		row := b.Row(i)
+		dst := it.out.appendEmptyRow()
+		for j, p := range it.perm {
+			dst[j] = row[p]
+		}
+	}
+	return it.out
+}
+
+// dropIter anti-projects columns away with an inline distinct: dropping
+// columns merges tuples, so this is one of the two operators that must
+// deduplicate to keep the stream a set.
+type dropIter struct {
+	in   Iterator
+	cols []string
+	keep []int // positions of kept columns in the input row
+	seen *Relation
+	pos  int
+}
+
+// DropStream applies π̃[cols] to in. The caller must have validated the
+// columns against the schema.
+func DropStream(in Iterator, cols ...string) Iterator {
+	keepCols := ColsMinus(in.Cols(), SortCols(cols))
+	keep := make([]int, len(keepCols))
+	for i, c := range keepCols {
+		keep[i] = ColIndex(in.Cols(), c)
+	}
+	return &dropIter{in: in, cols: keepCols, keep: keep, seen: NewRelation(keepCols...)}
+}
+
+func (it *dropIter) Cols() []string { return it.cols }
+
+func (it *dropIter) Next() *Batch {
+	// Rows live in it.seen's arena; batches view them, so emitted views
+	// stay valid for the whole stream.
+	narrow := make([]Value, len(it.keep))
+	for {
+		b := it.in.Next()
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			row := b.Row(i)
+			for j, p := range it.keep {
+				narrow[j] = row[p]
+			}
+			it.seen.AddCopy(narrow)
+		}
+		if it.seen.Len()-it.pos >= BatchRows {
+			break
+		}
+	}
+	return it.drainSeen()
+}
+
+// drainSeen emits the distinct rows accumulated since the last call.
+func (it *dropIter) drainSeen() *Batch {
+	rows := it.seen.Rows()
+	if it.pos >= len(rows) {
+		return nil
+	}
+	out := BatchFromRows(len(it.cols), rows[it.pos:])
+	it.pos = len(rows)
+	return out
+}
+
+// unionIter concatenates two streams with an inline distinct (the streams
+// may overlap).
+type unionIter struct {
+	l, r Iterator
+	seen *Relation
+	pos  int
+}
+
+// UnionStream streams l ∪ r (schemas must agree).
+func UnionStream(l, r Iterator) Iterator {
+	if !ColsEqual(l.Cols(), r.Cols()) {
+		panic("core: union stream schema mismatch")
+	}
+	return &unionIter{l: l, r: r, seen: NewRelation(l.Cols()...)}
+}
+
+func (it *unionIter) Cols() []string { return it.seen.Cols() }
+
+func (it *unionIter) Next() *Batch {
+	for it.seen.Len()-it.pos < BatchRows {
+		var b *Batch
+		if it.l != nil {
+			if b = it.l.Next(); b == nil {
+				it.l = nil
+				continue
+			}
+		} else if it.r != nil {
+			if b = it.r.Next(); b == nil {
+				it.r = nil
+				continue
+			}
+		} else {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			it.seen.AddCopy(b.Row(i))
+		}
+	}
+	rows := it.seen.Rows()
+	if it.pos >= len(rows) {
+		return nil
+	}
+	out := BatchFromRows(it.seen.Arity(), rows[it.pos:])
+	it.pos = len(rows)
+	return out
+}
+
+// --- hash join / antijoin ----------------------------------------------------
+
+// joinIter probes a JoinIndex with a stream: for each probe row, matching
+// build rows are combined over the union schema. probeAt lists the probe
+// row positions of the join columns, aligned with the index's key. The
+// iterator carries its position inside the current probe batch and match
+// list across Next calls, so a skewed key with a huge fanout spreads over
+// many output batches instead of inflating one.
+type joinIter struct {
+	probe   Iterator
+	ix      *JoinIndex
+	plan    joinPlan
+	probeAt []int
+	out     *Batch
+
+	cur     *Batch    // current probe batch (nil before first/after last)
+	row     int       // next unprocessed row in cur
+	prow    []Value   // probe row whose matches are being emitted
+	scratch [][]Value // matches of prow
+	mi      int       // next unemitted match in scratch
+	done    bool
+}
+
+// JoinStream joins the probe stream against an index built over the build
+// side's common columns. buildCols is the build side's schema.
+func JoinStream(probe Iterator, ix *JoinIndex, buildCols []string) Iterator {
+	plan := newJoinPlan(probe.Cols(), buildCols)
+	probeAt := make([]int, len(plan.common))
+	copy(probeAt, plan.commonA)
+	return &joinIter{
+		probe:   probe,
+		ix:      ix,
+		plan:    plan,
+		probeAt: probeAt,
+		out:     NewBatch(len(plan.outCols)),
+	}
+}
+
+func (it *joinIter) Cols() []string { return it.plan.outCols }
+
+func (it *joinIter) Next() *Batch {
+	if it.done {
+		return nil
+	}
+	it.out.reset()
+	for {
+		// Flush pending matches of the current probe row; stop at the
+		// batch bound even mid-row (prow stays valid: the probe iterator
+		// is not advanced until its matches are drained).
+		for it.mi < len(it.scratch) {
+			if it.out.full() {
+				return it.out
+			}
+			it.plan.combineInto(it.out.appendEmptyRow(), it.prow, it.scratch[it.mi])
+			it.mi++
+		}
+		if it.cur == nil || it.row >= it.cur.Len() {
+			it.cur = it.probe.Next()
+			it.row = 0
+			if it.cur == nil {
+				it.done = true
+				if it.out.Len() == 0 {
+					return nil
+				}
+				return it.out
+			}
+		}
+		it.prow = it.cur.Row(it.row)
+		it.row++
+		it.scratch = it.ix.matchesAt(it.scratch[:0], it.prow, it.probeAt)
+		it.mi = 0
+	}
+}
+
+// antijoinIter streams the probe rows that find no match in the index.
+type antijoinIter struct {
+	probe   Iterator
+	ix      *JoinIndex
+	probeAt []int
+	out     *Batch
+}
+
+// AntijoinStream streams probe ▷ build where ix indexes the build side on
+// the common columns and probeAt locates those columns in probe rows. The
+// no-common-columns case must be handled by the caller (the result is all
+// of probe or nothing, depending on build emptiness).
+func AntijoinStream(probe Iterator, ix *JoinIndex, probeAt []int) Iterator {
+	return &antijoinIter{probe: probe, ix: ix, probeAt: probeAt, out: NewBatch(len(probe.Cols()))}
+}
+
+func (it *antijoinIter) Cols() []string { return it.probe.Cols() }
+
+func (it *antijoinIter) Next() *Batch {
+	it.out.reset()
+	for !it.out.full() {
+		b := it.probe.Next()
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			row := b.Row(i)
+			if !it.ix.containsAt(row, it.probeAt) {
+				it.out.AppendRow(row)
+			}
+		}
+	}
+	if it.out.Len() == 0 {
+		return nil
+	}
+	return it.out
+}
+
+// DiffStream streams the rows of in absent from o (set difference with a
+// materialized right side; schemas must agree).
+func DiffStream(in Iterator, o *Relation) Iterator {
+	return FilterStream(in, notInRelation{o})
+}
+
+// notInRelation is the membership-complement pseudo-condition DiffStream
+// uses; it is not part of the σ condition language.
+type notInRelation struct{ rel *Relation }
+
+func (c notInRelation) Holds(cols []string, row []Value) bool { return !c.rel.Has(row) }
+func (c notInRelation) Columns() []string                     { return c.rel.Cols() }
+func (c notInRelation) String() string                        { return "∉rel" }
+
+// --- sinks -------------------------------------------------------------------
+
+// Drain adds every streamed row into dst (set semantics, rows copied into
+// dst's arena) and returns the number of rows added.
+func Drain(it Iterator, dst *Relation) int {
+	added := 0
+	for b := it.Next(); b != nil; b = it.Next() {
+		for i := 0; i < b.Len(); i++ {
+			if dst.AddCopy(b.Row(i)) {
+				added++
+			}
+		}
+	}
+	return added
+}
+
+// Materialize collects a stream into a fresh Relation.
+func Materialize(it Iterator) *Relation {
+	out := NewRelation(it.Cols()...)
+	Drain(it, out)
+	return out
+}

@@ -1,0 +1,144 @@
+package core
+
+import "fmt"
+
+// JoinIndex is a hash index over a column subset of a relation: key values
+// → matching rows. It is the build side of every streaming hash join and
+// antijoin in the engine, and the unit of reuse across semi-naive fixpoint
+// iterations: a fixpoint builds the index over the constant part once and
+// every delta iteration probes it, instead of re-hashing the constant
+// relation per iteration (§III-D's "persistent indexes").
+//
+// Buckets key on the 64-bit FNV-1a hash of the key values; probes verify
+// candidate rows value-wise, so hash collisions cannot produce wrong
+// matches.
+type JoinIndex struct {
+	keyCols []string // indexed columns (as given, relation-schema order)
+	at      []int    // positions of keyCols in the indexed rows
+	rows    [][]Value
+	buckets map[uint64][]int32
+	keys    int // number of distinct keys
+}
+
+// BuildJoinIndex indexes rel on keyCols. Every keyCol must be in rel's
+// schema.
+func BuildJoinIndex(rel *Relation, keyCols []string) (*JoinIndex, error) {
+	at := make([]int, len(keyCols))
+	for i, c := range keyCols {
+		idx := ColIndex(rel.Cols(), c)
+		if idx < 0 {
+			return nil, fmt.Errorf("core: index column %q not in schema %v", c, rel.Cols())
+		}
+		at[i] = idx
+	}
+	ix := buildJoinIndex(rel.Rows(), at)
+	ix.keyCols = keyCols
+	return ix, nil
+}
+
+// buildJoinIndex indexes raw rows on the given positions.
+func buildJoinIndex(rows [][]Value, at []int) *JoinIndex {
+	ix := &JoinIndex{at: at, rows: rows, buckets: make(map[uint64][]int32, len(rows))}
+	for i, row := range rows {
+		h := HashValuesAt(row, at)
+		b := ix.buckets[h]
+		// A bucket can mix several distinct keys under one hash collision;
+		// count a new key only when no earlier bucket row shares it.
+		newKey := true
+		for _, ri := range b {
+			if ix.sameKeyAs(rows[ri], row) {
+				newKey = false
+				break
+			}
+		}
+		if newKey {
+			ix.keys++
+		}
+		ix.buckets[h] = append(b, int32(i))
+	}
+	return ix
+}
+
+// KeyCols returns the indexed columns (empty for position-built indexes).
+func (ix *JoinIndex) KeyCols() []string { return ix.keyCols }
+
+// Len returns the number of distinct keys in the index.
+func (ix *JoinIndex) Len() int { return ix.keys }
+
+// Rows returns how many rows the index covers.
+func (ix *JoinIndex) Rows() int { return len(ix.rows) }
+
+// sameKeyAs reports whether two indexed rows agree on the key positions.
+func (ix *JoinIndex) sameKeyAs(a, b []Value) bool {
+	for _, p := range ix.at {
+		if a[p] != b[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// keyMatches reports whether row's key positions equal the probe key.
+func (ix *JoinIndex) keyMatches(row, key []Value) bool {
+	for i, p := range ix.at {
+		if row[p] != key[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Matches appends to dst every indexed row whose key columns equal key
+// (aligned with KeyCols) and returns the extended slice. Candidate rows
+// from colliding hash buckets are filtered by value comparison.
+func (ix *JoinIndex) Matches(dst [][]Value, key []Value) [][]Value {
+	for _, ri := range ix.buckets[HashValues(key)] {
+		row := ix.rows[ri]
+		if ix.keyMatches(row, key) {
+			dst = append(dst, row)
+		}
+	}
+	return dst
+}
+
+// Contains reports whether any indexed row has the given key.
+func (ix *JoinIndex) Contains(key []Value) bool {
+	for _, ri := range ix.buckets[HashValues(key)] {
+		if ix.keyMatches(ix.rows[ri], key) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchesAt is Matches with the probe key read from probe's positions at,
+// avoiding a key copy on the hot path.
+func (ix *JoinIndex) matchesAt(dst [][]Value, probe []Value, at []int) [][]Value {
+	for _, ri := range ix.buckets[HashValuesAt(probe, at)] {
+		row := ix.rows[ri]
+		if ix.keyMatchesAt(row, probe, at) {
+			dst = append(dst, row)
+		}
+	}
+	return dst
+}
+
+// containsAt is Contains with the key read from probe's positions at.
+func (ix *JoinIndex) containsAt(probe []Value, at []int) bool {
+	for _, ri := range ix.buckets[HashValuesAt(probe, at)] {
+		if ix.keyMatchesAt(ix.rows[ri], probe, at) {
+			return true
+		}
+	}
+	return false
+}
+
+// keyMatchesAt compares an indexed row's key positions against probe's.
+func (ix *JoinIndex) keyMatchesAt(row, probe []Value, at []int) bool {
+	for i, p := range ix.at {
+		if row[p] != probe[at[i]] {
+			return false
+		}
+	}
+	return true
+}

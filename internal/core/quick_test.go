@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -110,6 +111,26 @@ func TestQuickSplitRelationPartitionsAll(t *testing.T) {
 	}
 }
 
+// TestQuickRowKeyRoundTrip: UnpackRowKey(RowKey(row)) = row for random
+// rows of random arity.
+func TestQuickRowKeyRoundTrip(t *testing.T) {
+	if err := quick.Check(func(a, b, c, d int64, arity uint8) bool {
+		row := []Value{a, b, c, d}[:1+int(arity)%4]
+		got := UnpackRowKey(RowKey(row), len(row))
+		if len(got) != len(row) {
+			return false
+		}
+		for i := range row {
+			if got[i] != row[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestQuickRowKeyInjective(t *testing.T) {
 	if err := quick.Check(func(a1, a2, b1, b2 int64) bool {
 		k1 := RowKey([]Value{a1, a2})
@@ -171,6 +192,190 @@ func TestQuickFilterDistributesOverUnion(t *testing.T) {
 		if !l.Equal(r) {
 			t.Fatalf("trial %d: filter does not distribute", trial)
 		}
+	}
+}
+
+// randomBinaryTerm builds a random µ-RA term over binary (src,trg)
+// relations: every production preserves the schema, so arbitrarily nested
+// terms stay well-formed. The grammar covers all operators the rewriter
+// emits: union, composition (join + renames + anti-projection), antijoin,
+// filters, src/trg swap and linear fixpoints in both directions.
+func randomBinaryTerm(rng *rand.Rand, depth int, fresh *int) Term {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return &Var{Name: "E"}
+		case 1:
+			return &Var{Name: "S"}
+		default:
+			return NewConstTuple([]string{ColSrc, ColTrg},
+				[]Value{Value(rng.Intn(8)), Value(rng.Intn(8))})
+		}
+	}
+	sub := func() Term { return randomBinaryTerm(rng, depth-1, fresh) }
+	switch rng.Intn(8) {
+	case 0:
+		return &Union{L: sub(), R: sub()}
+	case 1:
+		return Compose(sub(), sub())
+	case 2:
+		return &Antijoin{L: sub(), R: sub()}
+	case 3:
+		return &Filter{Cond: EqConst{Col: ColSrc, Val: Value(rng.Intn(8))}, T: sub()}
+	case 4:
+		return &Filter{Cond: NeConst{Col: ColTrg, Val: Value(rng.Intn(8))}, T: sub()}
+	case 5:
+		return SwapSrcTrg(sub())
+	case 6:
+		*fresh++
+		return ClosureLR(fmt.Sprintf("X%d", *fresh), sub())
+	default:
+		*fresh++
+		return ClosureRL(fmt.Sprintf("X%d", *fresh), sub())
+	}
+}
+
+// TestQuickStreamingMatchesMaterializing is the central equivalence
+// property of the streaming data plane: over randomized graphs and
+// randomized terms (including nested fixpoints), the iterator pipeline
+// and the seed's materializing evaluator produce identical relations.
+func TestQuickStreamingMatchesMaterializing(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	for trial := 0; trial < 300; trial++ {
+		env := NewEnv()
+		env.Bind("E", randomBinaryRelation(rng, 2+rng.Intn(30), 8))
+		env.Bind("S", randomBinaryRelation(rng, 1+rng.Intn(10), 8))
+		fresh := 0
+		term := randomBinaryTerm(rng, 1+rng.Intn(3), &fresh)
+
+		streaming := NewEvaluator(env)
+		streaming.MaxIter = 200
+		got, gotErr := streaming.Eval(term)
+
+		reference := NewEvaluator(env)
+		reference.Materializing = true
+		reference.MaxIter = 200
+		want, wantErr := reference.Eval(term)
+
+		if (gotErr != nil) != (wantErr != nil) {
+			t.Fatalf("trial %d: error mismatch: streaming=%v materializing=%v\nterm: %s",
+				trial, gotErr, wantErr, term)
+		}
+		if gotErr != nil {
+			continue
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: streaming %v ≠ materializing %v\nterm: %s",
+				trial, got, want, term)
+		}
+	}
+}
+
+// TestQuickStreamingFixpointStats: the streaming fixpoint must report the
+// same iteration count and tuple production as the reference loop — the
+// counters the cost-model experiments consume.
+func TestQuickStreamingFixpointStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		env := NewEnv()
+		env.Bind("E", randomBinaryRelation(rng, 2+rng.Intn(30), 7))
+		env.Bind("S", randomBinaryRelation(rng, 1+rng.Intn(6), 7))
+		term := ClosureLR("X", &Union{L: &Var{Name: "S"}, R: &Var{Name: "E"}})
+
+		streaming := NewEvaluator(env)
+		if _, err := streaming.Eval(term); err != nil {
+			t.Fatal(err)
+		}
+		reference := NewEvaluator(env)
+		reference.Materializing = true
+		if _, err := reference.Eval(term); err != nil {
+			t.Fatal(err)
+		}
+		if streaming.Stats.FixpointIterations != reference.Stats.FixpointIterations ||
+			streaming.Stats.TuplesProduced != reference.Stats.TuplesProduced ||
+			streaming.Stats.MaxDelta != reference.Stats.MaxDelta {
+			t.Fatalf("trial %d: stats diverge: streaming=%+v materializing=%+v",
+				trial, streaming.Stats, reference.Stats)
+		}
+	}
+}
+
+// TestQuickDiffStreamMatchesDiff: the streaming set difference agrees
+// with the materializing Relation.Diff on random relations.
+func TestQuickDiffStreamMatchesDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 80; trial++ {
+		a := randomBinaryRelation(rng, rng.Intn(40), 6)
+		b := randomBinaryRelation(rng, rng.Intn(40), 6)
+		got := Materialize(DiffStream(ScanRelation(a), b))
+		want := a.Diff(b)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: DiffStream %v ≠ Diff %v", trial, got, want)
+		}
+	}
+}
+
+// TestTupleSetCollisions drives the open-addressing row set through forced
+// hash collisions: distinct rows sharing one hash must all be stored and
+// found, and duplicates must still be rejected.
+func TestTupleSetCollisions(t *testing.T) {
+	const collidingHash = uint64(0xdeadbeef)
+	var (
+		s    tupleSet
+		rows [][]Value
+	)
+	add := func(row []Value) bool {
+		s.growFor(len(rows) + 1)
+		slot, found := s.lookup(collidingHash, row, rows)
+		if found {
+			return false
+		}
+		rows = append(rows, row)
+		s.claim(slot, collidingHash, int32(len(rows)))
+		return true
+	}
+	for i := 0; i < 50; i++ {
+		if !add([]Value{Value(i), Value(i * 7)}) {
+			t.Fatalf("colliding row %d rejected as duplicate", i)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if _, found := s.lookup(collidingHash, []Value{Value(i), Value(i * 7)}, rows); !found {
+			t.Fatalf("colliding row %d not found", i)
+		}
+		if add([]Value{Value(i), Value(i * 7)}) {
+			t.Fatalf("duplicate row %d accepted", i)
+		}
+	}
+	if _, found := s.lookup(collidingHash, []Value{99, 99}, rows); found {
+		t.Fatal("absent row reported present under colliding hash")
+	}
+}
+
+// TestJoinIndexCollisions: a JoinIndex bucket holding rows of distinct
+// keys (a hash collision) must filter probes by value, never returning a
+// row whose key differs from the probe.
+func TestJoinIndexCollisions(t *testing.T) {
+	rows := [][]Value{{1, 10}, {2, 20}, {1, 11}}
+	// Hand-build an index whose single bucket mixes keys 1 and 2, as a
+	// real 64-bit collision would.
+	ix := &JoinIndex{
+		keyCols: []string{ColSrc},
+		at:      []int{0},
+		rows:    rows,
+		buckets: map[uint64][]int32{HashValues([]Value{1}): {0, 1, 2}},
+	}
+	got := ix.Matches(nil, []Value{1})
+	if len(got) != 2 || got[0][1] != 10 || got[1][1] != 11 {
+		t.Fatalf("collision probe returned %v, want rows with key 1 only", got)
+	}
+	if !ix.Contains([]Value{1}) {
+		t.Fatal("Contains missed key 1")
+	}
+	// Key 2 hashes elsewhere (bucket missing): must report absent rather
+	// than scan the wrong bucket.
+	if ix.Contains([]Value{3}) {
+		t.Fatal("Contains fabricated key 3")
 	}
 }
 

@@ -12,10 +12,19 @@ import (
 // aligned with it. Set semantics are enforced on insertion: adding a
 // duplicate row is a no-op. Row iteration order is insertion order, which
 // keeps evaluation deterministic for a deterministic input.
+//
+// Deduplication is backed by an open-addressing set of 64-bit row hashes
+// (tupleSet) rather than string-packed keys: membership costs one FNV-1a
+// hash and, on a hit, one value-wise comparison, with zero allocation.
 type Relation struct {
 	cols []string
 	rows [][]Value
-	set  map[string]struct{}
+	set  tupleSet
+	// arena backs rows inserted through AddCopy: row copies are carved out
+	// of shared chunks (doubling up to a cap) instead of one allocation per
+	// row.
+	arena      []Value
+	arenaChunk int
 }
 
 // NewRelation returns an empty relation over the given columns.
@@ -28,14 +37,14 @@ func NewRelation(cols ...string) *Relation {
 			panic(fmt.Sprintf("core: duplicate column %q in schema", sorted[i]))
 		}
 	}
-	return &Relation{cols: sorted, set: make(map[string]struct{})}
+	return &Relation{cols: sorted}
 }
 
 // NewRelationSized is NewRelation with a capacity hint for the row storage.
 func NewRelationSized(n int, cols ...string) *Relation {
 	r := NewRelation(cols...)
 	r.rows = make([][]Value, 0, n)
-	r.set = make(map[string]struct{}, n)
+	r.set.reserve(n)
 	return r
 }
 
@@ -54,7 +63,9 @@ func (r *Relation) Len() int { return len(r.rows) }
 func (r *Relation) Rows() [][]Value { return r.rows }
 
 // RowKey packs a row into a string key usable as a map key. Rows of equal
-// values always produce equal keys.
+// values always produce equal keys. The evaluator's hot paths no longer
+// use packed keys (they hash rows directly); RowKey remains the canonical
+// order-preserving serialization of a row for callers that need a string.
 func RowKey(row []Value) string {
 	b := make([]byte, 8*len(row))
 	for i, v := range row {
@@ -78,35 +89,65 @@ func (r *Relation) Add(row []Value) bool {
 	if len(row) != len(r.cols) {
 		panic(fmt.Sprintf("core: row arity %d does not match schema %v", len(row), r.cols))
 	}
-	k := RowKey(row)
-	if _, dup := r.set[k]; dup {
-		return false
-	}
-	r.set[k] = struct{}{}
-	r.rows = append(r.rows, row)
-	return true
+	_, added := r.insert(row, false)
+	return added
 }
 
-// AddKeyed inserts a row whose key has already been computed.
-func (r *Relation) AddKeyed(key string, row []Value) bool {
-	if _, dup := r.set[key]; dup {
-		return false
+// AddCopy inserts a copy of row, returning true if it was new. Unlike Add
+// the caller keeps ownership of the slice; the copy is carved out of an
+// internal arena, so bulk insertion from reused batch buffers does not
+// allocate per row.
+func (r *Relation) AddCopy(row []Value) bool {
+	if len(row) != len(r.cols) {
+		panic(fmt.Sprintf("core: row arity %d does not match schema %v", len(row), r.cols))
 	}
-	r.set[key] = struct{}{}
+	_, added := r.insert(row, true)
+	return added
+}
+
+// insert is the shared insertion path: dedup via the tuple set, then store
+// either the row itself or an arena copy. It returns the stored row.
+func (r *Relation) insert(row []Value, copyRow bool) ([]Value, bool) {
+	h := HashValues(row)
+	r.set.growFor(len(r.rows) + 1)
+	slot, found := r.set.lookup(h, row, r.rows)
+	if found {
+		return r.rows[r.set.slots[slot]-1], false
+	}
+	if copyRow && len(row) > 0 {
+		row = r.arenaCopy(row)
+	}
 	r.rows = append(r.rows, row)
-	return true
+	r.set.claim(slot, h, int32(len(r.rows)))
+	return row, true
+}
+
+// arenaCopy copies row into the relation's chunked arena.
+func (r *Relation) arenaCopy(row []Value) []Value {
+	if len(r.arena) < len(row) {
+		chunk := r.arenaChunk * 2
+		switch {
+		case chunk < 64:
+			chunk = 64
+		case chunk > 1<<16:
+			chunk = 1 << 16
+		}
+		if chunk < len(row) {
+			chunk = len(row)
+		}
+		r.arenaChunk = chunk
+		r.arena = make([]Value, chunk)
+	}
+	cp := r.arena[:len(row):len(row)]
+	r.arena = r.arena[len(row):]
+	copy(cp, row)
+	return cp
 }
 
 // Has reports whether the relation contains the row.
 func (r *Relation) Has(row []Value) bool {
-	_, ok := r.set[RowKey(row)]
-	return ok
-}
-
-// HasKey reports whether the relation contains a row with the packed key.
-func (r *Relation) HasKey(key string) bool {
-	_, ok := r.set[key]
-	return ok
+	_, found := r.set.lookup(HashValues(row), row, r.rows)
+	return found
 }
 
 // AddTuple inserts a tuple given as column→value pairs in any column order.
@@ -140,8 +181,8 @@ func (r *Relation) Equal(o *Relation) bool {
 	if !ColsEqual(r.cols, o.cols) || len(r.rows) != len(o.rows) {
 		return false
 	}
-	for k := range r.set {
-		if _, ok := o.set[k]; !ok {
+	for _, row := range r.rows {
+		if !o.Has(row) {
 			return false
 		}
 	}
@@ -195,6 +236,23 @@ func (r *Relation) UnionInPlace(o *Relation) int {
 	return n
 }
 
+// AbsorbNew adds every row of o not already present in r and returns the
+// relation of newly added rows — the fused diff-then-union of the
+// semi-naive step (new = o \ X; X = X ∪ new) in a single pass with one
+// hash per row.
+func (r *Relation) AbsorbNew(o *Relation) *Relation {
+	if !ColsEqual(r.cols, o.cols) {
+		panic(fmt.Sprintf("core: absorb schema mismatch %v vs %v", r.cols, o.cols))
+	}
+	fresh := NewRelation(r.cols...)
+	for _, row := range o.rows {
+		if r.Add(row) {
+			fresh.Add(row)
+		}
+	}
+	return fresh
+}
+
 // Diff returns r \ o. Schemas must be equal.
 func (r *Relation) Diff(o *Relation) *Relation {
 	if !ColsEqual(r.cols, o.cols) {
@@ -236,14 +294,6 @@ func newJoinPlan(a, b []string) joinPlan {
 	return p
 }
 
-func keyAt(row []Value, at []int) string {
-	b := make([]byte, 8*len(at))
-	for i, idx := range at {
-		binary.BigEndian.PutUint64(b[i*8:], uint64(row[idx]))
-	}
-	return string(b)
-}
-
 // combine builds an output row of the join from one row of each side.
 func (p *joinPlan) combine(arow, brow []Value) []Value {
 	outRow := make([]Value, len(p.outCols))
@@ -257,32 +307,38 @@ func (p *joinPlan) combine(arow, brow []Value) []Value {
 	return outRow
 }
 
+// combineInto writes the combined row into dst (len = len(outCols)).
+func (p *joinPlan) combineInto(dst, arow, brow []Value) {
+	for i := range p.outCols {
+		if p.fromA[i] >= 0 {
+			dst[i] = arow[p.fromA[i]]
+		} else {
+			dst[i] = brow[p.fromB[i]]
+		}
+	}
+}
+
 // Join returns the natural join r ⋈ o: tuples that agree on all common
 // columns, combined over the union schema. With no common columns it is the
-// cartesian product. The smaller side is hashed on the common columns and
+// cartesian product. The smaller side is indexed on the common columns and
 // the larger side probes.
 func (r *Relation) Join(o *Relation) *Relation {
 	p := newJoinPlan(r.cols, o.cols)
 	out := NewRelation(p.outCols...)
+	var scratch [][]Value
 	if r.Len() <= o.Len() {
-		ht := make(map[string][][]Value, r.Len())
-		for _, row := range r.rows {
-			k := keyAt(row, p.commonA)
-			ht[k] = append(ht[k], row)
-		}
+		ix := buildJoinIndex(r.rows, p.commonA)
 		for _, brow := range o.rows {
-			for _, arow := range ht[keyAt(brow, p.commonB)] {
+			scratch = ix.matchesAt(scratch[:0], brow, p.commonB)
+			for _, arow := range scratch {
 				out.Add(p.combine(arow, brow))
 			}
 		}
 	} else {
-		ht := make(map[string][][]Value, o.Len())
-		for _, row := range o.rows {
-			k := keyAt(row, p.commonB)
-			ht[k] = append(ht[k], row)
-		}
+		ix := buildJoinIndex(o.rows, p.commonB)
 		for _, arow := range r.rows {
-			for _, brow := range ht[keyAt(arow, p.commonA)] {
+			scratch = ix.matchesAt(scratch[:0], arow, p.commonA)
+			for _, brow := range scratch {
 				out.Add(p.combine(arow, brow))
 			}
 		}
@@ -302,12 +358,9 @@ func (r *Relation) Antijoin(o *Relation) *Relation {
 		}
 		return out
 	}
-	seen := make(map[string]struct{}, o.Len())
-	for _, row := range o.rows {
-		seen[keyAt(row, p.commonB)] = struct{}{}
-	}
+	ix := buildJoinIndex(o.rows, p.commonB)
 	for _, row := range r.rows {
-		if _, hit := seen[keyAt(row, p.commonA)]; !hit {
+		if !ix.containsAt(row, p.commonA) {
 			out.Add(row)
 		}
 	}
@@ -347,14 +400,7 @@ func (r *Relation) Rename(from, to string) (*Relation, error) {
 	}
 	out := NewRelationSized(len(r.rows), newCols...)
 	// Row values must be permuted into the new sorted column order.
-	perm := make([]int, len(out.cols))
-	for i, c := range out.cols {
-		orig := c
-		if c == to {
-			orig = from
-		}
-		perm[i] = ColIndex(r.cols, orig)
-	}
+	perm := renamePerm(r.cols, out.cols, from, to)
 	for _, row := range r.rows {
 		nrow := make([]Value, len(row))
 		for i, j := range perm {
@@ -363,6 +409,20 @@ func (r *Relation) Rename(from, to string) (*Relation, error) {
 		out.Add(nrow)
 	}
 	return out, nil
+}
+
+// renamePerm computes, for each output column position, the source row
+// position it takes its value from when column from becomes to.
+func renamePerm(oldCols, newCols []string, from, to string) []int {
+	perm := make([]int, len(newCols))
+	for i, c := range newCols {
+		orig := c
+		if c == to {
+			orig = from
+		}
+		perm[i] = ColIndex(oldCols, orig)
+	}
+	return perm
 }
 
 // Drop returns r with the given columns removed (the anti-projection π̃).

@@ -1,0 +1,120 @@
+package core
+
+// This file implements the 64-bit-hash tuple set backing Relation's set
+// semantics. It replaces the seed's map[string]struct{} of string-packed
+// row keys: membership now costs one FNV-1a hash over the row values plus,
+// on a candidate hit, one value-wise comparison — no per-row key packing,
+// no string allocation.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashValues hashes all values of a row with FNV-1a. It is consistent with
+// HashValuesAt over all positions, so the dedup hash and the partitioning
+// hash share one definition.
+func HashValues(row []Value) uint64 {
+	h := uint64(fnvOffset64)
+	for _, val := range row {
+		v := uint64(val)
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime64
+			v >>= 8
+		}
+	}
+	return h
+}
+
+// rowsEqual compares two rows value-wise (equal length assumed by callers).
+func rowsEqual(a, b []Value) bool {
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// tupleSet is an open-addressing (linear probing) hash set of row indices
+// into an external row store. The zero value is an empty set. Slots hold
+// rowIndex+1 so 0 marks an empty slot; stored hashes resolve most probes
+// without touching the rows.
+type tupleSet struct {
+	slots  []int32
+	hashes []uint64
+	n      int
+}
+
+const tupleSetMinCap = 16
+
+// reserve sizes the table for about n entries.
+func (s *tupleSet) reserve(n int) {
+	want := tupleSetMinCap
+	for want*3 < n*4 { // capacity ≥ 4/3·n keeps load ≤ 0.75
+		want *= 2
+	}
+	if want > len(s.slots) {
+		s.rehash(want)
+	}
+}
+
+// growFor ensures capacity for n entries. Rehashing moves stored hashes
+// only; the row store is never consulted.
+func (s *tupleSet) growFor(n int) {
+	if len(s.slots) == 0 {
+		s.rehash(tupleSetMinCap)
+		return
+	}
+	if n*4 > len(s.slots)*3 {
+		s.rehash(len(s.slots) * 2)
+	}
+}
+
+func (s *tupleSet) rehash(capacity int) {
+	oldSlots, oldHashes := s.slots, s.hashes
+	s.slots = make([]int32, capacity)
+	s.hashes = make([]uint64, capacity)
+	mask := uint64(capacity - 1)
+	for i, ref := range oldSlots {
+		if ref == 0 {
+			continue
+		}
+		h := oldHashes[i]
+		j := h & mask
+		for s.slots[j] != 0 {
+			j = (j + 1) & mask
+		}
+		s.slots[j] = ref
+		s.hashes[j] = h
+	}
+}
+
+// lookup probes for a row with the given hash. It returns the slot where
+// the row lives (found) or where it should be inserted (!found). The table
+// must have free capacity (call growFor first).
+func (s *tupleSet) lookup(h uint64, row []Value, rows [][]Value) (slot int, found bool) {
+	if len(s.slots) == 0 {
+		return -1, false
+	}
+	mask := uint64(len(s.slots) - 1)
+	i := h & mask
+	for {
+		ref := s.slots[i]
+		if ref == 0 {
+			return int(i), false
+		}
+		if s.hashes[i] == h && rowsEqual(rows[ref-1], row) {
+			return int(i), true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// claim fills a slot returned by a failed lookup with rowIndex+1 (ref).
+func (s *tupleSet) claim(slot int, h uint64, ref int32) {
+	s.slots[slot] = ref
+	s.hashes[slot] = h
+	s.n++
+}

@@ -113,9 +113,22 @@ func (g *Graph) WriteTSV(w io.Writer) error {
 // ReadTSV parses a graph written by WriteTSV (or any 3-column TSV).
 func ReadTSV(r io.Reader, name string) (*Graph, error) {
 	g := NewGraph(name)
+	if err := g.ReadTSVInto(r); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ReadTSVInto parses "src<TAB>pred<TAB>trg" lines into an existing graph,
+// merging with whatever triples it already holds (identifiers are interned
+// in the graph's own dictionary; duplicate triples are no-ops). The load
+// is atomic: the whole input is validated before the first insertion, so
+// a parse error leaves the graph untouched.
+func (g *Graph) ReadTSVInto(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	line := 0
+	var triples [][3]string
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -124,14 +137,17 @@ func ReadTSV(r io.Reader, name string) (*Graph, error) {
 		}
 		parts := strings.Split(text, "\t")
 		if len(parts) != 3 {
-			return nil, fmt.Errorf("graphgen: line %d: want 3 tab-separated fields, got %d", line, len(parts))
+			return fmt.Errorf("graphgen: line %d: want 3 tab-separated fields, got %d", line, len(parts))
 		}
-		g.Add(parts[0], parts[1], parts[2])
+		triples = append(triples, [3]string{parts[0], parts[1], parts[2]})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	return g, nil
+	for _, tr := range triples {
+		g.Add(tr[0], tr[1], tr[2])
+	}
+	return nil
 }
 
 // node builds a dense node name.

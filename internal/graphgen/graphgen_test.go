@@ -174,6 +174,27 @@ func TestReadTSVErrors(t *testing.T) {
 	}
 }
 
+// TestReadTSVIntoMergesAndIsAtomic: a bulk load merges into the existing
+// graph, and a parse error anywhere in the input leaves it untouched.
+func TestReadTSVIntoMergesAndIsAtomic(t *testing.T) {
+	g := NewGraph("m")
+	g.Add("a", "p", "b")
+	if err := g.ReadTSVInto(bytes.NewBufferString("b\tp\tc\n")); err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 2 {
+		t.Fatalf("edges = %d, want 2 after merge", g.Edges())
+	}
+	// Line 1 is valid, line 2 malformed: nothing may be inserted.
+	err := g.ReadTSVInto(bytes.NewBufferString("c\tp\td\nbroken line\n"))
+	if err == nil {
+		t.Fatal("expected error for malformed line")
+	}
+	if g.Edges() != 2 {
+		t.Fatalf("edges = %d after failed load, want 2 (atomic)", g.Edges())
+	}
+}
+
 func TestSGGraphClasses(t *testing.T) {
 	for _, name := range []string{"AcTree", "Epinions", "Coauth-MAG", "Fr-Royalty", "unknown"} {
 		g := SGGraph(name, 400, 1)

@@ -20,25 +20,20 @@ type Stats struct {
 // naive evaluator:
 //
 //   - subterms that do not mention any dynamic variable (the fixpoint's
-//     delta) are evaluated once and memoized for the whole query, and
+//     delta) are evaluated once and memoized — on the DB, so the memo
+//     survives the executor and is shared by every later query against
+//     the same data — and
 //   - joins between a dynamic side and a constant side probe a persistent
-//     hash index on the constant side, so per-iteration work scales with
-//     the delta, not with the step relation.
+//     core.JoinIndex on the constant side, so per-iteration work scales
+//     with the delta, not with the step relation.
 type Executor struct {
 	DB    *DB
 	Stats Stats
-
-	cache map[string]*cachedRel
-}
-
-type cachedRel struct {
-	rel     *core.Relation
-	indexes map[string]*Index
 }
 
 // NewExecutor returns an executor over db.
 func NewExecutor(db *DB) *Executor {
-	return &Executor{DB: db, cache: make(map[string]*cachedRel)}
+	return &Executor{DB: db}
 }
 
 // binding carries the dynamic relations during fixpoint evaluation.
@@ -75,11 +70,11 @@ func isDynamic(t core.Term, dyn []binding) bool {
 	return false
 }
 
-// evalConstCached evaluates a constant subterm with memoization and keeps
-// its indexes alongside.
+// evalConstCached evaluates a constant subterm with memoization (on the
+// DB, persisting across executors) and keeps its indexes alongside.
 func (ex *Executor) evalConstCached(t core.Term) (*cachedRel, error) {
 	key := t.String()
-	if c, ok := ex.cache[key]; ok {
+	if c, ok := ex.DB.consts[key]; ok {
 		ex.Stats.CacheHits++
 		return c, nil
 	}
@@ -88,7 +83,7 @@ func (ex *Executor) evalConstCached(t core.Term) (*cachedRel, error) {
 		return nil, err
 	}
 	c := &cachedRel{rel: rel, indexes: make(map[string]*Index)}
-	ex.cache[key] = c
+	ex.DB.consts[key] = c
 	return c, nil
 }
 
@@ -170,8 +165,8 @@ func (ex *Executor) evalNode(t core.Term, dyn []binding) (*core.Relation, error)
 }
 
 // evalJoin picks an index-nested-loop plan when exactly one side is
-// dynamic: the constant side is evaluated once (memoized) and indexed on
-// the common columns; the dynamic side's rows probe the index.
+// dynamic: the constant side is evaluated once (memoized on the DB) and
+// indexed on the common columns; the dynamic side's rows probe the index.
 func (ex *Executor) evalJoin(j *core.Join, dyn []binding) (*core.Relation, error) {
 	lDyn, rDyn := isDynamic(j.L, dyn), isDynamic(j.R, dyn)
 	if len(dyn) == 0 || lDyn == rDyn {
@@ -225,12 +220,14 @@ func (ex *Executor) evalJoin(j *core.Join, dyn []binding) (*core.Relation, error
 		fromConst[i] = core.ColIndex(cc.rel.Cols(), c)
 	}
 	probe := make([]core.Value, len(common))
+	var scratch [][]core.Value
 	for _, drow := range dRel.Rows() {
 		for i, at := range dynAt {
 			probe[i] = drow[at]
 		}
 		ex.Stats.IndexProbes++
-		for _, crow := range ix.Probe(probe) {
+		scratch = ix.ProbeAppend(scratch[:0], probe)
+		for _, crow := range scratch {
 			outRow := make([]core.Value, len(outCols))
 			for i := range outCols {
 				if fromDyn[i] >= 0 {
@@ -247,8 +244,10 @@ func (ex *Executor) evalJoin(j *core.Join, dyn []binding) (*core.Relation, error
 
 // RunFixpoint executes a decomposed fixpoint semi-naively starting from
 // init — the engine's WITH RECURSIVE analog. Constant operands of the φ
-// branches stay cached and indexed across all iterations, so each step
-// costs work proportional to the delta.
+// branches stay cached and indexed across all iterations (and across
+// executor instances, since both caches live on the DB), so each step
+// costs work proportional to the delta. The set difference and union of
+// the semi-naive step are fused into one accumulator pass.
 func (ex *Executor) RunFixpoint(d *core.Decomposed, init *core.Relation, dyn []binding) (*core.Relation, error) {
 	x := init.Clone()
 	if len(d.PhiBranches) == 0 {
@@ -258,20 +257,19 @@ func (ex *Executor) RunFixpoint(d *core.Decomposed, init *core.Relation, dyn []b
 	for nu.Len() > 0 {
 		ex.Stats.FixpointIters++
 		step := append(dyn[:len(dyn):len(dyn)], binding{name: d.X, rel: nu})
-		var delta *core.Relation
+		next := core.NewRelation(x.Cols()...)
 		for _, br := range d.PhiBranches {
 			out, err := ex.eval(br, step)
 			if err != nil {
 				return nil, err
 			}
-			if delta == nil {
-				delta = out
-			} else {
-				delta.UnionInPlace(out)
+			for _, row := range out.Rows() {
+				if x.Add(row) {
+					next.Add(row)
+				}
 			}
 		}
-		nu = delta.Diff(x)
-		x.UnionInPlace(nu)
+		nu = next
 	}
 	return x, nil
 }

@@ -7,29 +7,48 @@
 // analog). The point of the substitution is preserved: local loops run
 // inside an indexed, optimized engine whose per-iteration work is
 // proportional to the delta, not to the full step relation.
+//
+// Indexes are core.JoinIndex instances — the same structure the streaming
+// data plane probes — and both they and the constant-subterm cache live on
+// the DB, which outlives individual executors: a worker that runs many
+// fixpoints against the same database (the P pg_plw loop) reuses them
+// across calls instead of rebuilding per query.
 package localdb
 
 import (
-	"encoding/binary"
-	"fmt"
-
 	"repro/internal/core"
 )
 
 // DB is a collection of named tables, private to one worker.
 type DB struct {
 	tables map[string]*Table
+	// consts memoizes constant subterm evaluations (relation + indexes),
+	// keyed by the term's canonical string. It persists across executors:
+	// the "persistent indexes and cached constant subplans" of §III-D.
+	consts map[string]*cachedRel
+}
+
+// cachedRel is a memoized constant subterm: its relation and any indexes
+// built over it.
+type cachedRel struct {
+	rel     *core.Relation
+	indexes map[string]*Index
 }
 
 // Open returns an empty database.
-func Open() *DB { return &DB{tables: make(map[string]*Table)} }
+func Open() *DB {
+	return &DB{tables: make(map[string]*Table), consts: make(map[string]*cachedRel)}
+}
 
 // CreateTable registers rel under name (replacing any previous table) and
 // returns the table. The relation is used as-is; callers hand over
-// ownership.
+// ownership. Cached constant subterms mentioning the table are dropped.
 func (db *DB) CreateTable(name string, rel *core.Relation) *Table {
 	t := &Table{rel: rel, indexes: make(map[string]*Index)}
 	db.tables[name] = t
+	// Replacing a table invalidates every memoized constant plan that may
+	// have read it; correctness over cleverness.
+	db.consts = make(map[string]*cachedRel)
 	return t
 }
 
@@ -40,7 +59,10 @@ func (db *DB) Table(name string) (*Table, bool) {
 }
 
 // Drop removes a table.
-func (db *DB) Drop(name string) { delete(db.tables, name) }
+func (db *DB) Drop(name string) {
+	delete(db.tables, name)
+	db.consts = make(map[string]*cachedRel)
+}
 
 // Names lists the registered tables.
 func (db *DB) Names() []string {
@@ -65,11 +87,11 @@ func (t *Table) EnsureIndex(cols ...string) (*Index, error) {
 	return ensureIndexOn(t.rel, t.indexes, cols)
 }
 
-// Index is a hash index over a column set: packed key → matching rows.
+// Index is a hash index over a column set, backed by the engine-wide
+// core.JoinIndex (64-bit hashed keys with value-verified probes).
 type Index struct {
 	Cols []string
-	at   []int
-	m    map[string][][]core.Value
+	ix   *core.JoinIndex
 }
 
 func indexKeyName(cols []string) string {
@@ -80,52 +102,30 @@ func indexKeyName(cols []string) string {
 	return out
 }
 
-func keyAt(row []core.Value, at []int) string {
-	b := make([]byte, 8*len(at))
-	for i, idx := range at {
-		binary.BigEndian.PutUint64(b[i*8:], uint64(row[idx]))
-	}
-	return string(b)
-}
-
-func buildIndex(rel *core.Relation, cols []string) (*Index, error) {
-	at := make([]int, len(cols))
-	for i, c := range cols {
-		idx := core.ColIndex(rel.Cols(), c)
-		if idx < 0 {
-			return nil, fmt.Errorf("localdb: index column %q not in schema %v", c, rel.Cols())
-		}
-		at[i] = idx
-	}
-	ix := &Index{Cols: cols, at: at, m: make(map[string][][]core.Value, rel.Len())}
-	for _, row := range rel.Rows() {
-		k := keyAt(row, at)
-		ix.m[k] = append(ix.m[k], row)
-	}
-	return ix, nil
-}
-
 func ensureIndexOn(rel *core.Relation, cache map[string]*Index, cols []string) (*Index, error) {
 	name := indexKeyName(cols)
 	if ix, ok := cache[name]; ok {
 		return ix, nil
 	}
-	ix, err := buildIndex(rel, cols)
+	ji, err := core.BuildJoinIndex(rel, cols)
 	if err != nil {
 		return nil, err
 	}
+	ix := &Index{Cols: cols, ix: ji}
 	cache[name] = ix
 	return ix, nil
 }
 
 // Probe returns the rows whose indexed columns equal vals.
 func (ix *Index) Probe(vals []core.Value) [][]core.Value {
-	b := make([]byte, 8*len(vals))
-	for i, v := range vals {
-		binary.BigEndian.PutUint64(b[i*8:], uint64(v))
-	}
-	return ix.m[string(b)]
+	return ix.ix.Matches(nil, vals)
+}
+
+// ProbeAppend appends the matching rows to dst, avoiding an allocation per
+// probe on hot paths.
+func (ix *Index) ProbeAppend(dst [][]core.Value, vals []core.Value) [][]core.Value {
+	return ix.ix.Matches(dst, vals)
 }
 
 // Len returns the number of distinct keys.
-func (ix *Index) Len() int { return len(ix.m) }
+func (ix *Index) Len() int { return ix.ix.Len() }

@@ -91,8 +91,10 @@ func (r *Report) Iterations() int {
 }
 
 // Planner executes µ-RA terms: non-recursive operators run on the driver
-// (the glue Spark's Catalyst handles in the paper), and every fixpoint is
-// executed distributively on the cluster with the selected plan.
+// (the glue Spark's Catalyst handles in the paper) through the core
+// streaming iterator pipeline, and every fixpoint is executed
+// distributively on the cluster with the selected plan (hooked into the
+// pipeline via the evaluator's FixpointHandler).
 type Planner struct {
 	C   *cluster.Cluster
 	Env *core.Env
@@ -104,6 +106,7 @@ type Planner struct {
 	DisableStablePartitioning bool
 
 	fresh atomic.Int64
+	ev    *core.Evaluator
 }
 
 // NewPlanner returns a planner over a cluster and a driver-side database.
@@ -117,81 +120,17 @@ func (p *Planner) Execute(t core.Term) (*core.Relation, *Report, error) {
 		return nil, nil, err
 	}
 	rep := &Report{}
-	rel, err := p.eval(t, rep)
+	p.ev = core.NewEvaluator(p.Env)
+	p.ev.FixpointHandler = func(fp *core.Fixpoint, _ *core.Env) (*core.Relation, error) {
+		return p.runFixpoint(fp, rep)
+	}
+	rel, err := p.ev.Eval(t)
 	if err != nil {
 		return nil, nil, err
 	}
 	return rel, rep, nil
 }
 
-func (p *Planner) eval(t core.Term, rep *Report) (*core.Relation, error) {
-	switch n := t.(type) {
-	case *core.Var:
-		r, ok := p.Env.Lookup(n.Name)
-		if !ok {
-			return nil, fmt.Errorf("physical: unbound relation %q", n.Name)
-		}
-		return r, nil
-	case *core.ConstTuple:
-		r := core.NewRelation(n.Cols...)
-		row := make([]core.Value, len(n.Vals))
-		copy(row, n.Vals)
-		r.Add(row)
-		return r, nil
-	case *core.Union:
-		l, err := p.eval(n.L, rep)
-		if err != nil {
-			return nil, err
-		}
-		r, err := p.eval(n.R, rep)
-		if err != nil {
-			return nil, err
-		}
-		return l.Union(r), nil
-	case *core.Join:
-		l, err := p.eval(n.L, rep)
-		if err != nil {
-			return nil, err
-		}
-		r, err := p.eval(n.R, rep)
-		if err != nil {
-			return nil, err
-		}
-		return l.Join(r), nil
-	case *core.Antijoin:
-		l, err := p.eval(n.L, rep)
-		if err != nil {
-			return nil, err
-		}
-		r, err := p.eval(n.R, rep)
-		if err != nil {
-			return nil, err
-		}
-		return l.Antijoin(r), nil
-	case *core.Filter:
-		r, err := p.eval(n.T, rep)
-		if err != nil {
-			return nil, err
-		}
-		return r.Filter(n.Cond), nil
-	case *core.Rename:
-		r, err := p.eval(n.T, rep)
-		if err != nil {
-			return nil, err
-		}
-		return r.Rename(n.From, n.To)
-	case *core.AntiProject:
-		r, err := p.eval(n.T, rep)
-		if err != nil {
-			return nil, err
-		}
-		return r.Drop(n.Cols...)
-	case *core.Fixpoint:
-		return p.runFixpoint(n, rep)
-	default:
-		return nil, fmt.Errorf("physical: unknown term %T", t)
-	}
-}
 
 // prepared is a fixpoint ready for distributed execution: the constant
 // part is materialized, nested constant fixpoints inside φ are
@@ -211,7 +150,10 @@ func (p *Planner) prepare(fp *core.Fixpoint, rep *Report) (*prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	seed, err := p.eval(d.Const, rep)
+	// The constant part evaluates on the driver through the streaming
+	// evaluator; nested fixpoints inside it are routed back to this
+	// planner by the FixpointHandler installed in Execute.
+	seed, err := p.ev.Eval(d.Const)
 	if err != nil {
 		return nil, err
 	}
@@ -354,7 +296,10 @@ func localEnv(ctx *cluster.Ctx, handles map[string]*cluster.Broadcast) *core.Env
 // recursion variable X and the delta are row-hash-partitioned datasets;
 // each iteration computes φ(delta) on every worker, repartitions the
 // produced tuples by row hash (the per-iteration shuffle of Fig. 3), and
-// applies the set difference and union partition-locally.
+// applies the set difference and union partition-locally. Each worker
+// keeps one evaluator alive for the whole loop, so the join indexes built
+// over the broadcast (constant) relations in the first iteration are
+// probed — not rebuilt — by every later one.
 func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
 	fr := FixpointReport{StableCols: pr.stable}
 	handles, freeB, err := p.broadcastPhiRels(pr)
@@ -376,28 +321,19 @@ func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
 	defer p.C.Free(newDS)
 
 	d := pr.d
+	evals := make([]*core.Evaluator, p.C.NumWorkers())
 	for {
 		var added atomic.Int64
 		err := p.C.RunPhase(func(ctx *cluster.Ctx) error {
-			env := localEnv(ctx, handles)
-			nu := ctx.Partition(newDS)
-			stepEnv := core.NewEnv()
-			for k, v := range env.Rels {
-				stepEnv.Bind(k, v)
+			ev := evals[ctx.WorkerID()]
+			if ev == nil {
+				ev = core.NewEvaluator(localEnv(ctx, handles))
+				evals[ctx.WorkerID()] = ev
 			}
-			stepEnv.Bind(d.X, nu)
-			ev := core.NewEvaluator(stepEnv)
-			var delta *core.Relation
-			for _, br := range d.PhiBranches {
-				out, err := ev.Eval(br)
-				if err != nil {
-					return err
-				}
-				if delta == nil {
-					delta = out
-				} else {
-					delta.UnionInPlace(out)
-				}
+			nu := ctx.Partition(newDS)
+			delta, err := ev.EvalPhiDelta(d, nu, nil)
+			if err != nil {
+				return err
 			}
 			// The per-iteration shuffle: candidates meet the partition of X
 			// that owns their row hash, where dedup is local.
@@ -406,8 +342,8 @@ func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
 				return err
 			}
 			x := ctx.Partition(xDS)
-			fresh := candidate.Diff(x)
-			x.UnionInPlace(fresh)
+			// Fused diff-then-union: one pass over the candidates.
+			fresh := x.AbsorbNew(candidate)
 			ctx.SetPartition(xDS, x)
 			ctx.SetPartition(newDS, fresh)
 			added.Add(int64(fresh.Len()))
