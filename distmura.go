@@ -352,7 +352,8 @@ func (e *Engine) executeWith(term core.Term, cfg queryConfig, extra map[string]*
 	m := e.clust.Metrics().Snapshot().Diff(before)
 
 	res := &Result{Columns: rel.Cols()}
-	for _, row := range rel.Rows() {
+	for ri := 0; ri < rel.Len(); ri++ {
+		row := rel.RowAt(ri)
 		srow := make([]string, len(row))
 		for i, v := range row {
 			srow[i] = e.graph.Dict.String(v)

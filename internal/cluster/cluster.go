@@ -270,49 +270,108 @@ func (ctx *Ctx) Exchange(rel *core.Relation, byCols []string) (*core.Relation, e
 	}
 	out := core.NewRelation(rel.Cols()...)
 	local := int64(0)
-	for _, row := range rel.Rows() {
+	for i := 0; i < rel.Len(); i++ {
+		row := rel.RowAt(i)
 		b := int(core.HashValuesAt(row, at) % uint64(n))
 		if b == ctx.w.id {
 			// Own bucket stays local: straight into the output (one copy,
 			// no network).
-			out.AddCopy(row)
+			out.Add(row)
 			local++
 			continue
 		}
 		buckets[b].AppendRow(row)
 	}
 	c.metrics.LocalRecords.Add(local)
-	for peer := 0; peer < n; peer++ {
-		if peer == ctx.w.id {
-			continue
+	// Ship the buckets from a goroutine while this worker receives: every
+	// worker keeps draining its inbox while its own frames trickle out, so
+	// a full inbox can never deadlock the barrier even though a bucket may
+	// span many budget-sized frames.
+	sendErr := make(chan error, 1)
+	go func() {
+		// A failed peer must not starve the others: keep sending the
+		// remaining buckets so every reachable peer still sees its Last
+		// frame, and surface the first error after the barrier.
+		var firstErr error
+		for peer := 0; peer < n; peer++ {
+			if peer == ctx.w.id {
+				continue
+			}
+			if err := c.sendFrames(peer, KindShuffle, seq, ctx.w.id, 0, buckets[peer],
+				&c.metrics.ShuffleRecords, &c.metrics.ShuffleBytes); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
-		msg := &DataMsg{Kind: KindShuffle, Seq: seq, From: ctx.w.id, Batch: buckets[peer]}
-		c.metrics.ShuffleRecords.Add(int64(buckets[peer].Len()))
-		c.metrics.ShuffleBytes.Add(msg.wireBytes())
-		if err := c.transport.Send(peer, msg); err != nil {
-			return nil, err
-		}
-	}
-	// Barrier: one batch from every peer. Received batches are fresh
-	// copies, so their rows can be aliased into the output relation.
-	for received := 0; received < n-1; received++ {
+		sendErr <- firstErr
+	}()
+	// Barrier: frames arrive until every peer's Last frame is in. Received
+	// batch buffers are fresh copies; their values append straight into the
+	// output relation's backing array.
+	for done := 0; done < n-1; {
 		msg, err := ctx.recvSeq(seq)
 		if err != nil {
 			return nil, err
 		}
-		addBatch(out, msg.Batch)
+		out.AddBatch(msg.Batch)
+		if msg.Last {
+			done++
+		}
+	}
+	if err := <-sendErr; err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// addBatch merges a received batch's rows into a relation, aliasing the
-// batch's backing buffer (transport batches are immutable fresh copies).
-func addBatch(dst *core.Relation, b *core.Batch) {
-	if b == nil {
-		return
+// sendFrames ships one logical batch to a node as a sequence of
+// budget-sized wire frames (core.BatchRowsFor rows each), flagging the
+// final one. An empty batch still sends one empty Last frame so barrier
+// receivers can count completed senders. Record/byte metrics are added per
+// frame when the counters are non-nil.
+func (c *Cluster) sendFrames(to int, kind MsgKind, seq int64, from int, id int64,
+	b *core.Batch, recs, bytes *atomic.Int64) error {
+	step := core.BatchRowsFor(b.Arity())
+	n := b.Len()
+	lo := 0
+	for {
+		hi := lo + step
+		if hi > n {
+			hi = n
+		}
+		msg := &DataMsg{Kind: kind, Seq: seq, From: from, ID: id,
+			Batch: b.Sub(lo, hi), Last: hi == n}
+		if recs != nil {
+			recs.Add(int64(hi - lo))
+		}
+		if bytes != nil {
+			bytes.Add(msg.wireBytes())
+		}
+		if err := c.transport.Send(to, msg); err != nil {
+			return err
+		}
+		if hi == n {
+			return nil
+		}
+		lo = hi
 	}
-	for i := 0; i < b.Len(); i++ {
-		dst.Add(b.Row(i))
+}
+
+// recvFrames receives one sender's frame sequence for an exchange
+// sequence number, validating each frame with check and merging the
+// payloads into dst, until the Last frame.
+func recvFrames(ctx *Ctx, dst *core.Relation, check func(*DataMsg) error) error {
+	for {
+		msg, err := ctx.w.cluster.recv(ctx.w.id)
+		if err != nil {
+			return err
+		}
+		if err := check(msg); err != nil {
+			return err
+		}
+		dst.AddBatch(msg.Batch)
+		if msg.Last {
+			return nil
+		}
 	}
 }
 
@@ -344,26 +403,55 @@ func (ctx *Ctx) AllGather(rel *core.Relation) (*core.Relation, error) {
 	}
 	out := rel.Clone()
 	c.metrics.LocalRecords.Add(int64(rel.Len()))
-	batch := core.BatchFromRows(rel.Arity(), rel.Rows())
-	// One size scan for the shared batch, not one per peer.
-	encSize := uvarintSize(batch.Values())
-	for peer := 0; peer < n; peer++ {
-		if peer == ctx.w.id {
-			continue
+	// Encode straight from the relation's backing array, window by window;
+	// each window's varint size is scanned once and shared by all peers.
+	// Sending happens concurrently with receiving (see Exchange).
+	sendErr := make(chan error, 1)
+	go func() {
+		whole := rel.AsBatch()
+		step := core.BatchRowsFor(rel.Arity())
+		total := rel.Len()
+		var firstErr error
+		for lo := 0; ; {
+			hi := lo + step
+			if hi > total {
+				hi = total
+			}
+			window := whole.Sub(lo, hi)
+			encSize := uvarintSize(window.Values())
+			for peer := 0; peer < n; peer++ {
+				if peer == ctx.w.id {
+					continue
+				}
+				msg := &DataMsg{Kind: KindShuffle, Seq: seq, From: ctx.w.id,
+					Batch: window, encSize: encSize, Last: hi == total}
+				c.metrics.ShuffleRecords.Add(int64(window.Len()))
+				c.metrics.ShuffleBytes.Add(msg.wireBytes())
+				if err := c.transport.Send(peer, msg); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			// Keep sending after an error so reachable peers still see
+			// their Last frame (see Exchange).
+			if hi == total {
+				break
+			}
+			lo = hi
 		}
-		msg := &DataMsg{Kind: KindShuffle, Seq: seq, From: ctx.w.id, Batch: batch, encSize: encSize}
-		c.metrics.ShuffleRecords.Add(int64(rel.Len()))
-		c.metrics.ShuffleBytes.Add(msg.wireBytes())
-		if err := c.transport.Send(peer, msg); err != nil {
-			return nil, err
-		}
-	}
-	for received := 0; received < n-1; received++ {
+		sendErr <- firstErr
+	}()
+	for done := 0; done < n-1; {
 		msg, err := ctx.recvSeq(seq)
 		if err != nil {
 			return nil, err
 		}
-		addBatch(out, msg.Batch)
+		out.AddBatch(msg.Batch)
+		if msg.Last {
+			done++
+		}
+	}
+	if err := <-sendErr; err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -417,31 +505,29 @@ func (c *Cluster) Parallelize(rel *core.Relation, byCols []string) (*Dataset, er
 	ds.PartitionedBy = byCols
 	parts := core.SplitRelation(rel, len(c.workers), byCols)
 	seq := c.seq.Add(1) << 20
-	// Ship partitions concurrently with the receiving phase.
+	// Ship partitions concurrently with the receiving phase, encoding each
+	// partition straight from its backing array in budget-sized frames.
 	sendErr := make(chan error, 1)
 	go func() {
 		var firstErr error
 		for i, p := range parts {
-			msg := &DataMsg{Kind: KindScatter, Seq: seq, From: DriverNode, ID: ds.id,
-				Batch: core.BatchFromRows(p.Arity(), p.Rows())}
-			c.metrics.ScatterRecords.Add(int64(p.Len()))
-			c.metrics.ScatterBytes.Add(msg.wireBytes())
-			if err := c.transport.Send(i, msg); err != nil && firstErr == nil {
+			if err := c.sendFrames(i, KindScatter, seq, DriverNode, ds.id, p.AsBatch(),
+				&c.metrics.ScatterRecords, &c.metrics.ScatterBytes); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
 		sendErr <- firstErr
 	}()
 	err := c.RunPhase(func(ctx *Ctx) error {
-		msg, rerr := c.recv(ctx.w.id)
-		if rerr != nil {
-			return rerr
+		part := core.NewRelationSized(rel.Len()/len(c.workers), rel.Cols()...)
+		if err := recvFrames(ctx, part, func(msg *DataMsg) error {
+			if msg.Kind != KindScatter || msg.Seq != seq || msg.ID != ds.id {
+				return fmt.Errorf("cluster: protocol violation during scatter (kind=%d)", msg.Kind)
+			}
+			return nil
+		}); err != nil {
+			return err
 		}
-		if msg.Kind != KindScatter || msg.Seq != seq || msg.ID != ds.id {
-			return fmt.Errorf("cluster: protocol violation during scatter (kind=%d)", msg.Kind)
-		}
-		part := core.NewRelationSized(msg.rows(), rel.Cols()...)
-		addBatch(part, msg.Batch)
 		ctx.w.store[ds.id] = part
 		return nil
 	})
@@ -461,29 +547,48 @@ func (c *Cluster) BroadcastRel(rel *core.Relation) (*Broadcast, error) {
 	seq := c.seq.Add(1) << 20
 	sendErr := make(chan error, 1)
 	go func() {
-		batch := core.BatchFromRows(rel.Arity(), rel.Rows())
-		encSize := uvarintSize(batch.Values())
+		// Window the relation's backing array once; each window's varint
+		// size is scanned once and shared by every worker's frame.
+		whole := rel.AsBatch()
+		step := core.BatchRowsFor(rel.Arity())
+		total := rel.Len()
 		var firstErr error
-		for i := range c.workers {
-			msg := &DataMsg{Kind: KindBroadcast, Seq: seq, From: DriverNode, ID: b.id, Batch: batch, encSize: encSize}
-			c.metrics.BroadcastRecords.Add(int64(rel.Len()))
-			c.metrics.BroadcastBytes.Add(msg.wireBytes())
-			if err := c.transport.Send(i, msg); err != nil && firstErr == nil {
-				firstErr = err
+		for lo := 0; ; {
+			hi := lo + step
+			if hi > total {
+				hi = total
 			}
+			window := whole.Sub(lo, hi)
+			encSize := uvarintSize(window.Values())
+			for i := range c.workers {
+				msg := &DataMsg{Kind: KindBroadcast, Seq: seq, From: DriverNode, ID: b.id,
+					Batch: window, encSize: encSize, Last: hi == total}
+				c.metrics.BroadcastRecords.Add(int64(window.Len()))
+				c.metrics.BroadcastBytes.Add(msg.wireBytes())
+				if err := c.transport.Send(i, msg); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			// Keep sending even after an error: workers whose sends still
+			// succeed must see their Last frame or they would block in
+			// recvFrames instead of surfacing firstErr.
+			if hi == total {
+				break
+			}
+			lo = hi
 		}
 		sendErr <- firstErr
 	}()
 	err := c.RunPhase(func(ctx *Ctx) error {
-		msg, rerr := c.recv(ctx.w.id)
-		if rerr != nil {
-			return rerr
+		r := core.NewRelationSized(rel.Len(), rel.Cols()...)
+		if err := recvFrames(ctx, r, func(msg *DataMsg) error {
+			if msg.Kind != KindBroadcast || msg.Seq != seq || msg.ID != b.id {
+				return fmt.Errorf("cluster: protocol violation during broadcast (kind=%d)", msg.Kind)
+			}
+			return nil
+		}); err != nil {
+			return err
 		}
-		if msg.Kind != KindBroadcast || msg.Seq != seq || msg.ID != b.id {
-			return fmt.Errorf("cluster: protocol violation during broadcast (kind=%d)", msg.Kind)
-		}
-		r := core.NewRelationSized(msg.rows(), rel.Cols()...)
-		addBatch(r, msg.Batch)
 		ctx.w.bcast[b.id] = r
 		return nil
 	})
@@ -503,7 +608,9 @@ func (c *Cluster) Collect(ds *Dataset) (*core.Relation, error) {
 	out := core.NewRelation(ds.cols...)
 	done := make(chan error, 1)
 	go func() {
-		for i := 0; i < len(c.workers); i++ {
+		// Workers stream their partitions as frame sequences; the gather is
+		// complete when every worker's Last frame has arrived.
+		for lastSeen := 0; lastSeen < len(c.workers); {
 			msg, rerr := c.recv(DriverNode)
 			if rerr != nil {
 				done <- rerr
@@ -513,17 +620,17 @@ func (c *Cluster) Collect(ds *Dataset) (*core.Relation, error) {
 				done <- fmt.Errorf("cluster: protocol violation during collect (kind=%d)", msg.Kind)
 				return
 			}
-			addBatch(out, msg.Batch)
+			out.AddBatch(msg.Batch)
+			if msg.Last {
+				lastSeen++
+			}
 		}
 		done <- nil
 	}()
 	phaseErr := c.RunPhase(func(ctx *Ctx) error {
 		part := ctx.Partition(ds)
-		msg := &DataMsg{Kind: KindCollect, Seq: seq, From: ctx.w.id, ID: ds.id,
-			Batch: core.BatchFromRows(part.Arity(), part.Rows())}
-		c.metrics.CollectRecords.Add(int64(part.Len()))
-		c.metrics.CollectBytes.Add(msg.wireBytes())
-		return c.transport.Send(DriverNode, msg)
+		return c.sendFrames(DriverNode, KindCollect, seq, ctx.w.id, ds.id, part.AsBatch(),
+			&c.metrics.CollectRecords, &c.metrics.CollectBytes)
 	})
 	if phaseErr != nil {
 		// The receiver goroutine unblocks when the transport closes.

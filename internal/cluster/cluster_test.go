@@ -554,3 +554,76 @@ func TestWideRowsOverTCP(t *testing.T) {
 		t.Fatal("wide rows corrupted over TCP")
 	}
 }
+
+// TestMultiFrameTransfers pushes relations much larger than the per-frame
+// byte budget through every exchange primitive: each logical transfer must
+// arrive complete and deduplicated even though it crosses the wire as many
+// budget-sized frames (core.BatchRowsFor rows each, Last-flagged final).
+func TestMultiFrameTransfers(t *testing.T) {
+	transports(t, 3, func(t *testing.T, c *Cluster) {
+		rng := rand.New(rand.NewSource(44))
+		// ~5 frames at arity 2.
+		n := core.BatchRowsFor(2)*4 + 123
+		rel := randomRel(rng, n*2, n*4)
+		if rel.Len() <= core.BatchRowsFor(2) {
+			t.Fatalf("test relation too small to force multiple frames")
+		}
+		ds, err := c.Parallelize(rel, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Collect(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(rel) {
+			t.Fatalf("scatter/collect across frames lost rows: %d vs %d", got.Len(), rel.Len())
+		}
+		b, err := c.BroadcastRel(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunPhase(func(ctx *Ctx) error {
+			if bv := ctx.BroadcastValue(b); !bv.Equal(rel) {
+				t.Errorf("worker %d: broadcast across frames lost rows: %d vs %d",
+					ctx.WorkerID(), bv.Len(), rel.Len())
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Exchange: repartition by src; the union of results must equal rel.
+		parts := make([]*core.Relation, c.NumWorkers())
+		if err := c.RunPhase(func(ctx *Ctx) error {
+			merged, err := ctx.Exchange(ctx.Partition(ds), []string{core.ColSrc})
+			if err != nil {
+				return err
+			}
+			parts[ctx.WorkerID()] = merged
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		union := core.NewRelation(rel.Cols()...)
+		for _, p := range parts {
+			union.UnionInPlace(p)
+		}
+		if !union.Equal(rel) {
+			t.Fatalf("exchange across frames lost rows: %d vs %d", union.Len(), rel.Len())
+		}
+		// AllGather: every worker ends with the full relation.
+		if err := c.RunPhase(func(ctx *Ctx) error {
+			all, err := ctx.AllGather(ctx.Partition(ds))
+			if err != nil {
+				return err
+			}
+			if !all.Equal(rel) {
+				t.Errorf("worker %d: all-gather across frames lost rows: %d vs %d",
+					ctx.WorkerID(), all.Len(), rel.Len())
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

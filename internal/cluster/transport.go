@@ -31,9 +31,13 @@ const (
 // given exchange phase, carried as one flat value buffer instead of the
 // seed's per-row slices (one allocation per batch on copy/decode, not one
 // per row). Schemas travel in the control plane (the phase closure knows
-// the dataset's columns); only raw values cross the wire.
+// the dataset's columns); only raw values cross the wire. A logical
+// transfer is a sequence of budget-sized frames (core.BatchRowsFor rows
+// each); Last marks the final frame, which is how barrier receivers count
+// completed senders.
 type DataMsg struct {
 	Kind  MsgKind
+	Last  bool  // final frame of this sender's transfer for Seq
 	Seq   int64 // exchange phase this batch belongs to
 	From  int   // sending node (DriverNode for the driver)
 	ID    int64 // dataset / broadcast identifier
@@ -99,7 +103,10 @@ type Transport interface {
 // DriverNode is the node id of the driver in the transport.
 const DriverNode = -1
 
-const msgHeaderSize = 1 + 8 + 4 + 8 + 4 + 4 // kind, seq, from, id, arity, nrows
+const msgHeaderSize = 1 + 1 + 8 + 4 + 8 + 4 + 4 // kind, flags, seq, from, id, arity, nrows
+
+// frame flag bits.
+const flagLast = 1 << 0
 
 // --- in-process channel transport -------------------------------------------
 
@@ -133,7 +140,7 @@ func (t *ChanTransport) Send(to int, msg *DataMsg) error {
 	if !ok {
 		return fmt.Errorf("cluster: no such node %d", to)
 	}
-	cp := &DataMsg{Kind: msg.Kind, Seq: msg.Seq, From: msg.From, ID: msg.ID}
+	cp := &DataMsg{Kind: msg.Kind, Last: msg.Last, Seq: msg.Seq, From: msg.From, ID: msg.ID}
 	if msg.Batch != nil {
 		vals := make([]core.Value, len(msg.Batch.Values()))
 		copy(vals, msg.Batch.Values())
@@ -305,11 +312,14 @@ func writeFrame(w io.Writer, msg *DataMsg) error {
 	buf := make([]byte, 4+payload)
 	binary.LittleEndian.PutUint32(buf[0:], uint32(payload))
 	buf[4] = byte(msg.Kind)
-	binary.LittleEndian.PutUint64(buf[5:], uint64(msg.Seq))
-	binary.LittleEndian.PutUint32(buf[13:], uint32(int32(msg.From)))
-	binary.LittleEndian.PutUint64(buf[17:], uint64(msg.ID))
-	binary.LittleEndian.PutUint32(buf[25:], uint32(arity))
-	binary.LittleEndian.PutUint32(buf[29:], uint32(nRows))
+	if msg.Last {
+		buf[5] = flagLast
+	}
+	binary.LittleEndian.PutUint64(buf[6:], uint64(msg.Seq))
+	binary.LittleEndian.PutUint32(buf[14:], uint32(int32(msg.From)))
+	binary.LittleEndian.PutUint64(buf[18:], uint64(msg.ID))
+	binary.LittleEndian.PutUint32(buf[26:], uint32(arity))
+	binary.LittleEndian.PutUint32(buf[30:], uint32(nRows))
 	off := 4 + msgHeaderSize
 	for _, v := range vals {
 		off += binary.PutUvarint(buf[off:], uint64(v))
@@ -337,12 +347,13 @@ func readFrame(r io.Reader) (*DataMsg, error) {
 	}
 	msg := &DataMsg{
 		Kind: MsgKind(buf[0]),
-		Seq:  int64(binary.LittleEndian.Uint64(buf[1:])),
-		From: int(int32(binary.LittleEndian.Uint32(buf[9:]))),
-		ID:   int64(binary.LittleEndian.Uint64(buf[13:])),
+		Last: buf[1]&flagLast != 0,
+		Seq:  int64(binary.LittleEndian.Uint64(buf[2:])),
+		From: int(int32(binary.LittleEndian.Uint32(buf[10:]))),
+		ID:   int64(binary.LittleEndian.Uint64(buf[14:])),
 	}
-	arity := int(binary.LittleEndian.Uint32(buf[21:]))
-	nRows := int(binary.LittleEndian.Uint32(buf[25:]))
+	arity := int(binary.LittleEndian.Uint32(buf[22:]))
+	nRows := int(binary.LittleEndian.Uint32(buf[26:]))
 	// Every value costs at least one varint byte, so the header's claimed
 	// value count is bounded by the payload actually received — reject
 	// inconsistent frames before allocating for them.

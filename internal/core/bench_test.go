@@ -65,6 +65,56 @@ func BenchmarkFixpointSparseClosure(b *testing.B) {
 	}
 }
 
+// TestScanZeroFlattenCopies asserts the tentpole property of the flat
+// storage: scanning a relation emits batches with zero per-batch
+// row-flatten copies. The whole multi-batch drain costs a constant few
+// allocations (iterator + batch header), independent of row count,
+// because every batch is a view of the relation's backing array.
+func TestScanZeroFlattenCopies(t *testing.T) {
+	rel := chainRelation(BatchRowsFor(2)*4 + 5) // several batches per scan
+	allocs := testing.AllocsPerRun(50, func() {
+		it := ScanRelation(rel)
+		rows := 0
+		for b := it.Next(); b != nil; b = it.Next() {
+			rows += b.Len()
+		}
+		if rows != rel.Len() {
+			t.Fatalf("scan yielded %d rows, want %d", rows, rel.Len())
+		}
+	})
+	// One allocation for the iterator; a flattening scan would pay one
+	// buffer per batch (5 batches here) and fail this bound.
+	if allocs > 2 {
+		t.Fatalf("scan cost %.0f allocs, want <= 2 (zero per-batch flatten copies)", allocs)
+	}
+}
+
+// BenchmarkParallelFixpoint measures the parallel delta probing against
+// the sequential step on a workload with large deltas (dense random
+// graph transitive closure).
+func BenchmarkParallelFixpoint(b *testing.B) {
+	edges := sparseRelation(rand.New(rand.NewSource(9)), 1500, 4500)
+	term := ClosureLR("X", &Var{Name: "E"})
+	env := NewEnv()
+	env.Bind("E", edges)
+	for _, workers := range []int{1, 0} {
+		name := "sequential"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev := NewEvaluator(env)
+				ev.Parallel = workers
+				if _, err := ev.Eval(term); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFixpointPipelines compares the two evaluators the engine
 // carries on the same deep-closure hot path: the streaming iterator
 // pipeline with reusable join indexes (the default) against the seed's

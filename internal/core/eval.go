@@ -51,6 +51,7 @@ type EvalStats struct {
 	OpTuples           int // tuples materialized at operator/pipeline sinks
 	IndexBuilds        int // join indexes built
 	IndexReuses        int // join index cache hits (reuse across iterations)
+	ParallelSteps      int // fixpoint iterations probed by the worker pool
 }
 
 // Evaluator evaluates µ-RA terms against an Env using semi-naive fixpoint
@@ -72,6 +73,11 @@ type Evaluator struct {
 	Stats   EvalStats
 	// Materializing forces the materializing reference evaluator.
 	Materializing bool
+	// Parallel bounds the worker pool of the fixpoint's parallel delta
+	// probing: 0 means DefaultParallelism(), 1 disables parallelism, n>1
+	// uses at most n workers. Iterations whose delta is smaller than a few
+	// batches always run sequentially regardless.
+	Parallel int
 	// FixpointHandler, when set, is invoked for fixpoint terms instead of
 	// the local semi-naive loop — the hook the physical planner uses to
 	// execute fixpoints distributively while every other operator streams
@@ -425,20 +431,15 @@ func (ev *Evaluator) RunFixpoint(d *Decomposed, init *Relation, env *Env) (*Rela
 		if ev.MaxIter > 0 && iter > ev.MaxIter {
 			return nil, fmt.Errorf("core: fixpoint exceeded %d iterations", ev.MaxIter)
 		}
-		stepEnv := env.with(d.X, nu)
 		next := NewRelation(x.Cols()...)
-		for _, br := range d.PhiBranches {
-			it, err := ev.stream(br, stepEnv)
-			if err != nil {
-				return nil, err
-			}
-			for b := it.Next(); b != nil; b = it.Next() {
-				for i := 0; i < b.Len(); i++ {
-					if stored, added := x.insert(b.Row(i), true); added {
-						next.Add(stored)
-					}
-				}
-			}
+		var err error
+		if chunk, workers := ParallelPlan(nu.Len(), nu.Arity(), ev.Parallel); workers > 1 {
+			err = ev.stepParallel(d, nu, x, next, env, chunk, workers)
+		} else {
+			err = ev.stepSequential(d, nu, x, next, env)
+		}
+		if err != nil {
+			return nil, err
 		}
 		nu = next
 		ev.Stats.FixpointIterations++
@@ -448,6 +449,60 @@ func (ev *Evaluator) RunFixpoint(d *Decomposed, init *Relation, env *Env) (*Rela
 		}
 	}
 	return x, nil
+}
+
+// stepSequential runs one semi-naive iteration on the calling goroutine:
+// φ(nu) streams into the accumulator with the set difference and union
+// fused (one hash per produced tuple, shared between x and the delta).
+func (ev *Evaluator) stepSequential(d *Decomposed, nu, x, next *Relation, env *Env) error {
+	stepEnv := env.with(d.X, nu)
+	for _, br := range d.PhiBranches {
+		it, err := ev.stream(br, stepEnv)
+		if err != nil {
+			return err
+		}
+		for b := it.Next(); b != nil; b = it.Next() {
+			for i := 0; i < b.Len(); i++ {
+				row := b.Row(i)
+				h := HashValues(row)
+				if x.addHashed(row, h) {
+					next.addHashed(row, h)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// stepParallel runs one semi-naive iteration with the delta split into
+// batch-granular chunks probed concurrently. Each chunk gets its own
+// iterator pipeline over a read-only Slice view of the delta (sound
+// because Fcond makes every φ branch linear in X, so φ distributes over
+// this partition of nu); pipelines are built serially, which warms the
+// evaluator's shared index/const caches, then drained by a bounded worker
+// pool into a sharded tuple set filtered against the accumulator. The
+// accumulator is only read during the drain; the new rows merge into x
+// and the next delta sequentially afterwards, reusing the drain's hashes.
+func (ev *Evaluator) stepParallel(d *Decomposed, nu, x, next *Relation, env *Env, chunk, workers int) error {
+	var pipes []Iterator
+	for _, br := range d.PhiBranches {
+		for lo := 0; lo < nu.Len(); lo += chunk {
+			hi := lo + chunk
+			if hi > nu.Len() {
+				hi = nu.Len()
+			}
+			it, err := ev.stream(br, env.with(d.X, nu.Slice(lo, hi)))
+			if err != nil {
+				return err
+			}
+			pipes = append(pipes, it)
+		}
+	}
+	sink := NewShardedSet(x.Arity(), x)
+	ParallelDrain(pipes, workers, sink)
+	sink.AppendTo(x, next)
+	ev.Stats.ParallelSteps++
+	return nil
 }
 
 // EvalPhiDelta evaluates φ(nu) — the union of the decomposed fixpoint's
@@ -636,14 +691,15 @@ func SplitRelation(r *Relation, n int, byCols []string) []*Relation {
 			}
 			at[i] = idx
 		}
-		for _, row := range r.Rows() {
+		for i := 0; i < r.Len(); i++ {
+			row := r.RowAt(i)
 			h := HashValuesAt(row, at)
 			parts[int(h%uint64(n))].Add(row)
 		}
 		return parts
 	}
-	for i, row := range r.Rows() {
-		parts[i%n].Add(row)
+	for i := 0; i < r.Len(); i++ {
+		parts[i%n].Add(r.RowAt(i))
 	}
 	return parts
 }

@@ -16,10 +16,33 @@ import "fmt"
 // matching the reference (materializing) evaluator without per-operator
 // rehashing.
 
-// BatchRows is the soft target for rows per batch. Operators may emit
-// slightly larger batches (a join flushes all matches of its current probe
-// row) but never unboundedly larger.
-const BatchRows = 1024
+// BatchBudgetValues is the per-batch value budget: batches target about
+// 64 KiB of Values (8192 × 8 bytes), a cache-friendly unit that amortizes
+// per-batch overhead without bloating pipeline buffers.
+const BatchBudgetValues = 8192
+
+// Batch row-target clamps: even very wide rows get a few dozen rows per
+// batch, and narrow rows stop at the budget itself.
+const (
+	minBatchRows = 64
+	maxBatchRows = BatchBudgetValues
+)
+
+// BatchRowsFor returns the soft row target for batches of the given arity:
+// the row count that lands a batch near BatchBudgetValues, clamped to
+// [minBatchRows, maxBatchRows]. Operators may emit slightly larger batches
+// (a join flushes all matches of its current probe row) but never
+// unboundedly larger.
+func BatchRowsFor(arity int) int {
+	if arity <= 0 {
+		return maxBatchRows
+	}
+	rows := BatchBudgetValues / arity
+	if rows < minBatchRows {
+		return minBatchRows
+	}
+	return rows
+}
 
 // Batch is a column-aligned batch of rows over one schema, stored as a
 // single flat row-major value buffer. Row(i) returns a view into the
@@ -27,23 +50,28 @@ const BatchRows = 1024
 // call unless the batch is known to be freshly allocated (e.g. decoded
 // from the wire).
 type Batch struct {
-	arity int
-	n     int
-	vals  []Value
+	arity  int
+	n      int
+	vals   []Value
+	target int // soft row target (arity-dependent byte budget)
 }
 
 // NewBatch returns an empty batch for rows of the given arity.
-func NewBatch(arity int) *Batch { return &Batch{arity: arity} }
+func NewBatch(arity int) *Batch {
+	return &Batch{arity: arity, target: BatchRowsFor(arity)}
+}
 
 // NewBatchValues wraps an existing flat buffer of n rows of the given
 // arity (used by transports decoding wire frames).
 func NewBatchValues(arity, n int, vals []Value) *Batch {
-	return &Batch{arity: arity, n: n, vals: vals}
+	return &Batch{arity: arity, n: n, vals: vals, target: BatchRowsFor(arity)}
 }
 
 // BatchFromRows flattens rows (each of the given arity) into a batch.
 func BatchFromRows(arity int, rows [][]Value) *Batch {
-	b := &Batch{arity: arity, n: len(rows), vals: make([]Value, 0, arity*len(rows))}
+	b := NewBatch(arity)
+	b.vals = make([]Value, 0, arity*len(rows))
+	b.n = len(rows)
 	for _, row := range rows {
 		b.vals = append(b.vals, row...)
 	}
@@ -52,6 +80,14 @@ func BatchFromRows(arity int, rows [][]Value) *Batch {
 
 // Arity returns the number of columns per row.
 func (b *Batch) Arity() int { return b.arity }
+
+// Sub returns rows [lo, hi) of b as a zero-copy view sharing b's buffer —
+// the unit the cluster frame encoder ships, so a large logical batch
+// leaves as budget-sized wire frames without re-flattening.
+func (b *Batch) Sub(lo, hi int) *Batch {
+	a := b.arity
+	return &Batch{arity: a, n: hi - lo, vals: b.vals[lo*a : hi*a : hi*a], target: b.target}
+}
 
 // Len returns the number of rows.
 func (b *Batch) Len() int { return b.n }
@@ -92,7 +128,7 @@ func (b *Batch) reset() {
 }
 
 // full reports whether the batch reached the soft size target.
-func (b *Batch) full() bool { return b.n >= BatchRows }
+func (b *Batch) full() bool { return b.n >= b.target }
 
 // Iterator streams a relation-valued expression as batches. Next returns
 // nil when the stream is exhausted; the returned batch is valid only until
@@ -106,32 +142,43 @@ type Iterator interface {
 
 // --- sources -----------------------------------------------------------------
 
-// relationIter scans a materialized relation. It remembers its source so
-// join planning can index the relation instead of draining the stream.
+// relationIter scans a materialized relation with zero-copy batches:
+// every emitted batch aliases a window of the relation's flat backing
+// array — no per-batch flatten, no per-row copy. It remembers its source
+// so join planning can index the relation instead of draining the stream.
 type relationIter struct {
-	rel *Relation
-	pos int
-	out *Batch
+	rel  *Relation
+	pos  int // next unemitted row
+	step int
+	out  Batch // reused view header
 }
 
-// ScanRelation streams rel.
+// ScanRelation streams rel. The scanned relation must not be mutated
+// while the stream is consumed (an insert may move the backing array).
 func ScanRelation(rel *Relation) Iterator {
-	return &relationIter{rel: rel, out: NewBatch(rel.Arity())}
+	return &relationIter{rel: rel, step: BatchRowsFor(rel.Arity())}
 }
 
 func (it *relationIter) Cols() []string { return it.rel.Cols() }
 
 func (it *relationIter) Next() *Batch {
-	rows := it.rel.Rows()
-	if it.pos >= len(rows) {
+	n := it.rel.Len()
+	if it.pos >= n {
 		return nil
 	}
-	it.out.reset()
-	for it.pos < len(rows) && !it.out.full() {
-		it.out.AppendRow(rows[it.pos])
-		it.pos++
+	hi := it.pos + it.step
+	if hi > n {
+		hi = n
 	}
-	return it.out
+	a := it.rel.Arity()
+	it.out = Batch{
+		arity:  a,
+		n:      hi - it.pos,
+		vals:   it.rel.data[it.pos*a : hi*a : hi*a],
+		target: it.step,
+	}
+	it.pos = hi
+	return &it.out
 }
 
 // singletonIter yields one constant row (the {c→v} term).
@@ -253,11 +300,13 @@ func (it *renameIter) Next() *Batch {
 // columns merges tuples, so this is one of the two operators that must
 // deduplicate to keep the stream a set.
 type dropIter struct {
-	in   Iterator
-	cols []string
-	keep []int // positions of kept columns in the input row
-	seen *Relation
-	pos  int
+	in     Iterator
+	cols   []string
+	keep   []int // positions of kept columns in the input row
+	seen   *Relation
+	pos    int
+	target int
+	out    Batch // reused view header over seen's backing array
 }
 
 // DropStream applies π̃[cols] to in. The caller must have validated the
@@ -268,14 +317,16 @@ func DropStream(in Iterator, cols ...string) Iterator {
 	for i, c := range keepCols {
 		keep[i] = ColIndex(in.Cols(), c)
 	}
-	return &dropIter{in: in, cols: keepCols, keep: keep, seen: NewRelation(keepCols...)}
+	return &dropIter{in: in, cols: keepCols, keep: keep,
+		seen: NewRelation(keepCols...), target: BatchRowsFor(len(keepCols))}
 }
 
 func (it *dropIter) Cols() []string { return it.cols }
 
 func (it *dropIter) Next() *Batch {
-	// Rows live in it.seen's arena; batches view them, so emitted views
-	// stay valid for the whole stream.
+	// Distinct rows accumulate in it.seen's flat arena; emitted batches
+	// are zero-copy views of the newly accumulated window, valid until the
+	// following Next call (a later insert may move the arena).
 	narrow := make([]Value, len(it.keep))
 	for {
 		b := it.in.Next()
@@ -287,32 +338,41 @@ func (it *dropIter) Next() *Batch {
 			for j, p := range it.keep {
 				narrow[j] = row[p]
 			}
-			it.seen.AddCopy(narrow)
+			it.seen.Add(narrow)
 		}
-		if it.seen.Len()-it.pos >= BatchRows {
+		if it.seen.Len()-it.pos >= it.target {
 			break
 		}
 	}
-	return it.drainSeen()
+	return drainSeen(it.seen, &it.pos, &it.out)
 }
 
-// drainSeen emits the distinct rows accumulated since the last call.
-func (it *dropIter) drainSeen() *Batch {
-	rows := it.seen.Rows()
-	if it.pos >= len(rows) {
+// drainSeen emits the rows of seen accumulated past *pos as a zero-copy
+// view batch, advancing *pos.
+func drainSeen(seen *Relation, pos *int, out *Batch) *Batch {
+	n := seen.Len()
+	if *pos >= n {
 		return nil
 	}
-	out := BatchFromRows(len(it.cols), rows[it.pos:])
-	it.pos = len(rows)
+	a := seen.Arity()
+	*out = Batch{
+		arity:  a,
+		n:      n - *pos,
+		vals:   seen.data[*pos*a : n*a : n*a],
+		target: BatchRowsFor(a),
+	}
+	*pos = n
 	return out
 }
 
 // unionIter concatenates two streams with an inline distinct (the streams
 // may overlap).
 type unionIter struct {
-	l, r Iterator
-	seen *Relation
-	pos  int
+	l, r   Iterator
+	seen   *Relation
+	pos    int
+	target int
+	out    Batch // reused view header over seen's backing array
 }
 
 // UnionStream streams l ∪ r (schemas must agree).
@@ -320,13 +380,14 @@ func UnionStream(l, r Iterator) Iterator {
 	if !ColsEqual(l.Cols(), r.Cols()) {
 		panic("core: union stream schema mismatch")
 	}
-	return &unionIter{l: l, r: r, seen: NewRelation(l.Cols()...)}
+	return &unionIter{l: l, r: r, seen: NewRelation(l.Cols()...),
+		target: BatchRowsFor(len(l.Cols()))}
 }
 
 func (it *unionIter) Cols() []string { return it.seen.Cols() }
 
 func (it *unionIter) Next() *Batch {
-	for it.seen.Len()-it.pos < BatchRows {
+	for it.seen.Len()-it.pos < it.target {
 		var b *Batch
 		if it.l != nil {
 			if b = it.l.Next(); b == nil {
@@ -342,16 +403,10 @@ func (it *unionIter) Next() *Batch {
 			break
 		}
 		for i := 0; i < b.Len(); i++ {
-			it.seen.AddCopy(b.Row(i))
+			it.seen.Add(b.Row(i))
 		}
 	}
-	rows := it.seen.Rows()
-	if it.pos >= len(rows) {
-		return nil
-	}
-	out := BatchFromRows(it.seen.Arity(), rows[it.pos:])
-	it.pos = len(rows)
-	return out
+	return drainSeen(it.seen, &it.pos, &it.out)
 }
 
 // --- hash join / antijoin ----------------------------------------------------
@@ -482,13 +537,16 @@ func (c notInRelation) String() string                        { return "∉rel" 
 
 // --- sinks -------------------------------------------------------------------
 
-// Drain adds every streamed row into dst (set semantics, rows copied into
-// dst's arena) and returns the number of rows added.
+// Drain adds every streamed row into dst (set semantics, values copied
+// into dst's flat backing array) and returns the number of rows added.
+// dst must not be a source relation of the pipeline: scans are zero-copy
+// views, and inserting into a scanned relation would move its storage
+// mid-stream.
 func Drain(it Iterator, dst *Relation) int {
 	added := 0
 	for b := it.Next(); b != nil; b = it.Next() {
 		for i := 0; i < b.Len(); i++ {
-			if dst.AddCopy(b.Row(i)) {
+			if dst.Add(b.Row(i)) {
 				added++
 			}
 		}

@@ -9,19 +9,26 @@ import "fmt"
 // every delta iteration probes it, instead of re-hashing the constant
 // relation per iteration (§III-D's "persistent indexes").
 //
-// Buckets key on the 64-bit FNV-1a hash of the key values; probes verify
-// candidate rows value-wise, so hash collisions cannot produce wrong
-// matches.
+// The index addresses rows by offset into the indexed relation's flat
+// row-major backing array (captured at build time), not by per-row
+// slices: buckets map the 64-bit FNV-1a hash of the key values to row
+// indices, and probes verify candidate rows value-wise, so hash collisions
+// cannot produce wrong matches. Probing is read-only and safe for
+// concurrent use — the parallel fixpoint step probes one index from many
+// goroutines.
 type JoinIndex struct {
 	keyCols []string // indexed columns (as given, relation-schema order)
 	at      []int    // positions of keyCols in the indexed rows
-	rows    [][]Value
+	data    []Value  // flat row-major snapshot of the indexed rows
+	arity   int
+	nrows   int
 	buckets map[uint64][]int32
 	keys    int // number of distinct keys
 }
 
 // BuildJoinIndex indexes rel on keyCols. Every keyCol must be in rel's
-// schema.
+// schema. The index snapshots rel's backing array: rows added to rel
+// afterwards are not covered.
 func BuildJoinIndex(rel *Relation, keyCols []string) (*JoinIndex, error) {
 	at := make([]int, len(keyCols))
 	for i, c := range keyCols {
@@ -31,22 +38,24 @@ func BuildJoinIndex(rel *Relation, keyCols []string) (*JoinIndex, error) {
 		}
 		at[i] = idx
 	}
-	ix := buildJoinIndex(rel.Rows(), at)
+	ix := buildJoinIndex(rel.Data(), rel.Arity(), rel.Len(), at)
 	ix.keyCols = keyCols
 	return ix, nil
 }
 
-// buildJoinIndex indexes raw rows on the given positions.
-func buildJoinIndex(rows [][]Value, at []int) *JoinIndex {
-	ix := &JoinIndex{at: at, rows: rows, buckets: make(map[uint64][]int32, len(rows))}
-	for i, row := range rows {
+// buildJoinIndex indexes a flat row-major store on the given positions.
+func buildJoinIndex(data []Value, arity, nrows int, at []int) *JoinIndex {
+	ix := &JoinIndex{at: at, data: data, arity: arity, nrows: nrows,
+		buckets: make(map[uint64][]int32, nrows)}
+	for i := 0; i < nrows; i++ {
+		row := ix.rowAt(int32(i))
 		h := HashValuesAt(row, at)
 		b := ix.buckets[h]
 		// A bucket can mix several distinct keys under one hash collision;
 		// count a new key only when no earlier bucket row shares it.
 		newKey := true
 		for _, ri := range b {
-			if ix.sameKeyAs(rows[ri], row) {
+			if ix.sameKeyAs(ix.rowAt(ri), row) {
 				newKey = false
 				break
 			}
@@ -59,6 +68,12 @@ func buildJoinIndex(rows [][]Value, at []int) *JoinIndex {
 	return ix
 }
 
+// rowAt returns a view of indexed row ri in the flat snapshot.
+func (ix *JoinIndex) rowAt(ri int32) []Value {
+	at := int(ri) * ix.arity
+	return ix.data[at : at+ix.arity : at+ix.arity]
+}
+
 // KeyCols returns the indexed columns (empty for position-built indexes).
 func (ix *JoinIndex) KeyCols() []string { return ix.keyCols }
 
@@ -66,7 +81,7 @@ func (ix *JoinIndex) KeyCols() []string { return ix.keyCols }
 func (ix *JoinIndex) Len() int { return ix.keys }
 
 // Rows returns how many rows the index covers.
-func (ix *JoinIndex) Rows() int { return len(ix.rows) }
+func (ix *JoinIndex) Rows() int { return ix.nrows }
 
 // sameKeyAs reports whether two indexed rows agree on the key positions.
 func (ix *JoinIndex) sameKeyAs(a, b []Value) bool {
@@ -89,11 +104,12 @@ func (ix *JoinIndex) keyMatches(row, key []Value) bool {
 }
 
 // Matches appends to dst every indexed row whose key columns equal key
-// (aligned with KeyCols) and returns the extended slice. Candidate rows
-// from colliding hash buckets are filtered by value comparison.
+// (aligned with KeyCols) and returns the extended slice. The appended rows
+// are zero-copy views into the index's flat snapshot. Candidate rows from
+// colliding hash buckets are filtered by value comparison.
 func (ix *JoinIndex) Matches(dst [][]Value, key []Value) [][]Value {
 	for _, ri := range ix.buckets[HashValues(key)] {
-		row := ix.rows[ri]
+		row := ix.rowAt(ri)
 		if ix.keyMatches(row, key) {
 			dst = append(dst, row)
 		}
@@ -104,7 +120,7 @@ func (ix *JoinIndex) Matches(dst [][]Value, key []Value) [][]Value {
 // Contains reports whether any indexed row has the given key.
 func (ix *JoinIndex) Contains(key []Value) bool {
 	for _, ri := range ix.buckets[HashValues(key)] {
-		if ix.keyMatches(ix.rows[ri], key) {
+		if ix.keyMatches(ix.rowAt(ri), key) {
 			return true
 		}
 	}
@@ -115,7 +131,7 @@ func (ix *JoinIndex) Contains(key []Value) bool {
 // avoiding a key copy on the hot path.
 func (ix *JoinIndex) matchesAt(dst [][]Value, probe []Value, at []int) [][]Value {
 	for _, ri := range ix.buckets[HashValuesAt(probe, at)] {
-		row := ix.rows[ri]
+		row := ix.rowAt(ri)
 		if ix.keyMatchesAt(row, probe, at) {
 			dst = append(dst, row)
 		}
@@ -126,7 +142,7 @@ func (ix *JoinIndex) matchesAt(dst [][]Value, probe []Value, at []int) [][]Value
 // containsAt is Contains with the key read from probe's positions at.
 func (ix *JoinIndex) containsAt(probe []Value, at []int) bool {
 	for _, ri := range ix.buckets[HashValuesAt(probe, at)] {
-		if ix.keyMatchesAt(ix.rows[ri], probe, at) {
+		if ix.keyMatchesAt(ix.rowAt(ri), probe, at) {
 			return true
 		}
 	}

@@ -320,18 +320,21 @@ func TestQuickDiffStreamMatchesDiff(t *testing.T) {
 // found, and duplicates must still be rejected.
 func TestTupleSetCollisions(t *testing.T) {
 	const collidingHash = uint64(0xdeadbeef)
+	const arity = 2
 	var (
 		s    tupleSet
-		rows [][]Value
+		data []Value
+		n    int
 	)
 	add := func(row []Value) bool {
-		s.growFor(len(rows) + 1)
-		slot, found := s.lookup(collidingHash, row, rows)
+		s.growFor(n + 1)
+		slot, found := s.lookup(collidingHash, row, data, arity)
 		if found {
 			return false
 		}
-		rows = append(rows, row)
-		s.claim(slot, collidingHash, int32(len(rows)))
+		data = append(data, row...)
+		n++
+		s.claim(slot, collidingHash, int32(n))
 		return true
 	}
 	for i := 0; i < 50; i++ {
@@ -340,14 +343,14 @@ func TestTupleSetCollisions(t *testing.T) {
 		}
 	}
 	for i := 0; i < 50; i++ {
-		if _, found := s.lookup(collidingHash, []Value{Value(i), Value(i * 7)}, rows); !found {
+		if _, found := s.lookup(collidingHash, []Value{Value(i), Value(i * 7)}, data, arity); !found {
 			t.Fatalf("colliding row %d not found", i)
 		}
 		if add([]Value{Value(i), Value(i * 7)}) {
 			t.Fatalf("duplicate row %d accepted", i)
 		}
 	}
-	if _, found := s.lookup(collidingHash, []Value{99, 99}, rows); found {
+	if _, found := s.lookup(collidingHash, []Value{99, 99}, data, arity); found {
 		t.Fatal("absent row reported present under colliding hash")
 	}
 }
@@ -356,13 +359,14 @@ func TestTupleSetCollisions(t *testing.T) {
 // keys (a hash collision) must filter probes by value, never returning a
 // row whose key differs from the probe.
 func TestJoinIndexCollisions(t *testing.T) {
-	rows := [][]Value{{1, 10}, {2, 20}, {1, 11}}
 	// Hand-build an index whose single bucket mixes keys 1 and 2, as a
 	// real 64-bit collision would.
 	ix := &JoinIndex{
 		keyCols: []string{ColSrc},
 		at:      []int{0},
-		rows:    rows,
+		data:    []Value{1, 10, 2, 20, 1, 11},
+		arity:   2,
+		nrows:   3,
 		buckets: map[uint64][]int32{HashValues([]Value{1}): {0, 1, 2}},
 	}
 	got := ix.Matches(nil, []Value{1})

@@ -8,23 +8,30 @@ import (
 )
 
 // Relation is a set of tuples over a fixed schema, the µ-RA data model.
-// The schema is a sorted list of column names; each row is a []Value
-// aligned with it. Set semantics are enforced on insertion: adding a
-// duplicate row is a no-op. Row iteration order is insertion order, which
-// keeps evaluation deterministic for a deterministic input.
+// The schema is a sorted list of column names; tuples are stored row-major
+// in a single flat []Value backing array (arity-strided), so a scan hands
+// out zero-copy views straight into the storage and an insert is one
+// bounds-checked append instead of a per-row allocation. Set semantics are
+// enforced on insertion: adding a duplicate row is a no-op. Row iteration
+// order is insertion order, which keeps single-threaded evaluation
+// deterministic for a deterministic input.
 //
 // Deduplication is backed by an open-addressing set of 64-bit row hashes
-// (tupleSet) rather than string-packed keys: membership costs one FNV-1a
-// hash and, on a hit, one value-wise comparison, with zero allocation.
+// (tupleSet) over row indices into the backing array: membership costs one
+// FNV-1a hash and, on a hit, one value-wise comparison, with zero
+// allocation.
 type Relation struct {
 	cols []string
-	rows [][]Value
+	data []Value // row-major backing array, len = n*arity
+	n    int     // number of rows
 	set  tupleSet
-	// arena backs rows inserted through AddCopy: row copies are carved out
-	// of shared chunks (doubling up to a cap) instead of one allocation per
-	// row.
-	arena      []Value
-	arenaChunk int
+	// readonly marks views produced by Slice: they share a window of
+	// another relation's backing array, so insertion must never touch them
+	// (an append could clobber the parent's rows through shared capacity).
+	readonly bool
+	// lazySet marks relations whose dedup set has not been built (views);
+	// it is materialized on the first membership query.
+	lazySet bool
 }
 
 // NewRelation returns an empty relation over the given columns.
@@ -43,9 +50,18 @@ func NewRelation(cols ...string) *Relation {
 // NewRelationSized is NewRelation with a capacity hint for the row storage.
 func NewRelationSized(n int, cols ...string) *Relation {
 	r := NewRelation(cols...)
-	r.rows = make([][]Value, 0, n)
-	r.set.reserve(n)
+	r.Reserve(n)
 	return r
+}
+
+// Reserve grows the backing array and the dedup set for about n rows.
+func (r *Relation) Reserve(n int) {
+	if need := n * len(r.cols); cap(r.data) < need {
+		grown := make([]Value, len(r.data), need)
+		copy(grown, r.data)
+		r.data = grown
+	}
+	r.set.reserve(n)
 }
 
 // Cols returns the relation's schema (sorted). The returned slice must not
@@ -56,11 +72,59 @@ func (r *Relation) Cols() []string { return r.cols }
 func (r *Relation) Arity() int { return len(r.cols) }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.rows) }
+func (r *Relation) Len() int { return r.n }
 
-// Rows returns the underlying row storage. The slice and the rows must be
-// treated as read-only; use Add to insert.
-func (r *Relation) Rows() [][]Value { return r.rows }
+// Data returns the flat row-major backing array (read-only, len = Len()*
+// Arity()). It is the zero-copy export used by batch scans and the cluster
+// frame encoder.
+func (r *Relation) Data() []Value { return r.data[:r.n*len(r.cols)] }
+
+// RowAt returns a zero-copy view of row i, valid until the next insertion
+// into r (an append may move the backing array). Callers must not modify
+// it.
+func (r *Relation) RowAt(i int) []Value {
+	a := len(r.cols)
+	return r.data[i*a : (i+1)*a : (i+1)*a]
+}
+
+// Rows is the compatibility accessor from the row-slice storage era: it
+// materializes a fresh [][]Value of views into the backing array, on
+// demand. The views must be treated as read-only and follow RowAt's
+// validity rule. Hot paths should iterate RowAt/Data instead.
+func (r *Relation) Rows() [][]Value {
+	out := make([][]Value, r.n)
+	for i := range out {
+		out[i] = r.RowAt(i)
+	}
+	return out
+}
+
+// AsBatch returns the whole relation as one zero-copy batch aliasing the
+// backing array (same validity rule as RowAt).
+func (r *Relation) AsBatch() *Batch { return r.BatchRange(0, r.n) }
+
+// BatchRange returns rows [lo, hi) as a zero-copy batch aliasing the
+// backing array (same validity rule as RowAt).
+func (r *Relation) BatchRange(lo, hi int) *Batch {
+	a := len(r.cols)
+	return &Batch{arity: a, n: hi - lo, vals: r.data[lo*a : hi*a : hi*a], target: BatchRowsFor(a)}
+}
+
+// Slice returns a read-only view of rows [lo, hi) sharing r's backing
+// array: the unit of work the parallel fixpoint step hands to each probe
+// worker. Views support scanning, joining and membership tests (the dedup
+// set is built lazily on first use); inserting into a view panics. A view
+// is invalidated by insertions into r, like any other row view.
+func (r *Relation) Slice(lo, hi int) *Relation {
+	a := len(r.cols)
+	return &Relation{
+		cols:     r.cols,
+		data:     r.data[lo*a : hi*a : hi*a],
+		n:        hi - lo,
+		readonly: true,
+		lazySet:  true,
+	}
+}
 
 // RowKey packs a row into a string key usable as a map key. Rows of equal
 // values always produce equal keys. The evaluator's hot paths no longer
@@ -84,70 +148,90 @@ func UnpackRowKey(key string, arity int) []Value {
 }
 
 // Add inserts a row (aligned with Cols()), returning true if it was new.
-// The row is stored directly; callers must not reuse the slice afterwards.
+// The values are copied into the backing array; the caller keeps ownership
+// of the slice.
 func (r *Relation) Add(row []Value) bool {
 	if len(row) != len(r.cols) {
 		panic(fmt.Sprintf("core: row arity %d does not match schema %v", len(row), r.cols))
 	}
-	_, added := r.insert(row, false)
-	return added
+	return r.addHashed(row, HashValues(row))
 }
 
-// AddCopy inserts a copy of row, returning true if it was new. Unlike Add
-// the caller keeps ownership of the slice; the copy is carved out of an
-// internal arena, so bulk insertion from reused batch buffers does not
-// allocate per row.
-func (r *Relation) AddCopy(row []Value) bool {
-	if len(row) != len(r.cols) {
-		panic(fmt.Sprintf("core: row arity %d does not match schema %v", len(row), r.cols))
+// AddCopy is Add. With flat storage every insert copies the row's values
+// into the backing array, so the historical Add/AddCopy ownership split is
+// gone; the name is kept for callers written against it.
+func (r *Relation) AddCopy(row []Value) bool { return r.Add(row) }
+
+// addHashed is the insertion path with a precomputed row hash: dedup via
+// the tuple set, then append the values to the backing array. Callers that
+// insert one row into several relations (the fixpoint accumulator and its
+// delta) hash once and reuse it.
+func (r *Relation) addHashed(row []Value, h uint64) bool {
+	if r.readonly {
+		panic("core: insert into a read-only relation view")
 	}
-	_, added := r.insert(row, true)
-	return added
-}
-
-// insert is the shared insertion path: dedup via the tuple set, then store
-// either the row itself or an arena copy. It returns the stored row.
-func (r *Relation) insert(row []Value, copyRow bool) ([]Value, bool) {
-	h := HashValues(row)
-	r.set.growFor(len(r.rows) + 1)
-	slot, found := r.set.lookup(h, row, r.rows)
+	r.ensureSet()
+	r.set.growFor(r.n + 1)
+	slot, found := r.set.lookup(h, row, r.data, len(r.cols))
 	if found {
-		return r.rows[r.set.slots[slot]-1], false
+		return false
 	}
-	if copyRow && len(row) > 0 {
-		row = r.arenaCopy(row)
-	}
-	r.rows = append(r.rows, row)
-	r.set.claim(slot, h, int32(len(r.rows)))
-	return row, true
-}
-
-// arenaCopy copies row into the relation's chunked arena.
-func (r *Relation) arenaCopy(row []Value) []Value {
-	if len(r.arena) < len(row) {
-		chunk := r.arenaChunk * 2
-		switch {
-		case chunk < 64:
-			chunk = 64
-		case chunk > 1<<16:
-			chunk = 1 << 16
-		}
-		if chunk < len(row) {
-			chunk = len(row)
-		}
-		r.arenaChunk = chunk
-		r.arena = make([]Value, chunk)
-	}
-	cp := r.arena[:len(row):len(row)]
-	r.arena = r.arena[len(row):]
-	copy(cp, row)
-	return cp
+	r.data = append(r.data, row...)
+	r.n++
+	r.set.claim(slot, h, int32(r.n))
+	return true
 }
 
 // Has reports whether the relation contains the row.
-func (r *Relation) Has(row []Value) bool {
-	_, found := r.set.lookup(HashValues(row), row, r.rows)
+func (r *Relation) Has(row []Value) bool { return r.hasHashed(row, HashValues(row)) }
+
+// hasHashed is Has with a precomputed hash. On relations with a built set
+// it is read-only and safe for concurrent use (the parallel fixpoint step
+// probes the accumulator from many goroutines).
+func (r *Relation) hasHashed(row []Value, h uint64) bool {
+	if r.lazySet {
+		r.ensureSet()
+	}
+	_, found := r.set.lookup(h, row, r.data, len(r.cols))
 	return found
+}
+
+// ensureSet materializes the dedup set of a lazily-built view.
+func (r *Relation) ensureSet() {
+	if !r.lazySet {
+		return
+	}
+	r.lazySet = false
+	r.set.reserve(r.n)
+	a := len(r.cols)
+	for i := 0; i < r.n; i++ {
+		row := r.data[i*a : (i+1)*a]
+		h := HashValues(row)
+		r.set.growFor(i + 1)
+		if slot, found := r.set.lookup(h, row, r.data, a); !found {
+			r.set.claim(slot, h, int32(i+1))
+		}
+	}
+}
+
+// AddBatch inserts every row of a batch (set semantics, values copied into
+// the backing array) and returns the number of rows added — the flat
+// decode path of the cluster transport: a received frame's buffer feeds
+// the backing array directly, no intermediate row slices.
+func (r *Relation) AddBatch(b *Batch) int {
+	if b == nil {
+		return 0
+	}
+	if b.arity != len(r.cols) {
+		panic(fmt.Sprintf("core: batch arity %d does not match schema %v", b.arity, r.cols))
+	}
+	added := 0
+	for i := 0; i < b.n; i++ {
+		if r.Add(b.Row(i)) {
+			added++
+		}
+	}
+	return added
 }
 
 // AddTuple inserts a tuple given as column→value pairs in any column order.
@@ -166,23 +250,29 @@ func (r *Relation) AddTuple(cols []string, vals []Value) bool {
 	return r.Add(row)
 }
 
-// Clone returns a deep-enough copy: rows are shared (treated immutable),
-// the set and row slice are fresh.
-func (r *Relation) Clone() *Relation {
-	out := NewRelationSized(len(r.rows), r.cols...)
-	for _, row := range r.rows {
-		out.Add(row)
+// Clone returns an independent copy: one memcpy of the backing array and
+// of the dedup set, no rehashing.
+func (r *Relation) Clone() *Relation { return r.cloneSized(r.n) }
+
+// cloneSized clones r with backing capacity for about n rows.
+func (r *Relation) cloneSized(n int) *Relation {
+	r.ensureSet()
+	if n < r.n {
+		n = r.n
 	}
+	out := &Relation{cols: r.cols, n: r.n, set: r.set.clone()}
+	out.data = make([]Value, r.n*len(r.cols), n*len(r.cols))
+	copy(out.data, r.data)
 	return out
 }
 
 // Equal reports whether two relations have the same schema and tuple set.
 func (r *Relation) Equal(o *Relation) bool {
-	if !ColsEqual(r.cols, o.cols) || len(r.rows) != len(o.rows) {
+	if !ColsEqual(r.cols, o.cols) || r.n != o.n {
 		return false
 	}
-	for _, row := range r.rows {
-		if !o.Has(row) {
+	for i := 0; i < r.n; i++ {
+		if !o.Has(r.RowAt(i)) {
 			return false
 		}
 	}
@@ -193,11 +283,12 @@ func (r *Relation) Equal(o *Relation) bool {
 func (r *Relation) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%v{", r.cols)
-	rows := make([]string, 0, len(r.rows))
-	for _, row := range r.rows {
+	rows := make([]string, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		row := r.RowAt(i)
 		parts := make([]string, len(row))
-		for i, v := range row {
-			parts[i] = fmt.Sprint(v)
+		for j, v := range row {
+			parts[j] = fmt.Sprint(v)
 		}
 		rows = append(rows, "("+strings.Join(parts, ",")+")")
 	}
@@ -212,13 +303,8 @@ func (r *Relation) Union(o *Relation) *Relation {
 	if !ColsEqual(r.cols, o.cols) {
 		panic(fmt.Sprintf("core: union schema mismatch %v vs %v", r.cols, o.cols))
 	}
-	out := NewRelationSized(len(r.rows)+len(o.rows), r.cols...)
-	for _, row := range r.rows {
-		out.Add(row)
-	}
-	for _, row := range o.rows {
-		out.Add(row)
-	}
+	out := r.cloneSized(r.n + o.n)
+	out.UnionInPlace(o)
 	return out
 }
 
@@ -228,8 +314,8 @@ func (r *Relation) UnionInPlace(o *Relation) int {
 		panic(fmt.Sprintf("core: union schema mismatch %v vs %v", r.cols, o.cols))
 	}
 	n := 0
-	for _, row := range o.rows {
-		if r.Add(row) {
+	for i := 0; i < o.n; i++ {
+		if r.Add(o.RowAt(i)) {
 			n++
 		}
 	}
@@ -245,9 +331,11 @@ func (r *Relation) AbsorbNew(o *Relation) *Relation {
 		panic(fmt.Sprintf("core: absorb schema mismatch %v vs %v", r.cols, o.cols))
 	}
 	fresh := NewRelation(r.cols...)
-	for _, row := range o.rows {
-		if r.Add(row) {
-			fresh.Add(row)
+	for i := 0; i < o.n; i++ {
+		row := o.RowAt(i)
+		h := HashValues(row)
+		if r.addHashed(row, h) {
+			fresh.addHashed(row, h)
 		}
 	}
 	return fresh
@@ -259,9 +347,11 @@ func (r *Relation) Diff(o *Relation) *Relation {
 		panic(fmt.Sprintf("core: diff schema mismatch %v vs %v", r.cols, o.cols))
 	}
 	out := NewRelation(r.cols...)
-	for _, row := range r.rows {
-		if !o.Has(row) {
-			out.Add(row)
+	for i := 0; i < r.n; i++ {
+		row := r.RowAt(i)
+		h := HashValues(row)
+		if !o.hasHashed(row, h) {
+			out.addHashed(row, h)
 		}
 	}
 	return out
@@ -294,19 +384,6 @@ func newJoinPlan(a, b []string) joinPlan {
 	return p
 }
 
-// combine builds an output row of the join from one row of each side.
-func (p *joinPlan) combine(arow, brow []Value) []Value {
-	outRow := make([]Value, len(p.outCols))
-	for i := range p.outCols {
-		if p.fromA[i] >= 0 {
-			outRow[i] = arow[p.fromA[i]]
-		} else {
-			outRow[i] = brow[p.fromB[i]]
-		}
-	}
-	return outRow
-}
-
 // combineInto writes the combined row into dst (len = len(outCols)).
 func (p *joinPlan) combineInto(dst, arow, brow []Value) {
 	for i := range p.outCols {
@@ -321,25 +398,31 @@ func (p *joinPlan) combineInto(dst, arow, brow []Value) {
 // Join returns the natural join r ⋈ o: tuples that agree on all common
 // columns, combined over the union schema. With no common columns it is the
 // cartesian product. The smaller side is indexed on the common columns and
-// the larger side probes.
+// the larger side probes. Output rows are assembled in one reusable
+// scratch buffer and copied into the result's flat arena by Add.
 func (r *Relation) Join(o *Relation) *Relation {
 	p := newJoinPlan(r.cols, o.cols)
 	out := NewRelation(p.outCols...)
+	outRow := make([]Value, len(p.outCols))
 	var scratch [][]Value
 	if r.Len() <= o.Len() {
-		ix := buildJoinIndex(r.rows, p.commonA)
-		for _, brow := range o.rows {
+		ix := buildJoinIndex(r.Data(), len(r.cols), r.n, p.commonA)
+		for i := 0; i < o.n; i++ {
+			brow := o.RowAt(i)
 			scratch = ix.matchesAt(scratch[:0], brow, p.commonB)
 			for _, arow := range scratch {
-				out.Add(p.combine(arow, brow))
+				p.combineInto(outRow, arow, brow)
+				out.Add(outRow)
 			}
 		}
 	} else {
-		ix := buildJoinIndex(o.rows, p.commonB)
-		for _, arow := range r.rows {
+		ix := buildJoinIndex(o.Data(), len(o.cols), o.n, p.commonB)
+		for i := 0; i < r.n; i++ {
+			arow := r.RowAt(i)
 			scratch = ix.matchesAt(scratch[:0], arow, p.commonA)
 			for _, brow := range scratch {
-				out.Add(p.combine(arow, brow))
+				p.combineInto(outRow, arow, brow)
+				out.Add(outRow)
 			}
 		}
 	}
@@ -358,8 +441,9 @@ func (r *Relation) Antijoin(o *Relation) *Relation {
 		}
 		return out
 	}
-	ix := buildJoinIndex(o.rows, p.commonB)
-	for _, row := range r.rows {
+	ix := buildJoinIndex(o.Data(), len(o.cols), o.n, p.commonB)
+	for i := 0; i < r.n; i++ {
+		row := r.RowAt(i)
 		if !ix.containsAt(row, p.commonA) {
 			out.Add(row)
 		}
@@ -370,7 +454,8 @@ func (r *Relation) Antijoin(o *Relation) *Relation {
 // Filter returns the tuples of r satisfying cond.
 func (r *Relation) Filter(cond Condition) *Relation {
 	out := NewRelation(r.cols...)
-	for _, row := range r.rows {
+	for i := 0; i < r.n; i++ {
+		row := r.RowAt(i)
 		if cond.Holds(r.cols, row) {
 			out.Add(row)
 		}
@@ -398,16 +483,9 @@ func (r *Relation) Rename(from, to string) (*Relation, error) {
 			newCols[i] = c
 		}
 	}
-	out := NewRelationSized(len(r.rows), newCols...)
+	out := NewRelationSized(r.n, newCols...)
 	// Row values must be permuted into the new sorted column order.
-	perm := renamePerm(r.cols, out.cols, from, to)
-	for _, row := range r.rows {
-		nrow := make([]Value, len(row))
-		for i, j := range perm {
-			nrow[i] = row[j]
-		}
-		out.Add(nrow)
-	}
+	projectRows(out, r, renamePerm(r.cols, out.cols, from, to))
 	return out, nil
 }
 
@@ -425,6 +503,21 @@ func renamePerm(oldCols, newCols []string, from, to string) []int {
 	return perm
 }
 
+// projectRows inserts, for every row of src, the row restricted/permuted
+// to the source positions idx (one output column per entry). Rows are
+// assembled in a single reusable scratch buffer and land directly in out's
+// flat arena — no side slice per row.
+func projectRows(out *Relation, src *Relation, idx []int) {
+	scratch := make([]Value, len(idx))
+	for i := 0; i < src.n; i++ {
+		row := src.RowAt(i)
+		for j, p := range idx {
+			scratch[j] = row[p]
+		}
+		out.Add(scratch)
+	}
+}
+
 // Drop returns r with the given columns removed (the anti-projection π̃).
 // Duplicate result tuples are merged by set semantics.
 func (r *Relation) Drop(cols ...string) (*Relation, error) {
@@ -438,14 +531,8 @@ func (r *Relation) Drop(cols ...string) (*Relation, error) {
 	for i, c := range keep {
 		idx[i] = ColIndex(r.cols, c)
 	}
-	out := NewRelationSized(len(r.rows), keep...)
-	for _, row := range r.rows {
-		nrow := make([]Value, len(idx))
-		for i, j := range idx {
-			nrow[i] = row[j]
-		}
-		out.Add(nrow)
-	}
+	out := NewRelationSized(r.n, keep...)
+	projectRows(out, r, idx)
 	return out, nil
 }
 

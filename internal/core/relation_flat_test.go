@@ -1,0 +1,331 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// This file property-tests the flat row-major Relation storage against the
+// PR 1 row-slice semantics: Add/AddCopy/scan round-trips must preserve set
+// semantics and insertion order, scans must be zero-copy views of the
+// backing array, and the parallel drain must agree with the sequential
+// fixpoint step.
+
+// refSet is the PR 1 reference model: rows as independent slices with a
+// map-of-keys set and insertion order.
+type refSet struct {
+	order [][]Value
+	seen  map[string]bool
+}
+
+func newRefSet() *refSet { return &refSet{seen: map[string]bool{}} }
+
+func (s *refSet) add(row []Value) bool {
+	k := RowKey(row)
+	if s.seen[k] {
+		return false
+	}
+	s.seen[k] = true
+	cp := make([]Value, len(row))
+	copy(cp, row)
+	s.order = append(s.order, cp)
+	return true
+}
+
+func randomRows(rng *rand.Rand, n, arity, domain int) [][]Value {
+	out := make([][]Value, n)
+	for i := range out {
+		row := make([]Value, arity)
+		for j := range row {
+			row[j] = Value(rng.Intn(domain))
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// TestFlatStorageMatchesRowSliceReference: for random insertion sequences,
+// the flat relation reports the same accept/reject per row, the same
+// contents in the same insertion order (via RowAt, Rows and Data), and the
+// same membership answers as the row-slice reference model.
+func TestFlatStorageMatchesRowSliceReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cols := [][]string{{"a"}, {ColSrc, ColTrg}, {"a", "b", "c"}}
+	for trial := 0; trial < 60; trial++ {
+		schema := cols[trial%len(cols)]
+		arity := len(schema)
+		rel := NewRelation(schema...)
+		ref := newRefSet()
+		rows := randomRows(rng, 5+rng.Intn(200), arity, 4)
+		for i, row := range rows {
+			var got bool
+			if i%2 == 0 {
+				got = rel.Add(row)
+			} else {
+				got = rel.AddCopy(row)
+			}
+			if want := ref.add(row); got != want {
+				t.Fatalf("trial %d: insert %v returned %v, reference %v", trial, row, got, want)
+			}
+		}
+		if rel.Len() != len(ref.order) {
+			t.Fatalf("trial %d: Len=%d, reference %d", trial, rel.Len(), len(ref.order))
+		}
+		for i, want := range ref.order {
+			if !reflect.DeepEqual(rel.RowAt(i), want) {
+				t.Fatalf("trial %d: RowAt(%d)=%v, reference %v", trial, i, rel.RowAt(i), want)
+			}
+		}
+		shim := rel.Rows()
+		data := rel.Data()
+		for i, want := range ref.order {
+			if !reflect.DeepEqual(shim[i], want) {
+				t.Fatalf("trial %d: Rows()[%d]=%v, reference %v", trial, i, shim[i], want)
+			}
+			for j, v := range want {
+				if data[i*arity+j] != v {
+					t.Fatalf("trial %d: Data()[%d,%d]=%d, reference %d", trial, i, j, data[i*arity+j], v)
+				}
+			}
+		}
+		for _, row := range rows {
+			if !rel.Has(row) {
+				t.Fatalf("trial %d: Has(%v)=false after insert", trial, row)
+			}
+		}
+	}
+}
+
+// TestScanPreservesInsertionOrder: draining ScanRelation reproduces the
+// relation's rows in insertion order, across batch boundaries.
+func TestScanPreservesInsertionOrder(t *testing.T) {
+	rel := NewRelation(ColSrc, ColTrg)
+	n := BatchRowsFor(2)*2 + 37 // forces several batches
+	for i := 0; i < n; i++ {
+		rel.Add([]Value{Value(i), Value(i + 1)})
+	}
+	it := ScanRelation(rel)
+	pos := 0
+	for b := it.Next(); b != nil; b = it.Next() {
+		for i := 0; i < b.Len(); i++ {
+			row := b.Row(i)
+			if row[0] != Value(pos) || row[1] != Value(pos+1) {
+				t.Fatalf("row %d out of order: %v", pos, row)
+			}
+			pos++
+		}
+	}
+	if pos != n {
+		t.Fatalf("scan yielded %d rows, want %d", pos, n)
+	}
+}
+
+// TestScanBatchesAliasBackingArray: scan batches are views of the
+// relation's flat backing array — same underlying memory, no flatten copy.
+func TestScanBatchesAliasBackingArray(t *testing.T) {
+	rel := NewRelation(ColSrc, ColTrg)
+	n := BatchRowsFor(2) + 100
+	for i := 0; i < n; i++ {
+		rel.Add([]Value{Value(i), Value(i)})
+	}
+	it := ScanRelation(rel)
+	pos := 0
+	for b := it.Next(); b != nil; b = it.Next() {
+		want := rel.Data()[pos*2 : pos*2+1]
+		if &b.Values()[0] != &want[0] {
+			t.Fatalf("batch at row %d does not alias the backing array", pos)
+		}
+		pos += b.Len()
+	}
+}
+
+// TestSliceViews: Slice exposes the right window, supports scans, joins
+// and membership (lazy set), and rejects insertion.
+func TestSliceViews(t *testing.T) {
+	rel := NewRelation(ColSrc, ColTrg)
+	for i := 0; i < 100; i++ {
+		rel.Add([]Value{Value(i), Value(i + 1)})
+	}
+	v := rel.Slice(10, 30)
+	if v.Len() != 20 || v.Arity() != 2 {
+		t.Fatalf("view Len=%d Arity=%d", v.Len(), v.Arity())
+	}
+	if got := v.RowAt(0); got[0] != 10 {
+		t.Fatalf("view RowAt(0)=%v", got)
+	}
+	if !v.Has([]Value{15, 16}) || v.Has([]Value{5, 6}) {
+		t.Fatal("view membership wrong")
+	}
+	got := Materialize(ScanRelation(v))
+	if got.Len() != 20 {
+		t.Fatalf("view scan yielded %d rows", got.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic inserting into a view")
+		}
+	}()
+	v.Add([]Value{1, 2})
+}
+
+// TestAddBatchRoundTrip: encode (AsBatch/Sub) → decode (AddBatch)
+// preserves set semantics and insertion order, including via fresh-copied
+// buffers (the transport's path).
+func TestAddBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		rel := NewRelation(ColSrc, ColTrg)
+		for _, row := range randomRows(rng, rng.Intn(300), 2, 8) {
+			rel.Add(row)
+		}
+		// Frame the relation in windows, copy each window's buffer (as the
+		// transport does), decode into a fresh relation.
+		dec := NewRelation(ColSrc, ColTrg)
+		whole := rel.AsBatch()
+		step := 64
+		for lo := 0; ; {
+			hi := lo + step
+			if hi > rel.Len() {
+				hi = rel.Len()
+			}
+			w := whole.Sub(lo, hi)
+			vals := make([]Value, len(w.Values()))
+			copy(vals, w.Values())
+			dec.AddBatch(NewBatchValues(w.Arity(), w.Len(), vals))
+			if hi == rel.Len() {
+				break
+			}
+			lo = hi
+		}
+		if !dec.Equal(rel) {
+			t.Fatalf("trial %d: decoded relation differs", trial)
+		}
+		for i := 0; i < rel.Len(); i++ {
+			if !reflect.DeepEqual(dec.RowAt(i), rel.RowAt(i)) {
+				t.Fatalf("trial %d: decode changed insertion order at %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestShardedSetAgreesWithRelation: concurrent ShardedSet insertion
+// accepts exactly the distinct rows a Relation would, and AppendTo merges
+// them losslessly.
+func TestShardedSetAgreesWithRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rows := randomRows(rng, 4000, 2, 40)
+	want := NewRelation(ColSrc, ColTrg)
+	for _, row := range rows {
+		want.Add(row)
+	}
+	s := NewShardedSet(2, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(rows); i += 4 {
+				s.Add(rows[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := NewRelation(ColSrc, ColTrg)
+	if n := s.AppendTo(got); n != want.Len() {
+		t.Fatalf("AppendTo returned %d, want %d", n, want.Len())
+	}
+	if !got.Equal(want) {
+		t.Fatal("sharded set contents differ from reference relation")
+	}
+}
+
+// TestShardedSetFilter: rows present in the filter relation are rejected.
+func TestShardedSetFilter(t *testing.T) {
+	filter := NewRelation(ColSrc, ColTrg)
+	filter.Add([]Value{1, 2})
+	s := NewShardedSet(2, filter)
+	if s.Add([]Value{1, 2}) {
+		t.Fatal("filtered row accepted")
+	}
+	if !s.Add([]Value{3, 4}) {
+		t.Fatal("fresh row rejected")
+	}
+	if s.Add([]Value{3, 4}) {
+		t.Fatal("duplicate row accepted")
+	}
+}
+
+// TestParallelDrainMatchesSequential: draining chunked scans of one
+// relation through the worker pool yields exactly the relation (dedup
+// across chunks, filter honored), no matter the worker count. Run with
+// -race this is also the concurrency test for ParallelDrain.
+func TestParallelDrainMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	src := NewRelation(ColSrc, ColTrg)
+	for _, row := range randomRows(rng, 20000, 2, 120) {
+		src.Add(row)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		var pipes []Iterator
+		const chunk = 512
+		for lo := 0; lo < src.Len(); lo += chunk {
+			hi := lo + chunk
+			if hi > src.Len() {
+				hi = src.Len()
+			}
+			pipes = append(pipes, ScanRelation(src.Slice(lo, hi)))
+		}
+		// Duplicate the first chunk: the sink must deduplicate across
+		// pipelines.
+		pipes = append(pipes, ScanRelation(src.Slice(0, chunk)))
+		sink := NewShardedSet(2, nil)
+		added := ParallelDrain(pipes, workers, sink)
+		if added != src.Len() {
+			t.Fatalf("workers=%d: drained %d distinct rows, want %d", workers, added, src.Len())
+		}
+		got := NewRelation(ColSrc, ColTrg)
+		sink.AppendTo(got)
+		if !got.Equal(src) {
+			t.Fatalf("workers=%d: drained contents differ", workers)
+		}
+	}
+}
+
+// TestParallelFixpointMatchesSequential: the parallel semi-naive step
+// produces the same closure as the sequential one on a graph whose deltas
+// are large enough to engage chunking. Under -race this doubles as the
+// race test over the whole parallel fixpoint path.
+func TestParallelFixpointMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	edges := NewRelation(ColSrc, ColTrg)
+	const nodes = 380
+	for i := 0; i < 3*nodes; i++ {
+		edges.Add([]Value{Value(rng.Intn(nodes)), Value(rng.Intn(nodes))})
+	}
+	term := ClosureLR("X", &Var{Name: "E"})
+	env := NewEnv()
+	env.Bind("E", edges)
+
+	seq := NewEvaluator(env)
+	seq.Parallel = 1
+	want, err := seq.Eval(term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		par := NewEvaluator(env)
+		par.Parallel = workers
+		got, err := par.Eval(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("Parallel=%d: closure differs (%d vs %d rows)", workers, got.Len(), want.Len())
+		}
+		if workers > 1 && par.Stats.ParallelSteps == 0 {
+			t.Fatalf("Parallel=%d: no iteration engaged the worker pool (deltas too small?)", workers)
+		}
+	}
+}

@@ -91,10 +91,11 @@ func (s *tupleSet) rehash(capacity int) {
 	}
 }
 
-// lookup probes for a row with the given hash. It returns the slot where
-// the row lives (found) or where it should be inserted (!found). The table
-// must have free capacity (call growFor first).
-func (s *tupleSet) lookup(h uint64, row []Value, rows [][]Value) (slot int, found bool) {
+// lookup probes for a row with the given hash against a flat row-major
+// store (arity values per row). It returns the slot where the row lives
+// (found) or where it should be inserted (!found). The table must have
+// free capacity (call growFor first).
+func (s *tupleSet) lookup(h uint64, row []Value, data []Value, arity int) (slot int, found bool) {
 	if len(s.slots) == 0 {
 		return -1, false
 	}
@@ -105,11 +106,26 @@ func (s *tupleSet) lookup(h uint64, row []Value, rows [][]Value) (slot int, foun
 		if ref == 0 {
 			return int(i), false
 		}
-		if s.hashes[i] == h && rowsEqual(rows[ref-1], row) {
-			return int(i), true
+		if s.hashes[i] == h {
+			at := int(ref-1) * arity
+			if rowsEqual(data[at:at+arity], row) {
+				return int(i), true
+			}
 		}
 		i = (i + 1) & mask
 	}
+}
+
+// clone deep-copies the set (slot and hash tables).
+func (s *tupleSet) clone() tupleSet {
+	out := tupleSet{n: s.n}
+	if len(s.slots) > 0 {
+		out.slots = make([]int32, len(s.slots))
+		copy(out.slots, s.slots)
+		out.hashes = make([]uint64, len(s.hashes))
+		copy(out.hashes, s.hashes)
+	}
+	return out
 }
 
 // claim fills a slot returned by a failed lookup with rowIndex+1 (ref).

@@ -36,8 +36,8 @@ func StatsOf(r *core.Relation) *RelStats {
 	}
 	for i, c := range r.Cols() {
 		seen := make(map[core.Value]struct{})
-		for _, row := range r.Rows() {
-			seen[row[i]] = struct{}{}
+		for ri := 0; ri < r.Len(); ri++ {
+			seen[r.RowAt(ri)[i]] = struct{}{}
 		}
 		s.Distinct[c] = float64(len(seen))
 	}

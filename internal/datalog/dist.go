@@ -358,7 +358,7 @@ func (de *DistEngine) runGlobalLoop(rules []Rule, scc map[string]bool, db DB,
 					// Each worker fires the delta rule on its slice of the
 					// delta (rows whose hash belongs to this worker).
 					slice := NewRel(d.Arity())
-					for _, row := range d.Rows() {
+					for _, row := range d.Rows() { // datalog.Rel, not core.Relation
 						at := make([]int, d.Arity())
 						for j := range at {
 							at[j] = j
@@ -402,7 +402,7 @@ func (de *DistEngine) runGlobalLoop(rules []Rule, scc map[string]bool, db DB,
 					return err
 				}
 				fresh := NewRel(st.db[pred].Arity())
-				for _, row := range FromRelation(gathered, cols).Rows() {
+				for _, row := range FromRelation(gathered, cols).Rows() { // datalog.Rel rows
 					if st.db[pred].Add(row) {
 						fresh.Add(row)
 					}

@@ -111,7 +111,8 @@ func (r *Rel) ToRelation(cols []string) *core.Relation {
 func FromRelation(rel *core.Relation, cols []string) *Rel {
 	out := NewRel(len(cols))
 	perm := permFor(cols)
-	for _, row := range rel.Rows() {
+	for ri := 0; ri < rel.Len(); ri++ {
+		row := rel.RowAt(ri)
 		nrow := make([]core.Value, len(row))
 		for i, j := range perm {
 			nrow[j] = row[i]

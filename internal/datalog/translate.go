@@ -124,7 +124,8 @@ func EdgeDB(edgePred string, triples *core.Relation) DB {
 	si := core.ColIndex(triples.Cols(), core.ColSrc)
 	pi := core.ColIndex(triples.Cols(), core.ColPred)
 	ti := core.ColIndex(triples.Cols(), core.ColTrg)
-	for _, row := range triples.Rows() {
+	for i := 0; i < triples.Len(); i++ {
+		row := triples.RowAt(i)
 		rel.Add([]core.Value{row[si], row[pi], row[ti]})
 	}
 	return DB{edgePred: rel}

@@ -35,14 +35,25 @@ type Graph struct {
 	Name    string
 	Dict    *core.Dict
 	Triples *core.Relation
+
+	// si/pi/ti locate src/pred/trg in the sorted triple schema and rowBuf
+	// is the reused insertion scratch: AddV assembles each triple in place
+	// and the relation copies it into its flat backing array, so loading
+	// never allocates a row slice per triple.
+	si, pi, ti int
+	rowBuf     [3]core.Value
 }
 
 // NewGraph returns an empty graph.
 func NewGraph(name string) *Graph {
+	triples := core.NewRelation(core.ColSrc, core.ColPred, core.ColTrg)
 	return &Graph{
 		Name:    name,
 		Dict:    core.NewDict(),
-		Triples: core.NewRelation(core.ColSrc, core.ColPred, core.ColTrg),
+		Triples: triples,
+		si:      core.ColIndex(triples.Cols(), core.ColSrc),
+		pi:      core.ColIndex(triples.Cols(), core.ColPred),
+		ti:      core.ColIndex(triples.Cols(), core.ColTrg),
 	}
 }
 
@@ -56,8 +67,10 @@ func (g *Graph) Add(src, pred, trg string) {
 
 // AddV inserts a triple of already-interned values.
 func (g *Graph) AddV(src, pred, trg core.Value) {
-	g.Triples.AddTuple([]string{core.ColSrc, core.ColPred, core.ColTrg},
-		[]core.Value{src, pred, trg})
+	g.rowBuf[g.si] = src
+	g.rowBuf[g.pi] = pred
+	g.rowBuf[g.ti] = trg
+	g.Triples.Add(g.rowBuf[:])
 }
 
 // Binary extracts the (src, trg) relation of one predicate.
@@ -67,12 +80,17 @@ func (g *Graph) Binary(pred string) *core.Relation {
 	if !ok {
 		return out
 	}
-	si := core.ColIndex(g.Triples.Cols(), core.ColSrc)
-	pi := core.ColIndex(g.Triples.Cols(), core.ColPred)
-	ti := core.ColIndex(g.Triples.Cols(), core.ColTrg)
-	for _, row := range g.Triples.Rows() {
-		if row[pi] == p {
-			out.Add([]core.Value{row[si], row[ti]})
+	var pair [2]core.Value
+	srcFirst := core.ColIndex(out.Cols(), core.ColSrc) == 0
+	for i := 0; i < g.Triples.Len(); i++ {
+		row := g.Triples.RowAt(i)
+		if row[g.pi] == p {
+			if srcFirst {
+				pair[0], pair[1] = row[g.si], row[g.ti]
+			} else {
+				pair[0], pair[1] = row[g.ti], row[g.si]
+			}
+			out.Add(pair[:])
 		}
 	}
 	return out
@@ -80,10 +98,9 @@ func (g *Graph) Binary(pred string) *core.Relation {
 
 // PredCounts returns the number of edges per predicate name.
 func (g *Graph) PredCounts() map[string]int {
-	pi := core.ColIndex(g.Triples.Cols(), core.ColPred)
 	out := map[string]int{}
-	for _, row := range g.Triples.Rows() {
-		out[g.Dict.String(row[pi])]++
+	for i := 0; i < g.Triples.Len(); i++ {
+		out[g.Dict.String(g.Triples.RowAt(i)[g.pi])]++
 	}
 	return out
 }
@@ -98,12 +115,10 @@ func (g *Graph) Env(rel string) *core.Env {
 // WriteTSV writes "src<TAB>pred<TAB>trg" lines using the dictionary.
 func (g *Graph) WriteTSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	si := core.ColIndex(g.Triples.Cols(), core.ColSrc)
-	pi := core.ColIndex(g.Triples.Cols(), core.ColPred)
-	ti := core.ColIndex(g.Triples.Cols(), core.ColTrg)
-	for _, row := range g.Triples.Rows() {
+	for i := 0; i < g.Triples.Len(); i++ {
+		row := g.Triples.RowAt(i)
 		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\n",
-			g.Dict.String(row[si]), g.Dict.String(row[pi]), g.Dict.String(row[ti])); err != nil {
+			g.Dict.String(row[g.si]), g.Dict.String(row[g.pi]), g.Dict.String(row[g.ti])); err != nil {
 			return err
 		}
 	}

@@ -201,12 +201,10 @@ func Yago(scale int, seed int64) *Graph {
 // firstTarget returns an existing livesIn target of src, or fallback.
 // (Keeps JLT-style queries satisfiable without scanning.)
 func firstTarget(g *Graph, src, p core.Value, fallback core.Value) core.Value {
-	si := core.ColIndex(g.Triples.Cols(), core.ColSrc)
-	pi := core.ColIndex(g.Triples.Cols(), core.ColPred)
-	ti := core.ColIndex(g.Triples.Cols(), core.ColTrg)
-	for _, row := range g.Triples.Rows() {
-		if row[si] == src && row[pi] == p {
-			return row[ti]
+	for i := 0; i < g.Triples.Len(); i++ {
+		row := g.Triples.RowAt(i)
+		if row[g.si] == src && row[g.pi] == p {
+			return row[g.ti]
 		}
 	}
 	return fallback

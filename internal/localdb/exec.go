@@ -2,6 +2,7 @@ package localdb
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 )
@@ -219,26 +220,63 @@ func (ex *Executor) evalJoin(j *core.Join, dyn []binding) (*core.Relation, error
 		fromDyn[i] = core.ColIndex(dRel.Cols(), c)
 		fromConst[i] = core.ColIndex(cc.rel.Cols(), c)
 	}
-	probe := make([]core.Value, len(common))
-	var scratch [][]core.Value
-	for _, drow := range dRel.Rows() {
-		for i, at := range dynAt {
-			probe[i] = drow[at]
-		}
-		ex.Stats.IndexProbes++
-		scratch = ix.ProbeAppend(scratch[:0], probe)
-		for _, crow := range scratch {
-			outRow := make([]core.Value, len(outCols))
-			for i := range outCols {
-				if fromDyn[i] >= 0 {
-					outRow[i] = drow[fromDyn[i]]
-				} else {
-					outRow[i] = crow[fromConst[i]]
-				}
+	probeRange := func(lo, hi int, emit func(row []core.Value)) {
+		probe := make([]core.Value, len(common))
+		outRow := make([]core.Value, len(outCols))
+		var scratch [][]core.Value
+		for ri := lo; ri < hi; ri++ {
+			drow := dRel.RowAt(ri)
+			for i, at := range dynAt {
+				probe[i] = drow[at]
 			}
-			out.Add(outRow)
+			scratch = ix.ProbeAppend(scratch[:0], probe)
+			for _, crow := range scratch {
+				for i := range outCols {
+					if fromDyn[i] >= 0 {
+						outRow[i] = drow[fromDyn[i]]
+					} else {
+						outRow[i] = crow[fromConst[i]]
+					}
+				}
+				emit(outRow)
+			}
 		}
 	}
+	ex.Stats.IndexProbes += dRel.Len()
+	// Large dynamic sides are probed in parallel: chunk ranges of the
+	// delta probe the (read-only) index concurrently, deduplicating into a
+	// sharded tuple set that merges into the result afterwards — the
+	// per-worker local-loop parallelism of Ppg_plw.
+	if chunk, workers := core.ParallelPlan(dRel.Len(), dRel.Arity(), 0); workers > 1 {
+		sink := core.NewShardedSet(len(outCols), nil)
+		var ranges [][2]int
+		for lo := 0; lo < dRel.Len(); lo += chunk {
+			hi := lo + chunk
+			if hi > dRel.Len() {
+				hi = dRel.Len()
+			}
+			ranges = append(ranges, [2]int{lo, hi})
+		}
+		var wg sync.WaitGroup
+		work := make(chan [2]int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := range work {
+					probeRange(r[0], r[1], func(row []core.Value) { sink.Add(row) })
+				}
+			}()
+		}
+		for _, r := range ranges {
+			work <- r
+		}
+		close(work)
+		wg.Wait()
+		sink.AppendTo(out)
+		return out, nil
+	}
+	probeRange(0, dRel.Len(), func(row []core.Value) { out.Add(row) })
 	return out, nil
 }
 
@@ -263,7 +301,9 @@ func (ex *Executor) RunFixpoint(d *core.Decomposed, init *core.Relation, dyn []b
 			if err != nil {
 				return nil, err
 			}
-			for _, row := range out.Rows() {
+			// Fused diff-then-union: rows new in X become the next delta.
+			for ri := 0; ri < out.Len(); ri++ {
+				row := out.RowAt(ri)
 				if x.Add(row) {
 					next.Add(row)
 				}

@@ -104,6 +104,10 @@ type Planner struct {
 	// and fall back to round-robin splitting plus a final distinct shuffle
 	// — the ablation for the §III-B partitioning optimization.
 	DisableStablePartitioning bool
+	// DisableDeltaShuffleFilter turns off Pgld's per-sender seen-filter, so
+	// candidate tuples re-derived in later iterations cross the wire again
+	// — the ablation for the delta-aware shuffle.
+	DisableDeltaShuffleFilter bool
 
 	fresh atomic.Int64
 	ev    *core.Evaluator
@@ -322,6 +326,12 @@ func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
 
 	d := pr.d
 	evals := make([]*core.Evaluator, p.C.NumWorkers())
+	// sent is each worker's delta-aware shuffle filter: every candidate
+	// tuple this worker has already pushed into an Exchange (rows hash to a
+	// fixed owner, so a re-derived candidate would reach the same partition
+	// of X, which absorbed it at the barrier of the earlier iteration) is
+	// remembered and never crosses the wire again.
+	sent := make([]*core.Relation, p.C.NumWorkers())
 	for {
 		var added atomic.Int64
 		err := p.C.RunPhase(func(ctx *cluster.Ctx) error {
@@ -334,6 +344,14 @@ func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
 			delta, err := ev.EvalPhiDelta(d, nu, nil)
 			if err != nil {
 				return err
+			}
+			if !p.DisableDeltaShuffleFilter {
+				s := sent[ctx.WorkerID()]
+				if s == nil {
+					s = core.NewRelation(delta.Cols()...)
+					sent[ctx.WorkerID()] = s
+				}
+				delta = s.AbsorbNew(delta)
 			}
 			// The per-iteration shuffle: candidates meet the partition of X
 			// that owns their row hash, where dedup is local.
@@ -477,7 +495,9 @@ func marshalBoundary(rel *core.Relation) *core.Relation {
 	out := core.NewRelationSized(rel.Len(), rel.Cols()...)
 	arity := rel.Arity()
 	var sb strings.Builder
-	for _, row := range rel.Rows() {
+	nrow := make([]core.Value, arity)
+	for ri := 0; ri < rel.Len(); ri++ {
+		row := rel.RowAt(ri)
 		sb.Reset()
 		for i, v := range row {
 			if i > 0 {
@@ -486,7 +506,6 @@ func marshalBoundary(rel *core.Relation) *core.Relation {
 			sb.WriteString(strconv.FormatInt(int64(v), 10))
 		}
 		fields := strings.Split(sb.String(), "\t")
-		nrow := make([]core.Value, arity)
 		for i, f := range fields {
 			n, err := strconv.ParseInt(f, 10, 64)
 			if err != nil {

@@ -80,7 +80,8 @@ func (g *Graph) RunSameGeneration(label core.Value, opts RPQOptions) (*SGResult,
 			di := core.ColIndex(inbox.Cols(), "dst")
 			oi := core.ColIndex(inbox.Cols(), "origin")
 			pi := core.ColIndex(inbox.Cols(), "depth")
-			for _, row := range inbox.Rows() {
+			for ri := 0; ri < inbox.Len(); ri++ {
+				row := inbox.RowAt(ri)
 				v, origin, depth := row[di], row[oi], row[pi]
 				key := [2]core.Value{v, origin}
 				seen := st.visited[key]
@@ -128,7 +129,8 @@ func (g *Graph) RunSameGeneration(label core.Value, opts RPQOptions) (*SGResult,
 		pi := core.ColIndex(grouped.Cols(), "depth")
 		vi := core.ColIndex(grouped.Cols(), "v")
 		byKey := map[[2]core.Value][]core.Value{}
-		for _, row := range grouped.Rows() {
+		for ri := 0; ri < grouped.Len(); ri++ {
+			row := grouped.RowAt(ri)
 			k := [2]core.Value{row[oi], row[pi]}
 			byKey[k] = append(byKey[k], row[vi])
 		}
@@ -214,7 +216,8 @@ func (g *Graph) RunAnBn(labelA, labelB core.Value, opts RPQOptions) (*RPQResult,
 			di := core.ColIndex(inbox.Cols(), "dst")
 			oi := core.ColIndex(inbox.Cols(), "origin")
 			phi := core.ColIndex(inbox.Cols(), "phase")
-			for _, row := range inbox.Rows() {
+			for ri := 0; ri < inbox.Len(); ri++ {
+				row := inbox.RowAt(ri)
 				balance, v, origin, phase := row[bi], row[di], row[oi], row[phi]
 				k := [4]core.Value{balance, v, origin, phase}
 				if st.visited[k] {

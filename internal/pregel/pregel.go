@@ -74,11 +74,13 @@ func LoadGraph(c *cluster.Cluster, triples *core.Relation) (*Graph, error) {
 		si := core.ColIndex(outPart.Cols(), core.ColSrc)
 		pi := core.ColIndex(outPart.Cols(), core.ColPred)
 		ti := core.ColIndex(outPart.Cols(), core.ColTrg)
-		for _, row := range outPart.Rows() {
+		for i := 0; i < outPart.Len(); i++ {
+			row := outPart.RowAt(i)
 			adj.out[row[si]] = append(adj.out[row[si]], edge{label: row[pi], to: row[ti]})
 		}
 		inPart := ctx.Partition(bytrg)
-		for _, row := range inPart.Rows() {
+		for i := 0; i < inPart.Len(); i++ {
+			row := inPart.RowAt(i)
 			adj.in[row[ti]] = append(adj.in[row[ti]], edge{label: row[pi], to: row[si]})
 		}
 		seen := map[core.Value]bool{}
@@ -90,11 +92,11 @@ func LoadGraph(c *cluster.Cluster, triples *core.Relation) (*Graph, error) {
 				adj.vertices = append(adj.vertices, v)
 			}
 		}
-		for _, row := range outPart.Rows() {
-			addVertex(row[si])
+		for i := 0; i < outPart.Len(); i++ {
+			addVertex(outPart.RowAt(i)[si])
 		}
-		for _, row := range inPart.Rows() {
-			addVertex(row[ti])
+		for i := 0; i < inPart.Len(); i++ {
+			addVertex(inPart.RowAt(i)[ti])
 		}
 		vcount.Add(int64(len(adj.vertices)))
 		ctx.Worker().Local[g.key] = adj
@@ -206,7 +208,8 @@ func (g *Graph) RunRPQ(nfa *rpq.NFA, opts RPQOptions) (*RPQResult, error) {
 			di := core.ColIndex(inbox.Cols(), "dst")
 			oi := core.ColIndex(inbox.Cols(), "origin")
 			si := core.ColIndex(inbox.Cols(), "state")
-			for _, row := range inbox.Rows() {
+			for ri := 0; ri < inbox.Len(); ri++ {
+				row := inbox.RowAt(ri)
 				if owner(row[di], n) != ctx.WorkerID() {
 					return fmt.Errorf("pregel: message for %d delivered to worker %d", row[di], ctx.WorkerID())
 				}
