@@ -238,6 +238,42 @@ func (ctx *Ctx) Worker() *Worker { return ctx.w }
 // crossing the network counted in the metrics). byCols nil means hash the
 // whole row.
 func (ctx *Ctx) Exchange(rel *core.Relation, byCols []string) (*core.Relation, error) {
+	out := core.NewRelation(rel.Cols()...)
+	err := ctx.exchange(rel, byCols,
+		func(row []core.Value) { out.Add(row) },
+		func(b *core.Batch) { out.AddBatch(b) })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExchangeInto is Exchange fused with the receiver's accumulator: every
+// row this worker keeps (its own bucket and the frames arriving from
+// peers) is absorbed straight into acc — the sharded fixpoint accumulator
+// X of the global-loop plan — and the rows that were new to acc are
+// returned as the worker's next delta. The set difference and union of
+// the semi-naive step happen at frame-decode time; no intermediate
+// candidate relation is materialized.
+func (ctx *Ctx) ExchangeInto(rel *core.Relation, byCols []string, acc *core.Accumulator) (*core.Relation, error) {
+	fresh := core.NewRelation(rel.Cols()...)
+	// One absorb handle for the whole shuffle: the routing scratch is
+	// reused across every received frame of a multi-frame transfer.
+	ab := acc.Absorber()
+	err := ctx.exchange(rel, byCols,
+		func(row []core.Value) { acc.AddInto(row, fresh) },
+		func(b *core.Batch) { ab.AbsorbBatch(b, fresh) })
+	if err != nil {
+		return nil, err
+	}
+	return fresh, nil
+}
+
+// exchange is the shared shuffle body of Exchange and ExchangeInto: rows
+// hash-route to their owner, the local bucket is delivered through
+// keepRow, and every received frame through keepBatch.
+func (ctx *Ctx) exchange(rel *core.Relation, byCols []string,
+	keepRow func([]core.Value), keepBatch func(*core.Batch)) error {
 	c := ctx.w.cluster
 	n := len(c.workers)
 	ctx.calls++
@@ -256,7 +292,7 @@ func (ctx *Ctx) Exchange(rel *core.Relation, byCols []string) (*core.Relation, e
 		for _, col := range byCols {
 			idx := core.ColIndex(rel.Cols(), col)
 			if idx < 0 {
-				return nil, fmt.Errorf("cluster: exchange column %q not in schema %v", col, rel.Cols())
+				return fmt.Errorf("cluster: exchange column %q not in schema %v", col, rel.Cols())
 			}
 			at = append(at, idx)
 		}
@@ -268,15 +304,14 @@ func (ctx *Ctx) Exchange(rel *core.Relation, byCols []string) (*core.Relation, e
 			buckets[i] = core.NewBatch(arity)
 		}
 	}
-	out := core.NewRelation(rel.Cols()...)
 	local := int64(0)
 	for i := 0; i < rel.Len(); i++ {
 		row := rel.RowAt(i)
 		b := int(core.HashValuesAt(row, at) % uint64(n))
 		if b == ctx.w.id {
-			// Own bucket stays local: straight into the output (one copy,
+			// Own bucket stays local: straight to the consumer (one copy,
 			// no network).
-			out.Add(row)
+			keepRow(row)
 			local++
 			continue
 		}
@@ -305,22 +340,19 @@ func (ctx *Ctx) Exchange(rel *core.Relation, byCols []string) (*core.Relation, e
 		sendErr <- firstErr
 	}()
 	// Barrier: frames arrive until every peer's Last frame is in. Received
-	// batch buffers are fresh copies; their values append straight into the
-	// output relation's backing array.
+	// batch buffers are fresh copies; their values feed the consumer
+	// directly.
 	for done := 0; done < n-1; {
 		msg, err := ctx.recvSeq(seq)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.AddBatch(msg.Batch)
+		keepBatch(msg.Batch)
 		if msg.Last {
 			done++
 		}
 	}
-	if err := <-sendErr; err != nil {
-		return nil, err
-	}
-	return out, nil
+	return <-sendErr
 }
 
 // sendFrames ships one logical batch to a node as a sequence of

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file implements the fixpoint accumulator: the relation X of
+// Algorithm 1 kept sharded for the entire semi-naive iteration instead of
+// being re-merged into a Relation at every step. Workers insert produced
+// tuples concurrently (membership test and insertion fused under one shard
+// lock, so X = X ∪ new and new = φ(new) \ X are a single operation), the
+// rows each iteration appends to a shard ARE the next delta (exposed as
+// zero-copy per-shard views between two marks), and a Relation is
+// materialized exactly once, at fixpoint exit. The sequential merge barrier
+// of the earlier design (ShardedSet.AppendTo after every parallel drain) is
+// gone; the price is insertion-order determinism, so every consumer of a
+// fixpoint result must compare order-insensitively (SameRows / Equal).
+
+// accShards is the shard count of an Accumulator. 32 shards keep lock
+// contention negligible for worker pools up to a few dozen goroutines
+// while the per-shard fixed cost stays trivial.
+const accShards = 32
+
+// accShard is one lock-striped shard: a tupleSet over its own flat
+// row-major store, plus the per-row hashes in insertion order so delta
+// scans, the final materialization and Pgld's shuffle filter never rehash.
+type accShard struct {
+	mu     sync.Mutex
+	set    tupleSet
+	data   []Value
+	hashes []uint64
+	n      int
+	// pad the shard to its own cache line(s) so neighboring shard locks do
+	// not false-share.
+	_ [24]byte
+}
+
+// accShardOf routes a row hash to its shard. The top bits are used so the
+// routing stays uncorrelated with the tupleSet probes (low bits) and the
+// JoinIndex shard routing.
+func accShardOf(h uint64) uint64 { return (h >> 59) % accShards }
+
+// AccMark is a per-shard row-count watermark of an Accumulator: the rows
+// appended between two marks are one fixpoint delta. The zero value marks
+// the empty accumulator.
+type AccMark [accShards]int
+
+// Accumulator is the concurrency-safe fixpoint accumulator: a set of rows
+// over a fixed schema, sharded by the top bits of the row hash across
+// accShards lock-striped tupleSet shards. Add fuses the membership probe
+// and the insertion under the shard lock, so concurrent producers can grow
+// X while other goroutines probe it — the cross-iteration replacement for
+// filtering against a read-only accumulator Relation and merging a side
+// set afterwards.
+type Accumulator struct {
+	cols   []string
+	arity  int
+	shards [accShards]accShard
+}
+
+// NewAccumulator returns an empty accumulator over the given columns
+// (sorted, like NewRelation; duplicates panic).
+func NewAccumulator(cols ...string) *Accumulator {
+	sorted := SortCols(cols)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			panic(fmt.Sprintf("core: duplicate column %q in schema", sorted[i]))
+		}
+	}
+	return &Accumulator{cols: sorted, arity: len(sorted)}
+}
+
+// Cols returns the accumulator's schema (sorted). The returned slice must
+// not be modified.
+func (a *Accumulator) Cols() []string { return a.cols }
+
+// Arity returns the number of columns.
+func (a *Accumulator) Arity() int { return a.arity }
+
+// addHashed inserts a row with a precomputed hash into its shard, fusing
+// the membership probe and the insertion under the shard lock. Safe for
+// concurrent use.
+func (a *Accumulator) addHashed(row []Value, h uint64) bool {
+	sh := &a.shards[accShardOf(h)]
+	sh.mu.Lock()
+	added := sh.add(row, h, a.arity)
+	sh.mu.Unlock()
+	return added
+}
+
+// add is the locked insertion body of one shard.
+func (sh *accShard) add(row []Value, h uint64, arity int) bool {
+	sh.set.growFor(sh.n + 1)
+	slot, found := sh.set.lookup(h, row, sh.data, arity)
+	if found {
+		return false
+	}
+	sh.data = append(sh.data, row...)
+	sh.hashes = append(sh.hashes, h)
+	sh.n++
+	sh.set.claim(slot, h, int32(sh.n))
+	return true
+}
+
+// Add inserts a row (copying its values), returning true if it was new.
+// Safe for concurrent use.
+func (a *Accumulator) Add(row []Value) bool {
+	return a.addHashed(row, HashValues(row))
+}
+
+// AddInto is Add that also appends the row to fresh when it was new,
+// reusing the hash. fresh is the caller's private delta relation and is
+// not synchronized; concurrent callers must each pass their own.
+func (a *Accumulator) AddInto(row []Value, fresh *Relation) bool {
+	h := HashValues(row)
+	if !a.addHashed(row, h) {
+		return false
+	}
+	fresh.addHashed(row, h)
+	return true
+}
+
+// Has reports whether the accumulator contains the row. Safe for
+// concurrent use with Add (the probe takes the shard lock).
+func (a *Accumulator) Has(row []Value) bool {
+	h := HashValues(row)
+	sh := &a.shards[accShardOf(h)]
+	sh.mu.Lock()
+	_, found := sh.set.lookup(h, row, sh.data, a.arity)
+	sh.mu.Unlock()
+	return found
+}
+
+// Len returns the number of distinct rows accumulated. Under concurrent
+// insertion it is a momentary snapshot (per-shard consistent).
+func (a *Accumulator) Len() int {
+	n := 0
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		n += sh.n
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Mark snapshots the per-shard watermarks. Each shard's count is read
+// under its lock, so every row below the mark is fully published: a view
+// between two marks is safe to scan even while later Adds proceed. The
+// snapshot is not atomic across shards; callers that need an exact global
+// cut (the fixpoint's iteration barrier) must call it at a quiescent
+// point.
+func (a *Accumulator) Mark() AccMark {
+	var m AccMark
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		m[i] = sh.n
+		sh.mu.Unlock()
+	}
+	return m
+}
+
+// DeltaRows returns how many rows lie between two marks.
+func DeltaRows(from, to AccMark) int {
+	n := 0
+	for i := range from {
+		n += to[i] - from[i]
+	}
+	return n
+}
+
+// DeltaViews returns read-only zero-copy Relation views of the rows
+// appended between two marks, one per non-empty shard window — the next
+// iteration's delta streaming straight out of the shards. Views stay valid
+// while later rows are inserted concurrently: the backing array below the
+// mark is immutable (appends either extend beyond the views' capacity or
+// move to a fresh array), and the slice headers are captured under the
+// shard locks.
+func (a *Accumulator) DeltaViews(from, to AccMark) []*Relation {
+	var out []*Relation
+	for i := range a.shards {
+		lo, hi := from[i], to[i]
+		if lo == hi {
+			continue
+		}
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		data := sh.data
+		sh.mu.Unlock()
+		out = append(out, &Relation{
+			cols:     a.cols,
+			data:     data[lo*a.arity : hi*a.arity : hi*a.arity],
+			n:        hi - lo,
+			readonly: true,
+			lazySet:  true,
+		})
+	}
+	return out
+}
+
+// DeltaRelation copies the rows between two marks into one contiguous
+// read-only relation — the coalesced delta the sequential fixpoint regime
+// binds (a handful of shard windows would otherwise each pay a pipeline).
+// The rows are known distinct, so no dedup set is built (membership, if a
+// consumer ever asks, materializes lazily). Like DeltaViews it captures
+// each shard's slice header under the shard lock, so it is safe while
+// later Adds proceed concurrently.
+func (a *Accumulator) DeltaRelation(from, to AccMark) *Relation {
+	out := &Relation{cols: a.cols, readonly: true, lazySet: true}
+	out.data = make([]Value, 0, DeltaRows(from, to)*a.arity)
+	for i := range a.shards {
+		lo, hi := from[i], to[i]
+		if lo == hi {
+			continue
+		}
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		data := sh.data
+		sh.mu.Unlock()
+		out.data = append(out.data, data[lo*a.arity:hi*a.arity]...)
+		out.n += hi - lo
+	}
+	return out
+}
+
+// Absorb inserts every row of r (set semantics) and returns the number of
+// rows that were new. It is the accumulator's bulk seed path.
+func (a *Accumulator) Absorb(r *Relation) int {
+	var ad accAdder
+	return ad.addBatch(a, r.AsBatch(), nil)
+}
+
+// AbsorbNew inserts every row of o not already present and returns the
+// relation of newly added rows — the fused diff-then-union of the
+// semi-naive step, one hash per row (shared by the accumulator and the
+// returned delta).
+func (a *Accumulator) AbsorbNew(o *Relation) *Relation {
+	fresh := NewRelation(a.cols...)
+	var ad accAdder
+	ad.addBatch(a, o.AsBatch(), fresh)
+	return fresh
+}
+
+// AbsorbBatch inserts every row of b, appending the new rows to fresh
+// (when non-nil) and returning how many were new. fresh is the caller's
+// private relation; concurrent callers must each pass their own. Callers
+// absorbing many batches should hold an Absorber instead, which reuses
+// the routing scratch across calls.
+func (a *Accumulator) AbsorbBatch(b *Batch, fresh *Relation) int {
+	return a.Absorber().AbsorbBatch(b, fresh)
+}
+
+// Absorber is a reusable batched-insert handle onto one accumulator: the
+// per-batch hashing/routing scratch lives on the handle instead of being
+// reallocated per call. One Absorber serves one goroutine; any number of
+// Absorbers may feed the same accumulator concurrently.
+type Absorber struct {
+	a  *Accumulator
+	ad accAdder
+}
+
+// Absorber returns a fresh absorb handle for this accumulator.
+func (a *Accumulator) Absorber() *Absorber { return &Absorber{a: a} }
+
+// AbsorbBatch inserts every row of b, appending the new rows to fresh
+// (when non-nil) and returning how many were new.
+func (ab *Absorber) AbsorbBatch(b *Batch, fresh *Relation) int {
+	if b == nil {
+		return 0
+	}
+	return ab.ad.addBatch(ab.a, b, fresh)
+}
+
+// Materialize copies the accumulated rows into one Relation: a memcpy of
+// each shard's flat store plus fresh-slot dedup-set inserts reusing the
+// stored hashes — no rehash, no membership probes (shards are disjoint by
+// construction). It is called once, at fixpoint exit; it must not race
+// with Add.
+func (a *Accumulator) Materialize() *Relation {
+	total := 0
+	for i := range a.shards {
+		total += a.shards[i].n
+	}
+	out := NewRelationSized(total, a.cols...)
+	for i := range a.shards {
+		sh := &a.shards[i]
+		if sh.n > 0 {
+			out.appendUniqueBlock(sh.data[:sh.n*a.arity], sh.hashes[:sh.n])
+		}
+	}
+	return out
+}
+
+// accAdder is the per-worker scratch state of a batched accumulator
+// insert: hashes, shard routing and a counting-sort grouping of the
+// batch's rows, reused across batches so a shard's lock is taken once per
+// batch instead of once per row.
+type accAdder struct {
+	hashes []uint64
+	shard  []uint8
+	order  []int32 // row indices grouped by shard
+	start  [accShards + 1]int32
+}
+
+// addBatch inserts a batch's rows into the accumulator: the hash and
+// shard-routing work happens lock-free, then each shard that received rows
+// is locked exactly once, with the membership probe and insertion fused
+// under that lock. Rows that were new are appended to fresh (when
+// non-nil), reusing the hash.
+func (ad *accAdder) addBatch(a *Accumulator, b *Batch, fresh *Relation) int {
+	n := b.Len()
+	if n == 0 {
+		return 0
+	}
+	if cap(ad.hashes) < n {
+		ad.hashes = make([]uint64, n)
+		ad.shard = make([]uint8, n)
+		ad.order = make([]int32, n)
+	}
+	// Pass 1 (lock-free): hash and route to a shard.
+	var count [accShards]int32
+	for i := 0; i < n; i++ {
+		h := HashValues(b.Row(i))
+		sh := uint8(accShardOf(h))
+		ad.hashes[i] = h
+		ad.shard[i] = sh
+		count[sh]++
+	}
+	// Counting sort the rows by shard.
+	ad.start[0] = 0
+	for sh := 0; sh < accShards; sh++ {
+		ad.start[sh+1] = ad.start[sh] + count[sh]
+	}
+	fill := ad.start
+	for i := 0; i < n; i++ {
+		sh := ad.shard[i]
+		ad.order[fill[sh]] = int32(i)
+		fill[sh]++
+	}
+	// Pass 2: one lock per non-empty shard, probe+insert fused.
+	added := 0
+	for sh := 0; sh < accShards; sh++ {
+		lo, hi := ad.start[sh], ad.start[sh+1]
+		if lo == hi {
+			continue
+		}
+		shd := &a.shards[sh]
+		shd.mu.Lock()
+		for _, ri := range ad.order[lo:hi] {
+			row := b.Row(int(ri))
+			if shd.add(row, ad.hashes[ri], a.arity) {
+				added++
+				if fresh != nil {
+					fresh.addHashed(row, ad.hashes[ri])
+				}
+			}
+		}
+		shd.mu.Unlock()
+	}
+	return added
+}

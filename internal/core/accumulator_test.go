@@ -1,0 +1,289 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// This file stress-tests the cross-iteration fixpoint accumulator and the
+// parallel join-index build — the two concurrency surfaces added when the
+// per-iteration merge barrier and the serial build were removed. All of
+// these are meaningful under -race (CI runs the suite with it): they
+// exercise probe-while-add, delta scan vs concurrent insert, and
+// concurrent probes of a parallel-built index.
+
+// TestAccumulatorDeltaEpochs: absorbing rows in epochs, the views (and the
+// coalesced relation) between consecutive marks contain exactly the rows
+// that were new in that epoch.
+func TestAccumulatorDeltaEpochs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := NewAccumulator(ColSrc, ColTrg)
+	seen := NewRelation(ColSrc, ColTrg)
+	prev := AccMark{}
+	for epoch := 0; epoch < 6; epoch++ {
+		batch := randomRows(rng, 300, 2, 60)
+		wantNew := NewRelation(ColSrc, ColTrg)
+		for _, row := range batch {
+			if !seen.Has(row) {
+				wantNew.Add(row)
+			}
+			seen.Add(row)
+			a.Add(row)
+		}
+		mark := a.Mark()
+		if n := DeltaRows(prev, mark); n != wantNew.Len() {
+			t.Fatalf("epoch %d: DeltaRows=%d, want %d", epoch, n, wantNew.Len())
+		}
+		gotViews := NewRelation(ColSrc, ColTrg)
+		for _, v := range a.DeltaViews(prev, mark) {
+			Drain(ScanRelation(v), gotViews)
+		}
+		if !SameRows(gotViews, wantNew) {
+			t.Fatalf("epoch %d: DeltaViews rows differ from the epoch's new rows", epoch)
+		}
+		coalesced := a.DeltaRelation(prev, mark)
+		if got := Materialize(ScanRelation(coalesced)); !SameRows(got, wantNew) {
+			t.Fatalf("epoch %d: DeltaRelation rows differ from the epoch's new rows", epoch)
+		}
+		prev = mark
+	}
+	if got := a.Materialize(); !SameRows(got, seen) {
+		t.Fatal("materialized accumulator differs from reference set")
+	}
+}
+
+// TestAccumulatorProbeWhileAdd runs concurrent producers, membership
+// probes and delta scans against one accumulator — the exact overlap the
+// cross-iteration fixpoint creates when workers of iteration i+1 insert
+// while others still stream iteration i's shard windows. Under -race this
+// is the primary data-race test for the accumulator.
+func TestAccumulatorProbeWhileAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	rows := randomRows(rng, 12000, 2, 200)
+	base := rows[:4000]
+	extra := rows[4000:]
+
+	a := NewAccumulator(ColSrc, ColTrg)
+	for _, row := range base {
+		a.Add(row)
+	}
+	baseMark := a.Mark()
+
+	var wg sync.WaitGroup
+	var missing atomic.Int64
+	// Producers: insert the extra rows concurrently.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(extra); i += 4 {
+				a.Add(extra[i])
+			}
+		}(w)
+	}
+	// Probers: base rows must stay present throughout.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(base); i += 2 {
+				if !a.Has(base[i]) {
+					missing.Add(1)
+				}
+			}
+		}(w)
+	}
+	// Scanners: the pre-insert delta window must stay fully readable and
+	// stable while producers append past it.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				n := 0
+				for _, v := range a.DeltaViews(AccMark{}, baseMark) {
+					it := ScanRelation(v)
+					for b := it.Next(); b != nil; b = it.Next() {
+						n += b.Len()
+					}
+				}
+				if n != DeltaRows(AccMark{}, baseMark) {
+					missing.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if missing.Load() != 0 {
+		t.Fatalf("%d probe/scan inconsistencies during concurrent insertion", missing.Load())
+	}
+
+	want := NewRelation(ColSrc, ColTrg)
+	for _, row := range rows {
+		want.Add(row)
+	}
+	if got := a.Materialize(); !SameRows(got, want) {
+		t.Fatal("accumulator contents differ after concurrent insertion")
+	}
+}
+
+// TestAccumulatorAbsorbBatchConcurrent: concurrent batched absorbs (the
+// worker-pool drain path) agree with a sequential reference, and each
+// caller's private fresh relation receives only rows that were globally
+// new, with no row claimed by two callers.
+func TestAccumulatorAbsorbBatchConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	rows := randomRows(rng, 16000, 2, 150)
+	src := NewRelation(ColSrc, ColTrg)
+	for _, row := range rows {
+		src.Add(row)
+	}
+	const workers = 6
+	a := NewAccumulator(ColSrc, ColTrg)
+	fresh := make([]*Relation, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		fresh[w] = NewRelation(ColSrc, ColTrg)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Overlapping windows force cross-worker duplicate claims.
+			step := 1000
+			for lo := 0; lo < src.Len(); lo += step {
+				hi := lo + step + 500
+				if hi > src.Len() {
+					hi = src.Len()
+				}
+				a.AbsorbBatch(src.BatchRange(lo, hi), fresh[w])
+			}
+		}(w)
+	}
+	wg.Wait()
+	merged := NewRelation(ColSrc, ColTrg)
+	total := 0
+	for _, f := range fresh {
+		total += f.Len()
+		merged.UnionInPlace(f)
+	}
+	if total != merged.Len() {
+		t.Fatalf("fresh relations overlap: %d rows claimed, %d distinct", total, merged.Len())
+	}
+	if !SameRows(merged, src) {
+		t.Fatal("union of fresh deltas differs from the source set")
+	}
+	if got := a.Materialize(); !SameRows(got, src) {
+		t.Fatal("accumulator contents differ from the source set")
+	}
+}
+
+// TestParallelIndexBuildMatchesSerial: for random relations and key
+// subsets, the parallel two-phase build answers every probe exactly like
+// the serial build — same distinct-key count, same matches per key, same
+// misses.
+func TestParallelIndexBuildMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	schemas := [][]string{{ColSrc, ColTrg}, {"a", "b", "c"}}
+	for trial := 0; trial < 10; trial++ {
+		cols := schemas[trial%len(schemas)]
+		rel := NewRelation(cols...)
+		// Big enough (and distinct enough) to clear the ParallelPlan
+		// threshold for every arity.
+		for _, row := range randomRows(rng, 3*BatchRowsFor(len(cols)), len(cols), 5000) {
+			rel.Add(row)
+		}
+		keyCols := cols[:1+trial%len(cols)]
+		serial, err := BuildJoinIndex(rel, keyCols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			par, err := BuildJoinIndexParallel(rel, keyCols, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Shards() < 2 {
+				t.Fatalf("trial %d workers=%d: parallel build fell back to %d shard(s)",
+					trial, workers, par.Shards())
+			}
+			if par.Len() != serial.Len() || par.Rows() != serial.Rows() {
+				t.Fatalf("trial %d workers=%d: keys/rows %d/%d, serial %d/%d",
+					trial, workers, par.Len(), par.Rows(), serial.Len(), serial.Rows())
+			}
+			key := make([]Value, len(keyCols))
+			at := make([]int, len(keyCols))
+			for i, c := range keyCols {
+				at[i] = ColIndex(rel.Cols(), c)
+			}
+			probe := func(row []Value) {
+				for i := range at {
+					key[i] = row[at[i]]
+				}
+				want := serial.Matches(nil, key)
+				got := par.Matches(nil, key)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d workers=%d: key %v matched %d rows, serial %d",
+						trial, workers, key, len(got), len(want))
+				}
+				for i := range got {
+					if !rowsEqual(got[i], want[i]) {
+						t.Fatalf("trial %d workers=%d: key %v match %d differs", trial, workers, key, i)
+					}
+				}
+				if par.Contains(key) != serial.Contains(key) {
+					t.Fatalf("trial %d workers=%d: Contains(%v) disagrees", trial, workers, key)
+				}
+			}
+			for i := 0; i < rel.Len(); i += 97 {
+				probe(rel.RowAt(i))
+			}
+			for i := 0; i < 200; i++ {
+				probe(randomRows(rng, 1, len(cols), 400)[0])
+			}
+		}
+	}
+}
+
+// TestParallelIndexConcurrentProbes: a parallel-built index serves
+// concurrent probes from many goroutines (read-only sharing, the fixpoint
+// drain's access pattern). Under -race this guards the build/probe
+// hand-off.
+func TestParallelIndexConcurrentProbes(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	rel := NewRelation(ColSrc, ColTrg)
+	for _, row := range randomRows(rng, 3*BatchRowsFor(2), 2, 300) {
+		rel.Add(row)
+	}
+	ix, err := BuildJoinIndexParallel(rel, []string{ColSrc}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var scratch [][]Value
+			for i := w; i < rel.Len(); i += 6 {
+				row := rel.RowAt(i)
+				scratch = ix.Matches(scratch[:0], row[:1])
+				found := false
+				for _, m := range scratch {
+					if rowsEqual(m, row) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					bad.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d indexed rows not found by their own key under concurrent probing", bad.Load())
+	}
+}

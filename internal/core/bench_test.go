@@ -115,6 +115,42 @@ func BenchmarkParallelFixpoint(b *testing.B) {
 	}
 }
 
+// BenchmarkJoinIndexBuild measures the build side of the hash join — the
+// serial single-shard build against the two-phase parallel build the
+// first iteration of a large fixpoint pays.
+func BenchmarkJoinIndexBuild(b *testing.B) {
+	rel := sparseRelation(rand.New(rand.NewSource(3)), 1<<18, 1<<17)
+	for _, workers := range []int{1, 4} {
+		name := "serial"
+		if workers > 1 {
+			name = fmt.Sprintf("parallel=%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildJoinIndexParallel(rel, []string{ColSrc}, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAccumulatorAbsorb measures the fixpoint accumulator's batched
+// insert path (the worker-pool drain target) and its one-shot exit
+// materialization.
+func BenchmarkAccumulatorAbsorb(b *testing.B) {
+	rel := sparseRelation(rand.New(rand.NewSource(13)), 1<<18, 1<<17)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := NewAccumulator(ColSrc, ColTrg)
+		a.Absorb(rel)
+		if out := a.Materialize(); out.Len() != rel.Len() {
+			b.Fatalf("materialized %d rows, want %d", out.Len(), rel.Len())
+		}
+	}
+}
+
 // BenchmarkFixpointPipelines compares the two evaluators the engine
 // carries on the same deep-closure hot path: the streaming iterator
 // pipeline with reusable join indexes (the default) against the seed's

@@ -284,7 +284,7 @@ func (ev *Evaluator) indexFor(rel *Relation, cols []string, stable bool) (*JoinI
 			ev.Stats.IndexReuses++
 			return ix, nil
 		}
-		ix, err := BuildJoinIndex(rel, cols)
+		ix, err := BuildJoinIndexParallel(rel, cols, ev.Parallel)
 		if err != nil {
 			return nil, err
 		}
@@ -293,7 +293,7 @@ func (ev *Evaluator) indexFor(rel *Relation, cols []string, stable bool) (*JoinI
 		return ix, nil
 	}
 	ev.Stats.IndexBuilds++
-	return BuildJoinIndex(rel, cols)
+	return BuildJoinIndexParallel(rel, cols, ev.Parallel)
 }
 
 // streamJoin plans a hash join: the build side is materialized and
@@ -409,100 +409,89 @@ func (ev *Evaluator) markDynamic(x string) func() {
 // the fixpoint-splitting plans rely on: each worker calls RunFixpoint on
 // its own portion Ri.
 //
-// The streaming implementation fuses the set difference and union into the
-// accumulator: φ(new) streams directly into X, and the rows that were
-// actually new become the next delta — one hash probe per produced tuple,
-// with the constant side's join indexes built once before the first
-// iteration and reused by every later one.
+// The streaming implementation keeps X sharded across all iterations in a
+// cross-iteration Accumulator: φ(new) streams into the accumulator with
+// the set difference and union fused under the shard locks (one hash probe
+// per produced tuple), the rows an iteration appends ARE the next delta
+// (zero-copy shard windows between two marks, or one coalesced relation in
+// the sequential regime), and a Relation is materialized exactly once at
+// fixpoint exit. The constant sides' join indexes are built — in parallel
+// for large inputs — once before the first iteration and reused by every
+// later one. Insertion order of the result is not deterministic under
+// parallelism; consumers must compare order-insensitively (SameRows).
 func (ev *Evaluator) RunFixpoint(d *Decomposed, init *Relation, env *Env) (*Relation, error) {
 	if ev.Materializing {
 		return ev.runFixpointMat(d, init, env)
 	}
-	x := init.Clone()
 	if len(d.PhiBranches) == 0 {
-		return x, nil
+		return init.Clone(), nil
 	}
 	restore := ev.markDynamic(d.X)
 	defer restore()
-	nu := init
+	acc := NewAccumulator(init.Cols()...)
+	prev := AccMark{}
+	deltaRows := acc.Absorb(init)
 	iter := 0
-	for nu.Len() > 0 {
+	for deltaRows > 0 {
 		iter++
 		if ev.MaxIter > 0 && iter > ev.MaxIter {
 			return nil, fmt.Errorf("core: fixpoint exceeded %d iterations", ev.MaxIter)
 		}
-		next := NewRelation(x.Cols()...)
-		var err error
-		if chunk, workers := ParallelPlan(nu.Len(), nu.Arity(), ev.Parallel); workers > 1 {
-			err = ev.stepParallel(d, nu, x, next, env, chunk, workers)
-		} else {
-			err = ev.stepSequential(d, nu, x, next, env)
+		mark := acc.Mark()
+		// The delta: for the first iteration init itself (already
+		// contiguous); afterwards the shard windows appended since prev —
+		// coalesced into one relation when this iteration runs
+		// sequentially, streamed straight out of the shards in chunk-sized
+		// views when the worker pool is engaged.
+		chunk, workers := ParallelPlan(deltaRows, acc.Arity(), ev.Parallel)
+		var views []*Relation
+		switch {
+		case iter == 1:
+			views = []*Relation{init}
+		case workers > 1:
+			views = acc.DeltaViews(prev, mark)
+		default:
+			views = []*Relation{acc.DeltaRelation(prev, mark)}
 		}
-		if err != nil {
-			return nil, err
+		if workers <= 1 {
+			// Sequential regime: one pipeline per branch per view — chunking
+			// buys nothing without the pool and would cost a pipeline
+			// (iterator stack + batch buffers) per chunk.
+			chunk = deltaRows
 		}
-		nu = next
-		ev.Stats.FixpointIterations++
-		ev.Stats.TuplesProduced += next.Len()
-		if next.Len() > ev.Stats.MaxDelta {
-			ev.Stats.MaxDelta = next.Len()
-		}
-	}
-	return x, nil
-}
-
-// stepSequential runs one semi-naive iteration on the calling goroutine:
-// φ(nu) streams into the accumulator with the set difference and union
-// fused (one hash per produced tuple, shared between x and the delta).
-func (ev *Evaluator) stepSequential(d *Decomposed, nu, x, next *Relation, env *Env) error {
-	stepEnv := env.with(d.X, nu)
-	for _, br := range d.PhiBranches {
-		it, err := ev.stream(br, stepEnv)
-		if err != nil {
-			return err
-		}
-		for b := it.Next(); b != nil; b = it.Next() {
-			for i := 0; i < b.Len(); i++ {
-				row := b.Row(i)
-				h := HashValues(row)
-				if x.addHashed(row, h) {
-					next.addHashed(row, h)
+		var pipes []Iterator
+		for _, br := range d.PhiBranches {
+			for _, nu := range views {
+				for lo := 0; lo < nu.Len(); lo += chunk {
+					hi := lo + chunk
+					if hi > nu.Len() {
+						hi = nu.Len()
+					}
+					bound := nu
+					if lo != 0 || hi != nu.Len() {
+						bound = nu.Slice(lo, hi)
+					}
+					it, err := ev.stream(br, env.with(d.X, bound))
+					if err != nil {
+						return nil, err
+					}
+					pipes = append(pipes, it)
 				}
 			}
 		}
-	}
-	return nil
-}
-
-// stepParallel runs one semi-naive iteration with the delta split into
-// batch-granular chunks probed concurrently. Each chunk gets its own
-// iterator pipeline over a read-only Slice view of the delta (sound
-// because Fcond makes every φ branch linear in X, so φ distributes over
-// this partition of nu); pipelines are built serially, which warms the
-// evaluator's shared index/const caches, then drained by a bounded worker
-// pool into a sharded tuple set filtered against the accumulator. The
-// accumulator is only read during the drain; the new rows merge into x
-// and the next delta sequentially afterwards, reusing the drain's hashes.
-func (ev *Evaluator) stepParallel(d *Decomposed, nu, x, next *Relation, env *Env, chunk, workers int) error {
-	var pipes []Iterator
-	for _, br := range d.PhiBranches {
-		for lo := 0; lo < nu.Len(); lo += chunk {
-			hi := lo + chunk
-			if hi > nu.Len() {
-				hi = nu.Len()
-			}
-			it, err := ev.stream(br, env.with(d.X, nu.Slice(lo, hi)))
-			if err != nil {
-				return err
-			}
-			pipes = append(pipes, it)
+		added := ParallelDrain(pipes, workers, acc)
+		if workers > 1 {
+			ev.Stats.ParallelSteps++
+		}
+		prev = mark
+		deltaRows = added
+		ev.Stats.FixpointIterations++
+		ev.Stats.TuplesProduced += added
+		if added > ev.Stats.MaxDelta {
+			ev.Stats.MaxDelta = added
 		}
 	}
-	sink := NewShardedSet(x.Arity(), x)
-	ParallelDrain(pipes, workers, sink)
-	sink.AppendTo(x, next)
-	ev.Stats.ParallelSteps++
-	return nil
+	return acc.Materialize(), nil
 }
 
 // EvalPhiDelta evaluates φ(nu) — the union of the decomposed fixpoint's

@@ -6,108 +6,15 @@ import (
 	"sync/atomic"
 )
 
-// This file is the parallel half of the data plane: a sharded concurrent
-// tuple set and a bounded worker pool that drains many iterator pipelines
-// at once. The semi-naive fixpoint uses them to split an iteration's delta
-// into batch-granular chunks and probe the (read-only, reusable)
+// This file is the worker pool of the parallel data plane: it drains many
+// iterator pipelines at once into the shared fixpoint Accumulator (see
+// accumulator.go). The semi-naive fixpoint uses it to split an iteration's
+// delta into batch-granular chunks and probe the (read-only, reusable)
 // JoinIndexes concurrently — the driver-side loop and the per-worker local
 // loops of Ps_plw/Ppg_plw overlap their probe streams across cores instead
-// of walking the delta single-threaded.
-
-// shardedSetShards is the shard count of a ShardedSet. 32 shards keep
-// lock contention negligible for worker pools up to a few dozen
-// goroutines while the per-shard fixed cost stays trivial.
-const shardedSetShards = 32
-
-// setShard is one lock-striped shard: a tupleSet over its own flat row
-// store, plus the per-row hashes in insertion order so the sequential
-// merge into the accumulator does not rehash.
-type setShard struct {
-	mu     sync.Mutex
-	set    tupleSet
-	data   []Value
-	hashes []uint64
-	n      int
-	// pad the shard to its own cache line(s) so neighboring shard locks do
-	// not false-share.
-	_ [24]byte
-}
-
-// ShardedSet is a concurrency-safe tuple set: rows are routed to one of
-// shardedSetShards lock-striped tupleSet shards by the top bits of their
-// hash (the tupleSet probes with the low bits, so routing and probing stay
-// uncorrelated). An optional filter relation suppresses rows already
-// present elsewhere — the fixpoint passes its accumulator X, whose set is
-// only read (never written) during a parallel drain, making the membership
-// probes safely concurrent.
-type ShardedSet struct {
-	arity  int
-	filter *Relation
-	shards [shardedSetShards]setShard
-}
-
-// NewShardedSet returns an empty sharded set for rows of the given arity.
-// filter, when non-nil, must not be mutated while the set is used
-// concurrently; rows contained in it are rejected by Add.
-func NewShardedSet(arity int, filter *Relation) *ShardedSet {
-	if filter != nil {
-		// Materialize a lazily-built view set now, before concurrent reads.
-		filter.ensureSet()
-	}
-	return &ShardedSet{arity: arity, filter: filter}
-}
-
-// Add inserts a row (copying its values), returning true if it was new —
-// absent from the filter and from the set itself. Safe for concurrent use.
-func (s *ShardedSet) Add(row []Value) bool {
-	h := HashValues(row)
-	if s.filter != nil && s.filter.hasHashed(row, h) {
-		return false
-	}
-	sh := &s.shards[(h>>59)%shardedSetShards]
-	sh.mu.Lock()
-	sh.set.growFor(sh.n + 1)
-	slot, found := sh.set.lookup(h, row, sh.data, s.arity)
-	if found {
-		sh.mu.Unlock()
-		return false
-	}
-	sh.data = append(sh.data, row...)
-	sh.hashes = append(sh.hashes, h)
-	sh.n++
-	sh.set.claim(slot, h, int32(sh.n))
-	sh.mu.Unlock()
-	return true
-}
-
-// Len returns the number of distinct rows accumulated. It must not race
-// with Add.
-func (s *ShardedSet) Len() int {
-	n := 0
-	for i := range s.shards {
-		n += s.shards[i].n
-	}
-	return n
-}
-
-// AppendTo inserts every accumulated row into each destination relation,
-// in shard order, reusing the hashes computed on Add; it returns the
-// number of rows appended. It is the sequential merge phase after a
-// parallel drain and must not race with Add.
-func (s *ShardedSet) AppendTo(dsts ...*Relation) int {
-	total := 0
-	for si := range s.shards {
-		sh := &s.shards[si]
-		for i := 0; i < sh.n; i++ {
-			row := sh.data[i*s.arity : (i+1)*s.arity]
-			for _, d := range dsts {
-				d.addHashed(row, sh.hashes[i])
-			}
-		}
-		total += sh.n
-	}
-	return total
-}
+// of walking the delta single-threaded. The drained rows land in the
+// accumulator with membership and insertion fused, so there is no
+// sequential merge step after the pool finishes.
 
 // DefaultParallelism is the worker count used when an Evaluator's Parallel
 // field is zero: the scheduler's CPU budget.
@@ -134,31 +41,28 @@ func ParallelPlan(rows, arity, maxWorkers int) (chunk, workers int) {
 	return chunk, workers
 }
 
-// ParallelDrain drains every iterator into the sharded set with a bounded
-// worker pool and returns the number of rows that were new. Iterators must
-// be independent (each owns its pipeline state); the indexes and relations
-// they probe are only read. With one worker (or one iterator) it degrades
-// to a plain sequential drain with no goroutines.
-func ParallelDrain(its []Iterator, workers int, sink *ShardedSet) int {
-	if workers > len(its) {
-		workers = len(its)
+// runWorkers runs fn(worker, task) for every task index in [0, tasks) on
+// a bounded pool, propagating the first panic to the caller. The worker
+// index lets fn keep per-goroutine scratch state. With one worker it
+// degrades to a plain loop with no goroutines.
+func runWorkers(tasks, workers int, fn func(worker, task int)) {
+	if workers > tasks {
+		workers = tasks
 	}
 	if workers <= 1 {
-		added := 0
-		for _, it := range its {
-			added += drainToSharded(it, sink)
+		for i := 0; i < tasks; i++ {
+			fn(0, i)
 		}
-		return added
+		return
 	}
 	var (
-		added atomic.Int64
-		next  atomic.Int64
-		wg    sync.WaitGroup
+		next     atomic.Int64
+		wg       sync.WaitGroup
 		panicked atomic.Value
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -167,112 +71,52 @@ func ParallelDrain(its []Iterator, workers int, sink *ShardedSet) int {
 			}()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(its) {
+				if i >= tasks {
 					return
 				}
-				added.Add(int64(drainToSharded(its[i], sink)))
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if r := panicked.Load(); r != nil {
 		panic(r)
 	}
+}
+
+// ParallelDrain drains every iterator into the accumulator with a bounded
+// worker pool and returns the number of rows that were new. Iterators must
+// be independent (each owns its pipeline state); the indexes and relations
+// they probe are only read, while the accumulator absorbs rows from all
+// workers concurrently. With one worker (or one iterator) it degrades to a
+// plain sequential drain with no goroutines.
+func ParallelDrain(its []Iterator, workers int, sink *Accumulator) int {
+	if workers > len(its) {
+		workers = len(its)
+	}
+	if workers <= 1 {
+		added := 0
+		var ad accAdder
+		for _, it := range its {
+			added += drainToAccumulator(it, sink, &ad)
+		}
+		return added
+	}
+	var added atomic.Int64
+	adders := make([]accAdder, workers) // per-goroutine scratch, reused across pipelines
+	runWorkers(len(its), workers, func(w, i int) {
+		added.Add(int64(drainToAccumulator(its[i], sink, &adders[w])))
+	})
 	return int(added.Load())
 }
 
-// drainToSharded feeds one iterator's batches into the sharded set,
-// grouping each batch's rows by shard so a shard's lock is taken once per
-// batch instead of once per row.
-func drainToSharded(it Iterator, sink *ShardedSet) int {
-	var a shardedAdder
+// drainToAccumulator feeds one iterator's batches into the accumulator
+// through the batched adder, so a shard's lock is taken once per batch
+// instead of once per row.
+func drainToAccumulator(it Iterator, sink *Accumulator, ad *accAdder) int {
 	added := 0
 	for b := it.Next(); b != nil; b = it.Next() {
-		added += a.addBatch(sink, b)
-	}
-	return added
-}
-
-// shardedAdder is the per-worker scratch state of a batched sharded
-// insert: hashes, shard routing and a counting-sort grouping of the
-// batch's surviving rows, reused across batches.
-type shardedAdder struct {
-	hashes []uint64
-	rows   []int32 // surviving row indices in the batch
-	shard  []uint8
-	order  []int32 // row indices grouped by shard
-	start  [shardedSetShards + 1]int32
-}
-
-// addBatch inserts a batch's rows into the sharded set: the hash,
-// filter-membership and shard-routing work happens lock-free, then each
-// shard that received rows is locked exactly once.
-func (a *shardedAdder) addBatch(s *ShardedSet, b *Batch) int {
-	n := b.Len()
-	if n == 0 {
-		return 0
-	}
-	if cap(a.hashes) < n {
-		a.hashes = make([]uint64, n)
-		a.rows = make([]int32, n)
-		a.shard = make([]uint8, n)
-		a.order = make([]int32, n)
-	}
-	// Pass 1 (lock-free): hash, filter against the read-only accumulator,
-	// route to a shard.
-	m := 0
-	var count [shardedSetShards]int32
-	for i := 0; i < n; i++ {
-		row := b.Row(i)
-		h := HashValues(row)
-		if s.filter != nil && s.filter.hasHashed(row, h) {
-			continue
-		}
-		sh := uint8((h >> 59) % shardedSetShards)
-		a.hashes[m] = h
-		a.rows[m] = int32(i)
-		a.shard[m] = sh
-		count[sh]++
-		m++
-	}
-	if m == 0 {
-		return 0
-	}
-	// Counting sort the survivors by shard.
-	a.start[0] = 0
-	for sh := 0; sh < shardedSetShards; sh++ {
-		a.start[sh+1] = a.start[sh] + count[sh]
-	}
-	fill := a.start
-	for i := 0; i < m; i++ {
-		sh := a.shard[i]
-		a.order[fill[sh]] = int32(i)
-		fill[sh]++
-	}
-	// Pass 2: one lock per non-empty shard.
-	added := 0
-	for sh := 0; sh < shardedSetShards; sh++ {
-		lo, hi := a.start[sh], a.start[sh+1]
-		if lo == hi {
-			continue
-		}
-		shd := &s.shards[sh]
-		shd.mu.Lock()
-		for _, oi := range a.order[lo:hi] {
-			row := b.Row(int(a.rows[oi]))
-			h := a.hashes[oi]
-			shd.set.growFor(shd.n + 1)
-			slot, found := shd.set.lookup(h, row, shd.data, s.arity)
-			if found {
-				continue
-			}
-			shd.data = append(shd.data, row...)
-			shd.hashes = append(shd.hashes, h)
-			shd.n++
-			shd.set.claim(slot, h, int32(shd.n))
-			added++
-		}
-		shd.mu.Unlock()
+		added += ad.addBatch(sink, b, nil)
 	}
 	return added
 }

@@ -182,6 +182,20 @@ func (r *Relation) addHashed(row []Value, h uint64) bool {
 	return true
 }
 
+// appendUniqueBlock bulk-appends rows known to be absent from r (and
+// distinct among themselves): one memcpy of the flat row block plus a
+// fresh-slot set insert per row reusing the given hashes — no rehash, no
+// membership probes. It is the accumulator's exit-materialization path.
+func (r *Relation) appendUniqueBlock(data []Value, hashes []uint64) {
+	r.ensureSet()
+	r.set.reserve(r.n + len(hashes))
+	r.data = append(r.data, data...)
+	for _, h := range hashes {
+		r.n++
+		r.set.insertFresh(h, int32(r.n))
+	}
+}
+
 // Has reports whether the relation contains the row.
 func (r *Relation) Has(row []Value) bool { return r.hasHashed(row, HashValues(row)) }
 
@@ -273,6 +287,52 @@ func (r *Relation) Equal(o *Relation) bool {
 	}
 	for i := 0; i < r.n; i++ {
 		if !o.Has(r.RowAt(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedRows materializes the relation's rows as independent copies in
+// canonical (lexicographic, value-wise) order — the order-insensitive view
+// tests and diffs should compare, now that fixpoint results carry no
+// insertion-order guarantee.
+func (r *Relation) SortedRows() [][]Value {
+	out := make([][]Value, r.n)
+	flat := make([]Value, r.n*len(r.cols))
+	a := len(r.cols)
+	for i := range out {
+		row := flat[i*a : (i+1)*a : (i+1)*a]
+		copy(row, r.RowAt(i))
+		out[i] = row
+	}
+	sort.Slice(out, func(i, j int) bool { return lessRows(out[i], out[j]) })
+	return out
+}
+
+// lessRows orders rows lexicographically by value.
+func lessRows(a, b []Value) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// SameRows reports whether two relations hold the same rows over the same
+// schema, comparing in canonical order — the multiset/set equality
+// contract every fixpoint consumer must use instead of positional Rows()
+// comparison. It is Equal restated as an explicit order-insensitive
+// contract; unlike Equal it does not touch either relation's dedup set,
+// so it is safe on read-only views and across packages that only scan.
+func SameRows(a, b *Relation) bool {
+	if !ColsEqual(a.cols, b.cols) || a.n != b.n {
+		return false
+	}
+	ra, rb := a.SortedRows(), b.SortedRows()
+	for i := range ra {
+		if !rowsEqual(ra[i], rb[i]) {
 			return false
 		}
 	}

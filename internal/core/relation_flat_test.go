@@ -210,57 +210,66 @@ func TestAddBatchRoundTrip(t *testing.T) {
 	}
 }
 
-// TestShardedSetAgreesWithRelation: concurrent ShardedSet insertion
-// accepts exactly the distinct rows a Relation would, and AppendTo merges
-// them losslessly.
-func TestShardedSetAgreesWithRelation(t *testing.T) {
+// TestAccumulatorAgreesWithRelation: concurrent Accumulator insertion
+// accepts exactly the distinct rows a Relation would, and Materialize
+// exports them losslessly.
+func TestAccumulatorAgreesWithRelation(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	rows := randomRows(rng, 4000, 2, 40)
 	want := NewRelation(ColSrc, ColTrg)
 	for _, row := range rows {
 		want.Add(row)
 	}
-	s := NewShardedSet(2, nil)
+	a := NewAccumulator(ColSrc, ColTrg)
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(rows); i += 4 {
-				s.Add(rows[i])
+				a.Add(rows[i])
 			}
 		}(w)
 	}
 	wg.Wait()
-	got := NewRelation(ColSrc, ColTrg)
-	if n := s.AppendTo(got); n != want.Len() {
-		t.Fatalf("AppendTo returned %d, want %d", n, want.Len())
+	if a.Len() != want.Len() {
+		t.Fatalf("accumulator Len=%d, want %d", a.Len(), want.Len())
 	}
-	if !got.Equal(want) {
-		t.Fatal("sharded set contents differ from reference relation")
+	got := a.Materialize()
+	if !SameRows(got, want) {
+		t.Fatal("accumulator contents differ from reference relation")
 	}
 }
 
-// TestShardedSetFilter: rows present in the filter relation are rejected.
-func TestShardedSetFilter(t *testing.T) {
-	filter := NewRelation(ColSrc, ColTrg)
-	filter.Add([]Value{1, 2})
-	s := NewShardedSet(2, filter)
-	if s.Add([]Value{1, 2}) {
-		t.Fatal("filtered row accepted")
+// TestAccumulatorAbsorb: Absorb seeds the set, AbsorbNew returns exactly
+// the rows that were new, and membership answers stay consistent.
+func TestAccumulatorAbsorb(t *testing.T) {
+	a := NewAccumulator(ColSrc, ColTrg)
+	seed := NewRelation(ColSrc, ColTrg)
+	seed.Add([]Value{1, 2})
+	seed.Add([]Value{3, 4})
+	if n := a.Absorb(seed); n != 2 {
+		t.Fatalf("Absorb returned %d, want 2", n)
 	}
-	if !s.Add([]Value{3, 4}) {
-		t.Fatal("fresh row rejected")
+	if a.Add([]Value{1, 2}) {
+		t.Fatal("absorbed row accepted again")
 	}
-	if s.Add([]Value{3, 4}) {
-		t.Fatal("duplicate row accepted")
+	if !a.Has([]Value{3, 4}) || a.Has([]Value{9, 9}) {
+		t.Fatal("membership wrong after Absorb")
+	}
+	next := NewRelation(ColSrc, ColTrg)
+	next.Add([]Value{3, 4}) // already in
+	next.Add([]Value{5, 6}) // new
+	fresh := a.AbsorbNew(next)
+	if fresh.Len() != 1 || !fresh.Has([]Value{5, 6}) {
+		t.Fatalf("AbsorbNew returned %v, want exactly {(5,6)}", fresh)
 	}
 }
 
 // TestParallelDrainMatchesSequential: draining chunked scans of one
 // relation through the worker pool yields exactly the relation (dedup
-// across chunks, filter honored), no matter the worker count. Run with
-// -race this is also the concurrency test for ParallelDrain.
+// across chunks), no matter the worker count. Run with -race this is also
+// the concurrency test for ParallelDrain.
 func TestParallelDrainMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	src := NewRelation(ColSrc, ColTrg)
@@ -280,14 +289,12 @@ func TestParallelDrainMatchesSequential(t *testing.T) {
 		// Duplicate the first chunk: the sink must deduplicate across
 		// pipelines.
 		pipes = append(pipes, ScanRelation(src.Slice(0, chunk)))
-		sink := NewShardedSet(2, nil)
+		sink := NewAccumulator(ColSrc, ColTrg)
 		added := ParallelDrain(pipes, workers, sink)
 		if added != src.Len() {
 			t.Fatalf("workers=%d: drained %d distinct rows, want %d", workers, added, src.Len())
 		}
-		got := NewRelation(ColSrc, ColTrg)
-		sink.AppendTo(got)
-		if !got.Equal(src) {
+		if got := sink.Materialize(); !SameRows(got, src) {
 			t.Fatalf("workers=%d: drained contents differ", workers)
 		}
 	}

@@ -134,3 +134,19 @@ func (s *tupleSet) claim(slot int, h uint64, ref int32) {
 	s.hashes[slot] = h
 	s.n++
 }
+
+// insertFresh claims a slot for a row known to be absent: it probes for
+// the first empty slot without any row comparison. The table must have
+// free capacity (call reserve/growFor first). It is the no-dedup fast
+// path of the fixpoint accumulator's exit materialization, where shards
+// are disjoint by construction and hashes are already computed.
+func (s *tupleSet) insertFresh(h uint64, ref int32) {
+	mask := uint64(len(s.slots) - 1)
+	i := h & mask
+	for s.slots[i] != 0 {
+		i = (i + 1) & mask
+	}
+	s.slots[i] = ref
+	s.hashes[i] = h
+	s.n++
+}

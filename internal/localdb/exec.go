@@ -245,10 +245,11 @@ func (ex *Executor) evalJoin(j *core.Join, dyn []binding) (*core.Relation, error
 	ex.Stats.IndexProbes += dRel.Len()
 	// Large dynamic sides are probed in parallel: chunk ranges of the
 	// delta probe the (read-only) index concurrently, deduplicating into a
-	// sharded tuple set that merges into the result afterwards — the
-	// per-worker local-loop parallelism of Ppg_plw.
+	// shared accumulator (membership and insertion fused per shard, no
+	// sequential merge afterwards) — the per-worker local-loop parallelism
+	// of Ppg_plw.
 	if chunk, workers := core.ParallelPlan(dRel.Len(), dRel.Arity(), 0); workers > 1 {
-		sink := core.NewShardedSet(len(outCols), nil)
+		sink := core.NewAccumulator(outCols...)
 		var ranges [][2]int
 		for lo := 0; lo < dRel.Len(); lo += chunk {
 			hi := lo + chunk
@@ -273,8 +274,7 @@ func (ex *Executor) evalJoin(j *core.Join, dyn []binding) (*core.Relation, error
 		}
 		close(work)
 		wg.Wait()
-		sink.AppendTo(out)
-		return out, nil
+		return sink.Materialize(), nil
 	}
 	probeRange(0, dRel.Len(), func(row []core.Value) { out.Add(row) })
 	return out, nil
@@ -284,32 +284,38 @@ func (ex *Executor) evalJoin(j *core.Join, dyn []binding) (*core.Relation, error
 // init — the engine's WITH RECURSIVE analog. Constant operands of the φ
 // branches stay cached and indexed across all iterations (and across
 // executor instances, since both caches live on the DB), so each step
-// costs work proportional to the delta. The set difference and union of
-// the semi-naive step are fused into one accumulator pass.
+// costs work proportional to the delta. X lives in a core.Accumulator for
+// the whole loop: φ's output is absorbed with the set difference and
+// union fused per shard, the rows an iteration adds become the next delta
+// straight out of the shards, and a Relation is materialized once at
+// exit.
 func (ex *Executor) RunFixpoint(d *core.Decomposed, init *core.Relation, dyn []binding) (*core.Relation, error) {
-	x := init.Clone()
 	if len(d.PhiBranches) == 0 {
-		return x, nil
+		return init.Clone(), nil
 	}
+	acc := core.NewAccumulator(init.Cols()...)
+	acc.Absorb(init)
+	// One absorb handle for the whole loop: the hashing/routing scratch is
+	// reused across every iteration and branch.
+	ab := acc.Absorber()
 	nu := init
 	for nu.Len() > 0 {
 		ex.Stats.FixpointIters++
+		mark := acc.Mark()
 		step := append(dyn[:len(dyn):len(dyn)], binding{name: d.X, rel: nu})
-		next := core.NewRelation(x.Cols()...)
+		added := 0
 		for _, br := range d.PhiBranches {
 			out, err := ex.eval(br, step)
 			if err != nil {
 				return nil, err
 			}
 			// Fused diff-then-union: rows new in X become the next delta.
-			for ri := 0; ri < out.Len(); ri++ {
-				row := out.RowAt(ri)
-				if x.Add(row) {
-					next.Add(row)
-				}
-			}
+			added += ab.AbsorbBatch(out.AsBatch(), nil)
 		}
-		nu = next
+		if added == 0 {
+			break
+		}
+		nu = acc.DeltaRelation(mark, acc.Mark())
 	}
-	return x, nil
+	return acc.Materialize(), nil
 }

@@ -107,7 +107,9 @@ func ensureIndexOn(rel *core.Relation, cache map[string]*Index, cols []string) (
 	if ix, ok := cache[name]; ok {
 		return ix, nil
 	}
-	ji, err := core.BuildJoinIndex(rel, cols)
+	// Large builds engage the parallel two-phase index construction; small
+	// ones fall back to the serial path inside.
+	ji, err := core.BuildJoinIndexParallel(rel, cols, 0)
 	if err != nil {
 		return nil, err
 	}

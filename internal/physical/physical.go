@@ -303,7 +303,10 @@ func localEnv(ctx *cluster.Ctx, handles map[string]*cluster.Broadcast) *core.Env
 // applies the set difference and union partition-locally. Each worker
 // keeps one evaluator alive for the whole loop, so the join indexes built
 // over the broadcast (constant) relations in the first iteration are
-// probed — not rebuilt — by every later one.
+// probed — not rebuilt — by every later one; likewise each worker's
+// partition of X lives in a core.Accumulator for the whole loop, absorbing
+// shuffled candidates at frame-decode time (ExchangeInto) and
+// materializing into a relation only once, for the final collect.
 func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
 	fr := FixpointReport{StableCols: pr.stable}
 	handles, freeB, err := p.broadcastPhiRels(pr)
@@ -326,19 +329,25 @@ func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
 
 	d := pr.d
 	evals := make([]*core.Evaluator, p.C.NumWorkers())
+	// xAcc is each worker's partition of X, sharded across the whole loop.
+	xAcc := make([]*core.Accumulator, p.C.NumWorkers())
 	// sent is each worker's delta-aware shuffle filter: every candidate
 	// tuple this worker has already pushed into an Exchange (rows hash to a
 	// fixed owner, so a re-derived candidate would reach the same partition
 	// of X, which absorbed it at the barrier of the earlier iteration) is
-	// remembered and never crosses the wire again.
-	sent := make([]*core.Relation, p.C.NumWorkers())
+	// remembered and never crosses the wire again. It is an accumulator of
+	// its own, absorbing each iteration's candidates without rebuilding.
+	sent := make([]*core.Accumulator, p.C.NumWorkers())
 	for {
 		var added atomic.Int64
 		err := p.C.RunPhase(func(ctx *cluster.Ctx) error {
-			ev := evals[ctx.WorkerID()]
+			w := ctx.WorkerID()
+			ev := evals[w]
 			if ev == nil {
 				ev = core.NewEvaluator(localEnv(ctx, handles))
-				evals[ctx.WorkerID()] = ev
+				evals[w] = ev
+				xAcc[w] = core.NewAccumulator(pr.seed.Cols()...)
+				xAcc[w].Absorb(ctx.Partition(xDS))
 			}
 			nu := ctx.Partition(newDS)
 			delta, err := ev.EvalPhiDelta(d, nu, nil)
@@ -346,23 +355,20 @@ func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
 				return err
 			}
 			if !p.DisableDeltaShuffleFilter {
-				s := sent[ctx.WorkerID()]
+				s := sent[w]
 				if s == nil {
-					s = core.NewRelation(delta.Cols()...)
-					sent[ctx.WorkerID()] = s
+					s = core.NewAccumulator(delta.Cols()...)
+					sent[w] = s
 				}
 				delta = s.AbsorbNew(delta)
 			}
 			// The per-iteration shuffle: candidates meet the partition of X
-			// that owns their row hash, where dedup is local.
-			candidate, err := ctx.Exchange(delta, nil)
+			// that owns their row hash, absorbed into that partition's
+			// accumulator as their frames decode (fused diff-then-union).
+			fresh, err := ctx.ExchangeInto(delta, nil, xAcc[w])
 			if err != nil {
 				return err
 			}
-			x := ctx.Partition(xDS)
-			// Fused diff-then-union: one pass over the candidates.
-			fresh := x.AbsorbNew(candidate)
-			ctx.SetPartition(xDS, x)
 			ctx.SetPartition(newDS, fresh)
 			added.Add(int64(fresh.Len()))
 			return nil
@@ -374,6 +380,16 @@ func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
 		if added.Load() == 0 {
 			break
 		}
+	}
+	// Materialize each worker's accumulator into its xDS partition for the
+	// collect — the only X merge of the whole loop.
+	if err := p.C.RunPhase(func(ctx *cluster.Ctx) error {
+		if a := xAcc[ctx.WorkerID()]; a != nil {
+			ctx.SetPartition(xDS, a.Materialize())
+		}
+		return nil
+	}); err != nil {
+		return nil, fr, err
 	}
 	out, err := p.C.Collect(xDS)
 	if err != nil {

@@ -1,0 +1,42 @@
+package rpq
+
+import "testing"
+
+// FuzzRPQParse fuzzes the path-expression parser: no input may panic it,
+// and every accepted input must round-trip through the printer — the
+// printed form reparses, and printing is a fixed point after one pass.
+// Seeds are the paper-query corpus of TestParsePrintRoundTrip plus the
+// error cases of TestParseErrors.
+func FuzzRPQParse(f *testing.F) {
+	for _, seed := range []string{
+		"hasChild+",
+		"isMarriedTo/livesIn/IsL+/dw+",
+		"(actedIn/-actedIn)+",
+		"-type/(IsL+/dw|dw)",
+		"isMarriedTo+/owns/IsL+|owns/IsL+",
+		"(IsL|dw|rdfs:subClassOf|isConnectedTo)+",
+		"(-wasBornIn/hWP/-hWP/wasBornIn)+",
+		"(-created/created)+/directed",
+		"(haa|influences)+/(isMarriedTo|hasChild)+",
+		"-hKw/(ref/-ref)+",
+		"(int|(enc/-enc))+",
+		"a'b/c.d:e_f",
+		"", "(a", "a|", "a//b", "+a", "a)", "-/a", "--a", "-(a/b)+",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input)
+		if err != nil {
+			return
+		}
+		printed := e.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", input, printed, err)
+		}
+		if again.String() != printed {
+			t.Fatalf("printing not stable: %q → %q → %q", input, printed, again.String())
+		}
+	})
+}

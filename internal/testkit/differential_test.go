@@ -1,0 +1,57 @@
+package testkit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestDifferentialAllPlans is the bounded differential run wired into
+// `go test ./...`: random graphs × random UCRPQ queries, each evaluated by
+// the materializing reference, the streaming evaluator and all three
+// distributed plans, compared order-insensitively. The combo floor keeps
+// the harness honest: at least 200 (graph, query, plan) combinations per
+// run.
+func TestDifferentialAllPlans(t *testing.T) {
+	rep, err := RunDifferential(Options{Seed: 20260730})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Combos < 200 {
+		t.Fatalf("differential run checked only %d combos, want >= 200 (graphs=%d queries=%d)",
+			rep.Combos, rep.Graphs, rep.Queries)
+	}
+	if rep.ResultRows == 0 || rep.Iterations == 0 {
+		t.Fatalf("degenerate run: %d result rows, %d fixpoint iterations — queries did no work",
+			rep.ResultRows, rep.Iterations)
+	}
+	t.Logf("differential: %d graphs, %d queries, %d plan combos, %d result rows, %d iterations",
+		rep.Graphs, rep.Queries, rep.Combos, rep.ResultRows, rep.Iterations)
+}
+
+// TestDifferentialTCPTransport runs one differential case over real
+// loopback TCP sockets, so the wire encode/decode path of the shuffle
+// (including ExchangeInto's absorb-at-decode) is exercised in CI.
+func TestDifferentialTCPTransport(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := RandomGraph(rng, Cycle, 14, 2)
+	if err := RunCase(cluster.TransportTCP, 3, g, "?x,?y <- ?x l0+/l1+ ?y UNION ?x,?y <- ?x (l1/-l0)+ ?y"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialSeeds varies the generator seed in short bursts so CI
+// explores a different neighborhood than the fixed big run; kept small
+// because TestDifferentialAllPlans carries the volume.
+func TestDifferentialSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		rep, err := RunDifferential(Options{Seed: seed, Graphs: 2, QueriesPerGraph: 4})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Combos == 0 {
+			t.Fatalf("seed %d: no combos checked", seed)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package testkit is the engine's differential test harness: it generates
+// random labeled graphs and random RPQ/UCRPQ queries, evaluates every
+// query along five independent routes — the seed's materializing
+// reference evaluator, the centralized streaming evaluator, and the three
+// distributed fixpoint plans (Pgld on the cluster substrate, Ps_plw,
+// Ppg_plw) — and asserts that all routes produce the same result set,
+// order-insensitively (core.SameRows).
+//
+// The harness exists because the fixpoint data plane is deliberately
+// nondeterministic: X lives in a sharded cross-iteration accumulator whose
+// insertion order depends on hash routing and worker scheduling, so
+// "same rows, any order" is the only contract the engine makes. A bounded
+// run is wired into `go test ./...` (see differential_test.go); larger
+// sweeps can be run by calling RunDifferential with bigger Options.
+package testkit
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graphgen"
+	"repro/internal/physical"
+	"repro/internal/rpq"
+	"repro/internal/ucrpq"
+)
+
+// GraphKind selects a random-graph topology.
+type GraphKind int
+
+const (
+	// Chain is a labeled path graph n0→n1→…: maximal fixpoint depth.
+	Chain GraphKind = iota
+	// Cycle is a chain with the closing edge: every closure saturates.
+	Cycle
+	// Random is a sparse Erdős–Rényi-style multigraph: wide deltas.
+	Random
+	// Clustered is a random graph over few nodes with many parallel
+	// labeled edges: dense joins and heavy duplicate production.
+	Clustered
+	numGraphKinds
+)
+
+func (k GraphKind) String() string {
+	switch k {
+	case Chain:
+		return "chain"
+	case Cycle:
+		return "cycle"
+	case Random:
+		return "random"
+	default:
+		return "clustered"
+	}
+}
+
+// Graph is one generated test graph: labeled triples plus the node and
+// label vocabularies the query generator draws from.
+type Graph struct {
+	Kind   GraphKind
+	G      *graphgen.Graph
+	Nodes  []string
+	Labels []string
+}
+
+// Desc renders a short description for failure messages.
+func (g *Graph) Desc() string {
+	return fmt.Sprintf("%s nodes=%d labels=%d edges=%d",
+		g.Kind, len(g.Nodes), len(g.Labels), g.G.Edges())
+}
+
+// RandomGraph generates a graph of the given kind with nodes n0..n{n-1}
+// and labels l0..l{labels-1}, deterministically from rng.
+func RandomGraph(rng *rand.Rand, kind GraphKind, nodes, labels int) *Graph {
+	if nodes < 2 {
+		nodes = 2
+	}
+	if labels < 1 {
+		labels = 1
+	}
+	g := &Graph{Kind: kind, G: graphgen.NewGraph("testkit")}
+	for i := 0; i < nodes; i++ {
+		g.Nodes = append(g.Nodes, fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i < labels; i++ {
+		g.Labels = append(g.Labels, fmt.Sprintf("l%d", i))
+	}
+	lab := func() string { return g.Labels[rng.Intn(len(g.Labels))] }
+	node := func() string { return g.Nodes[rng.Intn(len(g.Nodes))] }
+	switch kind {
+	case Chain, Cycle:
+		for i := 0; i+1 < nodes; i++ {
+			g.G.Add(g.Nodes[i], lab(), g.Nodes[i+1])
+		}
+		if kind == Cycle {
+			g.G.Add(g.Nodes[nodes-1], lab(), g.Nodes[0])
+		}
+	case Random:
+		for i := 0; i < 3*nodes; i++ {
+			g.G.Add(node(), lab(), node())
+		}
+	default: // Clustered: few nodes, many parallel labeled edges
+		for i := 0; i < 6*nodes; i++ {
+			g.G.Add(g.Nodes[rng.Intn(1+nodes/2)], lab(), node())
+		}
+	}
+	return g
+}
+
+// RandomPathExpr generates a random regular path expression over the
+// given labels: concatenation, alternation, inverse steps and transitive
+// closure, to the given depth.
+func RandomPathExpr(rng *rand.Rand, labels []string, depth int) rpq.Expr {
+	if depth <= 0 {
+		return &rpq.Label{Name: labels[rng.Intn(len(labels))], Inverse: rng.Intn(4) == 0}
+	}
+	sub := func() rpq.Expr { return RandomPathExpr(rng, labels, depth-1) }
+	switch rng.Intn(5) {
+	case 0:
+		return &rpq.Concat{Parts: []rpq.Expr{sub(), sub()}}
+	case 1:
+		return &rpq.Alt{Parts: []rpq.Expr{sub(), sub()}}
+	case 2, 3:
+		// Bias toward closures: they are what the fixpoint plans execute.
+		return &rpq.Plus{Sub: sub()}
+	default:
+		return sub()
+	}
+}
+
+// hasPlus reports whether e contains a transitive closure.
+func hasPlus(e rpq.Expr) bool {
+	switch n := e.(type) {
+	case *rpq.Plus:
+		return true
+	case *rpq.Concat:
+		for _, p := range n.Parts {
+			if hasPlus(p) {
+				return true
+			}
+		}
+	case *rpq.Alt:
+		for _, p := range n.Parts {
+			if hasPlus(p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RandomQuery generates a random UCRPQ in the paper's surface syntax over
+// the graph's vocabulary: single-atom and conjunctive two-atom forms,
+// variable and constant endpoints, and occasional UNIONs. Nearly every
+// query contains at least one transitive closure, so the distributed
+// fixpoint plans actually run.
+func RandomQuery(rng *rand.Rand, g *Graph) string {
+	expr := func() rpq.Expr {
+		e := RandomPathExpr(rng, g.Labels, 1+rng.Intn(2))
+		if !hasPlus(e) && rng.Intn(4) != 0 {
+			e = &rpq.Plus{Sub: e}
+		}
+		return e
+	}
+	constant := func() string { return g.Nodes[rng.Intn(len(g.Nodes))] }
+	switch rng.Intn(6) {
+	case 0: // both endpoints variables
+		return fmt.Sprintf("?x,?y <- ?x %s ?y", expr())
+	case 1: // constant object
+		return fmt.Sprintf("?x <- ?x %s %s", expr(), constant())
+	case 2: // constant subject
+		return fmt.Sprintf("?x <- %s %s ?x", constant(), expr())
+	case 3: // conjunction joining through a dropped middle variable
+		return fmt.Sprintf("?x,?y <- ?x %s ?z, ?z %s ?y", expr(), expr())
+	case 4: // conjunction with a constant anchor
+		return fmt.Sprintf("?x <- ?x %s ?z, ?z %s %s", expr(), expr(), constant())
+	default: // union of two disjuncts over the same head
+		return fmt.Sprintf("?x,?y <- ?x %s ?y UNION ?x,?y <- ?x %s ?y", expr(), expr())
+	}
+}
+
+// Plans are the distributed fixpoint strategies the differential harness
+// compares against the materializing reference.
+var Plans = []physical.Kind{physical.Gld, physical.Splw, physical.Pgplw}
+
+// Options bounds one differential run.
+type Options struct {
+	// Seed drives all generation; runs are deterministic per seed.
+	Seed int64
+	// Graphs is the number of random graphs (default 8).
+	Graphs int
+	// QueriesPerGraph is the number of random queries per graph (default 9).
+	QueriesPerGraph int
+	// Workers is the cluster size (default 4).
+	Workers int
+	// Transport selects the cluster data plane (default in-process chans).
+	Transport cluster.TransportKind
+	// MaxIter caps reference fixpoints as a hang guard (default 2000).
+	MaxIter int
+}
+
+func (o *Options) fill() {
+	if o.Graphs <= 0 {
+		o.Graphs = 8
+	}
+	if o.QueriesPerGraph <= 0 {
+		o.QueriesPerGraph = 9
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 2000
+	}
+}
+
+// Report summarizes a differential run.
+type Report struct {
+	Graphs  int
+	Queries int
+	// Combos counts (graph, query, plan) combinations whose result was
+	// checked against the reference evaluator.
+	Combos int
+	// ResultRows sums the reference result sizes — a guard against a run
+	// that "agrees" only because every query came back empty.
+	ResultRows int
+	// Iterations sums distributed fixpoint iterations across all plans.
+	Iterations int
+}
+
+// RunDifferential runs the harness under the given options, returning a
+// summary or the first mismatch as an error. Every generated query is
+// evaluated by the materializing reference, the centralized streaming
+// evaluator, and all three distributed plans; any disagreement on the
+// result set (order-insensitive) is a failure.
+func RunDifferential(opts Options) (Report, error) {
+	opts.fill()
+	rep := Report{}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	c, err := cluster.New(cluster.Config{Workers: opts.Workers, Transport: opts.Transport})
+	if err != nil {
+		return rep, err
+	}
+	defer c.Close()
+	for gi := 0; gi < opts.Graphs; gi++ {
+		kind := GraphKind(gi % int(numGraphKinds))
+		g := RandomGraph(rng, kind, 6+rng.Intn(18), 1+rng.Intn(3))
+		rep.Graphs++
+		for qi := 0; qi < opts.QueriesPerGraph; qi++ {
+			query := RandomQuery(rng, g)
+			rep.Queries++
+			if err := runCase(c, g, query, opts.MaxIter, &rep); err != nil {
+				return rep, fmt.Errorf("graph %d (%s), query %q: %w", gi, g.Desc(), query, err)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// RunCase evaluates one query on one graph through every route on a
+// private cluster — the entry point for single-case variants (e.g. the
+// loopback-TCP differential test).
+func RunCase(transport cluster.TransportKind, workers int, g *Graph, query string) error {
+	c, err := cluster.New(cluster.Config{Workers: workers, Transport: transport})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	var rep Report
+	return runCase(c, g, query, 2000, &rep)
+}
+
+// runCase parses and translates the query, evaluates it along every
+// route, compares all results against the materializing reference, and
+// accounts the checked combinations into rep.
+func runCase(c *cluster.Cluster, g *Graph, query string, maxIter int, rep *Report) error {
+	q, err := ucrpq.ParseUnion(query)
+	if err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	term, err := ucrpq.TranslateUnion(q, "G", g.G.Dict, rpq.LeftToRight)
+	if err != nil {
+		return fmt.Errorf("translate: %w", err)
+	}
+	env := core.NewEnv()
+	env.Bind("G", g.G.Triples)
+
+	// Route 1: the seed's materializing evaluator — the reference
+	// semantics every other route must reproduce.
+	ref := core.NewEvaluator(env)
+	ref.Materializing = true
+	ref.MaxIter = maxIter
+	want, err := ref.Eval(term)
+	if err != nil {
+		return fmt.Errorf("reference: %w", err)
+	}
+	rep.ResultRows += want.Len()
+
+	// Route 2: the centralized streaming pipeline with the concurrent
+	// accumulator. Parallel is forced above 1 so the worker-pool path is
+	// eligible even on a 1-CPU runner (deltas must still clear the
+	// ParallelPlan chunk threshold to engage it).
+	streaming := core.NewEvaluator(env)
+	streaming.MaxIter = maxIter
+	streaming.Parallel = 3
+	got, err := streaming.Eval(term)
+	if err != nil {
+		return fmt.Errorf("streaming: %w", err)
+	}
+	if !core.SameRows(got, want) {
+		return mismatch("streaming", got, want)
+	}
+
+	// Routes 3–5: the distributed plans.
+	for _, kind := range Plans {
+		p := physical.NewPlanner(c, env)
+		p.Force = kind
+		rel, prep, err := p.Execute(term)
+		if err != nil {
+			return fmt.Errorf("%v: %w", kind, err)
+		}
+		rep.Combos++
+		rep.Iterations += prep.Iterations()
+		if !core.SameRows(rel, want) {
+			return mismatch(kind.String(), rel, want)
+		}
+	}
+	return nil
+}
+
+// mismatch renders a compact row-set diff for a failed comparison.
+func mismatch(route string, got, want *core.Relation) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s produced %d rows, reference %d", route, got.Len(), want.Len())
+	miss, extra := 0, 0
+	for i := 0; i < want.Len() && miss < 5; i++ {
+		if !got.Has(want.RowAt(i)) {
+			fmt.Fprintf(&sb, "\n  missing %v", want.RowAt(i))
+			miss++
+		}
+	}
+	for i := 0; i < got.Len() && extra < 5; i++ {
+		if !want.Has(got.RowAt(i)) {
+			fmt.Fprintf(&sb, "\n  extra %v", got.RowAt(i))
+			extra++
+		}
+	}
+	return fmt.Errorf("%s", sb.String())
+}
