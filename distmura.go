@@ -111,6 +111,14 @@ type Options struct {
 	// TaskMemRows is the per-task memory budget (rows) driving the
 	// Ppg/Ps heuristic (default 1<<20).
 	TaskMemRows int
+	// TaskMemBytes is the per-task memory budget in bytes governing
+	// operator state at run time: over-budget fixpoint accumulators and
+	// join indexes spill to disk instead of OOMing (0 disables). See
+	// ARCHITECTURE.md, "Memory governance".
+	TaskMemBytes int64
+	// SpillDir is where over-budget operators write temp-file runs
+	// ("" = os.TempDir()).
+	SpillDir string
 }
 
 // Engine is a Dist-µ-RA instance: a labeled graph plus a worker cluster.
@@ -127,9 +135,11 @@ func Open(opts Options) (*Engine, error) {
 		kind = cluster.TransportTCP
 	}
 	c, err := cluster.New(cluster.Config{
-		Workers:     opts.Workers,
-		Transport:   kind,
-		TaskMemRows: opts.TaskMemRows,
+		Workers:      opts.Workers,
+		Transport:    kind,
+		TaskMemRows:  opts.TaskMemRows,
+		TaskMemBytes: opts.TaskMemBytes,
+		SpillDir:     opts.SpillDir,
 	})
 	if err != nil {
 		return nil, err
@@ -178,6 +188,15 @@ type QueryStats struct {
 	ShufflePhases  int64
 	ShuffleRecords int64
 	NetworkBytes   int64
+	// EstimatedPeakBytes is the cost model's prediction of peak
+	// operator-owned memory for the chosen plan; ExpectSpill is true when
+	// it exceeds Options.TaskMemBytes (the estimator setting the gauge).
+	EstimatedPeakBytes float64
+	ExpectSpill        bool
+	// Spills/SpilledBytes count the memory-governance events this query
+	// actually caused across the workers' gauges.
+	Spills       int64
+	SpilledBytes int64
 }
 
 // Result is a query result with interned values rendered back to strings.
@@ -224,7 +243,7 @@ func (e *Engine) Query(text string, opts ...QueryOption) (*Result, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	best, planSpace, err := e.optimize(text, cfg)
+	best, planSpace, mp, err := e.optimize(text, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -233,6 +252,8 @@ func (e *Engine) Query(text string, opts ...QueryOption) (*Result, error) {
 		return nil, err
 	}
 	res.Stats.PlanSpace = planSpace
+	res.Stats.EstimatedPeakBytes = mp.PeakBytes
+	res.Stats.ExpectSpill = mp.ExpectSpill
 	return res, nil
 }
 
@@ -315,19 +336,30 @@ func (e *Engine) planSpace(q *ucrpq.UnionQuery, cfg queryConfig) ([]core.Term, e
 	return plans, nil
 }
 
-func (e *Engine) optimize(text string, cfg queryConfig) (core.Term, int, error) {
+func (e *Engine) optimize(text string, cfg queryConfig) (core.Term, int, cost.MemPlan, error) {
 	q, err := ucrpq.ParseUnion(text)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, cost.MemPlan{}, err
 	}
 	plans, err := e.planSpace(q, cfg)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, cost.MemPlan{}, err
 	}
 	cat := cost.NewCatalog()
 	cat.BindRelation(edgeRel, e.graph.Triples)
-	best, _ := cost.SelectBest(plans, cat)
-	return best, len(plans), nil
+	best, ranking := cost.SelectBest(plans, cat)
+	// The §III-D estimator also sets the memory expectation for the chosen
+	// plan: the runtime gauges carry Options.TaskMemBytes, and this
+	// prediction says whether they are expected to spill. The winner's
+	// estimate is already in the ranking; no re-estimation.
+	var mp cost.MemPlan
+	for _, r := range ranking {
+		if r.Plan == best {
+			mp = cost.MemPlanFromEstimate(r.Est, e.opts.TaskMemBytes)
+			break
+		}
+	}
+	return best, len(plans), mp, nil
 }
 
 func (e *Engine) execute(term core.Term, cfg queryConfig) (*Result, error) {
@@ -341,6 +373,7 @@ func (e *Engine) executeWith(term core.Term, cfg queryConfig, extra map[string]*
 		env.Bind(name, rel)
 	}
 	before := e.clust.Metrics().Snapshot()
+	spillsBefore, spilledBefore := e.spillCounters()
 	planner := physical.NewPlanner(e.clust, env)
 	planner.Force = cfg.plan.kind()
 	start := time.Now()
@@ -350,6 +383,13 @@ func (e *Engine) executeWith(term core.Term, cfg queryConfig, extra map[string]*
 	}
 	elapsed := time.Since(start)
 	m := e.clust.Metrics().Snapshot().Diff(before)
+	spillsAfter, spilledAfter := e.spillCounters()
+	// The driver-side glue evaluator has its own per-query gauge, not
+	// listed in the cluster's worker gauges.
+	if dg := planner.DriverGauge(); dg != nil {
+		spillsAfter += dg.Spills()
+		spilledAfter += dg.SpilledBytes()
+	}
 
 	res := &Result{Columns: rel.Cols()}
 	for ri := 0; ri < rel.Len(); ri++ {
@@ -383,6 +423,17 @@ func (e *Engine) executeWith(term core.Term, cfg queryConfig, extra map[string]*
 		ShufflePhases:  m.ShufflePhases,
 		ShuffleRecords: m.ShuffleRecords,
 		NetworkBytes:   m.NetworkBytes(),
+		Spills:         spillsAfter - spillsBefore,
+		SpilledBytes:   spilledAfter - spilledBefore,
 	}
 	return res, nil
+}
+
+// spillCounters sums the workers' gauge counters (cumulative per engine).
+func (e *Engine) spillCounters() (spills, bytes int64) {
+	for _, g := range e.clust.Gauges() {
+		spills += g.Spills()
+		bytes += g.SpilledBytes()
+	}
+	return spills, bytes
 }

@@ -41,6 +41,17 @@ type Config struct {
 	// TaskMemRows is the per-task memory budget, in rows, used by the
 	// physical planner's Ppg/Ps selection heuristic (§III-D). Default 1<<20.
 	TaskMemRows int
+	// TaskMemBytes is the per-task memory budget, in bytes, governing
+	// operator-owned state at run time: each worker gets a MemGauge with
+	// this budget, and its fixpoint accumulators and join indexes spill to
+	// disk instead of OOMing once over it. 0 (the default) disables
+	// governance. Where TaskMemRows picks the plan before execution,
+	// TaskMemBytes bounds whatever plan runs.
+	TaskMemBytes int64
+	// SpillDir is where over-budget operators write their temp-file runs
+	// ("" = os.TempDir()). Spill files are unlinked on creation and can
+	// never outlive their descriptors.
+	SpillDir string
 }
 
 // Cluster is a driver plus N workers.
@@ -65,8 +76,10 @@ type Worker struct {
 	store   map[int64]*core.Relation
 	bcast   map[int64]*core.Relation
 	dead    atomic.Bool
+	gauge   *core.MemGauge
 	// Local holds arbitrary per-worker engines attached by higher layers
 	// (the Ppg_plw plan stores each worker's embedded localdb here).
+	// Values implementing Close() are closed by Cluster.Close.
 	Local map[string]any
 }
 
@@ -91,13 +104,20 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{cfg: cfg, transport: tr}
 	for i := 0; i < cfg.Workers; i++ {
-		c.workers = append(c.workers, &Worker{
+		w := &Worker{
 			id:      i,
 			cluster: c,
 			store:   make(map[int64]*core.Relation),
 			bcast:   make(map[int64]*core.Relation),
 			Local:   make(map[string]any),
-		})
+		}
+		if cfg.TaskMemBytes > 0 {
+			// One gauge per worker for the worker's whole lifetime: all of
+			// a worker's tasks share its budget, mirroring a per-executor
+			// memory limit.
+			w.gauge = core.NewMemGauge(cfg.TaskMemBytes, cfg.SpillDir)
+		}
+		c.workers = append(c.workers, w)
 	}
 	return c, nil
 }
@@ -111,7 +131,10 @@ func (c *Cluster) Config() Config { return c.cfg }
 // Metrics returns the live counters.
 func (c *Cluster) Metrics() *Metrics { return &c.metrics }
 
-// Close shuts the cluster down.
+// Close shuts the cluster down: the transport first, then every
+// closeable per-worker attachment (e.g. the Ppg_plw plan's embedded
+// localdb, whose cached spilled indexes hold descriptors and gauge
+// charges until closed).
 func (c *Cluster) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -119,7 +142,15 @@ func (c *Cluster) Close() error {
 		return nil
 	}
 	c.closed = true
-	return c.transport.Close()
+	err := c.transport.Close()
+	for _, w := range c.workers {
+		for _, v := range w.Local {
+			if cl, ok := v.(interface{ Close() }); ok {
+				cl.Close()
+			}
+		}
+	}
+	return err
 }
 
 // KillWorker marks a worker dead for failure-injection tests; subsequent
@@ -203,6 +234,23 @@ func (ctx *Ctx) NumWorkers() int { return len(ctx.w.cluster.workers) }
 
 // TaskMemRows exposes the per-task memory budget to plan code.
 func (ctx *Ctx) TaskMemRows() int { return ctx.w.cluster.cfg.TaskMemRows }
+
+// Gauge returns this worker's memory gauge (nil when Config.TaskMemBytes
+// is 0). Plan code hands it to the operators it runs on this worker —
+// fixpoint accumulators, shuffle filters, evaluator join indexes — so the
+// worker's whole task shares one budget.
+func (ctx *Ctx) Gauge() *core.MemGauge { return ctx.w.gauge }
+
+// Gauges returns the per-worker memory gauges (nil entries when
+// governance is off) — the driver-side view test assertions and reports
+// read spill counters from.
+func (c *Cluster) Gauges() []*core.MemGauge {
+	out := make([]*core.MemGauge, len(c.workers))
+	for i, w := range c.workers {
+		out[i] = w.gauge
+	}
+	return out
+}
 
 // Partition returns this worker's partition of ds (empty if unset).
 func (ctx *Ctx) Partition(ds *Dataset) *core.Relation {

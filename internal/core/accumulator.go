@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // This file implements the fixpoint accumulator: the relation X of
@@ -16,6 +18,15 @@ import (
 // of the earlier design (ShardedSet.AppendTo after every parallel drain) is
 // gone; the price is insertion-order determinism, so every consumer of a
 // fixpoint result must compare order-insensitively (SameRows / Equal).
+//
+// Under a memory budget (NewAccumulatorBudgeted) the accumulator degrades
+// to disk instead of OOMing: EvictBelow freezes each shard's already-
+// consumed prefix into a sorted on-disk run, keeping only a 32-bit
+// fingerprint per frozen row in memory. Membership probes consult the
+// fingerprint filter first and touch the run (positioned binary search)
+// only on a filter hit; deltas keep streaming zero-copy because eviction
+// never moves rows above the watermark the caller passes. See
+// ARCHITECTURE.md, "Memory governance".
 
 // accShards is the shard count of an Accumulator. 32 shards keep lock
 // contention negligible for worker pools up to a few dozen goroutines
@@ -25,15 +36,165 @@ const accShards = 32
 // accShard is one lock-striped shard: a tupleSet over its own flat
 // row-major store, plus the per-row hashes in insertion order so delta
 // scans, the final materialization and Pgld's shuffle filter never rehash.
+// data/hashes/set cover only the in-memory rows [frozen, n); rows below
+// frozen live in the shard's sorted runs.
 type accShard struct {
 	mu     sync.Mutex
 	set    tupleSet
 	data   []Value
 	hashes []uint64
-	n      int
+	n      int // logical row count, including frozen rows
+	frozen int // rows evicted to runs (a prefix of the shard)
+	runs   []*accRun
 	// pad the shard to its own cache line(s) so neighboring shard locks do
 	// not false-share.
 	_ [24]byte
+}
+
+// accRun is a shard's frozen rows on disk: records of [rowHash,
+// values...] sorted by (hash, values), plus the in-memory fingerprint
+// filter (sorted low-32-bit hash fingerprints). Every eviction *compacts*:
+// the previous run is merged with the newly frozen rows into one fresh
+// run, so a shard holds at most one run (and one descriptor) no matter
+// how many eviction rounds a long fixpoint goes through, and a membership
+// miss consults at most one filter. mayContain/contains are read-only
+// after construction and safe for concurrent use.
+type accRun struct {
+	run   *spillRun
+	fps   []uint32
+	arity int
+	// Probe scratch, reused across contains calls. Guarded by the owning
+	// shard's lock — contains is only reached through addLocked/Has, both
+	// of which hold it.
+	rec     []Value
+	win     []Value
+	scratch []byte
+}
+
+// mayContain is the fingerprint filter: false means the run definitely
+// does not hold a row with hash h; true means it must be verified on disk.
+// For a run of n rows the false-positive probability of one probe is about
+// n/2^32 (documented in ARCHITECTURE.md).
+func (r *accRun) mayContain(h uint64) bool {
+	fp := uint32(h)
+	i := sort.Search(len(r.fps), func(i int) bool { return r.fps[i] >= fp })
+	return i < len(r.fps) && r.fps[i] == fp
+}
+
+// containsWindow is where the binary search of a run probe switches to
+// one windowed read: narrowing below this costs more syscalls than
+// reading the window outright.
+const containsWindow = 64
+
+// contains verifies membership on disk: a positioned binary search over
+// the hash-sorted records down to a containsWindow-sized range, then
+// windowed reads scanning the hash-equal records value-wise. The run's
+// probe scratch is reused across calls (shard lock held by the caller),
+// so a probe allocates nothing after the run's first. Spill I/O failures
+// panic (the accumulator's insert path has no error channel, matching the
+// rest of the data plane).
+func (r *accRun) contains(h uint64, row []Value) bool {
+	rv := 1 + r.arity
+	if r.rec == nil {
+		r.rec = make([]Value, rv)
+	}
+	n := r.run.records()
+	lo, hi := 0, n
+	for hi-lo > containsWindow {
+		mid := int(uint(lo+hi) >> 1)
+		var err error
+		r.scratch, err = r.run.readRangeScratch(mid, mid+1, r.rec, r.scratch)
+		if err != nil {
+			panic(err)
+		}
+		if uint64(r.rec[0]) >= h {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	// Scan forward from lo in window-sized reads; records with a smaller
+	// hash are skipped, a larger hash ends the search (the hash-equal
+	// range may extend past the binary search's upper bound).
+	for start := lo; start < n; {
+		end := start + containsWindow
+		if end > n {
+			end = n
+		}
+		if cap(r.win) < (end-start)*rv {
+			r.win = make([]Value, containsWindow*rv)
+		}
+		buf := r.win[:(end-start)*rv]
+		var err error
+		r.scratch, err = r.run.readRangeScratch(start, end, buf, r.scratch)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < end-start; i++ {
+			rec := buf[i*rv : (i+1)*rv]
+			rh := uint64(rec[0])
+			if rh > h {
+				return false
+			}
+			if rh == h && rowsEqual(rec[1:rv], row) {
+				return true
+			}
+		}
+		start = end
+	}
+	return false
+}
+
+// runScanner streams a finished run's records in order, in chunked
+// positioned reads. Single-owner.
+type runScanner struct {
+	r     *spillRun
+	pos   int
+	chunk []Value
+	lo    int // records [lo, hi) of the run are decoded in chunk
+	hi    int
+}
+
+const runScanChunk = 2048
+
+// next returns a view of the next record, or nil at end of run.
+func (s *runScanner) next() []Value {
+	if s.pos >= s.r.records() {
+		return nil
+	}
+	if s.pos >= s.hi {
+		s.lo = s.pos
+		s.hi = s.lo + runScanChunk
+		if n := s.r.records(); s.hi > n {
+			s.hi = n
+		}
+		if cap(s.chunk) < (s.hi-s.lo)*s.r.recVals {
+			s.chunk = make([]Value, runScanChunk*s.r.recVals)
+		}
+		if err := s.r.readRange(s.lo, s.hi, s.chunk[:(s.hi-s.lo)*s.r.recVals]); err != nil {
+			panic(err)
+		}
+	}
+	at := (s.pos - s.lo) * s.r.recVals
+	s.pos++
+	return s.chunk[at : at+s.r.recVals : at+s.r.recVals]
+}
+
+// mergeFps merges two sorted fingerprint filters.
+func mergeFps(a, b []uint32) []uint32 {
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // accShardOf routes a row hash to its shard. The top bits are used so the
@@ -53,22 +214,53 @@ type AccMark [accShards]int
 // X while other goroutines probe it — the cross-iteration replacement for
 // filtering against a read-only accumulator Relation and merging a side
 // set afterwards.
+//
+// Concurrency: Add/AddInto/Has/Absorb*/Len/Mark/DeltaViews/DeltaRelation
+// and EvictBelow/MaybeEvict are safe for concurrent use (per-shard locks);
+// Materialize and Close must not race with any of them.
 type Accumulator struct {
-	cols   []string
-	arity  int
-	shards [accShards]accShard
+	cols    []string
+	arity   int
+	gauge   *MemGauge
+	charged atomic.Int64 // bytes currently charged to the gauge
+	shards  [accShards]accShard
 }
 
 // NewAccumulator returns an empty accumulator over the given columns
-// (sorted, like NewRelation; duplicates panic).
+// (sorted, like NewRelation; duplicates panic). It is unbudgeted: it never
+// spills and charges no gauge.
 func NewAccumulator(cols ...string) *Accumulator {
+	return NewAccumulatorBudgeted(nil, cols...)
+}
+
+// NewAccumulatorBudgeted is NewAccumulator governed by a memory gauge: the
+// accumulator charges g as it grows (AccRowBytes per row) and EvictBelow/
+// MaybeEvict freeze shards to disk once g is over budget. A nil gauge
+// yields a plain unbudgeted accumulator.
+func NewAccumulatorBudgeted(g *MemGauge, cols ...string) *Accumulator {
 	sorted := SortCols(cols)
 	for i := 1; i < len(sorted); i++ {
 		if sorted[i] == sorted[i-1] {
 			panic(fmt.Sprintf("core: duplicate column %q in schema", sorted[i]))
 		}
 	}
-	return &Accumulator{cols: sorted, arity: len(sorted)}
+	return &Accumulator{cols: sorted, arity: len(sorted), gauge: g}
+}
+
+// charge accounts n more bytes of accumulator-owned memory to the gauge.
+func (a *Accumulator) charge(n int64) {
+	if a.gauge != nil {
+		a.charged.Add(n)
+		a.gauge.Charge(n)
+	}
+}
+
+// release returns n bytes of accounting to the gauge.
+func (a *Accumulator) release(n int64) {
+	if a.gauge != nil {
+		a.charged.Add(-n)
+		a.gauge.Release(n)
+	}
 }
 
 // Cols returns the accumulator's schema (sorted). The returned slice must
@@ -84,22 +276,32 @@ func (a *Accumulator) Arity() int { return a.arity }
 func (a *Accumulator) addHashed(row []Value, h uint64) bool {
 	sh := &a.shards[accShardOf(h)]
 	sh.mu.Lock()
-	added := sh.add(row, h, a.arity)
+	added := a.addLocked(sh, row, h)
 	sh.mu.Unlock()
 	return added
 }
 
-// add is the locked insertion body of one shard.
-func (sh *accShard) add(row []Value, h uint64, arity int) bool {
-	sh.set.growFor(sh.n + 1)
-	slot, found := sh.set.lookup(h, row, sh.data, arity)
+// addLocked is the insertion body of one shard (its lock held by the
+// caller): probe the in-memory set, then — only when absent there — the
+// frozen runs' fingerprint filters (and, on a filter hit, the run itself),
+// then append.
+func (a *Accumulator) addLocked(sh *accShard, row []Value, h uint64) bool {
+	inMem := sh.n - sh.frozen
+	sh.set.growFor(inMem + 1)
+	slot, found := sh.set.lookup(h, row, sh.data, a.arity)
 	if found {
 		return false
+	}
+	for _, run := range sh.runs {
+		if run.mayContain(h) && run.contains(h, row) {
+			return false
+		}
 	}
 	sh.data = append(sh.data, row...)
 	sh.hashes = append(sh.hashes, h)
 	sh.n++
-	sh.set.claim(slot, h, int32(sh.n))
+	sh.set.claim(slot, h, int32(inMem+1))
+	a.charge(AccRowBytes(a.arity))
 	return true
 }
 
@@ -121,15 +323,24 @@ func (a *Accumulator) AddInto(row []Value, fresh *Relation) bool {
 	return true
 }
 
-// Has reports whether the accumulator contains the row. Safe for
-// concurrent use with Add (the probe takes the shard lock).
+// Has reports whether the accumulator contains the row, consulting the
+// in-memory shard first and then any frozen runs (fingerprint filter, then
+// disk). Safe for concurrent use with Add and EvictBelow (the probe takes
+// the shard lock).
 func (a *Accumulator) Has(row []Value) bool {
 	h := HashValues(row)
 	sh := &a.shards[accShardOf(h)]
 	sh.mu.Lock()
-	_, found := sh.set.lookup(h, row, sh.data, a.arity)
-	sh.mu.Unlock()
-	return found
+	defer sh.mu.Unlock()
+	if _, found := sh.set.lookup(h, row, sh.data, a.arity); found {
+		return true
+	}
+	for _, run := range sh.runs {
+		if run.mayContain(h) && run.contains(h, row) {
+			return true
+		}
+	}
+	return false
 }
 
 // Len returns the number of distinct rows accumulated. Under concurrent
@@ -187,11 +398,14 @@ func (a *Accumulator) DeltaViews(from, to AccMark) []*Relation {
 		}
 		sh := &a.shards[i]
 		sh.mu.Lock()
-		data := sh.data
+		data, base := sh.data, sh.frozen
 		sh.mu.Unlock()
+		if lo < base {
+			panic(fmt.Sprintf("core: delta window [%d,%d) overlaps rows evicted below %d", lo, hi, base))
+		}
 		out = append(out, &Relation{
 			cols:     a.cols,
-			data:     data[lo*a.arity : hi*a.arity : hi*a.arity],
+			data:     data[(lo-base)*a.arity : (hi-base)*a.arity : (hi-base)*a.arity],
 			n:        hi - lo,
 			readonly: true,
 			lazySet:  true,
@@ -217,12 +431,198 @@ func (a *Accumulator) DeltaRelation(from, to AccMark) *Relation {
 		}
 		sh := &a.shards[i]
 		sh.mu.Lock()
-		data := sh.data
+		data, base := sh.data, sh.frozen
 		sh.mu.Unlock()
-		out.data = append(out.data, data[lo*a.arity:hi*a.arity]...)
+		if lo < base {
+			panic(fmt.Sprintf("core: delta window [%d,%d) overlaps rows evicted below %d", lo, hi, base))
+		}
+		out.data = append(out.data, data[(lo-base)*a.arity:(hi-base)*a.arity]...)
 		out.n += hi - lo
 	}
 	return out
+}
+
+// EvictBelow freezes, in every shard, the rows below the given watermark
+// into a sorted on-disk run — the accumulator's spill path. It is a no-op
+// unless the accumulator's gauge is over budget. Rows at or above mark are
+// never touched, so delta windows taken at or after mark stay valid
+// (fixpoint loops pass the watermark of the last fully consumed delta).
+// Frozen rows keep a 32-bit fingerprint in memory; everything else moves
+// to disk. Returns the number of rows evicted. Safe for concurrent use
+// with Add/Has (per-shard locks).
+func (a *Accumulator) EvictBelow(mark AccMark) int {
+	if a.gauge == nil || !a.gauge.Over() {
+		return 0
+	}
+	evicted := 0
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		evicted += a.evictShardLocked(sh, mark[i])
+		sh.mu.Unlock()
+	}
+	return evicted
+}
+
+// MaybeEvict is EvictBelow at the current watermark: when the gauge is
+// over budget, every in-memory row is frozen. Callers must hold no
+// outstanding DeltaViews windows (DeltaRelation copies are safe) — it is
+// the between-iterations valve of loops that never window the accumulator,
+// such as Pgld's per-worker X partitions and shuffle filters.
+func (a *Accumulator) MaybeEvict() int {
+	if a.gauge == nil || !a.gauge.Over() {
+		return 0
+	}
+	return a.EvictBelow(a.Mark())
+}
+
+// evictShardLocked freezes the shard's in-memory prefix below upTo (shard
+// lock held): the rows are sorted by (hash, values) and merged with the
+// shard's existing run — if any — into one fresh compacted run, so a
+// shard never holds more than one run however many eviction rounds pass.
+// The surviving suffix is compacted into a *fresh* backing array so
+// outstanding zero-copy views of rows at or above upTo keep aliasing the
+// old one.
+func (a *Accumulator) evictShardLocked(sh *accShard, upTo int) int {
+	k := upTo - sh.frozen
+	if k <= 0 {
+		return 0
+	}
+	arity := a.arity
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	rowOf := func(i int) []Value { return sh.data[i*arity : (i+1)*arity] }
+	sort.Slice(idx, func(x, y int) bool {
+		hx, hy := sh.hashes[idx[x]], sh.hashes[idx[y]]
+		if hx != hy {
+			return hx < hy
+		}
+		return lessRows(rowOf(idx[x]), rowOf(idx[y]))
+	})
+	merged, err := newSpillRun(a.gauge.Dir(), 1+arity)
+	if err != nil {
+		panic(err)
+	}
+	rec := make([]Value, 1+arity)
+	writeNew := func(i int) {
+		rec[0] = Value(sh.hashes[i])
+		copy(rec[1:], rowOf(i))
+		if err := merged.append(rec); err != nil {
+			panic(err)
+		}
+	}
+	if len(sh.runs) > 0 {
+		// Two-way merge with the previous compacted run. The two inputs
+		// are disjoint by construction (a row is only appended after the
+		// runs were probed), so this is a pure merge, no dedup.
+		sc := &runScanner{r: sh.runs[0].run}
+		orec := sc.next()
+		ni := 0
+		for orec != nil || ni < k {
+			useOld := orec != nil
+			if useOld && ni < k {
+				i := idx[ni]
+				oh, nh := uint64(orec[0]), sh.hashes[i]
+				if oh > nh || (oh == nh && lessRows(rowOf(i), orec[1:])) {
+					useOld = false
+				}
+			}
+			if useOld {
+				if err := merged.append(orec); err != nil {
+					panic(err)
+				}
+				orec = sc.next()
+			} else {
+				writeNew(idx[ni])
+				ni++
+			}
+		}
+	} else {
+		for _, i := range idx {
+			writeNew(i)
+		}
+	}
+	if err := merged.finish(); err != nil {
+		panic(err)
+	}
+	fps := make([]uint32, k)
+	for j, i := range idx {
+		fps[j] = uint32(sh.hashes[i])
+	}
+	sort.Slice(fps, func(x, y int) bool { return fps[x] < fps[y] })
+	if len(sh.runs) > 0 {
+		fps = mergeFps(sh.runs[0].fps, fps)
+		sh.runs[0].run.Close()
+	}
+	sh.runs = []*accRun{{run: merged, fps: fps, arity: arity}}
+	// Compact the surviving suffix into fresh arrays and rebuild the set
+	// over it (rows are known distinct, so fresh-slot inserts suffice).
+	rem := (sh.n - sh.frozen) - k
+	data := make([]Value, rem*arity)
+	copy(data, sh.data[k*arity:])
+	hashes := make([]uint64, rem)
+	copy(hashes, sh.hashes[k:])
+	sh.data, sh.hashes = data, hashes
+	sh.set = tupleSet{}
+	sh.set.reserve(rem)
+	for i := 0; i < rem; i++ {
+		sh.set.insertFresh(hashes[i], int32(i+1))
+	}
+	sh.frozen = upTo
+	a.release(AccRowBytes(arity) * int64(k))
+	a.charge(runFingerprintBytes * int64(k))
+	// Compaction rewrites the previous run, so this counts bytes actually
+	// written this round, not just the newly frozen rows.
+	a.gauge.noteSpill(merged.bytes)
+	return k
+}
+
+// Runs returns how many on-disk runs the accumulator holds. Compaction
+// bounds it by the shard count (each eviction leaves one run per shard),
+// which in turn bounds open descriptors and per-probe filter walks. Safe
+// for concurrent use.
+func (a *Accumulator) Runs() int {
+	n := 0
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		n += len(sh.runs)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Frozen returns how many rows currently live in on-disk runs, summed over
+// shards. Safe for concurrent use.
+func (a *Accumulator) Frozen() int {
+	n := 0
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		n += sh.frozen
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Close releases the accumulator's spill runs and returns its gauge
+// charges. The accumulator must not be used afterwards. It must not race
+// with other methods; calling it more than once is harmless.
+func (a *Accumulator) Close() {
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		for _, run := range sh.runs {
+			run.run.Close()
+		}
+		sh.runs = nil
+		sh.mu.Unlock()
+	}
+	if c := a.charged.Swap(0); c != 0 && a.gauge != nil {
+		a.gauge.Release(c)
+	}
 }
 
 // Absorb inserts every row of r (set semantics) and returns the number of
@@ -273,21 +673,43 @@ func (ab *Absorber) AbsorbBatch(b *Batch, fresh *Relation) int {
 	return ab.ad.addBatch(ab.a, b, fresh)
 }
 
-// Materialize copies the accumulated rows into one Relation: a memcpy of
-// each shard's flat store plus fresh-slot dedup-set inserts reusing the
-// stored hashes — no rehash, no membership probes (shards are disjoint by
-// construction). It is called once, at fixpoint exit; it must not race
-// with Add.
+// Materialize copies the accumulated rows into one Relation: frozen runs
+// are streamed back from disk in chunks, then each shard's in-memory flat
+// store is memcpy'd, with fresh-slot dedup-set inserts reusing the stored
+// hashes — no rehash, no membership probes (runs and shards are mutually
+// disjoint by construction). It is called once, at fixpoint exit; it must
+// not race with Add or EvictBelow.
 func (a *Accumulator) Materialize() *Relation {
 	total := 0
 	for i := range a.shards {
 		total += a.shards[i].n
 	}
 	out := NewRelationSized(total, a.cols...)
+	arity := a.arity
+	// One flush-buffer pair reused across all runs and shards.
+	block := make([]Value, 0, runScanChunk*arity)
+	hashes := make([]uint64, 0, runScanChunk)
+	flush := func() {
+		if len(hashes) > 0 {
+			out.appendUniqueBlock(block, hashes)
+			block, hashes = block[:0], hashes[:0]
+		}
+	}
 	for i := range a.shards {
 		sh := &a.shards[i]
-		if sh.n > 0 {
-			out.appendUniqueBlock(sh.data[:sh.n*a.arity], sh.hashes[:sh.n])
+		for _, fr := range sh.runs {
+			sc := &runScanner{r: fr.run}
+			for rec := sc.next(); rec != nil; rec = sc.next() {
+				hashes = append(hashes, uint64(rec[0]))
+				block = append(block, rec[1:]...)
+				if len(hashes) >= runScanChunk {
+					flush()
+				}
+			}
+			flush()
+		}
+		if inMem := sh.n - sh.frozen; inMem > 0 {
+			out.appendUniqueBlock(sh.data[:inMem*arity], sh.hashes[:inMem])
 		}
 	}
 	return out
@@ -350,7 +772,7 @@ func (ad *accAdder) addBatch(a *Accumulator, b *Batch, fresh *Relation) int {
 		shd.mu.Lock()
 		for _, ri := range ad.order[lo:hi] {
 			row := b.Row(int(ri))
-			if shd.add(row, ad.hashes[ri], a.arity) {
+			if a.addLocked(shd, row, ad.hashes[ri]) {
 				added++
 				if fresh != nil {
 					fresh.addHashed(row, ad.hashes[ri])

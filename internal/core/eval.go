@@ -5,7 +5,8 @@ import (
 	"strings"
 )
 
-// Env binds free relation variables to database relations.
+// Env binds free relation variables to database relations. Bind must not
+// race with evaluation; lookups during evaluation are read-only.
 type Env struct {
 	Rels map[string]*Relation
 }
@@ -67,6 +68,11 @@ type EvalStats struct {
 // iteration reuses them. Setting Materializing restores the seed's
 // stage-by-stage materializing evaluation — the reference semantics the
 // property tests compare against, and the ablation baseline.
+//
+// Concurrency: one Evaluator serves one goroutine (its caches and stats
+// are unsynchronized); it *internally* fans work out to a bounded pool
+// during parallel fixpoint iterations. Run concurrent queries on separate
+// Evaluators.
 type Evaluator struct {
 	env     *Env
 	MaxIter int // safety valve per fixpoint; 0 means no limit
@@ -78,6 +84,13 @@ type Evaluator struct {
 	// uses at most n workers. Iterations whose delta is smaller than a few
 	// batches always run sequentially regardless.
 	Parallel int
+	// Gauge, when non-nil, is the task memory budget this evaluator's
+	// operators charge and spill against: fixpoint accumulators evict
+	// frozen shards to disk and join indexes fall back to Grace-hash
+	// partitioning once the gauge is over budget. Nil means unbudgeted.
+	// Call Close when done with a budgeted evaluator to release cached
+	// spilled indexes.
+	Gauge *MemGauge
 	// FixpointHandler, when set, is invoked for fixpoint terms instead of
 	// the local semi-naive loop — the hook the physical planner uses to
 	// execute fixpoints distributively while every other operator streams
@@ -94,6 +107,8 @@ type Evaluator struct {
 	// running fixpoints, so φ's constant operands are evaluated once per
 	// fixpoint instead of once per iteration.
 	consts map[string]*Relation
+	// ephemeral holds uncached budgeted indexes until Close.
+	ephemeral []*JoinIndex
 }
 
 type indexCacheKey struct {
@@ -284,7 +299,7 @@ func (ev *Evaluator) indexFor(rel *Relation, cols []string, stable bool) (*JoinI
 			ev.Stats.IndexReuses++
 			return ix, nil
 		}
-		ix, err := BuildJoinIndexParallel(rel, cols, ev.Parallel)
+		ix, err := BuildJoinIndexBudgeted(rel, cols, ev.Parallel, ev.Gauge)
 		if err != nil {
 			return nil, err
 		}
@@ -293,7 +308,37 @@ func (ev *Evaluator) indexFor(rel *Relation, cols []string, stable bool) (*JoinI
 		return ix, nil
 	}
 	ev.Stats.IndexBuilds++
-	return BuildJoinIndexParallel(rel, cols, ev.Parallel)
+	ix, err := BuildJoinIndexBudgeted(rel, cols, ev.Parallel, ev.Gauge)
+	if err == nil && ev.Gauge != nil {
+		// Uncached (dynamic-side) indexes have no cache slot to release
+		// them from; park them on the evaluator so Close returns their
+		// gauge charge and spill partitions at query end.
+		ev.ephemeral = append(ev.ephemeral, ix)
+	}
+	return ix, err
+}
+
+// Close releases gauge charges and spill files held by the evaluator's
+// join indexes (cached and ephemeral). Only budgeted evaluators need it (a
+// finalizer backstops forgotten spill descriptors); the evaluator must not
+// be used afterwards.
+func (ev *Evaluator) Close() {
+	for k, ix := range ev.indexes {
+		ix.Close()
+		delete(ev.indexes, k)
+	}
+	ev.releaseEphemeral(0)
+}
+
+// releaseEphemeral closes the ephemeral indexes created since base (a
+// previous len(ev.ephemeral)). Fixpoint loops call it after each
+// iteration's pipelines are drained, so per-iteration dynamic-side
+// indexes — and their gauge charges — never accumulate across iterations.
+func (ev *Evaluator) releaseEphemeral(base int) {
+	for _, ix := range ev.ephemeral[base:] {
+		ix.Close()
+	}
+	ev.ephemeral = ev.ephemeral[:base]
 }
 
 // streamJoin plans a hash join: the build side is materialized and
@@ -336,6 +381,9 @@ func (ev *Evaluator) streamJoin(n *Join, env *Env) (Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ix.Spilled() {
+		return GraceJoinStream(probeIt, ix, buildRel.Cols()), nil
+	}
 	return JoinStream(probeIt, ix, buildRel.Cols()), nil
 }
 
@@ -366,6 +414,9 @@ func (ev *Evaluator) streamAntijoin(n *Antijoin, env *Env) (Iterator, error) {
 	probeAt := make([]int, len(common))
 	for i, c := range common {
 		probeAt[i] = ColIndex(l.Cols(), c)
+	}
+	if ix.Spilled() {
+		return GraceAntijoinStream(l, ix, probeAt), nil
 	}
 	return AntijoinStream(l, ix, probeAt), nil
 }
@@ -428,7 +479,8 @@ func (ev *Evaluator) RunFixpoint(d *Decomposed, init *Relation, env *Env) (*Rela
 	}
 	restore := ev.markDynamic(d.X)
 	defer restore()
-	acc := NewAccumulator(init.Cols()...)
+	acc := NewAccumulatorBudgeted(ev.Gauge, init.Cols()...)
+	defer acc.Close()
 	prev := AccMark{}
 	deltaRows := acc.Absorb(init)
 	iter := 0
@@ -437,6 +489,10 @@ func (ev *Evaluator) RunFixpoint(d *Decomposed, init *Relation, env *Env) (*Rela
 		if ev.MaxIter > 0 && iter > ev.MaxIter {
 			return nil, fmt.Errorf("core: fixpoint exceeded %d iterations", ev.MaxIter)
 		}
+		// Over budget, freeze the already-consumed prefix of X (rows below
+		// prev) to disk; the upcoming delta window [prev, mark) is never
+		// touched, so its zero-copy views stay valid.
+		acc.EvictBelow(prev)
 		mark := acc.Mark()
 		// The delta: for the first iteration init itself (already
 		// contiguous); afterwards the shard windows appended since prev —
@@ -459,6 +515,10 @@ func (ev *Evaluator) RunFixpoint(d *Decomposed, init *Relation, env *Env) (*Rela
 			// (iterator stack + batch buffers) per chunk.
 			chunk = deltaRows
 		}
+		// Ephemeral (dynamic-build-side) indexes built for this iteration's
+		// pipelines are dead once the drain below finishes; release them so
+		// neither they nor their gauge charges outlive the iteration.
+		ebase := len(ev.ephemeral)
 		var pipes []Iterator
 		for _, br := range d.PhiBranches {
 			for _, nu := range views {
@@ -480,6 +540,7 @@ func (ev *Evaluator) RunFixpoint(d *Decomposed, init *Relation, env *Env) (*Rela
 			}
 		}
 		added := ParallelDrain(pipes, workers, acc)
+		ev.releaseEphemeral(ebase)
 		if workers > 1 {
 			ev.Stats.ParallelSteps++
 		}
@@ -507,6 +568,8 @@ func (ev *Evaluator) EvalPhiDelta(d *Decomposed, nu *Relation, env *Env) (*Relat
 	}
 	restore := ev.markDynamic(d.X)
 	defer restore()
+	ebase := len(ev.ephemeral)
+	defer ev.releaseEphemeral(ebase)
 	stepEnv := env.with(d.X, nu)
 	out := NewRelation(nu.Cols()...)
 	for _, br := range d.PhiBranches {

@@ -48,7 +48,9 @@ func BatchRowsFor(arity int) int {
 // single flat row-major value buffer. Row(i) returns a view into the
 // buffer; views are only valid until the producing iterator's next Next
 // call unless the batch is known to be freshly allocated (e.g. decoded
-// from the wire).
+// from the wire). Like the iterators that produce them, batches are
+// single-owner: reading one from several goroutines is safe only while no
+// one appends.
 type Batch struct {
 	arity  int
 	n      int
@@ -133,6 +135,12 @@ func (b *Batch) full() bool { return b.n >= b.target }
 // Iterator streams a relation-valued expression as batches. Next returns
 // nil when the stream is exhausted; the returned batch is valid only until
 // the following Next call.
+//
+// Concurrency: an iterator is single-owner — one goroutine drives Next for
+// the pipeline's lifetime. Parallelism happens *across* pipelines (many
+// iterators over shared read-only inputs), never inside one: the indexes
+// and relations a pipeline probes are safe to share, the pipeline state is
+// not.
 type Iterator interface {
 	// Cols returns the stream's schema (sorted).
 	Cols() []string

@@ -31,6 +31,24 @@ type JoinIndex struct {
 	shards     []ixShard
 	shardShift uint
 	keys       int // number of distinct keys
+
+	// gauge/memBytes account the index's in-memory footprint against the
+	// task budget; Close returns the charge.
+	gauge    *MemGauge
+	memBytes int64
+	// spill is non-nil for indexes built in the over-budget Grace-hash
+	// mode: the build rows live hash-partitioned in on-disk runs and only
+	// GraceJoinStream/GraceAntijoinStream may probe (random-access probes
+	// panic). See ARCHITECTURE.md, "Memory governance".
+	spill *joinSpill
+}
+
+// joinSpill is the on-disk half of a spilled JoinIndex: the build rows
+// hash-partitioned by key into temp-file runs. Partitions are read-only
+// after the build and safe for concurrent partition loads.
+type joinSpill struct {
+	parts []*spillRun // records: one build row (arity values) each
+	dir   string
 }
 
 // ixShard is one bucket partition of a JoinIndex. During a parallel build
@@ -65,6 +83,19 @@ func BuildJoinIndex(rel *Relation, keyCols []string) (*JoinIndex, error) {
 // sub-indexes built lock-free and probed shard-wise, never merged.
 // maxWorkers 0 means DefaultParallelism, 1 forces the serial build.
 func BuildJoinIndexParallel(rel *Relation, keyCols []string, maxWorkers int) (*JoinIndex, error) {
+	return BuildJoinIndexBudgeted(rel, keyCols, maxWorkers, nil)
+}
+
+// BuildJoinIndexBudgeted is BuildJoinIndexParallel governed by a memory
+// gauge. When the index's estimated in-memory footprint (IndexRowBytes per
+// row) fits the remaining budget, a normal in-memory index is built and
+// its footprint charged to g; otherwise the build rows are hash-
+// partitioned by key into on-disk runs (Grace-hash style) and the returned
+// index is *spilled*: random-access probes panic, and joins must go
+// through GraceJoinStream/GraceAntijoinStream, which probe one partition
+// at a time so the transient in-memory sub-index stays bounded by roughly
+// buildBytes/partitions. A nil gauge never spills.
+func BuildJoinIndexBudgeted(rel *Relation, keyCols []string, maxWorkers int, g *MemGauge) (*JoinIndex, error) {
 	at := make([]int, len(keyCols))
 	for i, c := range keyCols {
 		idx := ColIndex(rel.Cols(), c)
@@ -72,6 +103,10 @@ func BuildJoinIndexParallel(rel *Relation, keyCols []string, maxWorkers int) (*J
 			return nil, fmt.Errorf("core: index column %q not in schema %v", c, rel.Cols())
 		}
 		at[i] = idx
+	}
+	memNeed := int64(rel.Len()) * IndexRowBytes
+	if g != nil && memNeed > spillIndexFloor && g.WouldExceed(memNeed) && len(keyCols) > 0 {
+		return buildJoinIndexSpilled(rel, keyCols, at, g)
 	}
 	chunk, workers := ParallelPlan(rel.Len(), rel.Arity(), maxWorkers)
 	var ix *JoinIndex
@@ -81,7 +116,129 @@ func BuildJoinIndexParallel(rel *Relation, keyCols []string, maxWorkers int) (*J
 		ix = buildJoinIndex(rel.Data(), rel.Arity(), rel.Len(), at)
 	}
 	ix.keyCols = keyCols
+	if g != nil {
+		ix.gauge = g
+		ix.memBytes = memNeed
+		g.Charge(memNeed)
+	}
 	return ix, nil
+}
+
+// spillPartition routes a row to its Grace partition — THE routing shared
+// by the build side (buildJoinIndexSpilled, at = key positions in build
+// rows) and the probe side (graceIter.prepare, at = key positions in
+// probe rows). Key-equal rows land in the same partition on both sides
+// because the hash reads only the key values.
+func spillPartition(row []Value, at []int, nparts int) int {
+	return int(HashValuesAt(row, at) % uint64(nparts))
+}
+
+// spillIndexFloor is the smallest index worth spilling: below it, Grace
+// re-partitioning the (possibly huge) probe stream to disk costs far more
+// than the few KiB the index would hold — a tiny delta-side index inside
+// an over-budget fixpoint must stay in memory.
+const spillIndexFloor = 4 << 10
+
+// joinSpillParts sizes the partition count of a spilled build: enough
+// partitions that one partition's in-memory sub-index fits about a quarter
+// of the budget, clamped to [2, 64]. The per-row price matches what
+// loadPartition will actually charge (partition data copy + buckets), so
+// the sizing target and the runtime accounting agree.
+func joinSpillParts(rows, arity int, budget int64) int {
+	bytes := int64(rows) * (IndexRowBytes + int64(arity)*8)
+	per := budget / 4
+	if per <= 0 {
+		per = 1
+	}
+	n := int(bytes/per) + 1
+	if n < 2 {
+		n = 2
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// buildJoinIndexSpilled writes rel's rows into key-hash partitioned runs.
+func buildJoinIndexSpilled(rel *Relation, keyCols []string, at []int, g *MemGauge) (*JoinIndex, error) {
+	nparts := joinSpillParts(rel.Len(), rel.Arity(), g.Budget())
+	sp := &joinSpill{dir: g.Dir()}
+	for p := 0; p < nparts; p++ {
+		run, err := newSpillRun(sp.dir, rel.Arity())
+		if err != nil {
+			closeRuns(sp.parts)
+			return nil, err
+		}
+		sp.parts = append(sp.parts, run)
+	}
+	var bytes int64
+	for i := 0; i < rel.Len(); i++ {
+		row := rel.RowAt(i)
+		if err := sp.parts[spillPartition(row, at, nparts)].append(row); err != nil {
+			closeRuns(sp.parts)
+			return nil, err
+		}
+	}
+	for _, run := range sp.parts {
+		if err := run.finish(); err != nil {
+			closeRuns(sp.parts)
+			return nil, err
+		}
+		bytes += run.bytes
+	}
+	g.noteSpill(bytes)
+	return &JoinIndex{keyCols: keyCols, at: at, arity: rel.Arity(), nrows: rel.Len(),
+		gauge: g, spill: sp}, nil
+}
+
+func closeRuns(runs []*spillRun) {
+	for _, r := range runs {
+		r.Close()
+	}
+}
+
+// Spilled reports whether the index holds its build rows in on-disk
+// partitions. Spilled indexes must be probed with GraceJoinStream or
+// GraceAntijoinStream; Matches/Contains panic.
+func (ix *JoinIndex) Spilled() bool { return ix.spill != nil }
+
+// Close releases the index's gauge charge and, for spilled indexes, the
+// partition runs. The index must not be probed afterwards; calling Close
+// more than once is harmless.
+func (ix *JoinIndex) Close() {
+	if ix.memBytes != 0 && ix.gauge != nil {
+		ix.gauge.Release(ix.memBytes)
+		ix.memBytes = 0
+	}
+	if ix.spill != nil {
+		closeRuns(ix.spill.parts)
+	}
+}
+
+// loadPartition reads build partition p back into memory and indexes it —
+// the per-partition build of the Grace-hash probe. The transient
+// sub-index (partition data copy + buckets) is charged to the spilled
+// index's gauge; the caller must Close the returned sub-index when done
+// with the partition to return the charge. Safe for concurrent use
+// (partition reads are positioned); note that concurrent Grace streams
+// each load their own partition copy, and each copy is charged, so the
+// gauge sees the full transient pressure.
+func (ix *JoinIndex) loadPartition(p int) *JoinIndex {
+	run := ix.spill.parts[p]
+	n := run.records()
+	data := make([]Value, n*ix.arity)
+	if err := run.readRange(0, n, data); err != nil {
+		panic(err)
+	}
+	sub := buildJoinIndex(data, ix.arity, n, ix.at)
+	sub.keyCols = ix.keyCols
+	if ix.gauge != nil {
+		sub.gauge = ix.gauge
+		sub.memBytes = int64(n)*IndexRowBytes + int64(len(data))*8
+		ix.gauge.Charge(sub.memBytes)
+	}
+	return sub
 }
 
 // newJoinIndexShell allocates an index header with nShards empty bucket
@@ -182,14 +339,24 @@ func (ix *JoinIndex) rowAt(ri int32) []Value {
 // KeyCols returns the indexed columns (empty for position-built indexes).
 func (ix *JoinIndex) KeyCols() []string { return ix.keyCols }
 
-// Len returns the number of distinct keys in the index.
+// Len returns the number of distinct keys in the index (0 for spilled
+// indexes, whose keys are only discovered partition by partition).
 func (ix *JoinIndex) Len() int { return ix.keys }
 
 // Rows returns how many rows the index covers.
 func (ix *JoinIndex) Rows() int { return ix.nrows }
 
-// Shards returns the bucket-shard count (1 for serially built indexes).
+// Shards returns the bucket-shard count (1 for serially built indexes, 0
+// for spilled indexes).
 func (ix *JoinIndex) Shards() int { return len(ix.shards) }
+
+// mustInMemory guards the random-access probe surface against spilled
+// indexes, whose rows live partition-wise on disk.
+func (ix *JoinIndex) mustInMemory() {
+	if ix.spill != nil {
+		panic("core: random-access probe of a spilled JoinIndex; use GraceJoinStream/GraceAntijoinStream")
+	}
+}
 
 // sameKeyAs reports whether two indexed rows agree on the key positions.
 func (ix *JoinIndex) sameKeyAs(a, b []Value) bool {
@@ -216,6 +383,7 @@ func (ix *JoinIndex) keyMatches(row, key []Value) bool {
 // are zero-copy views into the index's flat snapshot. Candidate rows from
 // colliding hash buckets are filtered by value comparison.
 func (ix *JoinIndex) Matches(dst [][]Value, key []Value) [][]Value {
+	ix.mustInMemory()
 	for _, ri := range ix.bucketFor(HashValues(key)) {
 		row := ix.rowAt(ri)
 		if ix.keyMatches(row, key) {
@@ -227,6 +395,7 @@ func (ix *JoinIndex) Matches(dst [][]Value, key []Value) [][]Value {
 
 // Contains reports whether any indexed row has the given key.
 func (ix *JoinIndex) Contains(key []Value) bool {
+	ix.mustInMemory()
 	for _, ri := range ix.bucketFor(HashValues(key)) {
 		if ix.keyMatches(ix.rowAt(ri), key) {
 			return true
@@ -238,6 +407,7 @@ func (ix *JoinIndex) Contains(key []Value) bool {
 // matchesAt is Matches with the probe key read from probe's positions at,
 // avoiding a key copy on the hot path.
 func (ix *JoinIndex) matchesAt(dst [][]Value, probe []Value, at []int) [][]Value {
+	ix.mustInMemory()
 	for _, ri := range ix.bucketFor(HashValuesAt(probe, at)) {
 		row := ix.rowAt(ri)
 		if ix.keyMatchesAt(row, probe, at) {
@@ -249,6 +419,7 @@ func (ix *JoinIndex) matchesAt(dst [][]Value, probe []Value, at []int) [][]Value
 
 // containsAt is Contains with the key read from probe's positions at.
 func (ix *JoinIndex) containsAt(probe []Value, at []int) bool {
+	ix.mustInMemory()
 	for _, ri := range ix.bucketFor(HashValuesAt(probe, at)) {
 		if ix.keyMatchesAt(ix.rowAt(ri), probe, at) {
 			return true

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// This file is the memory-governance surface of the data plane. The §III-D
+// heuristic decides *which plan* to run before execution; the MemGauge
+// governs what happens when an operator nevertheless outgrows its task's
+// memory budget at run time: instead of OOMing, the two unbounded operator
+// structures — the fixpoint Accumulator and the join build JoinIndex —
+// degrade to disk (shard eviction and Grace-hash partitioning; see
+// accumulator.go, joinindex.go and gracejoin.go). ARCHITECTURE.md
+// ("Memory governance") documents the budget model: what is charged, what
+// is not, and the over-budget behavior of every structure.
+
+// Accounting constants of the budget model. They price the *operator-owned*
+// state per row; input relations owned by the storage layer (tables,
+// broadcasts, partitions) are governed by plan selection, not the gauge.
+const (
+	// accSlotBytes is the per-row bookkeeping of an Accumulator beyond the
+	// row's values: the stored 64-bit hash plus the dedup-set slot.
+	accSlotBytes = 12
+	// IndexRowBytes prices one indexed row of an in-memory JoinIndex: the
+	// bucket reference plus amortized bucket-map overhead (the row values
+	// themselves alias the indexed relation and are not charged twice).
+	IndexRowBytes = 24
+	// runFingerprintBytes is what one evicted row retains in memory: its
+	// 32-bit fingerprint in the frozen run's filter.
+	runFingerprintBytes = 4
+)
+
+// AccRowBytes prices one in-memory Accumulator row of the given arity
+// under the budget model: the row's values plus hash and dedup-slot
+// bookkeeping. cost.PlanMemory uses the same constant, so the estimator
+// and the runtime gauge agree on units.
+func AccRowBytes(arity int) int64 { return int64(8*arity + accSlotBytes) }
+
+// MemGauge is a per-task memory budget that operators charge as they grow
+// and release as they shrink or spill. A nil gauge (or a zero budget)
+// means unlimited: every method is safe on a nil receiver and reports
+// "never over budget", so operators charge unconditionally.
+//
+// Concurrency: all methods are safe for concurrent use; the counters are
+// atomics. One gauge is shared by every operator of one task (a worker's
+// fixpoint accumulator, its shuffle filter, its join indexes), which is
+// exactly what makes the budget a *task* budget rather than a per-structure
+// one.
+type MemGauge struct {
+	budget int64  // bytes; <= 0 means unlimited
+	dir    string // spill directory; "" means os.TempDir()
+
+	used    atomic.Int64
+	peak    atomic.Int64
+	spills  atomic.Int64
+	spilled atomic.Int64 // bytes written to spill runs, cumulative
+}
+
+// NewMemGauge returns a gauge with the given budget in bytes (<= 0 means
+// metering only, never over budget) spilling into dir ("" = os.TempDir()).
+func NewMemGauge(budgetBytes int64, dir string) *MemGauge {
+	return &MemGauge{budget: budgetBytes, dir: dir}
+}
+
+// Budget returns the configured budget in bytes (<= 0 means unlimited).
+func (g *MemGauge) Budget() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.budget
+}
+
+// Dir returns the spill directory ("" means os.TempDir()). Safe on nil.
+func (g *MemGauge) Dir() string {
+	if g == nil {
+		return ""
+	}
+	if g.dir == "" {
+		return os.TempDir()
+	}
+	return g.dir
+}
+
+// Charge adds n bytes of operator-owned state to the gauge. Safe on nil
+// and for concurrent use.
+func (g *MemGauge) Charge(n int64) {
+	if g == nil || n == 0 {
+		return
+	}
+	used := g.used.Add(n)
+	// Track the high-water mark; benign race on concurrent peaks (the
+	// larger CAS wins eventually).
+	for {
+		p := g.peak.Load()
+		if used <= p || g.peak.CompareAndSwap(p, used) {
+			return
+		}
+	}
+}
+
+// Release subtracts n bytes previously charged. Safe on nil and for
+// concurrent use.
+func (g *MemGauge) Release(n int64) {
+	if g == nil || n == 0 {
+		return
+	}
+	g.used.Add(-n)
+}
+
+// Used returns the currently charged bytes. Safe on nil (returns 0).
+func (g *MemGauge) Used() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.used.Load()
+}
+
+// Peak returns the high-water mark of charged bytes — the measured working
+// set an unbudgeted run reports. Safe on nil (returns 0).
+func (g *MemGauge) Peak() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.peak.Load()
+}
+
+// Over reports whether the charged bytes exceed the budget. A nil gauge or
+// a non-positive budget is never over. Safe for concurrent use.
+func (g *MemGauge) Over() bool {
+	if g == nil || g.budget <= 0 {
+		return false
+	}
+	return g.used.Load() > g.budget
+}
+
+// WouldExceed reports whether charging n more bytes would exceed the
+// budget — the build-or-spill decision of BuildJoinIndexBudgeted. Safe on
+// nil (always false).
+func (g *MemGauge) WouldExceed(n int64) bool {
+	if g == nil || g.budget <= 0 {
+		return false
+	}
+	return g.used.Load()+n > g.budget
+}
+
+// noteSpill records one spill event that moved n bytes to disk.
+func (g *MemGauge) noteSpill(n int64) {
+	if g == nil {
+		return
+	}
+	g.spills.Add(1)
+	g.spilled.Add(n)
+}
+
+// Spills returns how many spill events (accumulator shard evictions, join
+// index partition builds) the gauge has seen. Safe on nil (returns 0).
+func (g *MemGauge) Spills() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.spills.Load()
+}
+
+// SpilledBytes returns the cumulative bytes written to spill runs. Safe on
+// nil (returns 0).
+func (g *MemGauge) SpilledBytes() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.spilled.Load()
+}

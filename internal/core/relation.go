@@ -20,6 +20,13 @@ import (
 // (tupleSet) over row indices into the backing array: membership costs one
 // FNV-1a hash and, on a hit, one value-wise comparison, with zero
 // allocation.
+//
+// Concurrency: a Relation is single-writer — Add/AddBatch/Union* must not
+// run concurrently with anything else. Read-only access (RowAt, Data,
+// scans, Has on a relation whose dedup set is already built) is safe from
+// any number of goroutines; the parallel fixpoint step relies on exactly
+// that. Lazily-built views (Slice) materialize their dedup set on the
+// first membership query, so their first Has is a write.
 type Relation struct {
 	cols []string
 	data []Value // row-major backing array, len = n*arity
@@ -325,7 +332,9 @@ func lessRows(a, b []Value) bool {
 // contract every fixpoint consumer must use instead of positional Rows()
 // comparison. It is Equal restated as an explicit order-insensitive
 // contract; unlike Equal it does not touch either relation's dedup set,
-// so it is safe on read-only views and across packages that only scan.
+// so it is safe on read-only views and across packages that only scan,
+// and safe for concurrent use as long as neither relation is being
+// mutated.
 func SameRows(a, b *Relation) bool {
 	if !ColsEqual(a.cols, b.cols) || a.n != b.n {
 		return false

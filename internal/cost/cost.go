@@ -70,12 +70,19 @@ func FromEnv(env *core.Env) *Catalog {
 }
 
 // Estimate is the estimated profile of a subterm: output cardinality,
-// per-column distinct counts, and cumulative cost (abstract work units).
+// per-column distinct counts, cumulative cost (abstract work units), and
+// the peak operator-owned memory (bytes) evaluating it is expected to
+// hold — join build indexes, dedup sets at sinks, and fixpoint
+// accumulators, priced with the same constants the runtime MemGauge
+// charges (core.AccRowBytes, core.IndexRowBytes). Input relations owned by
+// the storage layer are not counted; see ARCHITECTURE.md, "Memory
+// governance".
 type Estimate struct {
 	Rows     float64
 	Distinct map[string]float64
 	Cols     []string
 	Cost     float64
+	Mem      float64
 }
 
 func (e *Estimate) clone() *Estimate {
@@ -83,8 +90,13 @@ func (e *Estimate) clone() *Estimate {
 	for k, v := range e.Distinct {
 		d[k] = v
 	}
-	return &Estimate{Rows: e.Rows, Distinct: d, Cols: e.Cols, Cost: e.Cost}
+	return &Estimate{Rows: e.Rows, Distinct: d, Cols: e.Cols, Cost: e.Cost, Mem: e.Mem}
 }
+
+// dedupSlotBytes prices one row of a deduplicating sink (union,
+// anti-projection, pipeline sinks): core.AccRowBytes(0) is exactly the
+// hash + slot bookkeeping with no values.
+var dedupSlotBytes = float64(core.AccRowBytes(0))
 
 // clampDistinct caps every distinct count by the row count (a column cannot
 // have more distinct values than there are rows).
@@ -161,6 +173,7 @@ func (es *Estimator) estimate(t core.Term, bound map[string]*Estimate) (*Estimat
 			out.Distinct[c] = l.Distinct[c] + r.Distinct[c]
 		}
 		out.Cost = l.Cost + r.Cost + out.Rows // dedup pass
+		out.Mem = math.Max(math.Max(l.Mem, r.Mem), out.Rows*dedupSlotBytes)
 		out.clampDistinct()
 		return out, nil
 	case *core.Join:
@@ -172,7 +185,33 @@ func (es *Estimator) estimate(t core.Term, bound map[string]*Estimate) (*Estimat
 		if err != nil {
 			return nil, err
 		}
-		return joinEstimate(l, r), nil
+		out := joinEstimate(l, r)
+		// Price the build index at the side the streaming evaluator will
+		// actually build (eval.go streamJoin), not min(l, r): inside a
+		// fixpoint the constant side builds whatever its size; outside,
+		// a lone bare-Var operand builds (cacheable index), two bare Vars
+		// build the smaller, and otherwise the right side builds.
+		lDyn, rDyn := mentionsBound(n.L, bound), mentionsBound(n.R, bound)
+		var buildRows float64
+		if lDyn != rDyn {
+			buildRows = r.Rows
+			if rDyn {
+				buildRows = l.Rows
+			}
+		} else {
+			_, lVar := n.L.(*core.Var)
+			_, rVar := n.R.(*core.Var)
+			switch {
+			case lVar && rVar:
+				buildRows = math.Min(l.Rows, r.Rows)
+			case lVar:
+				buildRows = l.Rows
+			default:
+				buildRows = r.Rows
+			}
+		}
+		out.Mem = math.Max(out.Mem, buildRows*float64(core.IndexRowBytes))
+		return out, nil
 	case *core.Antijoin:
 		l, err := es.estimate(n.L, bound)
 		if err != nil {
@@ -186,6 +225,8 @@ func (es *Estimator) estimate(t core.Term, bound map[string]*Estimate) (*Estimat
 		// Standard heuristic: half the probing side survives.
 		out.Rows = l.Rows / 2
 		out.Cost = l.Cost + r.Cost + l.Rows + r.Rows
+		// The right side is materialized and indexed.
+		out.Mem = math.Max(math.Max(l.Mem, r.Mem), r.Rows*float64(core.IndexRowBytes))
 		out.clampDistinct()
 		return out, nil
 	case *core.Filter:
@@ -249,6 +290,7 @@ func (es *Estimator) estimate(t core.Term, bound map[string]*Estimate) (*Estimat
 		}
 		out.Rows = math.Min(in.Rows, maxRows)
 		out.Cost = in.Cost + in.Rows
+		out.Mem = math.Max(in.Mem, out.Rows*dedupSlotBytes)
 		out.clampDistinct()
 		return out, nil
 	case *core.Fixpoint:
@@ -282,6 +324,12 @@ func joinEstimate(l, r *Estimate) *Estimate {
 		}
 	}
 	out.Cost = l.Cost + r.Cost + l.Rows + r.Rows + out.Rows
+	// Baseline memory: the smaller side as hash-join build (the Join arm
+	// of estimate() raises this to the evaluator's actual build choice)
+	// plus the output dedup sink the join drains into.
+	out.Mem = math.Max(math.Max(l.Mem, r.Mem),
+		math.Min(l.Rows, r.Rows)*float64(core.IndexRowBytes))
+	out.Mem = math.Max(out.Mem, out.Rows*dedupSlotBytes)
 	out.clampDistinct()
 	return out
 }
@@ -309,6 +357,17 @@ func condSelectivity(c core.Condition, in *Estimate) float64 {
 	default:
 		return 0.5
 	}
+}
+
+// mentionsBound reports whether t mentions any currently-bound recursion
+// variable (the estimator's analog of the evaluator's isDynamic).
+func mentionsBound(t core.Term, bound map[string]*Estimate) bool {
+	for name := range bound {
+		if core.ContainsVar(t, name) {
+			return true
+		}
+	}
+	return false
 }
 
 func isEqConstOn(c core.Condition, col string) bool {
@@ -363,6 +422,7 @@ func (es *Estimator) estimateFixpoint(fp *core.Fixpoint, bound map[string]*Estim
 				total = e
 			} else {
 				total.Rows += e.Rows
+				total.Mem = math.Max(total.Mem, e.Mem)
 				for c, v := range e.Distinct {
 					total.Distinct[c] = math.Max(total.Distinct[c], v)
 				}
@@ -426,14 +486,21 @@ func (es *Estimator) estimateFixpoint(fp *core.Fixpoint, bound map[string]*Estim
 	for _, c := range seed.Cols {
 		out.Distinct[c] = math.Max(seed.Distinct[c], first.Distinct[c])
 	}
+	// Peak memory: X lives in the fixpoint accumulator at its final size,
+	// on top of whatever one φ application holds.
+	out.Mem = math.Max(math.Max(seed.Mem, first.Mem),
+		out.Rows*float64(core.AccRowBytes(len(seed.Cols))))
 	out.clampDistinct()
 	return out, nil
 }
 
-// Ranked pairs a plan with its estimated cost.
+// Ranked pairs a plan with its estimated cost and the full estimate it
+// came from (nil when estimation failed), so consumers — notably the
+// memory planner — need not re-estimate the winner.
 type Ranked struct {
 	Plan core.Term
 	Cost float64
+	Est  *Estimate
 }
 
 // SelectBest estimates every plan and returns the cheapest together with
@@ -442,8 +509,14 @@ func SelectBest(plans []core.Term, cat *Catalog) (best core.Term, ranking []Rank
 	es := NewEstimator(cat)
 	bestCost := math.Inf(1)
 	for _, p := range plans {
-		c := es.EstimateCost(p)
-		ranking = append(ranking, Ranked{Plan: p, Cost: c})
+		est, err := es.Estimate(p)
+		c := math.Inf(1)
+		if err == nil {
+			c = est.Cost
+		} else {
+			est = nil
+		}
+		ranking = append(ranking, Ranked{Plan: p, Cost: c, Est: est})
 		if c < bestCost {
 			bestCost = c
 			best = p

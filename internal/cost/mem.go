@@ -1,0 +1,62 @@
+package cost
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// This file closes the loop between the §III-D estimator and the runtime
+// memory governor: the estimator no longer only *switches plans* when the
+// variable part outgrows the task budget — it also sets the MemGauge the
+// chosen plan's operators will charge and spill against, and predicts
+// whether spilling is expected at all. The estimate and the gauge share
+// one set of per-row accounting constants (core.AccRowBytes,
+// core.IndexRowBytes), so "estimated peak" and "measured peak" are in the
+// same units; ARCHITECTURE.md ("Memory governance") documents the flow.
+
+// MemPlan is the estimator's memory verdict for one task: the predicted
+// peak of operator-owned state, the configured per-task budget, and
+// whether the plan is expected to spill under that budget.
+type MemPlan struct {
+	// PeakBytes is the estimated peak operator-owned memory (join build
+	// indexes, dedup sinks, fixpoint accumulators) of evaluating the term.
+	PeakBytes float64
+	// BudgetBytes is the per-task budget (<= 0 means unlimited).
+	BudgetBytes int64
+	// ExpectSpill is true when PeakBytes exceeds the budget — the paper's
+	// heuristic would have preferred another plan; the gauge makes this one
+	// degrade to disk instead of failing.
+	ExpectSpill bool
+}
+
+// PlanMemory estimates the peak operator-owned memory of evaluating t
+// against cat and pairs it with the per-task budget. Estimation errors
+// report +Inf peak (rank-last semantics, like EstimateCost). Callers that
+// already hold the term's Estimate (e.g. from SelectBest's ranking)
+// should use MemPlanFromEstimate instead of re-estimating.
+func PlanMemory(t core.Term, cat *Catalog, taskBudgetBytes int64) MemPlan {
+	est, err := NewEstimator(cat).Estimate(t)
+	if err != nil {
+		est = nil
+	}
+	return MemPlanFromEstimate(est, taskBudgetBytes)
+}
+
+// MemPlanFromEstimate builds the memory verdict from an existing estimate
+// (nil means estimation failed: +Inf peak).
+func MemPlanFromEstimate(est *Estimate, taskBudgetBytes int64) MemPlan {
+	mp := MemPlan{BudgetBytes: taskBudgetBytes, PeakBytes: math.Inf(1)}
+	if est != nil {
+		mp.PeakBytes = est.Mem
+	}
+	mp.ExpectSpill = taskBudgetBytes > 0 && mp.PeakBytes > float64(taskBudgetBytes)
+	return mp
+}
+
+// NewGauge materializes the plan as a runtime gauge spilling into dir
+// ("" = os.TempDir()). The returned gauge carries the plan's budget; a
+// non-positive budget yields a metering-only gauge that never spills.
+func (mp MemPlan) NewGauge(dir string) *core.MemGauge {
+	return core.NewMemGauge(mp.BudgetBytes, dir)
+}

@@ -3,9 +3,16 @@ package localdb
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
+
+// evictStride is how many rows a budgeted join-output sink accumulates
+// between eviction attempts: coarse enough that run compaction is not
+// rewritten per batch, fine enough that the over-budget excursion stays a
+// few batches deep.
+const evictStride = 8192
 
 // Stats counts executor work, for benchmarks and tests.
 type Stats struct {
@@ -199,12 +206,35 @@ func (ex *Executor) evalJoin(j *core.Join, dyn []binding) (*core.Relation, error
 		return dRel.Join(cc.rel), nil
 	}
 	before := len(cc.indexes)
-	ix, err := ensureIndexOn(cc.rel, cc.indexes, common)
+	ix, err := ensureIndexOn(cc.rel, cc.indexes, common, ex.DB.gauge)
 	if err != nil {
 		return nil, err
 	}
 	if len(cc.indexes) > before {
 		ex.Stats.IndexBuilds++
+	}
+	if ix.ix.Spilled() {
+		// Over-budget constant side: probe it partition-at-a-time with the
+		// Grace-hash stream instead of row-at-a-time index lookups. The
+		// output lands in a budgeted sink like the parallel path below —
+		// this branch only runs when memory is already scarce.
+		ex.Stats.IndexProbes += dRel.Len()
+		it := core.GraceJoinStream(core.ScanRelation(dRel), ix.ix, cc.rel.Cols())
+		sink := core.NewAccumulatorBudgeted(ex.DB.gauge, it.Cols()...)
+		defer sink.Close()
+		ab := sink.Absorber()
+		lastEvict := 0
+		for b := it.Next(); b != nil; b = it.Next() {
+			ab.AbsorbBatch(b, nil)
+			// Evict at stride granularity, not per batch: each eviction
+			// compacts the shard runs, so per-batch calls would rewrite
+			// them quadratically often on large outputs.
+			if sink.Len()-lastEvict >= evictStride {
+				lastEvict = sink.Len()
+				sink.MaybeEvict()
+			}
+		}
+		return sink.Materialize(), nil
 	}
 	outCols := core.ColsUnion(dRel.Cols(), cc.rel.Cols())
 	out := core.NewRelation(outCols...)
@@ -249,7 +279,11 @@ func (ex *Executor) evalJoin(j *core.Join, dyn []binding) (*core.Relation, error
 	// sequential merge afterwards) — the per-worker local-loop parallelism
 	// of Ppg_plw.
 	if chunk, workers := core.ParallelPlan(dRel.Len(), dRel.Arity(), 0); workers > 1 {
-		sink := core.NewAccumulator(outCols...)
+		// The join-output dedup sink is exactly the memory the estimator
+		// prices per output row, so it runs budgeted too: metered always,
+		// evicted between probe ranges when over.
+		sink := core.NewAccumulatorBudgeted(ex.DB.gauge, outCols...)
+		defer sink.Close()
 		var ranges [][2]int
 		for lo := 0; lo < dRel.Len(); lo += chunk {
 			hi := lo + chunk
@@ -260,12 +294,23 @@ func (ex *Executor) evalJoin(j *core.Join, dyn []binding) (*core.Relation, error
 		}
 		var wg sync.WaitGroup
 		work := make(chan [2]int)
+		var lastEvict atomic.Int64
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for r := range work {
 					probeRange(r[0], r[1], func(row []core.Value) { sink.Add(row) })
+					// No delta windows exist on this sink, so an
+					// over-budget worker can freeze between ranges
+					// (MaybeEvict is safe against concurrent Adds) — at
+					// stride granularity so run compaction is not
+					// rewritten once per small range. The counter race is
+					// benign: a duplicate eviction is a cheap no-op.
+					if n := int64(sink.Len()); n-lastEvict.Load() >= evictStride {
+						lastEvict.Store(n)
+						sink.MaybeEvict()
+					}
 				}
 			}()
 		}
@@ -293,7 +338,8 @@ func (ex *Executor) RunFixpoint(d *core.Decomposed, init *core.Relation, dyn []b
 	if len(d.PhiBranches) == 0 {
 		return init.Clone(), nil
 	}
-	acc := core.NewAccumulator(init.Cols()...)
+	acc := core.NewAccumulatorBudgeted(ex.DB.gauge, init.Cols()...)
+	defer acc.Close()
 	acc.Absorb(init)
 	// One absorb handle for the whole loop: the hashing/routing scratch is
 	// reused across every iteration and branch.
@@ -301,6 +347,9 @@ func (ex *Executor) RunFixpoint(d *core.Decomposed, init *core.Relation, dyn []b
 	nu := init
 	for nu.Len() > 0 {
 		ex.Stats.FixpointIters++
+		// The delta below is a DeltaRelation *copy*, so when over budget
+		// every already-published row of X can be frozen to disk.
+		acc.MaybeEvict()
 		mark := acc.Mark()
 		step := append(dyn[:len(dyn):len(dyn)], binding{name: d.X, rel: nu})
 		added := 0

@@ -26,6 +26,10 @@ type DB struct {
 	// keyed by the term's canonical string. It persists across executors:
 	// the "persistent indexes and cached constant subplans" of §III-D.
 	consts map[string]*cachedRel
+	// gauge, when non-nil, is the worker's memory budget: indexes built
+	// over it may come back spilled (Grace-hash partitioned) and fixpoint
+	// accumulators evict shards to disk once it is over budget.
+	gauge *core.MemGauge
 }
 
 // cachedRel is a memoized constant subterm: its relation and any indexes
@@ -40,16 +44,58 @@ func Open() *DB {
 	return &DB{tables: make(map[string]*Table), consts: make(map[string]*cachedRel)}
 }
 
+// SetGauge puts the database under a memory budget (nil disables
+// governance). It applies to index builds and fixpoints started
+// afterwards, including on tables created before the call.
+func (db *DB) SetGauge(g *core.MemGauge) { db.gauge = g }
+
+// Gauge returns the database's memory gauge (nil when unbudgeted).
+func (db *DB) Gauge() *core.MemGauge { return db.gauge }
+
+// Close releases the spill files and gauge charges of every cached index.
+// The database must not be used afterwards; calling it more than once is
+// harmless (a finalizer backstops forgotten spill descriptors).
+func (db *DB) Close() {
+	for _, t := range db.tables {
+		t.closeIndexes()
+	}
+	db.invalidateConsts()
+	db.tables = make(map[string]*Table)
+}
+
 // CreateTable registers rel under name (replacing any previous table) and
 // returns the table. The relation is used as-is; callers hand over
-// ownership. Cached constant subterms mentioning the table are dropped.
+// ownership. Cached constant subterms mentioning the table are dropped,
+// and the replaced table's indexes are closed so their gauge charges (and
+// any spill descriptors) do not outlive them.
 func (db *DB) CreateTable(name string, rel *core.Relation) *Table {
-	t := &Table{rel: rel, indexes: make(map[string]*Index)}
+	if old, ok := db.tables[name]; ok {
+		old.closeIndexes()
+	}
+	t := &Table{db: db, rel: rel, indexes: make(map[string]*Index)}
 	db.tables[name] = t
 	// Replacing a table invalidates every memoized constant plan that may
 	// have read it; correctness over cleverness.
-	db.consts = make(map[string]*cachedRel)
+	db.invalidateConsts()
 	return t
+}
+
+// invalidateConsts drops the constant-subterm memo, closing its indexes.
+func (db *DB) invalidateConsts() {
+	for _, c := range db.consts {
+		for _, ix := range c.indexes {
+			ix.ix.Close()
+		}
+	}
+	db.consts = make(map[string]*cachedRel)
+}
+
+// closeIndexes releases the table's indexes (gauge charges + spill files).
+func (t *Table) closeIndexes() {
+	for _, ix := range t.indexes {
+		ix.ix.Close()
+	}
+	t.indexes = make(map[string]*Index)
 }
 
 // Table returns a table by name.
@@ -58,10 +104,13 @@ func (db *DB) Table(name string) (*Table, bool) {
 	return t, ok
 }
 
-// Drop removes a table.
+// Drop removes a table, closing its indexes.
 func (db *DB) Drop(name string) {
+	if old, ok := db.tables[name]; ok {
+		old.closeIndexes()
+	}
 	delete(db.tables, name)
-	db.consts = make(map[string]*cachedRel)
+	db.invalidateConsts()
 }
 
 // Names lists the registered tables.
@@ -73,8 +122,11 @@ func (db *DB) Names() []string {
 	return core.SortCols(out)
 }
 
-// Table is a stored relation with hash indexes.
+// Table is a stored relation with hash indexes. It keeps a back-pointer
+// to its DB so index builds always see the database's *current* gauge —
+// SetGauge after CreateTable still governs later EnsureIndex calls.
 type Table struct {
+	db      *DB
 	rel     *core.Relation
 	indexes map[string]*Index
 }
@@ -83,8 +135,14 @@ type Table struct {
 func (t *Table) Relation() *core.Relation { return t.rel }
 
 // EnsureIndex builds (or returns) the hash index over the given columns.
+// Under a DB gauge that is over budget the index may come back spilled
+// (Probe panics; executors must take the Grace-hash path).
 func (t *Table) EnsureIndex(cols ...string) (*Index, error) {
-	return ensureIndexOn(t.rel, t.indexes, cols)
+	var g *core.MemGauge
+	if t.db != nil {
+		g = t.db.gauge
+	}
+	return ensureIndexOn(t.rel, t.indexes, cols, g)
 }
 
 // Index is a hash index over a column set, backed by the engine-wide
@@ -102,14 +160,15 @@ func indexKeyName(cols []string) string {
 	return out
 }
 
-func ensureIndexOn(rel *core.Relation, cache map[string]*Index, cols []string) (*Index, error) {
+func ensureIndexOn(rel *core.Relation, cache map[string]*Index, cols []string, g *core.MemGauge) (*Index, error) {
 	name := indexKeyName(cols)
 	if ix, ok := cache[name]; ok {
 		return ix, nil
 	}
 	// Large builds engage the parallel two-phase index construction; small
-	// ones fall back to the serial path inside.
-	ji, err := core.BuildJoinIndexParallel(rel, cols, 0)
+	// ones fall back to the serial path inside. Over-budget builds come
+	// back spilled (Grace-hash partitions on disk).
+	ji, err := core.BuildJoinIndexBudgeted(rel, cols, 0, g)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +177,16 @@ func ensureIndexOn(rel *core.Relation, cache map[string]*Index, cols []string) (
 	return ix, nil
 }
 
-// Probe returns the rows whose indexed columns equal vals.
+// Spilled reports whether the index holds its rows in on-disk Grace-hash
+// partitions; spilled indexes cannot be Probed row-at-a-time.
+func (ix *Index) Spilled() bool { return ix.ix.Spilled() }
+
+// Core exposes the backing core.JoinIndex (for partition-at-a-time probes
+// of spilled indexes via core.GraceJoinStream).
+func (ix *Index) Core() *core.JoinIndex { return ix.ix }
+
+// Probe returns the rows whose indexed columns equal vals. It panics on a
+// spilled index (see Spilled).
 func (ix *Index) Probe(vals []core.Value) [][]core.Value {
 	return ix.ix.Matches(nil, vals)
 }

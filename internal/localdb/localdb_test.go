@@ -281,3 +281,42 @@ func TestExecutorFilterAndAntijoinCombos(t *testing.T) {
 		}
 	}
 }
+
+// TestTableReplacementReleasesGaugeCharges guards the worker-lifetime
+// budget against the Ppg_plw pattern of re-creating broadcast tables per
+// query: replaced/dropped tables and invalidated constant memos must
+// return their index charges to the gauge, or the worker ratchets into a
+// permanently over-budget state.
+func TestTableReplacementReleasesGaugeCharges(t *testing.T) {
+	db := Open()
+	g := core.NewMemGauge(1<<30, t.TempDir())
+	db.SetGauge(g)
+	rel := func() *core.Relation {
+		r := core.NewRelation(core.ColSrc, core.ColTrg)
+		for i := 0; i < 200; i++ {
+			r.Add([]core.Value{core.Value(i), core.Value(i + 1)})
+		}
+		return r
+	}
+	var oneIndex int64
+	for round := 0; round < 5; round++ {
+		tab := db.CreateTable("E", rel())
+		if _, err := tab.EnsureIndex(core.ColSrc); err != nil {
+			t.Fatal(err)
+		}
+		if round == 0 {
+			oneIndex = g.Used()
+			if oneIndex == 0 {
+				t.Fatal("budgeted index build charged nothing")
+			}
+		}
+		if g.Used() > oneIndex {
+			t.Fatalf("round %d: gauge ratcheted to %d (one index costs %d)", round, g.Used(), oneIndex)
+		}
+	}
+	db.Drop("E")
+	db.Close()
+	if g.Used() != 0 {
+		t.Fatalf("leaked %d bytes after Drop+Close", g.Used())
+	}
+}

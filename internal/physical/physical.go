@@ -109,9 +109,16 @@ type Planner struct {
 	// — the ablation for the delta-aware shuffle.
 	DisableDeltaShuffleFilter bool
 
-	fresh atomic.Int64
-	ev    *core.Evaluator
+	fresh       atomic.Int64
+	ev          *core.Evaluator
+	driverGauge *core.MemGauge
 }
+
+// DriverGauge returns the gauge of the driver-side glue evaluator of the
+// most recent Execute (nil when Config.TaskMemBytes is 0). Worker-side
+// gauges live on the cluster (Cluster.Gauges); reports that sum spill
+// counters must include both.
+func (p *Planner) DriverGauge() *core.MemGauge { return p.driverGauge }
 
 // NewPlanner returns a planner over a cluster and a driver-side database.
 func NewPlanner(c *cluster.Cluster, env *core.Env) *Planner {
@@ -125,6 +132,13 @@ func (p *Planner) Execute(t core.Term) (*core.Relation, *Report, error) {
 	}
 	rep := &Report{}
 	p.ev = core.NewEvaluator(p.Env)
+	if cfg := p.C.Config(); cfg.TaskMemBytes > 0 {
+		// The driver-side glue evaluator runs under the same per-task
+		// budget a worker gets; workers carry their own gauges.
+		p.driverGauge = core.NewMemGauge(cfg.TaskMemBytes, cfg.SpillDir)
+		p.ev.Gauge = p.driverGauge
+	}
+	defer p.ev.Close()
 	p.ev.FixpointHandler = func(fp *core.Fixpoint, _ *core.Env) (*core.Relation, error) {
 		return p.runFixpoint(fp, rep)
 	}
@@ -134,7 +148,6 @@ func (p *Planner) Execute(t core.Term) (*core.Relation, *Report, error) {
 	}
 	return rel, rep, nil
 }
-
 
 // prepared is a fixpoint ready for distributed execution: the constant
 // part is materialized, nested constant fixpoints inside φ are
@@ -338,6 +351,23 @@ func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
 	// remembered and never crosses the wire again. It is an accumulator of
 	// its own, absorbing each iteration's candidates without rebuilding.
 	sent := make([]*core.Accumulator, p.C.NumWorkers())
+	defer func() {
+		for _, ev := range evals {
+			if ev != nil {
+				ev.Close()
+			}
+		}
+		for _, a := range xAcc {
+			if a != nil {
+				a.Close()
+			}
+		}
+		for _, s := range sent {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}()
 	for {
 		var added atomic.Int64
 		err := p.C.RunPhase(func(ctx *cluster.Ctx) error {
@@ -345,8 +375,9 @@ func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
 			ev := evals[w]
 			if ev == nil {
 				ev = core.NewEvaluator(localEnv(ctx, handles))
+				ev.Gauge = ctx.Gauge()
 				evals[w] = ev
-				xAcc[w] = core.NewAccumulator(pr.seed.Cols()...)
+				xAcc[w] = core.NewAccumulatorBudgeted(ctx.Gauge(), pr.seed.Cols()...)
 				xAcc[w].Absorb(ctx.Partition(xDS))
 			}
 			nu := ctx.Partition(newDS)
@@ -357,7 +388,7 @@ func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
 			if !p.DisableDeltaShuffleFilter {
 				s := sent[w]
 				if s == nil {
-					s = core.NewAccumulator(delta.Cols()...)
+					s = core.NewAccumulatorBudgeted(ctx.Gauge(), delta.Cols()...)
 					sent[w] = s
 				}
 				delta = s.AbsorbNew(delta)
@@ -371,6 +402,13 @@ func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
 			}
 			ctx.SetPartition(newDS, fresh)
 			added.Add(int64(fresh.Len()))
+			// Between iterations neither accumulator has outstanding
+			// zero-copy windows (fresh and delta are separate relations),
+			// so an over-budget worker can freeze everything it holds.
+			xAcc[w].MaybeEvict()
+			if s := sent[w]; s != nil {
+				s.MaybeEvict()
+			}
 			return nil
 		})
 		if err != nil {
@@ -438,6 +476,8 @@ func (p *Planner) runPlw(pr *prepared, usePg bool) (*core.Relation, FixpointRepo
 		} else {
 			env := localEnv(ctx, handles)
 			ev := core.NewEvaluator(env)
+			ev.Gauge = ctx.Gauge()
+			defer ev.Close()
 			local, err = ev.RunFixpoint(d, part, env)
 			iters = ev.Stats.FixpointIterations
 		}
@@ -485,6 +525,7 @@ func runLocalPg(ctx *cluster.Ctx, d *core.Decomposed, seed *core.Relation, handl
 	db, _ := w.Local["localdb"].(*localdb.DB)
 	if db == nil {
 		db = localdb.Open()
+		db.SetGauge(ctx.Gauge())
 		w.Local["localdb"] = db
 	}
 	for name, h := range handles {

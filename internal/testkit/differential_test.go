@@ -41,6 +41,33 @@ func TestDifferentialTCPTransport(t *testing.T) {
 	}
 }
 
+// TestDifferentialStarvedBudget re-runs a differential slice with a
+// deliberately starved per-task budget: every budgeted route (streaming
+// evaluator, Pgld, Ps_plw, Ppg_plw) must spill its accumulators/indexes to
+// disk and still agree row-for-row with the unbudgeted materializing
+// reference. The Spills guard keeps the run honest — if nothing spilled,
+// the budget wasn't exercising the governance layer at all.
+func TestDifferentialStarvedBudget(t *testing.T) {
+	rep, err := RunDifferential(Options{
+		Seed:            424242,
+		Graphs:          3,
+		QueriesPerGraph: 4,
+		Workers:         3,
+		TaskMemBytes:    1 << 10, // 1 KiB: almost everything is over budget
+		SpillDir:        t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Combos == 0 || rep.ResultRows == 0 {
+		t.Fatalf("degenerate starved run: %+v", rep)
+	}
+	if rep.Spills == 0 {
+		t.Fatalf("starved run recorded no spill events: %+v", rep)
+	}
+	t.Logf("starved differential: %d combos, %d rows, %d spills", rep.Combos, rep.ResultRows, rep.Spills)
+}
+
 // TestDifferentialSeeds varies the generator seed in short bursts so CI
 // explores a different neighborhood than the fixed big run; kept small
 // because TestDifferentialAllPlans carries the volume.

@@ -199,6 +199,14 @@ type Options struct {
 	Transport cluster.TransportKind
 	// MaxIter caps reference fixpoints as a hang guard (default 2000).
 	MaxIter int
+	// TaskMemBytes, when > 0, starves every budgeted route (the streaming
+	// evaluator and all three distributed plans) so their accumulators and
+	// join indexes must spill to disk — the differential check of the
+	// memory-governance layer. The materializing reference always runs
+	// unbudgeted.
+	TaskMemBytes int64
+	// SpillDir is where starved runs spill ("" = os.TempDir()).
+	SpillDir string
 }
 
 func (o *Options) fill() {
@@ -228,6 +236,9 @@ type Report struct {
 	ResultRows int
 	// Iterations sums distributed fixpoint iterations across all plans.
 	Iterations int
+	// Spills counts gauge spill events across all budgeted routes — the
+	// guard that a starved run actually exercised the spill paths.
+	Spills int64
 }
 
 // RunDifferential runs the harness under the given options, returning a
@@ -239,7 +250,12 @@ func RunDifferential(opts Options) (Report, error) {
 	opts.fill()
 	rep := Report{}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	c, err := cluster.New(cluster.Config{Workers: opts.Workers, Transport: opts.Transport})
+	c, err := cluster.New(cluster.Config{
+		Workers:      opts.Workers,
+		Transport:    opts.Transport,
+		TaskMemBytes: opts.TaskMemBytes,
+		SpillDir:     opts.SpillDir,
+	})
 	if err != nil {
 		return rep, err
 	}
@@ -251,10 +267,13 @@ func RunDifferential(opts Options) (Report, error) {
 		for qi := 0; qi < opts.QueriesPerGraph; qi++ {
 			query := RandomQuery(rng, g)
 			rep.Queries++
-			if err := runCase(c, g, query, opts.MaxIter, &rep); err != nil {
+			if err := runCase(c, g, query, opts, &rep); err != nil {
 				return rep, fmt.Errorf("graph %d (%s), query %q: %w", gi, g.Desc(), query, err)
 			}
 		}
+	}
+	for _, g := range c.Gauges() {
+		rep.Spills += g.Spills()
 	}
 	return rep, nil
 }
@@ -269,13 +288,15 @@ func RunCase(transport cluster.TransportKind, workers int, g *Graph, query strin
 	}
 	defer c.Close()
 	var rep Report
-	return runCase(c, g, query, 2000, &rep)
+	opts := Options{MaxIter: 2000}
+	return runCase(c, g, query, opts, &rep)
 }
 
 // runCase parses and translates the query, evaluates it along every
 // route, compares all results against the materializing reference, and
 // accounts the checked combinations into rep.
-func runCase(c *cluster.Cluster, g *Graph, query string, maxIter int, rep *Report) error {
+func runCase(c *cluster.Cluster, g *Graph, query string, opts Options, rep *Report) error {
+	maxIter := opts.MaxIter
 	q, err := ucrpq.ParseUnion(query)
 	if err != nil {
 		return fmt.Errorf("parse: %w", err)
@@ -288,7 +309,7 @@ func runCase(c *cluster.Cluster, g *Graph, query string, maxIter int, rep *Repor
 	env.Bind("G", g.G.Triples)
 
 	// Route 1: the seed's materializing evaluator — the reference
-	// semantics every other route must reproduce.
+	// semantics every other route must reproduce. Always unbudgeted.
 	ref := core.NewEvaluator(env)
 	ref.Materializing = true
 	ref.MaxIter = maxIter
@@ -301,11 +322,21 @@ func runCase(c *cluster.Cluster, g *Graph, query string, maxIter int, rep *Repor
 	// Route 2: the centralized streaming pipeline with the concurrent
 	// accumulator. Parallel is forced above 1 so the worker-pool path is
 	// eligible even on a 1-CPU runner (deltas must still clear the
-	// ParallelPlan chunk threshold to engage it).
+	// ParallelPlan chunk threshold to engage it). Under a starved run it
+	// gets its own budget gauge and must spill its way to the same rows.
 	streaming := core.NewEvaluator(env)
 	streaming.MaxIter = maxIter
 	streaming.Parallel = 3
+	var gauge *core.MemGauge
+	if opts.TaskMemBytes > 0 {
+		gauge = core.NewMemGauge(opts.TaskMemBytes, opts.SpillDir)
+		streaming.Gauge = gauge
+	}
 	got, err := streaming.Eval(term)
+	streaming.Close()
+	if gauge != nil {
+		rep.Spills += gauge.Spills()
+	}
 	if err != nil {
 		return fmt.Errorf("streaming: %w", err)
 	}
