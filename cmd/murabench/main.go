@@ -25,7 +25,7 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"closure | spill | fig5 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | queries | all")
+			"closure | spill | concurrent | fig5 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | queries | all")
 		scaleName = flag.String("scale", "default", "default | test")
 		queryID   = flag.String("query", "Q24", "query for fig15")
 		workers   = flag.Int("workers", 0, "override worker count")
@@ -101,6 +101,9 @@ func main() {
 	}
 	if want("spill") {
 		run("spill", func() *benchkit.Table { return benchkit.Spill(scale) })
+	}
+	if want("concurrent") {
+		run("concurrent", func() *benchkit.Table { return benchkit.Concurrent(scale) })
 	}
 	if want("fig5") {
 		run("fig5-left", func() *benchkit.Table { return benchkit.Fig5Left(scale) })

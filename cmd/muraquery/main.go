@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ func main() {
 		limit     = flag.Int("limit", 20, "max rows to print (0 = all)")
 		explain   = flag.Bool("explain", false, "show the optimizer's plan choice instead of executing")
 		noopt     = flag.Bool("no-optimize", false, "run the naive translation")
+		timeout   = flag.Duration("timeout", 0, "cancel the query after this long (0 = no timeout)")
 	)
 	flag.Parse()
 	if *graphPath == "" || *query == "" {
@@ -56,8 +58,15 @@ func main() {
 	st := eng.Stats()
 	fmt.Fprintf(os.Stderr, "loaded %d triples, %d predicates\n", st.Triples, len(st.Predicates))
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *explain {
-		ex, err := eng.Explain(*query)
+		ex, err := eng.Explain(ctx, *query)
 		if err != nil {
 			fatal(err)
 		}
@@ -83,23 +92,31 @@ func main() {
 	if *noopt {
 		qopts = append(qopts, distmura.WithoutOptimization())
 	}
-	res, err := eng.Query(*query, qopts...)
+	rows, err := eng.Query(ctx, *query, qopts...)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%v\n", res.Columns)
-	for i, row := range res.Rows {
-		if *limit > 0 && i >= *limit {
-			fmt.Printf("… (%d more rows)\n", len(res.Rows)-*limit)
+	defer rows.Close()
+	fmt.Printf("%v\n", rows.Columns())
+	// Stream off the cursor: values decode batch-by-batch, and with -limit
+	// the rows past the cut are never rendered to strings at all.
+	printed := 0
+	for rows.Next() {
+		if *limit > 0 && printed >= *limit {
+			fmt.Printf("… (%d more rows)\n", rows.Len()-printed)
 			break
 		}
-		fmt.Printf("%v\n", row)
+		fmt.Printf("%v\n", rows.Strings())
+		printed++
 	}
-	s := res.Stats
+	if err := rows.Close(); err != nil {
+		fatal(err)
+	}
+	s := rows.Stats()
 	fmt.Fprintf(os.Stderr,
-		"rows=%d time=%.3fs plan=%s partitioned=%v iterations=%d shuffles=%d shuffled_records=%d network_bytes=%d plan_space=%d\n",
-		len(res.Rows), s.Seconds, s.Plan, s.Partitioned, s.Iterations,
-		s.ShufflePhases, s.ShuffleRecords, s.NetworkBytes, s.PlanSpace)
+		"rows=%d time=%.3fs plan=%s partitioned=%v iterations=%d shuffles=%d shuffled_records=%d network_bytes=%d plan_space=%d plan_cached=%v\n",
+		rows.Len(), s.Seconds, s.Plan, s.Partitioned, s.Iterations,
+		s.ShufflePhases, s.ShuffleRecords, s.NetworkBytes, s.PlanSpace, s.PlanCacheHit)
 }
 
 func fatal(err error) {

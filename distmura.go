@@ -15,17 +15,28 @@
 // local results provably disjoint — and every worker runs its whole
 // recursion locally with zero data exchange per iteration.
 //
+// The API is service-grade: execution is context-first (cancellation and
+// timeouts propagate into the fixpoint loops and every cluster barrier),
+// one Engine serves any number of goroutines concurrently (each query runs
+// in its own tagged cluster session with exact per-query statistics),
+// results stream through a Rows cursor that decodes values lazily, and
+// Prepare pins an optimized plan for repeated execution — with an
+// engine-level plan cache that makes even un-prepared repeat queries skip
+// the optimizer until the graph changes.
+//
 // Basic usage:
 //
 //	eng, _ := distmura.Open(distmura.Options{Workers: 4})
 //	defer eng.Close()
 //	eng.AddTriple("alice", "knows", "bob")
 //	eng.AddTriple("bob", "knows", "carol")
-//	res, _ := eng.Query("?x,?y <- ?x knows+ ?y")
-//	for _, row := range res.Rows { fmt.Println(row) }
+//	rows, _ := eng.Query(ctx, "?x,?y <- ?x knows+ ?y")
+//	defer rows.Close()
+//	for rows.Next() { fmt.Println(rows.Strings()) }
 package distmura
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -43,6 +54,9 @@ import (
 
 // edgeRel is the name the triple relation is bound to in µ-RA terms.
 const edgeRel = "G"
+
+// defaultPlanCacheSize bounds the engine plan cache when Options leaves it 0.
+const defaultPlanCacheSize = 128
 
 // Transport selects how workers exchange data.
 type Transport int
@@ -113,19 +127,37 @@ type Options struct {
 	TaskMemRows int
 	// TaskMemBytes is the per-task memory budget in bytes governing
 	// operator state at run time: over-budget fixpoint accumulators and
-	// join indexes spill to disk instead of OOMing (0 disables). See
-	// ARCHITECTURE.md, "Memory governance".
+	// join indexes spill to disk instead of OOMing (0 disables). Each
+	// in-flight query gets its own gauge per worker with this budget —
+	// exact per-query spill accounting — while the worker's cumulative
+	// gauge enforces the same bound across concurrent queries. See
+	// ARCHITECTURE.md, "Memory governance" and "Query lifecycle &
+	// concurrency".
 	TaskMemBytes int64
 	// SpillDir is where over-budget operators write temp-file runs
 	// ("" = os.TempDir()).
 	SpillDir string
+	// MaxConcurrentQueries caps the queries admitted to execution at once
+	// (0 = unlimited). Further Query/Run calls block until a slot frees —
+	// or until their context is cancelled.
+	MaxConcurrentQueries int
+	// PlanCacheSize bounds the engine's LRU plan cache (0 = a default of
+	// 128 entries, negative disables caching).
+	PlanCacheSize int
 }
 
 // Engine is a Dist-µ-RA instance: a labeled graph plus a worker cluster.
+//
+// One Engine serves any number of goroutines: each query executes in its
+// own cluster session (frames tagged per query, statistics and spill
+// accounting exact per query). Graph mutation (AddTriple, LoadTSV,
+// UseGraph) is not synchronized with execution — load data, then serve.
 type Engine struct {
 	opts  Options
 	graph *graphgen.Graph
 	clust *cluster.Cluster
+	plans *planCache
+	sem   chan struct{} // admission semaphore; nil = unlimited
 }
 
 // Open starts an engine with an empty graph.
@@ -144,10 +176,24 @@ func Open(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{opts: opts, graph: graphgen.NewGraph("db"), clust: c}, nil
+	cacheSize := opts.PlanCacheSize
+	if cacheSize == 0 {
+		cacheSize = defaultPlanCacheSize
+	}
+	e := &Engine{
+		opts:  opts,
+		graph: graphgen.NewGraph("db"),
+		clust: c,
+		plans: newPlanCache(cacheSize),
+	}
+	if opts.MaxConcurrentQueries > 0 {
+		e.sem = make(chan struct{}, opts.MaxConcurrentQueries)
+	}
+	return e, nil
 }
 
-// Close releases the cluster.
+// Close releases the cluster. Queries still in flight fail with a
+// transport error; prefer cancelling their contexts first.
 func (e *Engine) Close() error { return e.clust.Close() }
 
 // AddTriple inserts one labeled edge.
@@ -161,8 +207,12 @@ func (e *Engine) LoadTSV(r io.Reader) error {
 }
 
 // UseGraph replaces the engine's graph with a pre-built one (generator
-// output).
-func (e *Engine) UseGraph(g *graphgen.Graph) { e.graph = g }
+// output) and flushes the plan cache (cached plans embed constants
+// interned in the old graph's dictionary).
+func (e *Engine) UseGraph(g *graphgen.Graph) {
+	e.graph = g
+	e.plans.flush()
+}
 
 // Graph exposes the underlying graph (advanced use).
 func (e *Engine) Graph() *graphgen.Graph { return e.graph }
@@ -178,28 +228,38 @@ func (e *Engine) Stats() GraphStats {
 	return GraphStats{Triples: e.graph.Edges(), Predicates: e.graph.PredCounts()}
 }
 
-// QueryStats describes how a query ran.
+// QueryStats describes how a query ran. Every counter is exact for the
+// query it describes, even when other queries ran concurrently: traffic is
+// counted per cluster session and spills per per-query gauge.
 type QueryStats struct {
 	Seconds        float64
-	PlanSpace      int    // logical plans explored
+	PlanSpace      int    // logical plans explored (cached alongside the plan on a hit)
 	Plan           string // physical fixpoint plan(s) used
 	Partitioned    bool   // stable-column partitioning applied
 	Iterations     int    // fixpoint iterations (driver or max local)
 	ShufflePhases  int64
 	ShuffleRecords int64
 	NetworkBytes   int64
+	// PlanCacheHit is true when the optimizer was skipped because the
+	// engine plan cache held a plan costed at the current graph
+	// generation. Prepared is true for Stmt.Run executions (which skip the
+	// optimizer by construction).
+	PlanCacheHit bool
+	Prepared     bool
 	// EstimatedPeakBytes is the cost model's prediction of peak
 	// operator-owned memory for the chosen plan; ExpectSpill is true when
 	// it exceeds Options.TaskMemBytes (the estimator setting the gauge).
 	EstimatedPeakBytes float64
 	ExpectSpill        bool
 	// Spills/SpilledBytes count the memory-governance events this query
-	// actually caused across the workers' gauges.
+	// caused — and only this query, measured on its own per-worker gauges.
 	Spills       int64
 	SpilledBytes int64
 }
 
-// Result is a query result with interned values rendered back to strings.
+// Result is a fully materialized query result with interned values
+// rendered back to strings — what Rows.Collect returns, and what the
+// deprecated pre-context entry points produce.
 type Result struct {
 	Columns []string
 	Rows    [][]string
@@ -237,35 +297,77 @@ func WithoutRule(name string) QueryOption {
 	}
 }
 
-// Query parses, optimizes and executes a UCRPQ.
-func (e *Engine) Query(text string, opts ...QueryOption) (*Result, error) {
+// queryConfig folds the options over the engine defaults.
+func (e *Engine) queryConfig(opts []QueryOption) queryConfig {
 	cfg := queryConfig{maxPlans: e.opts.MaxPlans}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	best, planSpace, mp, err := e.optimize(text, cfg)
+	if cfg.maxPlans <= 0 {
+		cfg.maxPlans = 96
+	}
+	return cfg
+}
+
+// Query parses, optimizes and executes a UCRPQ, returning a streaming
+// cursor over the result. Cancellation of ctx aborts admission, the
+// optimizer hand-off, every cluster barrier and every fixpoint iteration;
+// the call then returns ctx.Err() with all query resources released.
+// Repeat queries skip the optimizer via the engine plan cache (see
+// PlanCacheStats); use Prepare to pin a plan explicitly.
+func (e *Engine) Query(ctx context.Context, text string, opts ...QueryOption) (*Rows, error) {
+	cfg := e.queryConfig(opts)
+	term, planSpace, mp, hit, err := e.optimizeCached(ctx, text, cfg, e.graph.Generation())
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.execute(best, cfg)
+	rows, err := e.run(ctx, term, cfg, nil)
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.PlanSpace = planSpace
-	res.Stats.EstimatedPeakBytes = mp.PeakBytes
-	res.Stats.ExpectSpill = mp.ExpectSpill
-	return res, nil
+	rows.stats.PlanSpace = planSpace
+	rows.stats.EstimatedPeakBytes = mp.PeakBytes
+	rows.stats.ExpectSpill = mp.ExpectSpill
+	rows.stats.PlanCacheHit = hit
+	return rows, nil
+}
+
+// QueryCollect is Query followed by Rows.Collect — the one-shot
+// convenience for callers that want the whole result in memory.
+func (e *Engine) QueryCollect(ctx context.Context, text string, opts ...QueryOption) (*Result, error) {
+	rows, err := e.Query(ctx, text, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return rows.Collect()
 }
 
 // QueryTerm executes a µ-RA term directly (advanced API for queries beyond
 // UCRPQ, e.g. the non-regular same-generation family). Extra relations may
 // be bound through env; the triple relation is always bound as "G".
-func (e *Engine) QueryTerm(term core.Term, extra map[string]*core.Relation, opts ...QueryOption) (*Result, error) {
-	cfg := queryConfig{maxPlans: e.opts.MaxPlans}
-	for _, o := range opts {
-		o(&cfg)
+func (e *Engine) QueryTerm(ctx context.Context, term core.Term, extra map[string]*core.Relation, opts ...QueryOption) (*Rows, error) {
+	return e.run(ctx, term, e.queryConfig(opts), extra)
+}
+
+// QueryResult is the pre-context one-shot API.
+//
+// Deprecated: use Query with a context.Context (and Rows.Collect if the
+// whole result is wanted in memory). Kept for one release as a thin
+// context.Background() wrapper.
+func (e *Engine) QueryResult(text string, opts ...QueryOption) (*Result, error) {
+	return e.QueryCollect(context.Background(), text, opts...)
+}
+
+// QueryTermResult is the pre-context one-shot term API.
+//
+// Deprecated: use QueryTerm with a context.Context. Kept for one release
+// as a thin context.Background() wrapper.
+func (e *Engine) QueryTermResult(term core.Term, extra map[string]*core.Relation, opts ...QueryOption) (*Result, error) {
+	rows, err := e.QueryTerm(context.Background(), term, extra, opts...)
+	if err != nil {
+		return nil, err
 	}
-	return e.executeWith(term, cfg, extra)
+	return rows.Collect()
 }
 
 // Explanation describes the optimizer's view of a query.
@@ -278,14 +380,20 @@ type Explanation struct {
 }
 
 // Explain optimizes without executing.
-func (e *Engine) Explain(text string) (*Explanation, error) {
-	cfg := queryConfig{maxPlans: e.opts.MaxPlans}
+func (e *Engine) Explain(ctx context.Context, text string) (*Explanation, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	cfg := e.queryConfig(nil)
 	q, err := ucrpq.ParseUnion(text)
 	if err != nil {
 		return nil, err
 	}
 	plans, err := e.planSpace(q, cfg)
 	if err != nil {
+		return nil, err
+	}
+	if err := core.CtxErr(ctx); err != nil {
 		return nil, err
 	}
 	cat := cost.NewCatalog()
@@ -316,11 +424,7 @@ func (e *Engine) planSpace(q *ucrpq.UnionQuery, cfg queryConfig) ([]core.Term, e
 		return []core.Term{ltr}, nil
 	}
 	rw := rewrite.NewRewriter(core.SchemaEnv{edgeRel: e.graph.Triples.Cols()})
-	if cfg.maxPlans > 0 {
-		rw.MaxPlans = cfg.maxPlans
-	} else {
-		rw.MaxPlans = 96
-	}
+	rw.MaxPlans = cfg.maxPlans
 	rw.Disabled = cfg.disabled
 	plans := rw.Explore(ltr)
 	seen := map[string]bool{}
@@ -334,6 +438,25 @@ func (e *Engine) planSpace(q *ucrpq.UnionQuery, cfg queryConfig) ([]core.Term, e
 		}
 	}
 	return plans, nil
+}
+
+// optimizeCached consults the engine plan cache before running the full
+// optimizer. gen is the graph generation the caller observed; a cached
+// entry is valid only if it was costed at exactly that generation.
+func (e *Engine) optimizeCached(ctx context.Context, text string, cfg queryConfig, gen uint64) (core.Term, int, cost.MemPlan, bool, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, 0, cost.MemPlan{}, false, err
+	}
+	key := cfg.cacheKey(text)
+	if pe, ok := e.plans.get(key, gen); ok {
+		return pe.term, pe.planSpace, pe.mem, true, nil
+	}
+	term, planSpace, mp, err := e.optimize(text, cfg)
+	if err != nil {
+		return nil, 0, cost.MemPlan{}, false, err
+	}
+	e.plans.put(key, planEntry{term: term, mem: mp, planSpace: planSpace, gen: gen})
+	return term, planSpace, mp, false, nil
 }
 
 func (e *Engine) optimize(text string, cfg queryConfig) (core.Term, int, cost.MemPlan, error) {
@@ -362,19 +485,45 @@ func (e *Engine) optimize(text string, cfg queryConfig) (core.Term, int, cost.Me
 	return best, len(plans), mp, nil
 }
 
-func (e *Engine) execute(term core.Term, cfg queryConfig) (*Result, error) {
-	return e.executeWith(term, cfg, nil)
+// acquire takes an admission slot (when MaxConcurrentQueries caps them),
+// waiting until one frees or ctx is cancelled. The returned release must
+// be called exactly once.
+func (e *Engine) acquire(ctx context.Context) (func(), error) {
+	if e.sem == nil {
+		return func() {}, nil
+	}
+	select {
+	case e.sem <- struct{}{}:
+		return func() { <-e.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
-func (e *Engine) executeWith(term core.Term, cfg queryConfig, extra map[string]*core.Relation) (*Result, error) {
+// run executes an already-chosen term inside its own cluster session and
+// returns the streaming cursor. The admission slot and every cluster
+// resource are released before the cursor is handed out: execution is
+// complete, only string decoding is lazy.
+func (e *Engine) run(ctx context.Context, term core.Term, cfg queryConfig, extra map[string]*core.Relation) (*Rows, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	release, err := e.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
 	env := core.NewEnv()
 	env.Bind(edgeRel, e.graph.Triples)
 	for name, rel := range extra {
 		env.Bind(name, rel)
 	}
-	before := e.clust.Metrics().Snapshot()
-	spillsBefore, spilledBefore := e.spillCounters()
-	planner := physical.NewPlanner(e.clust, env)
+	// One session per query: frames tagged, metrics and spill gauges
+	// private, every barrier cancellable through ctx.
+	sess := e.clust.NewSession(ctx)
+	defer sess.Close()
+	planner := physical.NewSessionPlanner(sess, env)
 	planner.Force = cfg.plan.kind()
 	start := time.Now()
 	rel, rep, err := planner.Execute(term)
@@ -382,24 +531,23 @@ func (e *Engine) executeWith(term core.Term, cfg queryConfig, extra map[string]*
 		return nil, err
 	}
 	elapsed := time.Since(start)
-	m := e.clust.Metrics().Snapshot().Diff(before)
-	spillsAfter, spilledAfter := e.spillCounters()
+
+	// The session's counters are this query's exactly — no before/after
+	// diff against engine-global state, so overlapping queries cannot
+	// misattribute each other's traffic or spills.
+	m := sess.Metrics().Snapshot()
+	var spills, spilled int64
+	for _, g := range sess.Gauges() {
+		spills += g.Spills()
+		spilled += g.SpilledBytes()
+	}
 	// The driver-side glue evaluator has its own per-query gauge, not
-	// listed in the cluster's worker gauges.
+	// listed in the session's worker gauges.
 	if dg := planner.DriverGauge(); dg != nil {
-		spillsAfter += dg.Spills()
-		spilledAfter += dg.SpilledBytes()
+		spills += dg.Spills()
+		spilled += dg.SpilledBytes()
 	}
 
-	res := &Result{Columns: rel.Cols()}
-	for ri := 0; ri < rel.Len(); ri++ {
-		row := rel.RowAt(ri)
-		srow := make([]string, len(row))
-		for i, v := range row {
-			srow[i] = e.graph.Dict.String(v)
-		}
-		res.Rows = append(res.Rows, srow)
-	}
 	kinds := map[string]bool{}
 	partitioned := false
 	for _, f := range rep.Fixpoints {
@@ -415,7 +563,7 @@ func (e *Engine) executeWith(term core.Term, cfg queryConfig, extra map[string]*
 	if len(ks) > 0 {
 		plan = fmt.Sprint(ks)
 	}
-	res.Stats = QueryStats{
+	stats := QueryStats{
 		Seconds:        elapsed.Seconds(),
 		Plan:           plan,
 		Partitioned:    partitioned,
@@ -423,17 +571,8 @@ func (e *Engine) executeWith(term core.Term, cfg queryConfig, extra map[string]*
 		ShufflePhases:  m.ShufflePhases,
 		ShuffleRecords: m.ShuffleRecords,
 		NetworkBytes:   m.NetworkBytes(),
-		Spills:         spillsAfter - spillsBefore,
-		SpilledBytes:   spilledAfter - spilledBefore,
+		Spills:         spills,
+		SpilledBytes:   spilled,
 	}
-	return res, nil
-}
-
-// spillCounters sums the workers' gauge counters (cumulative per engine).
-func (e *Engine) spillCounters() (spills, bytes int64) {
-	for _, g := range e.clust.Gauges() {
-		spills += g.Spills()
-		bytes += g.SpilledBytes()
-	}
-	return spills, bytes
+	return newRows(e.graph.Dict, rel, stats), nil
 }

@@ -1,6 +1,7 @@
 package distmura
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -24,13 +25,20 @@ func addChain(e *Engine, pred string, names ...string) {
 	}
 }
 
-func TestQuickstartFlow(t *testing.T) {
-	e := openTest(t, Options{Workers: 2})
-	addChain(e, "knows", "alice", "bob", "carol", "dave")
-	res, err := e.Query("?x,?y <- ?x knows+ ?y")
+// collect is the test shorthand for the one-shot query path.
+func collect(t *testing.T, e *Engine, query string, opts ...QueryOption) *Result {
+	t.Helper()
+	res, err := e.QueryCollect(context.Background(), query, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return res
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	e := openTest(t, Options{Workers: 2})
+	addChain(e, "knows", "alice", "bob", "carol", "dave")
+	res := collect(t, e, "?x,?y <- ?x knows+ ?y")
 	if len(res.Rows) != 6 {
 		t.Fatalf("rows = %d, want 6", len(res.Rows))
 	}
@@ -50,6 +58,78 @@ func TestQuickstartFlow(t *testing.T) {
 	}
 }
 
+func TestRowsCursor(t *testing.T) {
+	e := openTest(t, Options{Workers: 2})
+	addChain(e, "knows", "alice", "bob", "carol", "dave")
+	rows, err := e.Query(context.Background(), "?x,?y <- ?x knows+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if rows.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", rows.Len())
+	}
+	if got := rows.Columns(); len(got) != 2 {
+		t.Fatalf("columns = %v", got)
+	}
+	n := 0
+	for rows.Next() {
+		var x, y string
+		if err := rows.Scan(&x, &y); err != nil {
+			t.Fatal(err)
+		}
+		if x == "" || y == "" {
+			t.Fatalf("empty value decoded at row %d", n)
+		}
+		if s := rows.Strings(); s[0] != x || s[1] != y {
+			t.Fatalf("Strings %v disagrees with Scan %q,%q", s, x, y)
+		}
+		if len(rows.Values()) != 2 {
+			t.Fatalf("Values arity = %d", len(rows.Values()))
+		}
+		n++
+	}
+	if n != 6 {
+		t.Fatalf("cursor yielded %d rows, want 6", n)
+	}
+	if rows.Next() {
+		t.Fatal("Next after exhaustion should stay false")
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := rows.Stats(); st.Plan == "none" || st.Seconds <= 0 {
+		t.Fatalf("stats not populated on the cursor: %+v", st)
+	}
+	// Scan before Next on a fresh cursor errors instead of crashing.
+	rows2, err := e.Query(context.Background(), "?x,?y <- ?x knows+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows2.Close()
+	var a, b string
+	if err := rows2.Scan(&a, &b); err == nil {
+		t.Fatal("Scan before Next should error")
+	}
+}
+
+// TestDeprecatedWrappers pins the one-release compatibility surface: the
+// pre-context entry points must keep producing the old *Result shape.
+func TestDeprecatedWrappers(t *testing.T) {
+	e := openTest(t, Options{Workers: 2})
+	addChain(e, "knows", "alice", "bob", "carol")
+	res, err := e.QueryResult("?x <- alice knows+ ?x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("deprecated QueryResult rows = %d, want 2", len(res.Rows))
+	}
+}
+
 func TestQueryPlansAgree(t *testing.T) {
 	e := openTest(t, Options{Workers: 3})
 	g := graphgen.Yago(200, 17)
@@ -57,10 +137,7 @@ func TestQueryPlansAgree(t *testing.T) {
 	query := "?x <- ?x (actedIn/-actedIn)+ Kevin_Bacon"
 	var counts []int
 	for _, p := range []Plan{PlanAuto, PlanGld, PlanSplw, PlanPgplw} {
-		res, err := e.Query(query, WithPlan(p))
-		if err != nil {
-			t.Fatalf("%v: %v", p, err)
-		}
+		res := collect(t, e, query, WithPlan(p))
 		counts = append(counts, len(res.Rows))
 	}
 	for i := 1; i < len(counts); i++ {
@@ -69,10 +146,7 @@ func TestQueryPlansAgree(t *testing.T) {
 		}
 	}
 	// Unoptimized run agrees too.
-	res, err := e.Query(query, WithoutOptimization())
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := collect(t, e, query, WithoutOptimization())
 	if len(res.Rows) != counts[0] {
 		t.Fatalf("unoptimized rows %d ≠ %d", len(res.Rows), counts[0])
 	}
@@ -82,14 +156,8 @@ func TestStatsExposeCommunication(t *testing.T) {
 	e := openTest(t, Options{Workers: 3})
 	g := graphgen.Yago(200, 18)
 	e.UseGraph(g)
-	gld, err := e.Query("?x,?y <- ?x hasChild+ ?y", WithPlan(PlanGld))
-	if err != nil {
-		t.Fatal(err)
-	}
-	plw, err := e.Query("?x,?y <- ?x hasChild+ ?y", WithPlan(PlanSplw))
-	if err != nil {
-		t.Fatal(err)
-	}
+	gld := collect(t, e, "?x,?y <- ?x hasChild+ ?y", WithPlan(PlanGld))
+	plw := collect(t, e, "?x,?y <- ?x hasChild+ ?y", WithPlan(PlanSplw))
 	if gld.Stats.ShufflePhases <= plw.Stats.ShufflePhases {
 		t.Fatalf("Pgld shuffles (%d) not more than Pplw (%d)",
 			gld.Stats.ShufflePhases, plw.Stats.ShufflePhases)
@@ -103,7 +171,7 @@ func TestExplain(t *testing.T) {
 	e := openTest(t, Options{Workers: 2})
 	g := graphgen.Yago(150, 19)
 	e.UseGraph(g)
-	ex, err := e.Explain("?x <- ?x (actedIn/-actedIn)+ Kevin_Bacon")
+	ex, err := e.Explain(context.Background(), "?x <- ?x (actedIn/-actedIn)+ Kevin_Bacon")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,10 +196,7 @@ func TestLoadTSVAndStats(t *testing.T) {
 	if st.Triples != 3 || st.Predicates["p"] != 2 || st.Predicates["q"] != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
-	res, err := e.Query("?x <- a p+ ?x")
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := collect(t, e, "?x <- a p+ ?x")
 	if len(res.Rows) != 2 {
 		t.Fatalf("rows = %v", res.Rows)
 	}
@@ -153,10 +218,7 @@ func TestLoadTSVMergesWithAddTriple(t *testing.T) {
 	if st.Triples != 3 || st.Predicates["knows"] != 3 {
 		t.Fatalf("stats after merge = %+v, want 3 knows triples", st)
 	}
-	res, err := e.Query("?x <- alice knows+ ?x")
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := collect(t, e, "?x <- alice knows+ ?x")
 	got := map[string]bool{}
 	for _, row := range res.Rows {
 		got[row[0]] = true
@@ -171,10 +233,11 @@ func TestLoadTSVMergesWithAddTriple(t *testing.T) {
 func TestQueryErrors(t *testing.T) {
 	e := openTest(t, Options{Workers: 2})
 	e.AddTriple("a", "p", "b")
-	if _, err := e.Query("not a query"); err == nil {
+	ctx := context.Background()
+	if _, err := e.Query(ctx, "not a query"); err == nil {
 		t.Fatal("expected parse error")
 	}
-	if _, err := e.Query("?z <- ?x p ?y"); err == nil {
+	if _, err := e.Query(ctx, "?z <- ?x p ?y"); err == nil {
 		t.Fatal("expected head-variable error")
 	}
 }
@@ -182,10 +245,7 @@ func TestQueryErrors(t *testing.T) {
 func TestTCPEngine(t *testing.T) {
 	e := openTest(t, Options{Workers: 2, Transport: TransportTCP})
 	addChain(e, "r", "n1", "n2", "n3", "n4", "n5")
-	res, err := e.Query("?x,?y <- ?x r+ ?y")
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := collect(t, e, "?x,?y <- ?x r+ ?y")
 	if len(res.Rows) != 10 {
 		t.Fatalf("rows = %d, want 10", len(res.Rows))
 	}
@@ -198,21 +258,18 @@ func TestWithoutRuleAblation(t *testing.T) {
 	e := openTest(t, Options{Workers: 2, MaxPlans: 200})
 	g := graphgen.Yago(150, 20)
 	e.UseGraph(g)
-	full, err := e.Explain("?x,?y <- ?x IsL+/dw+ ?y")
+	full, err := e.Explain(context.Background(), "?x,?y <- ?x IsL+/dw+ ?y")
 	if err != nil {
 		t.Fatal(err)
 	}
 	eAblate := openTest(t, Options{Workers: 2, MaxPlans: 200})
 	eAblate.UseGraph(g)
-	res, err := eAblate.Query("?x,?y <- ?x IsL+/dw+ ?y",
+	res, err := eAblate.QueryCollect(context.Background(), "?x,?y <- ?x IsL+/dw+ ?y",
 		WithoutRule("merge-closures"), WithoutRule("fold-compose-right"), WithoutRule("fold-compose-left"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resFull, err := e.Query("?x,?y <- ?x IsL+/dw+ ?y")
-	if err != nil {
-		t.Fatal(err)
-	}
+	resFull := collect(t, e, "?x,?y <- ?x IsL+/dw+ ?y")
 	if len(res.Rows) != len(resFull.Rows) {
 		t.Fatalf("ablated run changed answers: %d vs %d", len(res.Rows), len(resFull.Rows))
 	}
@@ -225,16 +282,13 @@ func TestUnionQueries(t *testing.T) {
 	e := openTest(t, Options{Workers: 2})
 	addChain(e, "a", "n1", "n2", "n3")
 	addChain(e, "b", "m1", "m2", "m3")
-	res, err := e.Query("?x,?y <- ?x a+ ?y UNION ?x,?y <- ?x b+ ?y")
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := collect(t, e, "?x,?y <- ?x a+ ?y UNION ?x,?y <- ?x b+ ?y")
 	// 3 a-pairs + 3 b-pairs.
 	if len(res.Rows) != 6 {
 		t.Fatalf("union rows = %d, want 6", len(res.Rows))
 	}
 	// Mismatched heads error.
-	if _, err := e.Query("?x <- ?x a ?y UNION ?y <- ?x a ?y"); err == nil {
+	if _, err := e.Query(context.Background(), "?x <- ?x a ?y UNION ?y <- ?x a ?y"); err == nil {
 		t.Fatal("mismatched union heads accepted")
 	}
 }

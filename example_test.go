@@ -1,6 +1,7 @@
 package distmura_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -9,7 +10,8 @@ import (
 	distmura "repro"
 )
 
-// ExampleEngine_Query runs a transitive-closure UCRPQ over a tiny graph.
+// ExampleEngine_Query runs a transitive-closure UCRPQ over a tiny graph,
+// streaming the answers off the Rows cursor.
 func ExampleEngine_Query() {
 	eng, err := distmura.Open(distmura.Options{Workers: 2})
 	if err != nil {
@@ -19,21 +21,54 @@ func ExampleEngine_Query() {
 	eng.AddTriple("alice", "knows", "bob")
 	eng.AddTriple("bob", "knows", "carol")
 
-	res, err := eng.Query("?x <- alice knows+ ?x")
+	rows, err := eng.Query(context.Background(), "?x <- alice knows+ ?x")
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rows.Close()
 	var names []string
-	for _, row := range res.Rows {
-		names = append(names, row[0])
+	for rows.Next() {
+		var who string
+		if err := rows.Scan(&who); err != nil {
+			log.Fatal(err)
+		}
+		names = append(names, who)
 	}
 	sort.Strings(names)
 	fmt.Println(strings.Join(names, " "))
 	// Output: bob carol
 }
 
+// ExampleEngine_Prepare pins an optimized plan once and reuses it: the
+// second Run skips parse, rewrite exploration and costing entirely.
+func ExampleEngine_Prepare() {
+	eng, err := distmura.Open(distmura.Options{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	eng.AddTriple("a", "p", "b")
+	eng.AddTriple("b", "p", "c")
+
+	stmt, err := eng.Prepare("?x <- a p+ ?x")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stmt.Close()
+	for i := 0; i < 2; i++ {
+		res, err := stmt.Collect(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run %d: %d rows (prepared=%v)\n", i+1, len(res.Rows), res.Stats.Prepared)
+	}
+	// Output:
+	// run 1: 2 rows (prepared=true)
+	// run 2: 2 rows (prepared=true)
+}
+
 // ExampleEngine_Query_union unites two conjunctive queries (the "U" of
-// UCRPQ).
+// UCRPQ), collecting the whole result at once.
 func ExampleEngine_Query_union() {
 	eng, err := distmura.Open(distmura.Options{Workers: 2})
 	if err != nil {
@@ -43,7 +78,7 @@ func ExampleEngine_Query_union() {
 	eng.AddTriple("a", "p", "b")
 	eng.AddTriple("a", "q", "c")
 
-	res, err := eng.Query("?x <- a p ?x UNION ?x <- a q ?x")
+	res, err := eng.QueryCollect(context.Background(), "?x <- a p ?x UNION ?x <- a q ?x")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,11 +104,12 @@ func ExampleEngine_Query_plans() {
 	for i := 0; i < 6; i++ {
 		eng.AddTriple(fmt.Sprintf("n%d", i), "e", fmt.Sprintf("n%d", i+1))
 	}
-	gld, err := eng.Query("?x,?y <- ?x e+ ?y", distmura.WithPlan(distmura.PlanGld))
+	ctx := context.Background()
+	gld, err := eng.QueryCollect(ctx, "?x,?y <- ?x e+ ?y", distmura.WithPlan(distmura.PlanGld))
 	if err != nil {
 		log.Fatal(err)
 	}
-	plw, err := eng.Query("?x,?y <- ?x e+ ?y", distmura.WithPlan(distmura.PlanSplw))
+	plw, err := eng.QueryCollect(ctx, "?x,?y <- ?x e+ ?y", distmura.WithPlan(distmura.PlanSplw))
 	if err != nil {
 		log.Fatal(err)
 	}

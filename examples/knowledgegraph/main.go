@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,6 +23,7 @@ func main() {
 	eng.UseGraph(graphgen.Yago(1500, 7))
 	st := eng.Stats()
 	fmt.Printf("synthetic Yago: %d triples, %d predicates\n\n", st.Triples, len(st.Predicates))
+	ctx := context.Background()
 
 	queries := []string{
 		"?x <- ?x (actedIn/-actedIn)+ Kevin_Bacon", // Q5: co-acting chain
@@ -30,15 +32,15 @@ func main() {
 		"?x,?y <- ?x IsL+/dw+ ?y",                  // Q8: merged closures
 	}
 	for _, q := range queries {
-		ex, err := eng.Explain(q)
+		ex, err := eng.Explain(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		optimized, err := eng.Query(q)
+		optimized, err := eng.QueryCollect(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		naive, err := eng.Query(q, distmura.WithoutOptimization())
+		naive, err := eng.QueryCollect(ctx, q, distmura.WithoutOptimization())
 		if err != nil {
 			log.Fatal(err)
 		}

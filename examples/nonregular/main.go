@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,12 +25,17 @@ func main() {
 	g := graphgen.ErdosRenyi(600, 0.004, []string{"a", "b"}, 13)
 	eng.UseGraph(g)
 	fmt.Printf("labeled graph: %d edges\n\n", g.Edges())
+	ctx := context.Background()
 
 	term := benchkit.AnBnTerm("G", g.Dict, "a", "b")
 	fmt.Println("query: aⁿbⁿ  —  µ(X = a∘b ∪ a∘X∘b)")
 
 	for _, plan := range []distmura.Plan{distmura.PlanGld, distmura.PlanSplw, distmura.PlanPgplw} {
-		res, err := eng.QueryTerm(term, nil, distmura.WithPlan(plan))
+		rows, err := eng.QueryTerm(ctx, term, nil, distmura.WithPlan(plan))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rows.Collect()
 		if err != nil {
 			log.Fatal(err)
 		}

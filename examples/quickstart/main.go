@@ -1,8 +1,10 @@
 // Quickstart: build a tiny social graph and ask recursive reachability
-// questions through the public distmura API.
+// questions through the public distmura API — context-first execution, a
+// streaming row cursor, and a prepared statement reused across calls.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,19 +31,33 @@ func main() {
 	for _, e := range edges {
 		eng.AddTriple(e[0], e[1], e[2])
 	}
+	ctx := context.Background()
 
-	// Who is transitively managed by alice?
-	res, err := eng.Query("?x <- alice manages+ ?x")
+	// Who is transitively managed by alice? Stream the answers off the
+	// cursor — values decode lazily, database/sql style.
+	rows, err := eng.Query(ctx, "?x <- alice manages+ ?x")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("alice's reports (manages+):")
-	for _, row := range res.Rows {
-		fmt.Println("  ", row[0])
+	for rows.Next() {
+		var name string
+		if err := rows.Scan(&name); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  ", name)
 	}
+	rows.Close()
 
-	// Everyone reachable by any chain of management or friendship.
-	res, err = eng.Query("?x,?y <- ?x (manages|knows)+ ?y")
+	// Everyone reachable by any chain of management or friendship — as a
+	// prepared statement: parse + rewrite exploration + costing happen
+	// once, every Run reuses the pinned plan.
+	stmt, err := eng.Prepare("?x,?y <- ?x (manages|knows)+ ?y")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stmt.Close()
+	res, err := stmt.Collect(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,4 +70,12 @@ func main() {
 	}
 	fmt.Printf("\nexecution: plan=%s iterations=%d shuffles=%d (logical plans explored: %d)\n",
 		res.Stats.Plan, res.Stats.Iterations, res.Stats.ShufflePhases, res.Stats.PlanSpace)
+
+	// Re-running the statement skips the optimizer entirely.
+	again, err := stmt.Collect(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prepared re-run: %d pairs in %.4fs (optimizer skipped: %v)\n",
+		len(again.Rows), again.Stats.Seconds, again.Stats.Prepared)
 }

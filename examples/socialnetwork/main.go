@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,30 +28,33 @@ func main() {
 	g := graphgen.SGGraph("Wikitree", 800, 11)
 	eng.UseGraph(g)
 	fmt.Printf("genealogy graph: %d edges\n\n", g.Edges())
+	ctx := context.Background()
+
+	collectTerm := func(term core.Term, extra map[string]*core.Relation) *distmura.Result {
+		rows, err := eng.QueryTerm(ctx, term, extra)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rows.Collect()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
 
 	// Full same generation (all predicates).
-	sg, err := eng.QueryTerm(benchkit.SGTerm("G"), nil)
-	if err != nil {
-		log.Fatal(err)
-	}
+	sg := collectTerm(benchkit.SGTerm("G"), nil)
 	fmt.Printf("same-generation pairs:            %6d  (plan %s, partitioned=%v)\n",
 		len(sg.Rows), sg.Stats.Plan, sg.Stats.Partitioned)
 
 	// Filtered on one predicate: the filter is pushed through the stable
 	// pred column into the fixpoint.
-	fsg, err := eng.QueryTerm(benchkit.FilteredSGTerm("G", g.Dict, "a"), nil)
-	if err != nil {
-		log.Fatal(err)
-	}
+	fsg := collectTerm(benchkit.FilteredSGTerm("G", g.Dict, "a"), nil)
 	fmt.Printf("same-generation via 'a' only:     %6d\n", len(fsg.Rows))
 
 	// Joined with a predicate set.
 	pset := benchkit.PredSetRelation(g.Dict, []string{"a", "b"})
-	jsg, err := eng.QueryTerm(benchkit.JoinedSGTerm("G", "P"),
-		map[string]*core.Relation{"P": pset})
-	if err != nil {
-		log.Fatal(err)
-	}
+	jsg := collectTerm(benchkit.JoinedSGTerm("G", "P"), map[string]*core.Relation{"P": pset})
 	fmt.Printf("same-generation via {a,b}:        %6d\n", len(jsg.Rows))
 
 	fmt.Printf("\nstable-column partitioning let the engine skip the final distinct: %v\n",

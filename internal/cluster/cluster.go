@@ -9,9 +9,17 @@
 // paper's physical plans (Pgld, Ps_plw, Ppg_plw) are built from, so the
 // communication patterns the paper reasons about (one shuffle per fixpoint
 // iteration in Pgld versus none in Pplw) are reproduced and measurable.
+//
+// The cluster serves any number of concurrent queries: each runs inside a
+// Session (see session.go) whose tag travels on every frame, so two
+// queries' exchanges can never interleave, each query's metrics and spill
+// counters are exact, and cancelling one query's context aborts only its
+// own barriers. The Cluster-level copies of the Session primitives run
+// under a private throwaway session per call.
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -42,11 +50,14 @@ type Config struct {
 	// physical planner's Ppg/Ps selection heuristic (§III-D). Default 1<<20.
 	TaskMemRows int
 	// TaskMemBytes is the per-task memory budget, in bytes, governing
-	// operator-owned state at run time: each worker gets a MemGauge with
-	// this budget, and its fixpoint accumulators and join indexes spill to
-	// disk instead of OOMing once over it. 0 (the default) disables
-	// governance. Where TaskMemRows picks the plan before execution,
-	// TaskMemBytes bounds whatever plan runs.
+	// operator-owned state at run time: each session (each in-flight
+	// query) gets a child MemGauge with this budget on every worker, and
+	// its fixpoint accumulators and join indexes spill to disk instead of
+	// OOMing once over it — or once the worker's cumulative gauge (the
+	// sum over concurrent sessions) is over, so overlap cannot multiply a
+	// worker's memory. 0 (the default) disables governance. Where
+	// TaskMemRows picks the plan before execution, TaskMemBytes bounds
+	// whatever plan runs.
 	TaskMemBytes int64
 	// SpillDir is where over-budget operators write their temp-file runs
 	// ("" = os.TempDir()). Spill files are unlinked on creation and can
@@ -61,8 +72,18 @@ type Cluster struct {
 	workers   []*Worker
 	metrics   Metrics
 
-	seq    atomic.Int64 // exchange-phase sequence
-	nextID atomic.Int64 // dataset / broadcast ids
+	seq     atomic.Int64 // exchange-phase sequence
+	nextID  atomic.Int64 // dataset / broadcast ids
+	nextTag atomic.Int64 // session tags
+
+	sessMu   sync.RWMutex
+	sessions map[int64]*Session
+
+	// driverGauge is the driver-side analog of a worker's lifetime gauge:
+	// per-query driver evaluator gauges are its children, so concurrent
+	// queries cannot multiply driver-resident operator memory either. Nil
+	// when governance is off.
+	driverGauge *core.MemGauge
 
 	mu     sync.Mutex
 	closed bool
@@ -73,14 +94,77 @@ type Cluster struct {
 type Worker struct {
 	id      int
 	cluster *Cluster
+	mu      sync.Mutex // guards store and bcast (concurrent sessions)
 	store   map[int64]*core.Relation
 	bcast   map[int64]*core.Relation
 	dead    atomic.Bool
 	gauge   *core.MemGauge
-	// Local holds arbitrary per-worker engines attached by higher layers
+	// local holds arbitrary per-worker engines attached by higher layers
 	// (the Ppg_plw plan stores each worker's embedded localdb here).
-	// Values implementing Close() are closed by Cluster.Close.
-	Local map[string]any
+	// Values implementing Close() are closed by Cluster.Close. The map is
+	// only reachable through Local/SetLocal/DeleteLocal, which lock
+	// localMu — map *integrity* is always safe under concurrent sessions.
+	localMu sync.Mutex
+	local   map[string]any
+	// localSem serializes *use* of a shared attachment across concurrent
+	// sessions (held for the whole operation, not just the map access):
+	// the embedded localdb is single-query (its caches are
+	// unsynchronized), so overlapping Ppg_plw fixpoints on one worker take
+	// turns while other workers — and every other plan — stay concurrent.
+	// A channel rather than a mutex so the acquire is context-aware
+	// (AcquireLocal) and Cluster.Close can try-acquire without blocking
+	// behind a long local fixpoint.
+	localSem chan struct{}
+}
+
+// Local returns the attachment under key (nil when absent). Safe for
+// concurrent use; see AcquireLocal for serializing use of what it
+// returns.
+func (w *Worker) Local(key string) any {
+	w.localMu.Lock()
+	defer w.localMu.Unlock()
+	return w.local[key]
+}
+
+// SetLocal stores an attachment under key. Safe for concurrent use.
+func (w *Worker) SetLocal(key string, v any) {
+	w.localMu.Lock()
+	w.local[key] = v
+	w.localMu.Unlock()
+}
+
+// DeleteLocal removes the attachment under key. Safe for concurrent use.
+func (w *Worker) DeleteLocal(key string) {
+	w.localMu.Lock()
+	delete(w.local, key)
+	w.localMu.Unlock()
+}
+
+// AcquireLocal takes the worker's attachment-use slot, blocking until the
+// current holder releases it or ctx is cancelled — a query queued behind
+// another session's local fixpoint honors its deadline instead of waiting
+// the predecessor out. The caller must ReleaseLocal exactly once after a
+// nil return.
+func (w *Worker) AcquireLocal(ctx context.Context) error {
+	select {
+	case w.localSem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ReleaseLocal returns the attachment-use slot.
+func (w *Worker) ReleaseLocal() { <-w.localSem }
+
+// tryAcquireLocal takes the slot only if it is free (Cluster.Close).
+func (w *Worker) tryAcquireLocal() bool {
+	select {
+	case w.localSem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
 }
 
 // New starts a cluster.
@@ -102,23 +186,34 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{cfg: cfg, transport: tr}
+	c := &Cluster{cfg: cfg, transport: tr, sessions: make(map[int64]*Session)}
+	if cfg.TaskMemBytes > 0 {
+		c.driverGauge = core.NewMemGauge(cfg.TaskMemBytes, cfg.SpillDir)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &Worker{
-			id:      i,
-			cluster: c,
-			store:   make(map[int64]*core.Relation),
-			bcast:   make(map[int64]*core.Relation),
-			Local:   make(map[string]any),
+			id:       i,
+			cluster:  c,
+			store:    make(map[int64]*core.Relation),
+			bcast:    make(map[int64]*core.Relation),
+			local:    make(map[string]any),
+			localSem: make(chan struct{}, 1),
 		}
 		if cfg.TaskMemBytes > 0 {
-			// One gauge per worker for the worker's whole lifetime: all of
-			// a worker's tasks share its budget, mirroring a per-executor
-			// memory limit.
+			// One gauge per worker for the worker's whole lifetime: the
+			// cumulative view every session's child gauge mirrors into,
+			// like a per-executor memory meter.
 			w.gauge = core.NewMemGauge(cfg.TaskMemBytes, cfg.SpillDir)
 		}
 		c.workers = append(c.workers, w)
 	}
+	// One demultiplexer per node routes inbound frames to their session's
+	// mailbox for the cluster's lifetime; they exit when the transport
+	// shuts down.
+	for i := 0; i < cfg.Workers; i++ {
+		go c.demuxLoop(i)
+	}
+	go c.demuxLoop(DriverNode)
 	return c, nil
 }
 
@@ -128,10 +223,12 @@ func (c *Cluster) NumWorkers() int { return len(c.workers) }
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
-// Metrics returns the live counters.
+// Metrics returns the live cluster-wide counters, aggregated across all
+// sessions. Per-query counters live on each Session.
 func (c *Cluster) Metrics() *Metrics { return &c.metrics }
 
-// Close shuts the cluster down: the transport first, then every
+// Close shuts the cluster down: the transport first (which also stops the
+// demultiplexers and unblocks any session still at a barrier), then every
 // closeable per-worker attachment (e.g. the Ppg_plw plan's embedded
 // localdb, whose cached spilled indexes hold descriptors and gauge
 // charges until closed).
@@ -144,11 +241,23 @@ func (c *Cluster) Close() error {
 	c.closed = true
 	err := c.transport.Close()
 	for _, w := range c.workers {
-		for _, v := range w.Local {
+		// Close an attachment only if its use slot is free: blocking here
+		// would stall Close behind an in-flight local fixpoint, and
+		// closing underneath one would race its unsynchronized maps. A
+		// busy worker's attachment is skipped — the fixpoint errors at
+		// its next barrier (transport closed) and localdb's finalizers
+		// backstop the spill descriptors.
+		if !w.tryAcquireLocal() {
+			continue
+		}
+		w.localMu.Lock()
+		for _, v := range w.local {
 			if cl, ok := v.(interface{ Close() }); ok {
 				cl.Close()
 			}
 		}
+		w.localMu.Unlock()
+		w.ReleaseLocal()
 	}
 	return err
 }
@@ -186,10 +295,11 @@ func (b *Broadcast) Cols() []string { return b.cols }
 
 // Ctx is the worker-side view during a phase: partition access, broadcast
 // access and the shuffle primitive. Phases are SPMD: every worker runs the
-// same closure; all workers must perform the same sequence of Exchange
-// calls.
+// same closure; all workers of one session must perform the same sequence
+// of Exchange calls.
 type Ctx struct {
 	w        *Worker
+	sess     *Session
 	phaseSeq int64
 	calls    int
 	// pending buffers messages that arrived ahead of the barrier this
@@ -208,9 +318,8 @@ func (ctx *Ctx) recvSeq(seq int64) (*DataMsg, error) {
 			return m, nil
 		}
 	}
-	c := ctx.w.cluster
 	for {
-		msg, err := c.recv(ctx.w.id)
+		msg, err := ctx.sess.recvNode(ctx.w.id, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -235,15 +344,31 @@ func (ctx *Ctx) NumWorkers() int { return len(ctx.w.cluster.workers) }
 // TaskMemRows exposes the per-task memory budget to plan code.
 func (ctx *Ctx) TaskMemRows() int { return ctx.w.cluster.cfg.TaskMemRows }
 
-// Gauge returns this worker's memory gauge (nil when Config.TaskMemBytes
-// is 0). Plan code hands it to the operators it runs on this worker —
-// fixpoint accumulators, shuffle filters, evaluator join indexes — so the
-// worker's whole task shares one budget.
-func (ctx *Ctx) Gauge() *core.MemGauge { return ctx.w.gauge }
+// Context returns the session's cancellation context: worker-side loops
+// hand it to the evaluators they run so a cancelled query stops iterating.
+func (ctx *Ctx) Context() context.Context { return ctx.sess.ctx }
 
-// Gauges returns the per-worker memory gauges (nil entries when
-// governance is off) — the driver-side view test assertions and reports
-// read spill counters from.
+// Gauge returns this worker's memory gauge for the current session (nil
+// when Config.TaskMemBytes is 0). Plan code hands it to the operators it
+// runs on this worker — fixpoint accumulators, shuffle filters, evaluator
+// join indexes — so one query's task on this worker shares one budget and
+// its spill events are attributed to that query alone.
+func (ctx *Ctx) Gauge() *core.MemGauge {
+	if ctx.sess.gauges != nil {
+		return ctx.sess.gauges[ctx.w.id]
+	}
+	return ctx.w.gauge
+}
+
+// DriverGauge returns the cluster-lifetime driver-side gauge (nil when
+// governance is off). Driver-resident per-query gauges should be created
+// as its children (core.NewMemGaugeChild) so the cumulative driver budget
+// is enforced across concurrent queries.
+func (c *Cluster) DriverGauge() *core.MemGauge { return c.driverGauge }
+
+// Gauges returns the per-worker lifetime memory gauges (nil entries when
+// governance is off). They aggregate every session's charges and spill
+// counters; per-query figures live on Session.Gauges.
 func (c *Cluster) Gauges() []*core.MemGauge {
 	out := make([]*core.MemGauge, len(c.workers))
 	for i, w := range c.workers {
@@ -254,7 +379,10 @@ func (c *Cluster) Gauges() []*core.MemGauge {
 
 // Partition returns this worker's partition of ds (empty if unset).
 func (ctx *Ctx) Partition(ds *Dataset) *core.Relation {
-	if p, ok := ctx.w.store[ds.id]; ok {
+	ctx.w.mu.Lock()
+	p, ok := ctx.w.store[ds.id]
+	ctx.w.mu.Unlock()
+	if ok {
 		return p
 	}
 	return core.NewRelation(ds.cols...)
@@ -265,12 +393,17 @@ func (ctx *Ctx) SetPartition(ds *Dataset, rel *core.Relation) {
 	if !core.ColsEqual(rel.Cols(), ds.cols) {
 		panic(fmt.Sprintf("cluster: partition schema %v does not match dataset %v", rel.Cols(), ds.cols))
 	}
+	ctx.w.mu.Lock()
 	ctx.w.store[ds.id] = rel
+	ctx.w.mu.Unlock()
 }
 
 // BroadcastValue returns the replicated relation of a broadcast handle.
 func (ctx *Ctx) BroadcastValue(b *Broadcast) *core.Relation {
-	if r, ok := ctx.w.bcast[b.id]; ok {
+	ctx.w.mu.Lock()
+	r, ok := ctx.w.bcast[b.id]
+	ctx.w.mu.Unlock()
+	if ok {
 		return r
 	}
 	return core.NewRelation(b.cols...)
@@ -323,12 +456,13 @@ func (ctx *Ctx) ExchangeInto(rel *core.Relation, byCols []string, acc *core.Accu
 func (ctx *Ctx) exchange(rel *core.Relation, byCols []string,
 	keepRow func([]core.Value), keepBatch func(*core.Batch)) error {
 	c := ctx.w.cluster
+	s := ctx.sess
 	n := len(c.workers)
 	ctx.calls++
 	seq := ctx.phaseSeq<<20 | int64(ctx.calls)
 	if ctx.w.id == 0 {
 		// One barrier per SPMD Exchange call; count it once.
-		c.metrics.ShufflePhases.Add(1)
+		ctr{&c.metrics.ShufflePhases, &s.m.ShufflePhases}.Add(1)
 	}
 
 	at := make([]int, 0, len(rel.Cols()))
@@ -365,7 +499,7 @@ func (ctx *Ctx) exchange(rel *core.Relation, byCols []string,
 		}
 		buckets[b].AppendRow(row)
 	}
-	c.metrics.LocalRecords.Add(local)
+	ctr{&c.metrics.LocalRecords, &s.m.LocalRecords}.Add(local)
 	// Ship the buckets from a goroutine while this worker receives: every
 	// worker keeps draining its inbox while its own frames trickle out, so
 	// a full inbox can never deadlock the barrier even though a bucket may
@@ -380,8 +514,9 @@ func (ctx *Ctx) exchange(rel *core.Relation, byCols []string,
 			if peer == ctx.w.id {
 				continue
 			}
-			if err := c.sendFrames(peer, KindShuffle, seq, ctx.w.id, 0, buckets[peer],
-				&c.metrics.ShuffleRecords, &c.metrics.ShuffleBytes); err != nil && firstErr == nil {
+			if err := c.sendFrames(peer, KindShuffle, s.tag, seq, ctx.w.id, 0, buckets[peer],
+				ctr{&c.metrics.ShuffleRecords, &s.m.ShuffleRecords},
+				ctr{&c.metrics.ShuffleBytes, &s.m.ShuffleBytes}); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
@@ -389,7 +524,7 @@ func (ctx *Ctx) exchange(rel *core.Relation, byCols []string,
 	}()
 	// Barrier: frames arrive until every peer's Last frame is in. Received
 	// batch buffers are fresh copies; their values feed the consumer
-	// directly.
+	// directly. A cancelled session context aborts the wait.
 	for done := 0; done < n-1; {
 		msg, err := ctx.recvSeq(seq)
 		if err != nil {
@@ -407,9 +542,9 @@ func (ctx *Ctx) exchange(rel *core.Relation, byCols []string,
 // budget-sized wire frames (core.BatchRowsFor rows each), flagging the
 // final one. An empty batch still sends one empty Last frame so barrier
 // receivers can count completed senders. Record/byte metrics are added per
-// frame when the counters are non-nil.
-func (c *Cluster) sendFrames(to int, kind MsgKind, seq int64, from int, id int64,
-	b *core.Batch, recs, bytes *atomic.Int64) error {
+// frame.
+func (c *Cluster) sendFrames(to int, kind MsgKind, tag, seq int64, from int, id int64,
+	b *core.Batch, recs, bytes ctr) error {
 	step := core.BatchRowsFor(b.Arity())
 	n := b.Len()
 	lo := 0
@@ -418,14 +553,10 @@ func (c *Cluster) sendFrames(to int, kind MsgKind, seq int64, from int, id int64
 		if hi > n {
 			hi = n
 		}
-		msg := &DataMsg{Kind: kind, Seq: seq, From: from, ID: id,
+		msg := &DataMsg{Kind: kind, Tag: tag, Seq: seq, From: from, ID: id,
 			Batch: b.Sub(lo, hi), Last: hi == n}
-		if recs != nil {
-			recs.Add(int64(hi - lo))
-		}
-		if bytes != nil {
-			bytes.Add(msg.wireBytes())
-		}
+		recs.Add(int64(hi - lo))
+		bytes.Add(msg.wireBytes())
 		if err := c.transport.Send(to, msg); err != nil {
 			return err
 		}
@@ -441,7 +572,7 @@ func (c *Cluster) sendFrames(to int, kind MsgKind, seq int64, from int, id int64
 // payloads into dst, until the Last frame.
 func recvFrames(ctx *Ctx, dst *core.Relation, check func(*DataMsg) error) error {
 	for {
-		msg, err := ctx.w.cluster.recv(ctx.w.id)
+		msg, err := ctx.sess.recvNode(ctx.w.id, nil)
 		if err != nil {
 			return err
 		}
@@ -455,34 +586,21 @@ func recvFrames(ctx *Ctx, dst *core.Relation, check func(*DataMsg) error) error 
 	}
 }
 
-// recv receives one data-plane message for a node, aborting if the
-// transport shuts down.
-func (c *Cluster) recv(node int) (*DataMsg, error) {
-	select {
-	case msg, ok := <-c.transport.Inbox(node):
-		if !ok {
-			return nil, errors.New("cluster: transport closed")
-		}
-		return msg, nil
-	case <-c.transport.Done():
-		return nil, errors.New("cluster: transport shut down mid-exchange")
-	}
-}
-
 // AllGather replicates rel to every peer and returns the union of all
 // workers' relations — the heavyweight exchange a non-co-partitionable
 // distributed join needs. Like Exchange it is an SPMD barrier; traffic is
 // counted as shuffle bytes ((n-1)× the input volume).
 func (ctx *Ctx) AllGather(rel *core.Relation) (*core.Relation, error) {
 	c := ctx.w.cluster
+	s := ctx.sess
 	n := len(c.workers)
 	ctx.calls++
 	seq := ctx.phaseSeq<<20 | int64(ctx.calls)
 	if ctx.w.id == 0 {
-		c.metrics.ShufflePhases.Add(1)
+		ctr{&c.metrics.ShufflePhases, &s.m.ShufflePhases}.Add(1)
 	}
 	out := rel.Clone()
-	c.metrics.LocalRecords.Add(int64(rel.Len()))
+	ctr{&c.metrics.LocalRecords, &s.m.LocalRecords}.Add(int64(rel.Len()))
 	// Encode straight from the relation's backing array, window by window;
 	// each window's varint size is scanned once and shared by all peers.
 	// Sending happens concurrently with receiving (see Exchange).
@@ -503,10 +621,10 @@ func (ctx *Ctx) AllGather(rel *core.Relation) (*core.Relation, error) {
 				if peer == ctx.w.id {
 					continue
 				}
-				msg := &DataMsg{Kind: KindShuffle, Seq: seq, From: ctx.w.id,
+				msg := &DataMsg{Kind: KindShuffle, Tag: s.tag, Seq: seq, From: ctx.w.id,
 					Batch: window, encSize: encSize, Last: hi == total}
-				c.metrics.ShuffleRecords.Add(int64(window.Len()))
-				c.metrics.ShuffleBytes.Add(msg.wireBytes())
+				ctr{&c.metrics.ShuffleRecords, &s.m.ShuffleRecords}.Add(int64(window.Len()))
+				ctr{&c.metrics.ShuffleBytes, &s.m.ShuffleBytes}.Add(msg.wireBytes())
 				if err := c.transport.Send(peer, msg); err != nil && firstErr == nil {
 					firstErr = err
 				}
@@ -538,14 +656,20 @@ func (ctx *Ctx) AllGather(rel *core.Relation) (*core.Relation, error) {
 
 // RunPhase runs f on every live worker in parallel and waits for all of
 // them; the first error aborts the phase. Exchange calls inside the phase
-// are synchronized shuffles.
-func (c *Cluster) RunPhase(f func(ctx *Ctx) error) error {
+// are synchronized shuffles, isolated to this session. A phase does not
+// start — and its barriers abort — once the session's context is
+// cancelled.
+func (s *Session) RunPhase(f func(ctx *Ctx) error) error {
+	c := s.c
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return errors.New("cluster: closed")
 	}
 	c.mu.Unlock()
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
 	// A dead worker fails the phase before anyone shuffles, so live
 	// workers are never stranded at a barrier waiting for its batches.
 	for i, w := range c.workers {
@@ -565,11 +689,19 @@ func (c *Cluster) RunPhase(f func(ctx *Ctx) error) error {
 					errs[i] = fmt.Errorf("cluster: worker %d panicked: %v", i, r)
 				}
 			}()
-			errs[i] = f(&Ctx{w: w, phaseSeq: seq})
+			errs[i] = f(&Ctx{w: w, sess: s, phaseSeq: seq})
 		}(i, w)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// RunPhase runs f on every worker under a private single-use session; see
+// Session.RunPhase for the concurrent form.
+func (c *Cluster) RunPhase(f func(ctx *Ctx) error) error {
+	s := c.NewSession(nil)
+	defer s.Close()
+	return s.RunPhase(f)
 }
 
 // NewDataset registers an empty dataset handle with the given schema.
@@ -580,7 +712,8 @@ func (c *Cluster) NewDataset(cols ...string) *Dataset {
 // Parallelize splits rel across the workers and ships each partition to its
 // worker (scatter). With byCols non-nil the split hashes on those columns —
 // the stable-column partitioning of §III-B; otherwise rows go round-robin.
-func (c *Cluster) Parallelize(rel *core.Relation, byCols []string) (*Dataset, error) {
+func (s *Session) Parallelize(rel *core.Relation, byCols []string) (*Dataset, error) {
+	c := s.c
 	ds := c.NewDataset(rel.Cols()...)
 	ds.PartitionedBy = byCols
 	parts := core.SplitRelation(rel, len(c.workers), byCols)
@@ -591,14 +724,15 @@ func (c *Cluster) Parallelize(rel *core.Relation, byCols []string) (*Dataset, er
 	go func() {
 		var firstErr error
 		for i, p := range parts {
-			if err := c.sendFrames(i, KindScatter, seq, DriverNode, ds.id, p.AsBatch(),
-				&c.metrics.ScatterRecords, &c.metrics.ScatterBytes); err != nil && firstErr == nil {
+			if err := c.sendFrames(i, KindScatter, s.tag, seq, DriverNode, ds.id, p.AsBatch(),
+				ctr{&c.metrics.ScatterRecords, &s.m.ScatterRecords},
+				ctr{&c.metrics.ScatterBytes, &s.m.ScatterBytes}); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
 		sendErr <- firstErr
 	}()
-	err := c.RunPhase(func(ctx *Ctx) error {
+	err := s.RunPhase(func(ctx *Ctx) error {
 		part := core.NewRelationSized(rel.Len()/len(c.workers), rel.Cols()...)
 		if err := recvFrames(ctx, part, func(msg *DataMsg) error {
 			if msg.Kind != KindScatter || msg.Seq != seq || msg.ID != ds.id {
@@ -608,7 +742,7 @@ func (c *Cluster) Parallelize(rel *core.Relation, byCols []string) (*Dataset, er
 		}); err != nil {
 			return err
 		}
-		ctx.w.store[ds.id] = part
+		ctx.SetPartition(ds, part)
 		return nil
 	})
 	if serr := <-sendErr; serr != nil && err == nil {
@@ -620,9 +754,17 @@ func (c *Cluster) Parallelize(rel *core.Relation, byCols []string) (*Dataset, er
 	return ds, nil
 }
 
+// Parallelize scatters rel under a private single-use session.
+func (c *Cluster) Parallelize(rel *core.Relation, byCols []string) (*Dataset, error) {
+	s := c.NewSession(nil)
+	defer s.Close()
+	return s.Parallelize(rel, byCols)
+}
+
 // BroadcastRel replicates rel onto every worker (the broadcast join input
 // pattern of P s_plw) and returns a handle.
-func (c *Cluster) BroadcastRel(rel *core.Relation) (*Broadcast, error) {
+func (s *Session) BroadcastRel(rel *core.Relation) (*Broadcast, error) {
+	c := s.c
 	b := &Broadcast{id: c.nextID.Add(1), cols: rel.Cols(), rows: rel.Len()}
 	seq := c.seq.Add(1) << 20
 	sendErr := make(chan error, 1)
@@ -641,10 +783,10 @@ func (c *Cluster) BroadcastRel(rel *core.Relation) (*Broadcast, error) {
 			window := whole.Sub(lo, hi)
 			encSize := uvarintSize(window.Values())
 			for i := range c.workers {
-				msg := &DataMsg{Kind: KindBroadcast, Seq: seq, From: DriverNode, ID: b.id,
+				msg := &DataMsg{Kind: KindBroadcast, Tag: s.tag, Seq: seq, From: DriverNode, ID: b.id,
 					Batch: window, encSize: encSize, Last: hi == total}
-				c.metrics.BroadcastRecords.Add(int64(window.Len()))
-				c.metrics.BroadcastBytes.Add(msg.wireBytes())
+				ctr{&c.metrics.BroadcastRecords, &s.m.BroadcastRecords}.Add(int64(window.Len()))
+				ctr{&c.metrics.BroadcastBytes, &s.m.BroadcastBytes}.Add(msg.wireBytes())
 				if err := c.transport.Send(i, msg); err != nil && firstErr == nil {
 					firstErr = err
 				}
@@ -659,7 +801,7 @@ func (c *Cluster) BroadcastRel(rel *core.Relation) (*Broadcast, error) {
 		}
 		sendErr <- firstErr
 	}()
-	err := c.RunPhase(func(ctx *Ctx) error {
+	err := s.RunPhase(func(ctx *Ctx) error {
 		r := core.NewRelationSized(rel.Len(), rel.Cols()...)
 		if err := recvFrames(ctx, r, func(msg *DataMsg) error {
 			if msg.Kind != KindBroadcast || msg.Seq != seq || msg.ID != b.id {
@@ -669,7 +811,9 @@ func (c *Cluster) BroadcastRel(rel *core.Relation) (*Broadcast, error) {
 		}); err != nil {
 			return err
 		}
+		ctx.w.mu.Lock()
 		ctx.w.bcast[b.id] = r
+		ctx.w.mu.Unlock()
 		return nil
 	})
 	if serr := <-sendErr; serr != nil && err == nil {
@@ -681,17 +825,27 @@ func (c *Cluster) BroadcastRel(rel *core.Relation) (*Broadcast, error) {
 	return b, nil
 }
 
+// BroadcastRel replicates rel under a private single-use session.
+func (c *Cluster) BroadcastRel(rel *core.Relation) (*Broadcast, error) {
+	s := c.NewSession(nil)
+	defer s.Close()
+	return s.BroadcastRel(rel)
+}
+
 // Collect gathers all partitions of ds on the driver, merging with set
 // semantics.
-func (c *Cluster) Collect(ds *Dataset) (*core.Relation, error) {
+func (s *Session) Collect(ds *Dataset) (*core.Relation, error) {
+	c := s.c
 	seq := c.seq.Add(1) << 20
 	out := core.NewRelation(ds.cols...)
 	done := make(chan error, 1)
+	stop := make(chan struct{})
+	defer close(stop) // unblocks the receiver if the phase fails first
 	go func() {
 		// Workers stream their partitions as frame sequences; the gather is
 		// complete when every worker's Last frame has arrived.
 		for lastSeen := 0; lastSeen < len(c.workers); {
-			msg, rerr := c.recv(DriverNode)
+			msg, rerr := s.recvNode(DriverNode, stop)
 			if rerr != nil {
 				done <- rerr
 				return
@@ -707,13 +861,13 @@ func (c *Cluster) Collect(ds *Dataset) (*core.Relation, error) {
 		}
 		done <- nil
 	}()
-	phaseErr := c.RunPhase(func(ctx *Ctx) error {
+	phaseErr := s.RunPhase(func(ctx *Ctx) error {
 		part := ctx.Partition(ds)
-		return c.sendFrames(DriverNode, KindCollect, seq, ctx.w.id, ds.id, part.AsBatch(),
-			&c.metrics.CollectRecords, &c.metrics.CollectBytes)
+		return c.sendFrames(DriverNode, KindCollect, s.tag, seq, ctx.w.id, ds.id, part.AsBatch(),
+			ctr{&c.metrics.CollectRecords, &s.m.CollectRecords},
+			ctr{&c.metrics.CollectBytes, &s.m.CollectBytes})
 	})
 	if phaseErr != nil {
-		// The receiver goroutine unblocks when the transport closes.
 		return nil, phaseErr
 	}
 	if recvErr := <-done; recvErr != nil {
@@ -722,21 +876,35 @@ func (c *Cluster) Collect(ds *Dataset) (*core.Relation, error) {
 	return out, nil
 }
 
+// Collect gathers ds under a private single-use session.
+func (c *Cluster) Collect(ds *Dataset) (*core.Relation, error) {
+	s := c.NewSession(nil)
+	defer s.Close()
+	return s.Collect(ds)
+}
+
 // Count sums partition sizes.
-func (c *Cluster) Count(ds *Dataset) (int, error) {
+func (s *Session) Count(ds *Dataset) (int, error) {
 	var total atomic.Int64
-	err := c.RunPhase(func(ctx *Ctx) error {
+	err := s.RunPhase(func(ctx *Ctx) error {
 		total.Add(int64(ctx.Partition(ds).Len()))
 		return nil
 	})
 	return int(total.Load()), err
 }
 
+// Count sums partition sizes under a private single-use session.
+func (c *Cluster) Count(ds *Dataset) (int, error) {
+	s := c.NewSession(nil)
+	defer s.Close()
+	return s.Count(ds)
+}
+
 // Distinct repartitions ds by full row hash so that duplicates meet on the
 // same worker and are eliminated — Spark's distinct(), one full shuffle.
-func (c *Cluster) Distinct(ds *Dataset) (*Dataset, error) {
-	out := c.NewDataset(ds.cols...)
-	err := c.RunPhase(func(ctx *Ctx) error {
+func (s *Session) Distinct(ds *Dataset) (*Dataset, error) {
+	out := s.c.NewDataset(ds.cols...)
+	err := s.RunPhase(func(ctx *Ctx) error {
 		merged, err := ctx.Exchange(ctx.Partition(ds), nil)
 		if err != nil {
 			return err
@@ -750,18 +918,38 @@ func (c *Cluster) Distinct(ds *Dataset) (*Dataset, error) {
 	return out, nil
 }
 
+// Distinct deduplicates ds under a private single-use session.
+func (c *Cluster) Distinct(ds *Dataset) (*Dataset, error) {
+	s := c.NewSession(nil)
+	defer s.Close()
+	return s.Distinct(ds)
+}
+
+// Free drops a dataset's partitions on all workers. Unlike the exchange
+// primitives it needs no barrier and ignores the session context: a
+// cancelled query must still release its partitions on the way out.
+func (s *Session) Free(ds *Dataset) error { return s.c.Free(ds) }
+
 // Free drops a dataset's partitions on all workers.
 func (c *Cluster) Free(ds *Dataset) error {
-	return c.RunPhase(func(ctx *Ctx) error {
-		delete(ctx.w.store, ds.id)
-		return nil
-	})
+	for _, w := range c.workers {
+		w.mu.Lock()
+		delete(w.store, ds.id)
+		w.mu.Unlock()
+	}
+	return nil
 }
+
+// FreeBroadcast drops a broadcast from all workers; like Free it works
+// even after the session's context is cancelled.
+func (s *Session) FreeBroadcast(b *Broadcast) error { return s.c.FreeBroadcast(b) }
 
 // FreeBroadcast drops a broadcast from all workers.
 func (c *Cluster) FreeBroadcast(b *Broadcast) error {
-	return c.RunPhase(func(ctx *Ctx) error {
-		delete(ctx.w.bcast, b.id)
-		return nil
-	})
+	for _, w := range c.workers {
+		w.mu.Lock()
+		delete(w.bcast, b.id)
+		w.mu.Unlock()
+	}
+	return nil
 }

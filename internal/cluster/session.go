@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// This file is the concurrency layer of the cluster: a Session is one
+// in-flight query's private execution epoch. Every data-plane message
+// carries the session's tag, a per-node demultiplexer goroutine routes
+// arriving frames into per-session mailboxes, and each session owns its
+// own Metrics and per-worker memory gauges — so any number of queries can
+// run phases on one cluster concurrently without their frames, counters or
+// spill attribution interleaving. The driver-facing primitives (RunPhase,
+// Parallelize, BroadcastRel, Collect, Distinct, …) live on the Session;
+// the same-named Cluster methods remain as thin wrappers that run under a
+// private throwaway session, so single-query callers are unaffected.
+
+// errSessionClosed is returned by receives on a closed session.
+var errSessionClosed = errors.New("cluster: session closed")
+
+// mailbox is one session's inbound frame queue for one node: an unbounded
+// FIFO so the per-node demultiplexer never blocks on a slow session (which
+// would head-of-line-block every other session's traffic on that node).
+// Single consumer (the session's worker goroutine for that node), any
+// number of producers (the demux goroutine; in practice one).
+type mailbox struct {
+	mu     sync.Mutex
+	q      []*DataMsg
+	closed bool
+	notify chan struct{} // cap 1: wake the (single) waiting consumer
+}
+
+func newMailbox() *mailbox { return &mailbox{notify: make(chan struct{}, 1)} }
+
+// put enqueues a message, dropping it when the mailbox is closed (a stale
+// frame of a finished or cancelled session).
+func (m *mailbox) put(msg *DataMsg) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.q = append(m.q, msg)
+	m.mu.Unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}
+
+// close drops queued messages and wakes any waiting consumer.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.q = nil
+	m.mu.Unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}
+
+// get dequeues the next message, blocking until one arrives or the session
+// context is cancelled, the transport shuts down, the per-call stop
+// channel closes (nil = never), or the mailbox itself is closed.
+func (m *mailbox) get(ctx context.Context, transportDone, stop <-chan struct{}) (*DataMsg, error) {
+	for {
+		m.mu.Lock()
+		if len(m.q) > 0 {
+			msg := m.q[0]
+			m.q = m.q[1:]
+			if len(m.q) == 0 {
+				m.q = nil // let the drained backing array go
+			}
+			m.mu.Unlock()
+			return msg, nil
+		}
+		closed := m.closed
+		m.mu.Unlock()
+		if closed {
+			return nil, errSessionClosed
+		}
+		select {
+		case <-m.notify:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-transportDone:
+			return nil, errors.New("cluster: transport shut down mid-exchange")
+		case <-stop:
+			return nil, errSessionClosed
+		}
+	}
+}
+
+// Session is one query's execution epoch on a cluster: a unique exchange
+// tag (frames of concurrent sessions are demultiplexed by it and can never
+// interleave), a cancellation context consulted at every barrier, private
+// Metrics counting exactly this session's traffic, and — under memory
+// governance — one child gauge per worker, so the session's spill events
+// are attributable to it alone while the worker's own gauge keeps the
+// cumulative view.
+//
+// A session is not itself a synchronization domain: like the Cluster
+// methods it mirrors, one Session serves one query's driver goroutine at a
+// time. Run concurrent queries on separate Sessions.
+type Session struct {
+	c      *Cluster
+	ctx    context.Context
+	tag    int64
+	boxes  []*mailbox // per worker, driver's last
+	gauges []*core.MemGauge
+	m      Metrics
+	closed atomic.Bool
+}
+
+// NewSession opens an execution epoch whose barriers abort when ctx is
+// cancelled (nil means context.Background()). Close it when the query
+// finishes — an unclosed session keeps receiving (and buffering) frames
+// addressed to its tag.
+func (c *Cluster) NewSession(ctx context.Context) *Session {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(c.workers)
+	s := &Session{c: c, ctx: ctx, tag: c.nextTag.Add(1), boxes: make([]*mailbox, n+1)}
+	for i := range s.boxes {
+		s.boxes[i] = newMailbox()
+	}
+	if c.cfg.TaskMemBytes > 0 {
+		// One child gauge per worker per session: the budget is per task
+		// (each in-flight query gets the full TaskMemBytes on each worker),
+		// the accounting is exact per query, and every charge and spill is
+		// mirrored into the worker's lifetime gauge.
+		s.gauges = make([]*core.MemGauge, n)
+		for i, w := range c.workers {
+			s.gauges[i] = core.NewMemGaugeChild(w.gauge)
+		}
+	}
+	c.sessMu.Lock()
+	c.sessions[s.tag] = s
+	c.sessMu.Unlock()
+	return s
+}
+
+// Close unregisters the session and drops any frames still addressed to
+// it. Idempotent; the session must not be used afterwards.
+func (s *Session) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	s.c.sessMu.Lock()
+	delete(s.c.sessions, s.tag)
+	s.c.sessMu.Unlock()
+	for _, b := range s.boxes {
+		b.close()
+	}
+}
+
+// Cluster returns the underlying cluster.
+func (s *Session) Cluster() *Cluster { return s.c }
+
+// Context returns the session's cancellation context.
+func (s *Session) Context() context.Context { return s.ctx }
+
+// Err returns the session context's error (nil while the session is live).
+func (s *Session) Err() error { return s.ctx.Err() }
+
+// Metrics returns the session-local counters: exactly this session's
+// traffic, regardless of what other queries run concurrently.
+func (s *Session) Metrics() *Metrics { return &s.m }
+
+// Gauges returns the session's per-worker memory gauges (nil slice when
+// governance is off): the per-query spill counters. The workers' lifetime
+// gauges (Cluster.Gauges) aggregate across sessions.
+func (s *Session) Gauges() []*core.MemGauge { return s.gauges }
+
+// NumWorkers returns the cluster size.
+func (s *Session) NumWorkers() int { return len(s.c.workers) }
+
+// Config returns the cluster configuration.
+func (s *Session) Config() Config { return s.c.cfg }
+
+// NewDataset registers an empty dataset handle with the given schema.
+func (s *Session) NewDataset(cols ...string) *Dataset { return s.c.NewDataset(cols...) }
+
+// boxFor returns the session's mailbox for a node id.
+func (s *Session) boxFor(node int) *mailbox {
+	if node == DriverNode {
+		return s.boxes[len(s.boxes)-1]
+	}
+	return s.boxes[node]
+}
+
+// recvNode receives the next frame addressed to this session at a node.
+func (s *Session) recvNode(node int, stop <-chan struct{}) (*DataMsg, error) {
+	return s.boxFor(node).get(s.ctx, s.c.transport.Done(), stop)
+}
+
+// demuxLoop drains one node's transport inbox, routing every frame to the
+// mailbox of the session its tag names. Frames for unknown tags — a
+// session that was cancelled or already closed — are dropped. One loop per
+// node runs for the cluster's lifetime; it never blocks on a session
+// (mailboxes are unbounded), so one stuck query cannot stall another's
+// traffic.
+func (c *Cluster) demuxLoop(node int) {
+	inbox := c.transport.Inbox(node)
+	done := c.transport.Done()
+	for {
+		select {
+		case msg, ok := <-inbox:
+			if !ok {
+				return
+			}
+			c.sessMu.RLock()
+			s := c.sessions[msg.Tag]
+			c.sessMu.RUnlock()
+			if s != nil {
+				s.boxFor(node).put(msg)
+			}
+		case <-done:
+			return
+		}
+	}
+}
+
+// ctr pairs the cluster-wide counter with the session-local one so every
+// metered event lands in both views with a single call.
+type ctr struct{ global, sess *atomic.Int64 }
+
+func (c ctr) Add(n int64) {
+	if c.global != nil {
+		c.global.Add(n)
+	}
+	if c.sess != nil {
+		c.sess.Add(n)
+	}
+}

@@ -223,7 +223,10 @@ type Accumulator struct {
 	arity   int
 	gauge   *MemGauge
 	charged atomic.Int64 // bytes currently charged to the gauge
-	shards  [accShards]accShard
+	// strideMark is the Len() at which MaybeEvictStride last attempted an
+	// eviction (see there); races on it are benign.
+	strideMark atomic.Int64
+	shards     [accShards]accShard
 }
 
 // NewAccumulator returns an empty accumulator over the given columns
@@ -474,6 +477,23 @@ func (a *Accumulator) MaybeEvict() int {
 		return 0
 	}
 	return a.EvictBelow(a.Mark())
+}
+
+// MaybeEvictStride is the stride-gated MaybeEvict of budgeted sinks that
+// absorb a long stream of rows: it is a no-op until the accumulator has
+// grown by at least stride rows since the last attempt, so each eviction's
+// run compaction is amortized over a stride's worth of input instead of
+// being rewritten once per batch. Like MaybeEvict it requires that no
+// DeltaViews windows are outstanding. Safe for concurrent use; the gate's
+// read-then-store race is benign (a duplicate eviction is a cheap no-op,
+// a skipped one is retried a stride later).
+func (a *Accumulator) MaybeEvictStride(stride int) int {
+	n := int64(a.Len())
+	if n-a.strideMark.Load() < int64(stride) {
+		return 0
+	}
+	a.strideMark.Store(n)
+	return a.MaybeEvict()
 }
 
 // evictShardLocked freezes the shard's in-memory prefix below upTo (shard

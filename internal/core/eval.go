@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -91,6 +92,12 @@ type Evaluator struct {
 	// Call Close when done with a budgeted evaluator to release cached
 	// spilled indexes.
 	Gauge *MemGauge
+	// Ctx, when non-nil, cancels evaluation: fixpoint loops check it once
+	// per iteration and the parallel drain once per batch, so a cancelled
+	// query stops within one iteration, returns ctx.Err(), and unwinds
+	// through the usual defers (accumulators, indexes and spill files are
+	// released on the way out). Nil means never cancelled.
+	Ctx context.Context
 	// FixpointHandler, when set, is invoked for fixpoint terms instead of
 	// the local semi-naive loop — the hook the physical planner uses to
 	// execute fixpoints distributively while every other operator streams
@@ -486,6 +493,9 @@ func (ev *Evaluator) RunFixpoint(d *Decomposed, init *Relation, env *Env) (*Rela
 	iter := 0
 	for deltaRows > 0 {
 		iter++
+		if err := CtxErr(ev.Ctx); err != nil {
+			return nil, err
+		}
 		if ev.MaxIter > 0 && iter > ev.MaxIter {
 			return nil, fmt.Errorf("core: fixpoint exceeded %d iterations", ev.MaxIter)
 		}
@@ -539,8 +549,11 @@ func (ev *Evaluator) RunFixpoint(d *Decomposed, init *Relation, env *Env) (*Rela
 				}
 			}
 		}
-		added := ParallelDrain(pipes, workers, acc)
+		added, err := ParallelDrainCtx(ev.Ctx, pipes, workers, acc)
 		ev.releaseEphemeral(ebase)
+		if err != nil {
+			return nil, err
+		}
 		if workers > 1 {
 			ev.Stats.ParallelSteps++
 		}
@@ -695,6 +708,9 @@ func (ev *Evaluator) runFixpointMat(d *Decomposed, init *Relation, env *Env) (*R
 	iter := 0
 	for nu.Len() > 0 {
 		iter++
+		if err := CtxErr(ev.Ctx); err != nil {
+			return nil, err
+		}
 		if ev.MaxIter > 0 && iter > ev.MaxIter {
 			return nil, fmt.Errorf("core: fixpoint exceeded %d iterations", ev.MaxIter)
 		}

@@ -76,37 +76,28 @@ type graceIter struct {
 
 func (it *graceIter) Cols() []string { return it.cols }
 
-// prepare drains the probe stream into per-partition runs routed by the
-// same key hash the build side used, so each partition pair is join-
-// complete on its own.
+// prepare drains the probe stream into per-partition runs through
+// scatterToRuns — the same key-hash routing the build side used, so each
+// partition pair is join-complete on its own.
 func (it *graceIter) prepare() {
 	nparts := len(it.ix.spill.parts)
-	arity := len(it.probe.Cols())
-	it.parts = make([]*spillRun, nparts)
-	for i := range it.parts {
-		run, err := newSpillRun(it.ix.spill.dir, arity)
-		if err != nil {
-			panic(err)
-		}
-		it.parts[i] = run
-	}
-	var bytes int64
-	for b := it.probe.Next(); b != nil; b = it.probe.Next() {
-		for i := 0; i < b.Len(); i++ {
-			row := b.Row(i)
-			// spillPartition is the same routing the build side used, so
-			// key-equal rows meet their matches partition-locally.
-			if err := it.parts[spillPartition(row, it.probeAt, nparts)].append(row); err != nil {
-				panic(err)
+	parts, bytes, err := scatterToRuns(it.ix.spill.dir, len(it.probe.Cols()), nparts, it.probeAt,
+		func(emit func(row []Value) error) error {
+			for b := it.probe.Next(); b != nil; b = it.probe.Next() {
+				for i := 0; i < b.Len(); i++ {
+					if err := emit(b.Row(i)); err != nil {
+						return err
+					}
+				}
 			}
-		}
+			return nil
+		})
+	if err != nil {
+		// The probe replay has no error channel (matching the rest of the
+		// spill layer's I/O contract).
+		panic(err)
 	}
-	for _, run := range it.parts {
-		if err := run.finish(); err != nil {
-			panic(err)
-		}
-		bytes += run.bytes
-	}
+	it.parts = parts
 	it.ix.gauge.noteSpill(bytes)
 	it.p = -1
 }

@@ -163,33 +163,58 @@ func joinSpillParts(rows, arity int, budget int64) int {
 // buildJoinIndexSpilled writes rel's rows into key-hash partitioned runs.
 func buildJoinIndexSpilled(rel *Relation, keyCols []string, at []int, g *MemGauge) (*JoinIndex, error) {
 	nparts := joinSpillParts(rel.Len(), rel.Arity(), g.Budget())
-	sp := &joinSpill{dir: g.Dir()}
-	for p := 0; p < nparts; p++ {
-		run, err := newSpillRun(sp.dir, rel.Arity())
-		if err != nil {
-			closeRuns(sp.parts)
-			return nil, err
-		}
-		sp.parts = append(sp.parts, run)
-	}
-	var bytes int64
-	for i := 0; i < rel.Len(); i++ {
-		row := rel.RowAt(i)
-		if err := sp.parts[spillPartition(row, at, nparts)].append(row); err != nil {
-			closeRuns(sp.parts)
-			return nil, err
-		}
-	}
-	for _, run := range sp.parts {
-		if err := run.finish(); err != nil {
-			closeRuns(sp.parts)
-			return nil, err
-		}
-		bytes += run.bytes
+	parts, bytes, err := scatterToRuns(g.Dir(), rel.Arity(), nparts, at,
+		func(emit func(row []Value) error) error {
+			for i := 0; i < rel.Len(); i++ {
+				if err := emit(rel.RowAt(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	g.noteSpill(bytes)
 	return &JoinIndex{keyCols: keyCols, at: at, arity: rel.Arity(), nrows: rel.Len(),
-		gauge: g, spill: sp}, nil
+		gauge: g, spill: &joinSpill{parts: parts, dir: g.Dir()}}, nil
+}
+
+// scatterToRuns is THE Grace-hash scatter: it routes every row the source
+// emits into one of nparts on-disk runs by spillPartition over the key
+// positions at, finishes the runs, and returns them with the total bytes
+// written. Both sides of a spilled join use it — the build side
+// (buildJoinIndexSpilled) and the probe side (graceIter.prepare) — which
+// is exactly what guarantees key-equal rows of the two sides meet in the
+// same partition. On any error every run created so far is closed.
+func scatterToRuns(dir string, arity, nparts int, at []int,
+	source func(emit func(row []Value) error) error) ([]*spillRun, int64, error) {
+	runs := make([]*spillRun, 0, nparts)
+	fail := func(err error) ([]*spillRun, int64, error) {
+		closeRuns(runs)
+		return nil, 0, err
+	}
+	for p := 0; p < nparts; p++ {
+		run, err := newSpillRun(dir, arity)
+		if err != nil {
+			return fail(err)
+		}
+		runs = append(runs, run)
+	}
+	emit := func(row []Value) error {
+		return runs[spillPartition(row, at, nparts)].append(row)
+	}
+	if err := source(emit); err != nil {
+		return fail(err)
+	}
+	var bytes int64
+	for _, run := range runs {
+		if err := run.finish(); err != nil {
+			return fail(err)
+		}
+		bytes += run.bytes
+	}
+	return runs, bytes, nil
 }
 
 func closeRuns(runs []*spillRun) {

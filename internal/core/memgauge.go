@@ -50,6 +50,12 @@ func AccRowBytes(arity int) int64 { return int64(8*arity + accSlotBytes) }
 type MemGauge struct {
 	budget int64  // bytes; <= 0 means unlimited
 	dir    string // spill directory; "" means os.TempDir()
+	// parent, when non-nil, aggregates this gauge: every Charge/Release
+	// and spill event is mirrored into it (metering only — Over consults
+	// this gauge's own budget). A per-query child of a per-worker parent
+	// gives exact per-query attribution while the worker keeps a
+	// cumulative view.
+	parent *MemGauge
 
 	used    atomic.Int64
 	peak    atomic.Int64
@@ -61,6 +67,19 @@ type MemGauge struct {
 // metering only, never over budget) spilling into dir ("" = os.TempDir()).
 func NewMemGauge(budgetBytes int64, dir string) *MemGauge {
 	return &MemGauge{budget: budgetBytes, dir: dir}
+}
+
+// NewMemGaugeChild returns a gauge with the parent's budget and spill
+// directory whose charges and spill events are also mirrored into the
+// parent. The child's counters are then exactly one task's (one query's)
+// share, while the parent accumulates across all of its children — the
+// per-query attribution the concurrent engine reports from. A nil parent
+// yields nil (no governance).
+func NewMemGaugeChild(parent *MemGauge) *MemGauge {
+	if parent == nil {
+		return nil
+	}
+	return &MemGauge{budget: parent.budget, dir: parent.dir, parent: parent}
 }
 
 // Budget returns the configured budget in bytes (<= 0 means unlimited).
@@ -89,6 +108,7 @@ func (g *MemGauge) Charge(n int64) {
 		return
 	}
 	used := g.used.Add(n)
+	g.parent.Charge(n)
 	// Track the high-water mark; benign race on concurrent peaks (the
 	// larger CAS wins eventually).
 	for {
@@ -106,6 +126,7 @@ func (g *MemGauge) Release(n int64) {
 		return
 	}
 	g.used.Add(-n)
+	g.parent.Release(n)
 }
 
 // Used returns the currently charged bytes. Safe on nil (returns 0).
@@ -125,23 +146,33 @@ func (g *MemGauge) Peak() int64 {
 	return g.peak.Load()
 }
 
-// Over reports whether the charged bytes exceed the budget. A nil gauge or
-// a non-positive budget is never over. Safe for concurrent use.
+// Over reports whether the charged bytes exceed the budget — this gauge's
+// own, or any ancestor's: a per-query child trips when its query is over
+// its task budget *or* when the worker's cumulative gauge is, so
+// concurrent queries sharing a worker cannot multiply the worker's memory
+// by their count. A nil gauge or a non-positive budget is never over.
+// Safe for concurrent use.
 func (g *MemGauge) Over() bool {
-	if g == nil || g.budget <= 0 {
+	if g == nil {
 		return false
 	}
-	return g.used.Load() > g.budget
+	if g.budget > 0 && g.used.Load() > g.budget {
+		return true
+	}
+	return g.parent.Over()
 }
 
 // WouldExceed reports whether charging n more bytes would exceed the
-// budget — the build-or-spill decision of BuildJoinIndexBudgeted. Safe on
-// nil (always false).
+// budget — the build-or-spill decision of BuildJoinIndexBudgeted. Like
+// Over it consults the ancestors too. Safe on nil (always false).
 func (g *MemGauge) WouldExceed(n int64) bool {
-	if g == nil || g.budget <= 0 {
+	if g == nil {
 		return false
 	}
-	return g.used.Load()+n > g.budget
+	if g.budget > 0 && g.used.Load()+n > g.budget {
+		return true
+	}
+	return g.parent.WouldExceed(n)
 }
 
 // noteSpill records one spill event that moved n bytes to disk.
@@ -151,6 +182,7 @@ func (g *MemGauge) noteSpill(n int64) {
 	}
 	g.spills.Add(1)
 	g.spilled.Add(n)
+	g.parent.noteSpill(n)
 }
 
 // Spills returns how many spill events (accumulator shard evictions, join

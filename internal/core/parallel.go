@@ -1,10 +1,21 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// CtxErr returns ctx.Err() treating a nil context as never cancelled — the
+// cancellation probe of the data plane's loops, which all accept a nil
+// context to keep sequential/legacy callers untouched.
+func CtxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // This file is the worker pool of the parallel data plane: it drains many
 // iterator pipelines at once into the shared fixpoint Accumulator (see
@@ -91,6 +102,18 @@ func runWorkers(tasks, workers int, fn func(worker, task int)) {
 // workers concurrently. With one worker (or one iterator) it degrades to a
 // plain sequential drain with no goroutines.
 func ParallelDrain(its []Iterator, workers int, sink *Accumulator) int {
+	added, _ := ParallelDrainCtx(nil, its, workers, sink)
+	return added
+}
+
+// ParallelDrainCtx is ParallelDrain under a cancellation context: every
+// worker probes ctx between batches, so a cancelled query stops draining
+// within one batch and the call returns ctx.Err() (with however many rows
+// made it into the accumulator — the caller is expected to unwind and
+// discard). A nil ctx never cancels.
+func ParallelDrainCtx(ctx context.Context, its []Iterator, workers int, sink *Accumulator) (int, error) {
+	var cancelled atomic.Bool
+	done := ctxDoneChan(ctx)
 	if workers > len(its) {
 		workers = len(its)
 	}
@@ -98,24 +121,52 @@ func ParallelDrain(its []Iterator, workers int, sink *Accumulator) int {
 		added := 0
 		var ad accAdder
 		for _, it := range its {
-			added += drainToAccumulator(it, sink, &ad)
+			added += drainToAccumulator(it, sink, &ad, done, &cancelled)
+			if cancelled.Load() {
+				return added, ctx.Err()
+			}
 		}
-		return added
+		return added, nil
 	}
 	var added atomic.Int64
 	adders := make([]accAdder, workers) // per-goroutine scratch, reused across pipelines
 	runWorkers(len(its), workers, func(w, i int) {
-		added.Add(int64(drainToAccumulator(its[i], sink, &adders[w])))
+		if cancelled.Load() {
+			return
+		}
+		added.Add(int64(drainToAccumulator(its[i], sink, &adders[w], done, &cancelled)))
 	})
-	return int(added.Load())
+	if cancelled.Load() {
+		return int(added.Load()), ctx.Err()
+	}
+	return int(added.Load()), nil
+}
+
+// ctxDoneChan returns ctx's done channel, nil for a nil context (a nil
+// channel never fires in a select, so the probe below stays branch-cheap).
+func ctxDoneChan(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
 }
 
 // drainToAccumulator feeds one iterator's batches into the accumulator
 // through the batched adder, so a shard's lock is taken once per batch
-// instead of once per row.
-func drainToAccumulator(it Iterator, sink *Accumulator, ad *accAdder) int {
+// instead of once per row. Between batches it probes the done channel and
+// flags cancellation for its pool siblings.
+func drainToAccumulator(it Iterator, sink *Accumulator, ad *accAdder, done <-chan struct{}, cancelled *atomic.Bool) int {
 	added := 0
 	for b := it.Next(); b != nil; b = it.Next() {
+		select {
+		case <-done:
+			cancelled.Store(true)
+			return added
+		default:
+		}
+		if cancelled.Load() {
+			return added
+		}
 		added += ad.addBatch(sink, b, nil)
 	}
 	return added

@@ -358,3 +358,41 @@ func TestAccumulatorConcurrentProbeDuringEviction(t *testing.T) {
 		t.Fatalf("concurrent spill run differs: %d vs %d rows", got.Len(), want.Len())
 	}
 }
+
+// TestChildGaugeEnforcesParentBudget: a per-query child gauge trips not
+// only on its own budget but also when the shared worker (parent) gauge
+// is over — N concurrent queries cannot multiply a worker's memory by N.
+func TestChildGaugeEnforcesParentBudget(t *testing.T) {
+	parent := NewMemGauge(1000, t.TempDir())
+	a := NewMemGaugeChild(parent)
+	b := NewMemGaugeChild(parent)
+	a.Charge(600)
+	if a.Over() {
+		t.Fatal("child over at 600/1000 with an in-budget parent")
+	}
+	b.Charge(600)
+	// Parent sees 1200 > 1000: both children must now report over even
+	// though each is individually under its own budget.
+	if !parent.Over() {
+		t.Fatalf("parent not over at %d/1000", parent.Used())
+	}
+	c := NewMemGaugeChild(parent)
+	if !a.Over() || !b.Over() || !c.Over() {
+		t.Fatal("children ignore the over-budget parent")
+	}
+	if !c.WouldExceed(1) {
+		t.Fatal("WouldExceed ignores the over-budget parent")
+	}
+	a.Release(600)
+	b.Release(600)
+	if parent.Used() != 0 || a.Over() || c.WouldExceed(100) {
+		t.Fatalf("release did not propagate: parent used=%d", parent.Used())
+	}
+	// Spill events mirror upward with exact per-child attribution.
+	a.noteSpill(10)
+	b.noteSpill(20)
+	if a.Spills() != 1 || b.Spills() != 1 || parent.Spills() != 2 || parent.SpilledBytes() != 30 {
+		t.Fatalf("spill mirroring wrong: a=%d b=%d parent=%d/%dB",
+			a.Spills(), b.Spills(), parent.Spills(), parent.SpilledBytes())
+	}
+}

@@ -25,16 +25,30 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
 
 // Graph is a labeled directed graph stored as a triple relation
 // (src, pred, trg) with all identifiers interned in Dict.
+//
+// Mutation (Add/AddV/ReadTSVInto) must not race with readers; the
+// generation counter below only tells caches *that* the graph changed, not
+// that changing it concurrently with a query is safe.
 type Graph struct {
 	Name    string
 	Dict    *core.Dict
 	Triples *core.Relation
+
+	// id is the graph's process-unique serial (assigned by NewGraph) and
+	// gen counts mutations: every inserted triple bumps it. Together they
+	// let anything derived from the graph's statistics (cost-selected
+	// plans, prepared statements) validate itself with two atomic loads —
+	// without retaining a pointer to the graph it was derived from. See
+	// ID and Generation.
+	id  uint64
+	gen atomic.Uint64
 
 	// si/pi/ti locate src/pred/trg in the sorted triple schema and rowBuf
 	// is the reused insertion scratch: AddV assembles each triple in place
@@ -44,6 +58,16 @@ type Graph struct {
 	rowBuf     [3]core.Value
 }
 
+// Generation returns the mutation counter: it changes whenever a triple is
+// inserted. Plan caches key their entries by it and treat any change as an
+// invalidation (the paper's §III-D plan choice is deterministic per
+// (query, graph statistics), so an unchanged generation makes a cached
+// plan safe to reuse).
+func (g *Graph) Generation() uint64 { return g.gen.Load() }
+
+// nextGraphID issues process-unique graph serials.
+var nextGraphID atomic.Uint64
+
 // NewGraph returns an empty graph.
 func NewGraph(name string) *Graph {
 	triples := core.NewRelation(core.ColSrc, core.ColPred, core.ColTrg)
@@ -51,11 +75,17 @@ func NewGraph(name string) *Graph {
 		Name:    name,
 		Dict:    core.NewDict(),
 		Triples: triples,
+		id:      nextGraphID.Add(1),
 		si:      core.ColIndex(triples.Cols(), core.ColSrc),
 		pi:      core.ColIndex(triples.Cols(), core.ColPred),
 		ti:      core.ColIndex(triples.Cols(), core.ColTrg),
 	}
 }
+
+// ID returns the graph's process-unique serial: two distinct Graph
+// objects never share one, so (ID, Generation) identifies a graph state
+// without holding the graph alive.
+func (g *Graph) ID() uint64 { return g.id }
 
 // Edges returns the number of triples.
 func (g *Graph) Edges() int { return g.Triples.Len() }
@@ -71,6 +101,7 @@ func (g *Graph) AddV(src, pred, trg core.Value) {
 	g.rowBuf[g.pi] = pred
 	g.rowBuf[g.ti] = trg
 	g.Triples.Add(g.rowBuf[:])
+	g.gen.Add(1)
 }
 
 // Binary extracts the (src, trg) relation of one predicate.

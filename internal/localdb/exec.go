@@ -1,17 +1,17 @@
 package localdb
 
 import (
+	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 )
 
 // evictStride is how many rows a budgeted join-output sink accumulates
-// between eviction attempts: coarse enough that run compaction is not
-// rewritten per batch, fine enough that the over-budget excursion stays a
-// few batches deep.
+// between eviction attempts (core.Accumulator.MaybeEvictStride): coarse
+// enough that run compaction is not rewritten per batch, fine enough that
+// the over-budget excursion stays a few batches deep.
 const evictStride = 8192
 
 // Stats counts executor work, for benchmarks and tests.
@@ -37,6 +37,10 @@ type Stats struct {
 type Executor struct {
 	DB    *DB
 	Stats Stats
+	// Ctx, when non-nil, cancels evaluation: RunFixpoint checks it once
+	// per semi-naive iteration, so a cancelled query stops within one
+	// iteration and returns ctx.Err(). Nil means never cancelled.
+	Ctx context.Context
 }
 
 // NewExecutor returns an executor over db.
@@ -223,16 +227,12 @@ func (ex *Executor) evalJoin(j *core.Join, dyn []binding) (*core.Relation, error
 		sink := core.NewAccumulatorBudgeted(ex.DB.gauge, it.Cols()...)
 		defer sink.Close()
 		ab := sink.Absorber()
-		lastEvict := 0
 		for b := it.Next(); b != nil; b = it.Next() {
 			ab.AbsorbBatch(b, nil)
-			// Evict at stride granularity, not per batch: each eviction
-			// compacts the shard runs, so per-batch calls would rewrite
-			// them quadratically often on large outputs.
-			if sink.Len()-lastEvict >= evictStride {
-				lastEvict = sink.Len()
-				sink.MaybeEvict()
-			}
+			// Stride-gated eviction: each eviction compacts the shard
+			// runs, so per-batch calls would rewrite them quadratically
+			// often on large outputs.
+			sink.MaybeEvictStride(evictStride)
 		}
 		return sink.Materialize(), nil
 	}
@@ -294,7 +294,6 @@ func (ex *Executor) evalJoin(j *core.Join, dyn []binding) (*core.Relation, error
 		}
 		var wg sync.WaitGroup
 		work := make(chan [2]int)
-		var lastEvict atomic.Int64
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
@@ -305,12 +304,8 @@ func (ex *Executor) evalJoin(j *core.Join, dyn []binding) (*core.Relation, error
 					// over-budget worker can freeze between ranges
 					// (MaybeEvict is safe against concurrent Adds) — at
 					// stride granularity so run compaction is not
-					// rewritten once per small range. The counter race is
-					// benign: a duplicate eviction is a cheap no-op.
-					if n := int64(sink.Len()); n-lastEvict.Load() >= evictStride {
-						lastEvict.Store(n)
-						sink.MaybeEvict()
-					}
+					// rewritten once per small range.
+					sink.MaybeEvictStride(evictStride)
 				}
 			}()
 		}
@@ -346,6 +341,9 @@ func (ex *Executor) RunFixpoint(d *core.Decomposed, init *core.Relation, dyn []b
 	ab := acc.Absorber()
 	nu := init
 	for nu.Len() > 0 {
+		if err := core.CtxErr(ex.Ctx); err != nil {
+			return nil, err
+		}
 		ex.Stats.FixpointIters++
 		// The delta below is a DeltaRelation *copy*, so when over budget
 		// every already-published row of X can be frozen to disk.

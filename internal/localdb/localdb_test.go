@@ -1,6 +1,8 @@
 package localdb
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -318,5 +320,24 @@ func TestTableReplacementReleasesGaugeCharges(t *testing.T) {
 	db.Close()
 	if g.Used() != 0 {
 		t.Fatalf("leaked %d bytes after Drop+Close", g.Used())
+	}
+}
+
+// TestExecutorCancelled: a cancelled executor context aborts RunFixpoint
+// at its per-iteration check with ctx.Err().
+func TestExecutorCancelled(t *testing.T) {
+	db := Open()
+	edges := core.NewRelation(core.ColSrc, core.ColTrg)
+	for i := 0; i < 64; i++ {
+		edges.Add([]core.Value{core.Value(i), core.Value(i + 1)})
+	}
+	db.CreateTable("E", edges)
+	ex := NewExecutor(db)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ex.Ctx = ctx
+	_, err := ex.Eval(core.ClosureLR("X", &core.Var{Name: "E"}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }

@@ -27,6 +27,7 @@
 package physical
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -109,6 +110,7 @@ type Planner struct {
 	// — the ablation for the delta-aware shuffle.
 	DisableDeltaShuffleFilter bool
 
+	sess        *cluster.Session // pinned session (NewSessionPlanner), else per-Execute
 	fresh       atomic.Int64
 	ev          *core.Evaluator
 	driverGauge *core.MemGauge
@@ -116,13 +118,25 @@ type Planner struct {
 
 // DriverGauge returns the gauge of the driver-side glue evaluator of the
 // most recent Execute (nil when Config.TaskMemBytes is 0). Worker-side
-// gauges live on the cluster (Cluster.Gauges); reports that sum spill
-// counters must include both.
+// gauges live on the session (Session.Gauges) and aggregate into the
+// cluster's (Cluster.Gauges); reports that sum spill counters must include
+// the driver gauge too.
 func (p *Planner) DriverGauge() *core.MemGauge { return p.driverGauge }
 
 // NewPlanner returns a planner over a cluster and a driver-side database.
+// Each Execute runs under a private, non-cancellable session; use
+// NewSessionPlanner to execute inside a caller-owned session (per-query
+// metrics, gauges and cancellation).
 func NewPlanner(c *cluster.Cluster, env *core.Env) *Planner {
 	return &Planner{C: c, Env: env}
+}
+
+// NewSessionPlanner returns a planner whose Executes run inside s: every
+// phase, exchange and broadcast carries s's tag, its metrics and gauges
+// count exactly this planner's work, and cancelling s's context aborts the
+// driver loop, the workers' local loops and every barrier in flight.
+func NewSessionPlanner(s *cluster.Session, env *core.Env) *Planner {
+	return &Planner{C: s.Cluster(), Env: env, sess: s}
 }
 
 // Execute evaluates t and reports how its fixpoints ran.
@@ -130,17 +144,26 @@ func (p *Planner) Execute(t core.Term) (*core.Relation, *Report, error) {
 	if _, err := core.Schema(t, p.Env.SchemaEnv()); err != nil {
 		return nil, nil, err
 	}
+	sess := p.sess
+	if sess == nil {
+		sess = p.C.NewSession(context.Background())
+		defer sess.Close()
+	}
 	rep := &Report{}
 	p.ev = core.NewEvaluator(p.Env)
-	if cfg := p.C.Config(); cfg.TaskMemBytes > 0 {
+	p.ev.Ctx = sess.Context()
+	if root := p.C.DriverGauge(); root != nil {
 		// The driver-side glue evaluator runs under the same per-task
-		// budget a worker gets; workers carry their own gauges.
-		p.driverGauge = core.NewMemGauge(cfg.TaskMemBytes, cfg.SpillDir)
+		// budget a worker gets. The gauge is a child of the cluster's
+		// driver-lifetime gauge, so concurrent queries share one
+		// cumulative driver budget while this query's spill counters stay
+		// exact.
+		p.driverGauge = core.NewMemGaugeChild(root)
 		p.ev.Gauge = p.driverGauge
 	}
 	defer p.ev.Close()
 	p.ev.FixpointHandler = func(fp *core.Fixpoint, _ *core.Env) (*core.Relation, error) {
-		return p.runFixpoint(fp, rep)
+		return p.runFixpoint(sess, fp, rep)
 	}
 	rel, err := p.ev.Eval(t)
 	if err != nil {
@@ -162,7 +185,7 @@ type prepared struct {
 	phiConst int // total rows of the φ constant relations
 }
 
-func (p *Planner) prepare(fp *core.Fixpoint, rep *Report) (*prepared, error) {
+func (p *Planner) prepare(sess *cluster.Session, fp *core.Fixpoint, rep *Report) (*prepared, error) {
 	d, err := core.Decompose(fp)
 	if err != nil {
 		return nil, err
@@ -185,7 +208,7 @@ func (p *Planner) prepare(fp *core.Fixpoint, rep *Report) (*prepared, error) {
 				return s
 			}
 			if inner, ok := s.(*core.Fixpoint); ok {
-				rel, err := p.runFixpoint(inner, rep)
+				rel, err := p.runFixpoint(sess, inner, rep)
 				if err != nil {
 					walkErr = err
 					return s
@@ -245,8 +268,8 @@ func (p *Planner) choose(pr *prepared) Kind {
 	return Splw
 }
 
-func (p *Planner) runFixpoint(fp *core.Fixpoint, rep *Report) (*core.Relation, error) {
-	pr, err := p.prepare(fp, rep)
+func (p *Planner) runFixpoint(sess *cluster.Session, fp *core.Fixpoint, rep *Report) (*core.Relation, error) {
+	pr, err := p.prepare(sess, fp, rep)
 	if err != nil {
 		return nil, err
 	}
@@ -263,11 +286,11 @@ func (p *Planner) runFixpoint(fp *core.Fixpoint, rep *Report) (*core.Relation, e
 	)
 	switch kind {
 	case Gld:
-		out, fr, err = p.runGld(pr)
+		out, fr, err = p.runGld(sess, pr)
 	case Pgplw:
-		out, fr, err = p.runPlw(pr, true)
+		out, fr, err = p.runPlw(sess, pr, true)
 	default:
-		out, fr, err = p.runPlw(pr, false)
+		out, fr, err = p.runPlw(sess, pr, false)
 	}
 	if err != nil {
 		return nil, err
@@ -282,15 +305,15 @@ func (p *Planner) runFixpoint(fp *core.Fixpoint, rep *Report) (*core.Relation, e
 
 // broadcastPhiRels ships the φ constant relations to all workers and
 // returns handles keyed by relation name.
-func (p *Planner) broadcastPhiRels(pr *prepared) (map[string]*cluster.Broadcast, func(), error) {
+func (p *Planner) broadcastPhiRels(sess *cluster.Session, pr *prepared) (map[string]*cluster.Broadcast, func(), error) {
 	handles := map[string]*cluster.Broadcast{}
 	free := func() {
 		for _, h := range handles {
-			p.C.FreeBroadcast(h)
+			sess.FreeBroadcast(h)
 		}
 	}
 	for name, rel := range pr.phiRels {
-		h, err := p.C.BroadcastRel(rel)
+		h, err := sess.BroadcastRel(rel)
 		if err != nil {
 			free()
 			return nil, nil, err
@@ -320,37 +343,37 @@ func localEnv(ctx *cluster.Ctx, handles map[string]*cluster.Broadcast) *core.Env
 // partition of X lives in a core.Accumulator for the whole loop, absorbing
 // shuffled candidates at frame-decode time (ExchangeInto) and
 // materializing into a relation only once, for the final collect.
-func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
+func (p *Planner) runGld(sess *cluster.Session, pr *prepared) (*core.Relation, FixpointReport, error) {
 	fr := FixpointReport{StableCols: pr.stable}
-	handles, freeB, err := p.broadcastPhiRels(pr)
+	handles, freeB, err := p.broadcastPhiRels(sess, pr)
 	if err != nil {
 		return nil, fr, err
 	}
 	defer freeB()
 
 	rowHash := pr.seed.Cols()
-	xDS, err := p.C.Parallelize(pr.seed, rowHash)
+	xDS, err := sess.Parallelize(pr.seed, rowHash)
 	if err != nil {
 		return nil, fr, err
 	}
-	defer p.C.Free(xDS)
-	newDS, err := p.C.Parallelize(pr.seed, rowHash)
+	defer sess.Free(xDS)
+	newDS, err := sess.Parallelize(pr.seed, rowHash)
 	if err != nil {
 		return nil, fr, err
 	}
-	defer p.C.Free(newDS)
+	defer sess.Free(newDS)
 
 	d := pr.d
-	evals := make([]*core.Evaluator, p.C.NumWorkers())
+	evals := make([]*core.Evaluator, sess.NumWorkers())
 	// xAcc is each worker's partition of X, sharded across the whole loop.
-	xAcc := make([]*core.Accumulator, p.C.NumWorkers())
+	xAcc := make([]*core.Accumulator, sess.NumWorkers())
 	// sent is each worker's delta-aware shuffle filter: every candidate
 	// tuple this worker has already pushed into an Exchange (rows hash to a
 	// fixed owner, so a re-derived candidate would reach the same partition
 	// of X, which absorbed it at the barrier of the earlier iteration) is
 	// remembered and never crosses the wire again. It is an accumulator of
 	// its own, absorbing each iteration's candidates without rebuilding.
-	sent := make([]*core.Accumulator, p.C.NumWorkers())
+	sent := make([]*core.Accumulator, sess.NumWorkers())
 	defer func() {
 		for _, ev := range evals {
 			if ev != nil {
@@ -369,13 +392,20 @@ func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
 		}
 	}()
 	for {
+		// The driver's global loop is the natural cancellation point of
+		// Pgld: a cancelled query stops before scheduling the next
+		// iteration (and the barriers inside the phase abort on their own).
+		if err := sess.Err(); err != nil {
+			return nil, fr, err
+		}
 		var added atomic.Int64
-		err := p.C.RunPhase(func(ctx *cluster.Ctx) error {
+		err := sess.RunPhase(func(ctx *cluster.Ctx) error {
 			w := ctx.WorkerID()
 			ev := evals[w]
 			if ev == nil {
 				ev = core.NewEvaluator(localEnv(ctx, handles))
 				ev.Gauge = ctx.Gauge()
+				ev.Ctx = ctx.Context()
 				evals[w] = ev
 				xAcc[w] = core.NewAccumulatorBudgeted(ctx.Gauge(), pr.seed.Cols()...)
 				xAcc[w].Absorb(ctx.Partition(xDS))
@@ -421,7 +451,7 @@ func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
 	}
 	// Materialize each worker's accumulator into its xDS partition for the
 	// collect — the only X merge of the whole loop.
-	if err := p.C.RunPhase(func(ctx *cluster.Ctx) error {
+	if err := sess.RunPhase(func(ctx *cluster.Ctx) error {
 		if a := xAcc[ctx.WorkerID()]; a != nil {
 			ctx.SetPartition(xDS, a.Materialize())
 		}
@@ -429,7 +459,7 @@ func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
 	}); err != nil {
 		return nil, fr, err
 	}
-	out, err := p.C.Collect(xDS)
+	out, err := sess.Collect(xDS)
 	if err != nil {
 		return nil, fr, err
 	}
@@ -442,9 +472,9 @@ func (p *Planner) runGld(pr *prepared) (*core.Relation, FixpointReport, error) {
 // entire fixpoint without any exchange. usePg selects the localdb-backed
 // variant Ppg_plw; otherwise the worker loops with the in-memory evaluator
 // and partition-wise set semantics (Ps_plw).
-func (p *Planner) runPlw(pr *prepared, usePg bool) (*core.Relation, FixpointReport, error) {
+func (p *Planner) runPlw(sess *cluster.Session, pr *prepared, usePg bool) (*core.Relation, FixpointReport, error) {
 	fr := FixpointReport{StableCols: pr.stable}
-	handles, freeB, err := p.broadcastPhiRels(pr)
+	handles, freeB, err := p.broadcastPhiRels(sess, pr)
 	if err != nil {
 		return nil, fr, err
 	}
@@ -455,13 +485,13 @@ func (p *Planner) runPlw(pr *prepared, usePg bool) (*core.Relation, FixpointRepo
 		byCols = nil
 	}
 	fr.Partitioned = byCols != nil
-	seedDS, err := p.C.Parallelize(pr.seed, byCols)
+	seedDS, err := sess.Parallelize(pr.seed, byCols)
 	if err != nil {
 		return nil, fr, err
 	}
-	defer p.C.Free(seedDS)
-	resDS := p.C.NewDataset(pr.seed.Cols()...)
-	defer p.C.Free(resDS)
+	defer sess.Free(seedDS)
+	resDS := sess.NewDataset(pr.seed.Cols()...)
+	defer sess.Free(resDS)
 
 	d := pr.d
 	var maxIters atomic.Int64
@@ -477,6 +507,7 @@ func (p *Planner) runPlw(pr *prepared, usePg bool) (*core.Relation, FixpointRepo
 			env := localEnv(ctx, handles)
 			ev := core.NewEvaluator(env)
 			ev.Gauge = ctx.Gauge()
+			ev.Ctx = ctx.Context()
 			defer ev.Close()
 			local, err = ev.RunFixpoint(d, part, env)
 			iters = ev.Stats.FixpointIterations
@@ -492,7 +523,7 @@ func (p *Planner) runPlw(pr *prepared, usePg bool) (*core.Relation, FixpointRepo
 		ctx.SetPartition(resDS, local)
 		return nil
 	}
-	if err := p.C.RunPhase(phase); err != nil {
+	if err := sess.RunPhase(phase); err != nil {
 		return nil, fr, err
 	}
 	fr.Iterations = int(maxIters.Load())
@@ -501,14 +532,14 @@ func (p *Planner) runPlw(pr *prepared, usePg bool) (*core.Relation, FixpointRepo
 	if !fr.Partitioned {
 		// No stable column: the local fixpoints may overlap; a distinct
 		// shuffle performs the deduplicating union of Prop. 3.
-		dd, err := p.C.Distinct(resDS)
+		dd, err := sess.Distinct(resDS)
 		if err != nil {
 			return nil, fr, err
 		}
-		defer p.C.Free(dd)
+		defer sess.Free(dd)
 		final = dd
 	}
-	out, err := p.C.Collect(final)
+	out, err := sess.Collect(final)
 	if err != nil {
 		return nil, fr, err
 	}
@@ -519,15 +550,30 @@ func (p *Planner) runPlw(pr *prepared, usePg bool) (*core.Relation, FixpointRepo
 // as localdb tables (once per worker; reused across fixpoints), marshal the
 // seed partition across the engine boundary, run the fixpoint inside the
 // engine, and marshal the result back — the Spark↔PostgreSQL iterator
-// boundary of the paper.
+// boundary of the paper. The worker's embedded engine is shared by every
+// session but is single-query (unsynchronized caches), so concurrent
+// Ppg_plw fixpoints on one worker serialize on the attachment slot — like a
+// single-connection PostgreSQL backend; other workers and all other plans
+// stay concurrent.
 func runLocalPg(ctx *cluster.Ctx, d *core.Decomposed, seed *core.Relation, handles map[string]*cluster.Broadcast) (*core.Relation, int, error) {
 	w := ctx.Worker()
-	db, _ := w.Local["localdb"].(*localdb.DB)
+	// Context-aware acquire: a query queued behind another session's
+	// fixpoint returns ctx.Err() the moment it is cancelled instead of
+	// waiting the predecessor out.
+	if err := w.AcquireLocal(ctx.Context()); err != nil {
+		return nil, 0, err
+	}
+	defer w.ReleaseLocal()
+	db, _ := w.Local("localdb").(*localdb.DB)
 	if db == nil {
 		db = localdb.Open()
-		db.SetGauge(ctx.Gauge())
-		w.Local["localdb"] = db
+		w.SetLocal("localdb", db)
 	}
+	// The gauge is per session: point the database at the current query's
+	// budget for the duration of this (serialized) fixpoint. Indexes built
+	// now charge — and spill against — this query's gauge; charges of
+	// still-cached older indexes were taken on the gauges that built them.
+	db.SetGauge(ctx.Gauge())
 	for name, h := range handles {
 		rel := ctx.BroadcastValue(h)
 		if tab, ok := db.Table(name); !ok || tab.Relation() != rel {
@@ -535,6 +581,7 @@ func runLocalPg(ctx *cluster.Ctx, d *core.Decomposed, seed *core.Relation, handl
 		}
 	}
 	ex := localdb.NewExecutor(db)
+	ex.Ctx = ctx.Context()
 	in := marshalBoundary(seed)
 	res, err := ex.RunFixpoint(d, in, nil)
 	if err != nil {

@@ -30,7 +30,7 @@ func (g *Graph) RunSameGeneration(label core.Value, opts RPQOptions) (*SGResult,
 	c := g.c
 	stateKey := g.key + ":sg"
 	defer c.RunPhase(func(ctx *cluster.Ctx) error {
-		delete(ctx.Worker().Local, stateKey)
+		ctx.Worker().DeleteLocal(stateKey)
 		return nil
 	})
 	// token rows: (dst, origin, depth)
@@ -42,13 +42,13 @@ func (g *Graph) RunSameGeneration(label core.Value, opts RPQOptions) (*SGResult,
 	}
 	var total atomic.Int64
 	err := c.RunPhase(func(ctx *cluster.Ctx) error {
-		adj := ctx.Worker().Local[g.key].(*adjacency)
+		adj := ctx.Worker().Local(g.key).(*adjacency)
 		st := &sgState{
 			visited: map[[2]core.Value]map[core.Value]bool{},
 			tokens:  core.NewRelation("origin", "depth", "v"),
 			outbox:  core.NewRelation(cols...),
 		}
-		ctx.Worker().Local[stateKey] = st
+		ctx.Worker().SetLocal(stateKey, st)
 		// Seed: every vertex is an ancestor at depth 0 of its children.
 		for _, v := range adj.vertices {
 			for _, e := range adj.out[v] {
@@ -70,8 +70,8 @@ func (g *Graph) RunSameGeneration(label core.Value, opts RPQOptions) (*SGResult,
 		}
 		var pending atomic.Int64
 		err := c.RunPhase(func(ctx *cluster.Ctx) error {
-			adj := ctx.Worker().Local[g.key].(*adjacency)
-			st := ctx.Worker().Local[stateKey].(*sgState)
+			adj := ctx.Worker().Local(g.key).(*adjacency)
+			st := ctx.Worker().Local(stateKey).(*sgState)
 			inbox, err := ctx.Exchange(st.outbox, []string{"dst"})
 			if err != nil {
 				return err
@@ -120,7 +120,7 @@ func (g *Graph) RunSameGeneration(label core.Value, opts RPQOptions) (*SGResult,
 	pairDS := c.NewDataset(core.ColSrc, core.ColTrg)
 	defer c.Free(pairDS)
 	err = c.RunPhase(func(ctx *cluster.Ctx) error {
-		st := ctx.Worker().Local[stateKey].(*sgState)
+		st := ctx.Worker().Local(stateKey).(*sgState)
 		grouped, err := ctx.Exchange(st.tokens, []string{"origin", "depth"})
 		if err != nil {
 			return err
@@ -165,7 +165,7 @@ func (g *Graph) RunAnBn(labelA, labelB core.Value, opts RPQOptions) (*RPQResult,
 	c := g.c
 	stateKey := g.key + ":anbn"
 	defer c.RunPhase(func(ctx *cluster.Ctx) error {
-		delete(ctx.Worker().Local, stateKey)
+		ctx.Worker().DeleteLocal(stateKey)
 		return nil
 	})
 	// message rows: (balance, dst, origin, phase) — phase 0 = reading a's,
@@ -178,13 +178,13 @@ func (g *Graph) RunAnBn(labelA, labelB core.Value, opts RPQOptions) (*RPQResult,
 	}
 	var total atomic.Int64
 	err := c.RunPhase(func(ctx *cluster.Ctx) error {
-		adj := ctx.Worker().Local[g.key].(*adjacency)
+		adj := ctx.Worker().Local(g.key).(*adjacency)
 		st := &abState{
 			visited: map[[4]core.Value]bool{},
 			results: core.NewRelation(core.ColSrc, core.ColTrg),
 			outbox:  core.NewRelation(cols...),
 		}
-		ctx.Worker().Local[stateKey] = st
+		ctx.Worker().SetLocal(stateKey, st)
 		for _, v := range adj.vertices {
 			for _, e := range adj.out[v] {
 				if e.label == labelA {
@@ -205,8 +205,8 @@ func (g *Graph) RunAnBn(labelA, labelB core.Value, opts RPQOptions) (*RPQResult,
 		}
 		var pending atomic.Int64
 		err := c.RunPhase(func(ctx *cluster.Ctx) error {
-			adj := ctx.Worker().Local[g.key].(*adjacency)
-			st := ctx.Worker().Local[stateKey].(*abState)
+			adj := ctx.Worker().Local(g.key).(*adjacency)
+			st := ctx.Worker().Local(stateKey).(*abState)
 			inbox, err := ctx.Exchange(st.outbox, []string{"dst"})
 			if err != nil {
 				return err
@@ -263,7 +263,7 @@ func (g *Graph) RunAnBn(labelA, labelB core.Value, opts RPQOptions) (*RPQResult,
 	resultDS := c.NewDataset(core.ColSrc, core.ColTrg)
 	defer c.Free(resultDS)
 	if err := c.RunPhase(func(ctx *cluster.Ctx) error {
-		st := ctx.Worker().Local[stateKey].(*abState)
+		st := ctx.Worker().Local(stateKey).(*abState)
 		ctx.SetPartition(resultDS, st.results)
 		return nil
 	}); err != nil {

@@ -99,7 +99,7 @@ func LoadGraph(c *cluster.Cluster, triples *core.Relation) (*Graph, error) {
 			addVertex(inPart.RowAt(i)[ti])
 		}
 		vcount.Add(int64(len(adj.vertices)))
-		ctx.Worker().Local[g.key] = adj
+		ctx.Worker().SetLocal(g.key, adj)
 		return nil
 	})
 	if err != nil {
@@ -155,7 +155,7 @@ func (g *Graph) RunRPQ(nfa *rpq.NFA, opts RPQOptions) (*RPQResult, error) {
 	n := uint64(c.NumWorkers())
 	stateKey := g.key + ":rpq"
 	defer c.RunPhase(func(ctx *cluster.Ctx) error {
-		delete(ctx.Worker().Local, stateKey)
+		ctx.Worker().DeleteLocal(stateKey)
 		return nil
 	})
 
@@ -168,13 +168,13 @@ func (g *Graph) RunRPQ(nfa *rpq.NFA, opts RPQOptions) (*RPQResult, error) {
 	// Superstep 0: seed (origin, start-state closure) at the origins and
 	// emit the first messages.
 	err := c.RunPhase(func(ctx *cluster.Ctx) error {
-		adj := ctx.Worker().Local[g.key].(*adjacency)
+		adj := ctx.Worker().Local(g.key).(*adjacency)
 		st := &rpqState{
 			visited: map[[2]core.Value]map[int]bool{},
 			results: core.NewRelation(core.ColSrc, core.ColTrg),
 			outbox:  core.NewRelation(msgCols...),
 		}
-		ctx.Worker().Local[stateKey] = st
+		ctx.Worker().SetLocal(stateKey, st)
 		startStates := nfa.EpsClosure(map[int]bool{nfa.Start: true})
 		for _, v := range adj.vertices {
 			if opts.StartNodes != nil && !startSet[v] {
@@ -198,8 +198,8 @@ func (g *Graph) RunRPQ(nfa *rpq.NFA, opts RPQOptions) (*RPQResult, error) {
 		}
 		var pending atomic.Int64
 		err := c.RunPhase(func(ctx *cluster.Ctx) error {
-			adj := ctx.Worker().Local[g.key].(*adjacency)
-			st := ctx.Worker().Local[stateKey].(*rpqState)
+			adj := ctx.Worker().Local(g.key).(*adjacency)
+			st := ctx.Worker().Local(stateKey).(*rpqState)
 			inbox, err := ctx.Exchange(st.outbox, []string{"dst"})
 			if err != nil {
 				return err
@@ -236,7 +236,7 @@ func (g *Graph) RunRPQ(nfa *rpq.NFA, opts RPQOptions) (*RPQResult, error) {
 	resultDS := c.NewDataset(core.ColSrc, core.ColTrg)
 	defer c.Free(resultDS)
 	if err := c.RunPhase(func(ctx *cluster.Ctx) error {
-		st := ctx.Worker().Local[stateKey].(*rpqState)
+		st := ctx.Worker().Local(stateKey).(*rpqState)
 		ctx.SetPartition(resultDS, st.results)
 		return nil
 	}); err != nil {

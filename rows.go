@@ -1,0 +1,149 @@
+package distmura
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Rows is a streaming result cursor. Distributed execution materializes
+// the (interned, deduplicated) result relation on the driver — that is
+// inherent to the final distinct/collect — but the expensive half of the
+// old API, rendering every value back to a string up front, is done lazily
+// here: the cursor walks the relation batch-by-batch off the core.Iterator
+// pipeline and decodes dictionary values only for the rows the caller
+// actually visits.
+//
+// Usage mirrors database/sql:
+//
+//	rows, err := eng.Query(ctx, "?x <- alice knows+ ?x")
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var x string
+//	    if err := rows.Scan(&x); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// A Rows is not safe for concurrent use. By the time Query returns a Rows,
+// the distributed execution has already finished and released its cluster
+// resources (sessions, accumulators, spill files) and its admission slot —
+// an abandoned cursor can delay garbage collection of the result, but
+// never leaks engine capacity; Close is still good hygiene and makes the
+// deferred-close pattern of database/sql carry over.
+type Rows struct {
+	dict  *core.Dict
+	rel   *core.Relation
+	it    core.Iterator
+	batch *core.Batch
+	bi    int
+	cur   []core.Value
+	stats QueryStats
+	err   error
+	done  bool
+}
+
+func newRows(dict *core.Dict, rel *core.Relation, stats QueryStats) *Rows {
+	return &Rows{dict: dict, rel: rel, it: core.ScanRelation(rel), stats: stats}
+}
+
+// Columns returns the result schema.
+func (r *Rows) Columns() []string { return r.rel.Cols() }
+
+// Len returns the total number of result rows (known up front: the
+// distributed union/distinct has already materialized the interned result;
+// only string decoding is lazy).
+func (r *Rows) Len() int { return r.rel.Len() }
+
+// Next advances to the next row, returning false when the cursor is
+// exhausted or closed. It must be called before the first Scan.
+func (r *Rows) Next() bool {
+	if r.done {
+		return false
+	}
+	if r.batch == nil || r.bi >= r.batch.Len() {
+		r.batch = r.it.Next()
+		r.bi = 0
+		if r.batch == nil {
+			r.done = true
+			r.cur = nil
+			return false
+		}
+	}
+	r.cur = r.batch.Row(r.bi)
+	r.bi++
+	return true
+}
+
+// Scan decodes the current row into dest, which must hold one *string or
+// *core.Value per result column (in Columns order).
+func (r *Rows) Scan(dest ...any) error {
+	if r.cur == nil {
+		return errors.New("distmura: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.cur) {
+		return fmt.Errorf("distmura: Scan got %d destinations for %d columns", len(dest), len(r.cur))
+	}
+	for i, d := range dest {
+		switch d := d.(type) {
+		case *string:
+			*d = r.dict.String(r.cur[i])
+		case *core.Value:
+			*d = r.cur[i]
+		default:
+			return fmt.Errorf("distmura: Scan destination %d has unsupported type %T (want *string or *core.Value)", i, d)
+		}
+	}
+	return nil
+}
+
+// Strings returns the current row decoded to strings (a fresh slice the
+// caller may keep).
+func (r *Rows) Strings() []string {
+	if r.cur == nil {
+		return nil
+	}
+	out := make([]string, len(r.cur))
+	for i, v := range r.cur {
+		out[i] = r.dict.String(v)
+	}
+	return out
+}
+
+// Values returns the current row's interned values as a read-only view,
+// valid until the next call to Next.
+func (r *Rows) Values() []core.Value { return r.cur }
+
+// Err returns the first error encountered while iterating (always nil
+// today — execution errors surface from Query/Run before a Rows exists —
+// but part of the cursor contract so callers are future-proof).
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor. It is idempotent and returns Err. Stats are
+// complete once Close returns (they are in fact complete when the cursor
+// is created, since execution finishes before the cursor is handed out).
+func (r *Rows) Close() error {
+	r.done = true
+	r.cur = nil
+	r.batch = nil
+	return r.err
+}
+
+// Stats returns the query's execution statistics.
+func (r *Rows) Stats() QueryStats { return r.stats }
+
+// Collect drains the remaining rows into the pre-cursor API's *Result —
+// every value decoded, everything in memory. Calling it on a fresh cursor
+// reproduces the old Query behavior exactly; after some Next calls it
+// returns only the rows not yet visited.
+func (r *Rows) Collect() (*Result, error) {
+	res := &Result{Columns: r.rel.Cols(), Stats: r.stats}
+	for r.Next() {
+		res.Rows = append(res.Rows, r.Strings())
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
