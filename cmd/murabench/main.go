@@ -104,6 +104,7 @@ func main() {
 	}
 	if want("concurrent") {
 		run("concurrent", func() *benchkit.Table { return benchkit.Concurrent(scale) })
+		run("concurrent-overlap", func() *benchkit.Table { return benchkit.ConcurrentOverlap(scale) })
 	}
 	if want("fig5") {
 		run("fig5-left", func() *benchkit.Table { return benchkit.Fig5Left(scale) })

@@ -144,6 +144,14 @@ type Options struct {
 	// PlanCacheSize bounds the engine's LRU plan cache (0 = a default of
 	// 128 entries, negative disables caching).
 	PlanCacheSize int
+	// SubResultCacheBytes budgets the engine's shared sub-result cache
+	// (materialized recursive subplans reused across sessions; see
+	// ARCHITECTURE.md, "Multi-query optimization"). 0 inherits
+	// TaskMemBytes; when both are 0 residency is metered but unbounded.
+	SubResultCacheBytes int64
+	// DisableSubResultCache turns the sub-result cache off entirely — the
+	// ablation flag for the overlapping-workload benchmark.
+	DisableSubResultCache bool
 }
 
 // Engine is a Dist-µ-RA instance: a labeled graph plus a worker cluster.
@@ -157,7 +165,8 @@ type Engine struct {
 	graph *graphgen.Graph
 	clust *cluster.Cluster
 	plans *planCache
-	sem   chan struct{} // admission semaphore; nil = unlimited
+	subs  *subResultCache // shared sub-result cache; nil when disabled
+	sem   chan struct{}   // admission semaphore; nil = unlimited
 }
 
 // Open starts an engine with an empty graph.
@@ -186,6 +195,13 @@ func Open(opts Options) (*Engine, error) {
 		clust: c,
 		plans: newPlanCache(cacheSize),
 	}
+	if !opts.DisableSubResultCache {
+		budget := opts.SubResultCacheBytes
+		if budget == 0 {
+			budget = opts.TaskMemBytes
+		}
+		e.subs = newSubResultCache(budget, opts.SpillDir)
+	}
 	if opts.MaxConcurrentQueries > 0 {
 		e.sem = make(chan struct{}, opts.MaxConcurrentQueries)
 	}
@@ -207,11 +223,12 @@ func (e *Engine) LoadTSV(r io.Reader) error {
 }
 
 // UseGraph replaces the engine's graph with a pre-built one (generator
-// output) and flushes the plan cache (cached plans embed constants
-// interned in the old graph's dictionary).
+// output) and flushes the plan and sub-result caches (cached plans and
+// relations embed constants interned in the old graph's dictionary).
 func (e *Engine) UseGraph(g *graphgen.Graph) {
 	e.graph = g
 	e.plans.flush()
+	e.subs.flush()
 }
 
 // Graph exposes the underlying graph (advanced use).
@@ -255,6 +272,13 @@ type QueryStats struct {
 	// caused — and only this query, measured on its own per-worker gauges.
 	Spills       int64
 	SpilledBytes int64
+	// SubResultHits counts this query's fixpoints served straight from the
+	// engine's shared sub-result cache; SubResultWaits counts fixpoints
+	// that joined another session's in-flight computation (single-flight)
+	// instead of recomputing. See Engine.SubResultCacheStats for the
+	// engine-wide view.
+	SubResultHits  int64
+	SubResultWaits int64
 }
 
 // Result is a fully materialized query result with interned values
@@ -317,7 +341,7 @@ func (e *Engine) queryConfig(opts []QueryOption) queryConfig {
 // PlanCacheStats); use Prepare to pin a plan explicitly.
 func (e *Engine) Query(ctx context.Context, text string, opts ...QueryOption) (*Rows, error) {
 	cfg := e.queryConfig(opts)
-	term, planSpace, mp, hit, err := e.optimizeCached(ctx, text, cfg, e.graph.Generation())
+	term, planSpace, mp, hit, err := e.optimizeCached(ctx, text, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -398,6 +422,7 @@ func (e *Engine) Explain(ctx context.Context, text string) (*Explanation, error)
 	}
 	cat := cost.NewCatalog()
 	cat.BindRelation(edgeRel, e.graph.Triples)
+	cat.Cached = e.cachedTermPredicate()
 	best, ranking := cost.SelectBest(plans, cat)
 	sort.Slice(ranking, func(i, j int) bool { return ranking[i].Cost < ranking[j].Cost })
 	ex := &Explanation{Query: q.String(), PlanSpace: len(plans), Best: best.String()}
@@ -441,21 +466,26 @@ func (e *Engine) planSpace(q *ucrpq.UnionQuery, cfg queryConfig) ([]core.Term, e
 }
 
 // optimizeCached consults the engine plan cache before running the full
-// optimizer. gen is the graph generation the caller observed; a cached
-// entry is valid only if it was costed at exactly that generation.
-func (e *Engine) optimizeCached(ctx context.Context, text string, cfg queryConfig, gen uint64) (core.Term, int, cost.MemPlan, bool, error) {
+// optimizer. Cached entries carry the footprint of the predicates their
+// plan reads and stay valid while exactly those predicates are unchanged:
+// a write to an unrelated predicate no longer re-optimizes this query
+// (its statistics drift marginally, but the paper's §III-D choice is
+// driven by the relations the plan actually touches).
+func (e *Engine) optimizeCached(ctx context.Context, text string, cfg queryConfig) (core.Term, int, cost.MemPlan, bool, error) {
 	if err := core.CtxErr(ctx); err != nil {
 		return nil, 0, cost.MemPlan{}, false, err
 	}
+	graph := e.graph
 	key := cfg.cacheKey(text)
-	if pe, ok := e.plans.get(key, gen); ok {
+	if pe, ok := e.plans.get(key, graph); ok {
 		return pe.term, pe.planSpace, pe.mem, true, nil
 	}
 	term, planSpace, mp, err := e.optimize(text, cfg)
 	if err != nil {
 		return nil, 0, cost.MemPlan{}, false, err
 	}
-	e.plans.put(key, planEntry{term: term, mem: mp, planSpace: planSpace, gen: gen})
+	e.plans.put(key, planEntry{term: term, mem: mp, planSpace: planSpace,
+		fp: snapshotFootprint(graph, term)})
 	return term, planSpace, mp, false, nil
 }
 
@@ -470,6 +500,10 @@ func (e *Engine) optimize(text string, cfg queryConfig) (core.Term, int, cost.Me
 	}
 	cat := cost.NewCatalog()
 	cat.BindRelation(edgeRel, e.graph.Triples)
+	// Plans whose recursive subplans the sub-result cache already holds
+	// (or is computing for another session right now) cost only their
+	// scan, so plan selection converges on shareable shapes.
+	cat.Cached = e.cachedTermPredicate()
 	best, ranking := cost.SelectBest(plans, cat)
 	// The §III-D estimator also sets the memory expectation for the chosen
 	// plan: the runtime gauges carry Options.TaskMemBytes, and this
@@ -525,8 +559,22 @@ func (e *Engine) run(ctx context.Context, term core.Term, cfg queryConfig, extra
 	defer sess.Close()
 	planner := physical.NewSessionPlanner(sess, env)
 	planner.Force = cfg.plan.kind()
+	// Wire the shared sub-result cache, unless this call rebinds the
+	// triple relation itself (QueryTerm may shadow "G" with an arbitrary
+	// relation the cache knows nothing about) or forces a physical plan —
+	// WithPlan is a request to actually execute that strategy (the plan
+	// comparison and ablation surface), which a cache hit would silently
+	// skip.
+	var prov *subResultProvider
+	if e.subs != nil && extra[edgeRel] == nil && cfg.plan == PlanAuto {
+		prov = &subResultProvider{ctx: ctx, cache: e.subs, graph: e.graph}
+		planner.SubResults = prov
+	}
 	start := time.Now()
 	rel, rep, err := planner.Execute(term)
+	if prov != nil {
+		prov.releaseAll()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -551,6 +599,10 @@ func (e *Engine) run(ctx context.Context, term core.Term, cfg queryConfig, extra
 	kinds := map[string]bool{}
 	partitioned := false
 	for _, f := range rep.Fixpoints {
+		if f.Cached {
+			kinds["cached"] = true
+			continue
+		}
 		kinds[f.Kind.String()] = true
 		partitioned = partitioned || f.Partitioned
 	}
@@ -573,6 +625,10 @@ func (e *Engine) run(ctx context.Context, term core.Term, cfg queryConfig, extra
 		NetworkBytes:   m.NetworkBytes(),
 		Spills:         spills,
 		SpilledBytes:   spilled,
+	}
+	if prov != nil {
+		stats.SubResultHits = prov.hits
+		stats.SubResultWaits = prov.waits
 	}
 	return newRows(e.graph.Dict, rel, stats), nil
 }

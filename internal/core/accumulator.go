@@ -693,16 +693,30 @@ func (ab *Absorber) AbsorbBatch(b *Batch, fresh *Relation) int {
 	return ab.ad.addBatch(ab.a, b, fresh)
 }
 
+// parallelMaterializeMin is the row count below which Materialize stays
+// sequential: scattering a few thousand rows across workers costs more in
+// coordination than the copies save.
+const parallelMaterializeMin = 1 << 15
+
 // Materialize copies the accumulated rows into one Relation: frozen runs
 // are streamed back from disk in chunks, then each shard's in-memory flat
 // store is memcpy'd, with fresh-slot dedup-set inserts reusing the stored
 // hashes — no rehash, no membership probes (runs and shards are mutually
-// disjoint by construction). It is called once, at fixpoint exit; it must
-// not race with Add or EvictBelow.
+// disjoint by construction). Large fully-in-memory accumulators scatter
+// their shards concurrently (per-shard output offsets are known up front).
+// It is called once, at fixpoint exit; it must not race with Add or
+// EvictBelow.
 func (a *Accumulator) Materialize() *Relation {
 	total := 0
+	spilled := false
 	for i := range a.shards {
 		total += a.shards[i].n
+		spilled = spilled || len(a.shards[i].runs) > 0
+	}
+	if !spilled && total >= parallelMaterializeMin {
+		if out := a.materializeParallel(total); out != nil {
+			return out
+		}
 	}
 	out := NewRelationSized(total, a.cols...)
 	arity := a.arity
@@ -730,6 +744,46 @@ func (a *Accumulator) Materialize() *Relation {
 		}
 		if inMem := sh.n - sh.frozen; inMem > 0 {
 			out.appendUniqueBlock(sh.data[:inMem*arity], sh.hashes[:inMem])
+		}
+	}
+	return out
+}
+
+// materializeParallel is the exit scatter for large, never-spilled
+// accumulators: every shard's rows land at a precomputed offset of the
+// output's flat backing array, so the copies proceed concurrently with no
+// synchronization. The dedup-set inserts stay sequential (the tupleSet is
+// single-writer) but reuse the stored hashes in the same shard order the
+// copies used, preserving appendUniqueBlock's 1-based row-id contract.
+// Returns nil when parallelism is unavailable (caller falls back to the
+// sequential path). Shard rows are globally distinct by construction
+// (hash-routed shards, per-shard dedup), which insertFresh requires.
+func (a *Accumulator) materializeParallel(total int) *Relation {
+	workers := DefaultParallelism()
+	if workers <= 1 {
+		return nil
+	}
+	arity := a.arity
+	out := NewRelationSized(total, a.cols...)
+	out.data = out.data[:total*arity]
+	var offs [accShards]int
+	off := 0
+	for i := range a.shards {
+		offs[i] = off
+		off += a.shards[i].n
+	}
+	runWorkers(accShards, workers, func(_, shard int) {
+		sh := &a.shards[shard]
+		if sh.n > 0 {
+			copy(out.data[offs[shard]*arity:(offs[shard]+sh.n)*arity], sh.data[:sh.n*arity])
+		}
+	})
+	out.set.reserve(total)
+	for i := range a.shards {
+		sh := &a.shards[i]
+		for _, h := range sh.hashes[:sh.n] {
+			out.n++
+			out.set.insertFresh(h, int32(out.n))
 		}
 	}
 	return out

@@ -486,6 +486,7 @@ func (ev *Evaluator) RunFixpoint(d *Decomposed, init *Relation, env *Env) (*Rela
 	}
 	restore := ev.markDynamic(d.X)
 	defer restore()
+	ev.warmConstIndexes(d, init, env)
 	acc := NewAccumulatorBudgeted(ev.Gauge, init.Cols()...)
 	defer acc.Close()
 	prev := AccMark{}
@@ -566,6 +567,103 @@ func (ev *Evaluator) RunFixpoint(d *Decomposed, init *Relation, env *Env) (*Rela
 		}
 	}
 	return acc.Materialize(), nil
+}
+
+// warmConstIndexes pre-builds the constant-side join indexes of φ's
+// branches concurrently, before the first iteration. The lazy path builds
+// them one by one as each branch's pipeline first reaches its join; a
+// multi-branch fixpoint (or one branch with several constant operands)
+// serializes what are independent scans. The walk mirrors streamJoin's
+// build-side choice exactly — only sides that are constant while exactly
+// the other side is dynamic (and antijoin right sides) are warmed — so a
+// warmed index is always the one the pipeline would have built. Discovery
+// errors and build failures are skipped silently: the lazy path retries
+// and surfaces them with full context. Must be called with d.X already
+// marked dynamic.
+func (ev *Evaluator) warmConstIndexes(d *Decomposed, init *Relation, env *Env) {
+	workers := ev.Parallel
+	if workers == 0 {
+		workers = DefaultParallelism()
+	}
+	if workers <= 1 {
+		return
+	}
+	senv := env.SchemaEnv()
+	senv[d.X] = init.Cols()
+	type warmJob struct {
+		rel  *Relation
+		cols []string
+	}
+	var jobs []warmJob
+	seen := map[indexCacheKey]bool{}
+	add := func(build Term, probeCols []string) {
+		rel, err := ev.evalOperand(build, env)
+		if err != nil {
+			return
+		}
+		common := ColsIntersect(probeCols, rel.Cols())
+		if len(common) == 0 {
+			return
+		}
+		k := indexCacheKey{rel: rel, cols: joinIndexKey(common)}
+		if seen[k] {
+			return
+		}
+		if _, ok := ev.indexes[k]; ok {
+			return
+		}
+		seen[k] = true
+		jobs = append(jobs, warmJob{rel: rel, cols: common})
+	}
+	var walk func(t Term)
+	walk = func(t Term) {
+		switch n := t.(type) {
+		case *Fixpoint:
+			// A nested fixpoint warms its own branches when it runs.
+			return
+		case *Join:
+			lDyn, rDyn := ev.isDynamic(n.L), ev.isDynamic(n.R)
+			if lDyn && !rDyn {
+				if pc, err := Schema(n.L, senv); err == nil {
+					add(n.R, pc)
+				}
+			} else if rDyn && !lDyn {
+				if pc, err := Schema(n.R, senv); err == nil {
+					add(n.L, pc)
+				}
+			}
+		case *Antijoin:
+			if !ev.isDynamic(n.R) {
+				if pc, err := Schema(n.L, senv); err == nil {
+					add(n.R, pc)
+				}
+			}
+		}
+		for _, c := range Children(t) {
+			walk(c)
+		}
+	}
+	for _, br := range d.PhiBranches {
+		walk(br)
+	}
+	if len(jobs) < 2 {
+		return // a single build gains nothing over the lazy path
+	}
+	built := make([]*JoinIndex, len(jobs))
+	runWorkers(len(jobs), workers, func(_, i int) {
+		// Each job builds sequentially (parallel=1): the concurrency is
+		// across jobs, not within one, so workers never oversubscribe.
+		if ix, err := BuildJoinIndexBudgeted(jobs[i].rel, jobs[i].cols, 1, ev.Gauge); err == nil {
+			built[i] = ix
+		}
+	})
+	for i, ix := range built {
+		if ix == nil {
+			continue
+		}
+		ev.Stats.IndexBuilds++
+		ev.indexes[indexCacheKey{rel: jobs[i].rel, cols: joinIndexKey(jobs[i].cols)}] = ix
+	}
 }
 
 // EvalPhiDelta evaluates φ(nu) — the union of the decomposed fixpoint's

@@ -47,6 +47,13 @@ func StatsOf(r *core.Relation) *RelStats {
 // Catalog provides statistics for the free relation variables of a term.
 type Catalog struct {
 	Rels map[string]*RelStats
+
+	// Cached, when set, reports whether a fixpoint subterm's materialized
+	// result is (or is about to be) available in the engine's sub-result
+	// cache. A cached fixpoint costs only its scan, steering plan selection
+	// toward shapes whose recursive subplans other sessions already paid
+	// for. Nil means no cache is consulted.
+	Cached func(core.Term) bool
 }
 
 // NewCatalog returns an empty catalog.
@@ -294,7 +301,17 @@ func (es *Estimator) estimate(t core.Term, bound map[string]*Estimate) (*Estimat
 		out.clampDistinct()
 		return out, nil
 	case *core.Fixpoint:
-		return es.estimateFixpoint(n, bound)
+		est, err := es.estimateFixpoint(n, bound)
+		if err != nil || es.Cat.Cached == nil || mentionsBound(n, bound) || !es.Cat.Cached(n) {
+			return est, err
+		}
+		// The materialized result is already (or will momentarily be) in
+		// the engine's sub-result cache: evaluating it costs only the scan
+		// of its rows and holds no operator-owned memory of its own.
+		out := est.clone()
+		out.Cost = out.Rows
+		out.Mem = 0
+		return out, nil
 	default:
 		return nil, fmt.Errorf("cost: unknown term %T", t)
 	}

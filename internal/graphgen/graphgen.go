@@ -25,6 +25,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -49,6 +50,15 @@ type Graph struct {
 	// ID and Generation.
 	id  uint64
 	gen atomic.Uint64
+
+	// predGens refines gen per predicate: a write to `follows` should not
+	// invalidate plans or cached sub-results that only read `cites`.
+	// Readers (plan and sub-result caches) snapshot the generations of the
+	// predicates a term touches and revalidate element-wise. Guarded by
+	// predMu because Value keys arrive from the dictionary, not a dense
+	// range; the global gen stays the coarse wildcard fallback.
+	predMu   sync.RWMutex
+	predGens map[core.Value]uint64
 
 	// si/pi/ti locate src/pred/trg in the sorted triple schema and rowBuf
 	// is the reused insertion scratch: AddV assembles each triple in place
@@ -102,6 +112,33 @@ func (g *Graph) AddV(src, pred, trg core.Value) {
 	g.rowBuf[g.ti] = trg
 	g.Triples.Add(g.rowBuf[:])
 	g.gen.Add(1)
+	g.predMu.Lock()
+	if g.predGens == nil {
+		g.predGens = make(map[core.Value]uint64)
+	}
+	g.predGens[pred]++
+	g.predMu.Unlock()
+}
+
+// PredGen returns the mutation counter of one predicate: it changes
+// whenever a triple with that predicate is inserted, and stays put when
+// other predicates mutate — the fine-grained sibling of Generation.
+func (g *Graph) PredGen(pred core.Value) uint64 {
+	g.predMu.RLock()
+	defer g.predMu.RUnlock()
+	return g.predGens[pred]
+}
+
+// PredGens returns the mutation counters of the given predicates, aligned
+// with preds, under one lock acquisition.
+func (g *Graph) PredGens(preds []core.Value) []uint64 {
+	out := make([]uint64, len(preds))
+	g.predMu.RLock()
+	for i, p := range preds {
+		out[i] = g.predGens[p]
+	}
+	g.predMu.RUnlock()
+	return out
 }
 
 // Binary extracts the (src, trg) relation of one predicate.

@@ -239,3 +239,35 @@ func TestZipfTargetRange(t *testing.T) {
 		t.Fatal("zipf should prefer small indices")
 	}
 }
+
+// TestPredGenerations: per-predicate counters advance independently of each
+// other while the global generation counts every write.
+func TestPredGenerations(t *testing.T) {
+	g := NewGraph("gens")
+	g.Add("a", "p", "b")
+	g.Add("b", "q", "c")
+	p := g.Dict.Intern("p")
+	q := g.Dict.Intern("q")
+	r := g.Dict.Intern("r")
+	if got := g.PredGen(p); got != 1 {
+		t.Errorf("PredGen(p) = %d, want 1", got)
+	}
+	gen := g.Generation()
+	g.Add("c", "p", "d")
+	if got := g.PredGen(p); got != 2 {
+		t.Errorf("PredGen(p) after second p write = %d, want 2", got)
+	}
+	if got := g.PredGen(q); got != 1 {
+		t.Errorf("PredGen(q) = %d, want 1 (untouched by p writes)", got)
+	}
+	if got := g.PredGen(r); got != 0 {
+		t.Errorf("PredGen(r) = %d, want 0 (never written)", got)
+	}
+	if g.Generation() != gen+1 {
+		t.Errorf("global generation = %d, want %d", g.Generation(), gen+1)
+	}
+	gens := g.PredGens([]core.Value{p, q, r})
+	if gens[0] != 2 || gens[1] != 1 || gens[2] != 0 {
+		t.Errorf("PredGens = %v, want [2 1 0]", gens)
+	}
+}

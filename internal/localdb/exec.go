@@ -333,6 +333,7 @@ func (ex *Executor) RunFixpoint(d *core.Decomposed, init *core.Relation, dyn []b
 	if len(d.PhiBranches) == 0 {
 		return init.Clone(), nil
 	}
+	ex.warmConstIndexes(d, init, dyn)
 	acc := core.NewAccumulatorBudgeted(ex.DB.gauge, init.Cols()...)
 	defer acc.Close()
 	acc.Absorb(init)
@@ -365,4 +366,102 @@ func (ex *Executor) RunFixpoint(d *core.Decomposed, init *core.Relation, dyn []b
 		nu = acc.DeltaRelation(mark, acc.Mark())
 	}
 	return acc.Materialize(), nil
+}
+
+// warmJob is one constant-side index build queued by warmConstIndexes.
+type warmJob struct {
+	cc   *cachedRel
+	cols []string
+	name string
+}
+
+// warmConstIndexes builds the constant-side join indexes of a multi-branch
+// φ concurrently before the first iteration. Without it the first delta
+// pays every build back-to-back on one goroutine (evalJoin builds lazily,
+// branch by branch); with it the builds overlap, so the cold-start latency
+// of a union-of-paths fixpoint is the slowest single build rather than the
+// sum. Constant subterms are evaluated (and memoized on the DB) serially
+// first — only the index construction, the expensive part, fans out. Build
+// failures are swallowed: the lazy path rebuilds and surfaces the error.
+func (ex *Executor) warmConstIndexes(d *core.Decomposed, init *core.Relation, dyn []binding) {
+	if len(d.PhiBranches) < 2 || core.DefaultParallelism() <= 1 {
+		return
+	}
+	step := append(dyn[:len(dyn):len(dyn)], binding{name: d.X, rel: init})
+	senv := make(core.SchemaEnv)
+	for name, t := range ex.DB.tables {
+		senv[name] = t.rel.Cols()
+	}
+	for _, b := range step {
+		senv[b.name] = b.rel.Cols()
+	}
+	var jobs []warmJob
+	queued := make(map[string]bool)
+	var walk func(t core.Term)
+	walk = func(t core.Term) {
+		switch n := t.(type) {
+		case *core.Fixpoint:
+			// A nested fixpoint warms its own branches when it runs.
+			return
+		case *core.Join:
+			lDyn, rDyn := isDynamic(n.L, step), isDynamic(n.R, step)
+			if lDyn == rDyn {
+				break
+			}
+			dynTerm, constTerm := n.L, n.R
+			if rDyn {
+				dynTerm, constTerm = n.R, n.L
+			}
+			cc, err := ex.evalConstCached(constTerm)
+			if err != nil {
+				return
+			}
+			probeCols, err := core.Schema(dynTerm, senv)
+			if err != nil {
+				return
+			}
+			common := core.ColsIntersect(probeCols, cc.rel.Cols())
+			if len(common) > 0 {
+				name := indexKeyName(common)
+				key := constTerm.String() + "\x00\x00" + name
+				if _, have := cc.indexes[name]; !have && !queued[key] {
+					queued[key] = true
+					jobs = append(jobs, warmJob{cc: cc, cols: common, name: name})
+				}
+			}
+			walk(dynTerm)
+			return
+		}
+		for _, c := range core.Children(t) {
+			walk(c)
+		}
+	}
+	for _, br := range d.PhiBranches {
+		walk(br)
+	}
+	if len(jobs) < 2 {
+		return
+	}
+	built := make([]*core.JoinIndex, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Serial per build (parallel=1): the fan-out across builds is
+			// the parallelism; nesting both would oversubscribe.
+			ji, err := core.BuildJoinIndexBudgeted(jobs[i].cc.rel, jobs[i].cols, 1, ex.DB.gauge)
+			if err == nil {
+				built[i] = ji
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, ji := range built {
+		if ji == nil {
+			continue
+		}
+		jobs[i].cc.indexes[jobs[i].name] = &Index{Cols: jobs[i].cols, ix: ji}
+		ex.Stats.IndexBuilds++
+	}
 }

@@ -71,6 +71,7 @@ type FixpointReport struct {
 	Kind          Kind
 	StableCols    []string
 	Partitioned   bool // true when split on stable columns (distinct skipped)
+	Cached        bool // true when served from the engine's sub-result cache
 	Iterations    int  // driver loop count (Gld) or max local iterations (Pplw)
 	ConstPartRows int
 	BroadcastRows int
@@ -110,10 +111,32 @@ type Planner struct {
 	// — the ablation for the delta-aware shuffle.
 	DisableDeltaShuffleFilter bool
 
+	// SubResults, when set, is consulted before every fixpoint execution:
+	// a hit replaces the whole distributed computation with the cached
+	// materialized relation (injected as if it were a base-relation scan),
+	// and a single-flight lease makes this planner the one that computes
+	// and publishes the result other sessions are waiting on.
+	SubResults SubResultProvider
+
 	sess        *cluster.Session // pinned session (NewSessionPlanner), else per-Execute
 	fresh       atomic.Int64
 	ev          *core.Evaluator
 	driverGauge *core.MemGauge
+}
+
+// SubResultProvider is the engine's sub-result cache as seen by the
+// physical layer. Lookup is called with each fixpoint about to execute:
+//
+//   - (rel, nil, nil): cache hit — rel is the materialized result, shared
+//     and read-only; the planner must not mutate it.
+//   - (nil, complete, nil): single-flight lease — this planner must compute
+//     the fixpoint and call complete exactly once with the outcome so
+//     waiting sessions unblock (complete(nil, err) on failure).
+//   - (nil, nil, nil): not cacheable; compute without publishing.
+//   - (nil, nil, err): the wait for another session's in-flight computation
+//     was aborted (context cancelled); fail the query.
+type SubResultProvider interface {
+	Lookup(fp *core.Fixpoint) (rel *core.Relation, complete func(*core.Relation, error), err error)
 }
 
 // DriverGauge returns the gauge of the driver-side glue evaluator of the
@@ -268,7 +291,31 @@ func (p *Planner) choose(pr *prepared) Kind {
 	return Splw
 }
 
+// runFixpoint executes one fixpoint, consulting the sub-result cache
+// first: a hit is injected directly (the scan-of-a-base-relation the cost
+// model priced it as), a single-flight lease computes once and publishes
+// for the sessions waiting on the same fingerprint, and everything else
+// computes privately.
 func (p *Planner) runFixpoint(sess *cluster.Session, fp *core.Fixpoint, rep *Report) (*core.Relation, error) {
+	if p.SubResults != nil {
+		rel, complete, err := p.SubResults.Lookup(fp)
+		if err != nil {
+			return nil, err
+		}
+		if rel != nil {
+			rep.Fixpoints = append(rep.Fixpoints, FixpointReport{Cached: true, ResultRows: rel.Len()})
+			return rel, nil
+		}
+		if complete != nil {
+			out, err := p.computeFixpoint(sess, fp, rep)
+			complete(out, err)
+			return out, err
+		}
+	}
+	return p.computeFixpoint(sess, fp, rep)
+}
+
+func (p *Planner) computeFixpoint(sess *cluster.Session, fp *core.Fixpoint, rep *Report) (*core.Relation, error) {
 	pr, err := p.prepare(sess, fp, rep)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,118 @@
+package rewrite
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func edge(label core.Value) core.Term {
+	return &core.AntiProject{
+		Cols: []string{core.ColPred},
+		T: &core.Filter{
+			Cond: core.EqConst{Col: core.ColPred, Val: label},
+			T:    &core.Var{Name: "G"},
+		},
+	}
+}
+
+// TestFingerprintReorderStable: union and join operands commute and
+// re-associate without changing the fingerprint.
+func TestFingerprintReorderStable(t *testing.T) {
+	a, b, c := edge(1), edge(2), edge(3)
+	u1 := &core.Union{L: &core.Union{L: a, R: b}, R: c}
+	u2 := &core.Union{L: b, R: &core.Union{L: c, R: a}}
+	if Fingerprint(u1) != Fingerprint(u2) {
+		t.Errorf("reordered unions fingerprint differently:\n%s\n%s", Fingerprint(u1), Fingerprint(u2))
+	}
+	j1 := &core.Join{L: &core.Join{L: a, R: b}, R: c}
+	j2 := &core.Join{L: c, R: &core.Join{L: b, R: a}}
+	if Fingerprint(j1) != Fingerprint(j2) {
+		t.Errorf("reordered joins fingerprint differently:\n%s\n%s", Fingerprint(j1), Fingerprint(j2))
+	}
+	if Fingerprint(u1) == Fingerprint(j1) {
+		t.Error("union and join over the same operands must not collide")
+	}
+}
+
+// TestFingerprintRenameStable: the bound fixpoint variable's name does not
+// leak into the fingerprint, while free variables do.
+func TestFingerprintRenameStable(t *testing.T) {
+	body := func(x string) core.Term {
+		return &core.Union{L: edge(1), R: &core.Join{L: &core.Var{Name: x}, R: edge(1)}}
+	}
+	f1 := &core.Fixpoint{X: "X", Body: body("X")}
+	f2 := &core.Fixpoint{X: "Y", Body: body("Y")}
+	if Fingerprint(f1) != Fingerprint(f2) {
+		t.Errorf("alpha-equivalent fixpoints fingerprint differently:\n%s\n%s", Fingerprint(f1), Fingerprint(f2))
+	}
+	// Operand reordering inside the body must not change it either.
+	f3 := &core.Fixpoint{X: "Z", Body: &core.Union{
+		L: &core.Join{L: edge(1), R: &core.Var{Name: "Z"}}, R: edge(1)}}
+	if Fingerprint(f1) != Fingerprint(f3) {
+		t.Errorf("reordered fixpoint body fingerprints differently:\n%s\n%s", Fingerprint(f1), Fingerprint(f3))
+	}
+	// A free variable named like a bound one elsewhere stays distinct.
+	free := &core.Var{Name: "X"}
+	if Fingerprint(free) == Fingerprint(&core.Var{Name: "Y"}) {
+		t.Error("distinct free variables must not collide")
+	}
+}
+
+// TestPredFootprint covers the recognized filter shapes and the wildcard
+// fallbacks.
+func TestPredFootprint(t *testing.T) {
+	filtered := func(c core.Condition) core.Term {
+		return &core.Filter{Cond: c, T: &core.Var{Name: "G"}}
+	}
+	cases := []struct {
+		name     string
+		t        core.Term
+		preds    []core.Value
+		wildcard bool
+	}{
+		{"single edge", edge(7), []core.Value{7}, false},
+		{"union of edges", &core.Union{L: edge(1), R: edge(2)}, []core.Value{1, 2}, false},
+		{"fixpoint body", &core.Fixpoint{X: "X", Body: &core.Union{
+			L: edge(3), R: &core.Join{L: &core.Var{Name: "X"}, R: edge(4)}}}, []core.Value{3, 4}, false},
+		{"and conjunct", filtered(core.And{
+			core.EqConst{Col: core.ColSrc, Val: 9},
+			core.EqConst{Col: core.ColPred, Val: 5},
+		}), []core.Value{5}, false},
+		{"or all pinned", filtered(core.Or{
+			core.EqConst{Col: core.ColPred, Val: 1},
+			core.EqConst{Col: core.ColPred, Val: 2},
+		}), []core.Value{1, 2}, false},
+		{"or not all pinned", filtered(core.Or{
+			core.EqConst{Col: core.ColPred, Val: 1},
+			core.EqConst{Col: core.ColSrc, Val: 2},
+		}), nil, true},
+		{"bare relation", &core.Var{Name: "G"}, nil, true},
+		{"filter without pin", filtered(core.EqConst{Col: core.ColSrc, Val: 3}), nil, true},
+		{"no occurrence", &core.Var{Name: "other"}, []core.Value{}, false},
+		{"shadowing fixpoint", &core.Fixpoint{X: "G", Body: &core.Var{Name: "G"}}, nil, true},
+	}
+	for _, tc := range cases {
+		preds, ok := PredFootprint(tc.t, "G")
+		if tc.wildcard {
+			if ok {
+				t.Errorf("%s: expected wildcard, got preds %v", tc.name, preds)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("%s: unexpected wildcard", tc.name)
+			continue
+		}
+		if len(preds) != len(tc.preds) {
+			t.Errorf("%s: preds = %v, want %v", tc.name, preds, tc.preds)
+			continue
+		}
+		for i := range preds {
+			if preds[i] != tc.preds[i] {
+				t.Errorf("%s: preds = %v, want %v", tc.name, preds, tc.preds)
+				break
+			}
+		}
+	}
+}

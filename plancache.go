@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/graphgen"
 )
 
 // This file is the engine's plan cache: parse → rewrite-space exploration
@@ -18,17 +19,19 @@ import (
 // as the dominating optimizer cost), and the paper's §III-D selection is
 // deterministic per (query text, options, graph statistics) — so its
 // outcome can be reused until the graph changes. Entries are validated
-// against the graph's generation counter on every hit; an LRU bound keeps
-// the cache from growing with the workload's distinct-query count.
+// per predicate on every hit: each carries the footprint of the
+// predicates its plan reads (see subresult.go), so a write to `follows`
+// no longer invalidates a `cites+` plan. An LRU bound keeps the cache
+// from growing with the workload's distinct-query count.
 
 // planEntry is one cached optimization outcome: the chosen logical plan,
-// its memory expectation, the explored plan-space size, and the graph
-// generation the costing saw.
+// its memory expectation, the explored plan-space size, and the footprint
+// of the graph state the costing saw.
 type planEntry struct {
 	term      core.Term
 	mem       cost.MemPlan
 	planSpace int
-	gen       uint64
+	fp        footprint
 }
 
 // planCache is a generation-validated LRU keyed by query text plus
@@ -54,11 +57,12 @@ func newPlanCache(capacity int) *planCache {
 	return &planCache{cap: capacity, lru: list.New(), entries: make(map[string]*list.Element)}
 }
 
-// get returns the entry under key if it exists and was costed at the given
-// graph generation; a stale entry is evicted on sight. A disabled cache
-// (capacity <= 0) short-circuits without touching the hit/miss counters,
-// so PlanCacheStats stays all-zero instead of mimicking a thrashing cache.
-func (pc *planCache) get(key string, gen uint64) (planEntry, bool) {
+// get returns the entry under key if its footprint still describes g (the
+// predicates the plan reads are unchanged since costing); a stale entry is
+// evicted on sight. A disabled cache (capacity <= 0) short-circuits
+// without touching the hit/miss counters, so PlanCacheStats stays
+// all-zero instead of mimicking a thrashing cache.
+func (pc *planCache) get(key string, g *graphgen.Graph) (planEntry, bool) {
 	if pc.cap <= 0 {
 		return planEntry{}, false
 	}
@@ -67,7 +71,7 @@ func (pc *planCache) get(key string, gen uint64) (planEntry, bool) {
 	el, ok := pc.entries[key]
 	if ok {
 		n := el.Value.(*planNode)
-		if n.e.gen == gen {
+		if n.e.fp.valid(g) {
 			pc.lru.MoveToFront(el)
 			pc.hits.Add(1)
 			return n.e, true

@@ -12,12 +12,13 @@ import (
 // Stmt is a prepared statement: the query has been parsed, its rewrite
 // space explored and the cheapest logical plan pinned, so every Run skips
 // the optimizer — the expensive driver-side step worth amortizing across
-// calls. A Stmt revalidates its plan against the graph's generation
-// counter on each Run: the §III-D choice is deterministic per (query,
-// graph statistics), so the pinned plan stays valid exactly until the
-// graph mutates, at which point the statement transparently re-prepares
-// (through the engine plan cache, so several statements on one query text
-// re-optimize once, not each).
+// calls. A Stmt revalidates its plan against the graph's per-predicate
+// generation counters on each Run: the §III-D choice is deterministic per
+// (query, graph statistics), so the pinned plan stays valid exactly until
+// a predicate the plan reads mutates, at which point the statement
+// transparently re-prepares (through the engine plan cache, so several
+// statements on one query text re-optimize once, not each). Writes to
+// unrelated predicates leave the plan pinned.
 //
 // A Stmt is safe for concurrent use by multiple goroutines; each Run
 // executes in its own cluster session.
@@ -30,8 +31,7 @@ type Stmt struct {
 	term      core.Term
 	mem       cost.MemPlan
 	planSpace int
-	graphID   uint64 // serial of the graph the plan was costed on
-	gen       uint64 // that graph's generation at costing time
+	fp        footprint // graph state the plan was costed on
 	closed    bool
 }
 
@@ -45,25 +45,25 @@ var errStmtClosed = errors.New("distmura: statement is closed")
 func (e *Engine) Prepare(text string, opts ...QueryOption) (*Stmt, error) {
 	cfg := e.queryConfig(opts)
 	graph := e.graph
-	gen := graph.Generation()
-	term, planSpace, mp, _, err := e.optimizeCached(context.Background(), text, cfg, gen)
+	term, planSpace, mp, _, err := e.optimizeCached(context.Background(), text, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &Stmt{e: e, text: text, cfg: cfg, term: term, mem: mp, planSpace: planSpace,
-		graphID: graph.ID(), gen: gen}, nil
+		fp: snapshotFootprint(graph, term)}, nil
 }
 
 // Text returns the statement's query text.
 func (s *Stmt) Text() string { return s.text }
 
-// plan returns the pinned logical plan, re-preparing it first if the
-// graph was mutated — or replaced outright (UseGraph) — since it was
-// costed. Validity is graph *identity* plus generation: a different graph
-// object invalidates even at an equal generation count, since its
-// dictionary interns different constants. Identity is the graph's serial
-// (graphgen.Graph.ID), not a pointer, so a dormant statement does not
-// keep a replaced graph alive. Re-preparation honors ctx.
+// plan returns the pinned logical plan, re-preparing it first if a
+// predicate the plan reads was mutated — or the graph replaced outright
+// (UseGraph) — since it was costed. Validity is graph *identity* plus the
+// per-predicate generations of the plan's footprint: a different graph
+// object invalidates even at equal counters, since its dictionary interns
+// different constants. Identity is the graph's serial (graphgen.Graph.ID),
+// not a pointer, so a dormant statement does not keep a replaced graph
+// alive. Re-preparation honors ctx.
 func (s *Stmt) plan(ctx context.Context) (core.Term, cost.MemPlan, int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -71,12 +71,13 @@ func (s *Stmt) plan(ctx context.Context) (core.Term, cost.MemPlan, int, error) {
 		return nil, cost.MemPlan{}, 0, errStmtClosed
 	}
 	graph := s.e.graph
-	if gen := graph.Generation(); graph.ID() != s.graphID || gen != s.gen {
-		term, planSpace, mp, _, err := s.e.optimizeCached(ctx, s.text, s.cfg, gen)
+	if !s.fp.valid(graph) {
+		term, planSpace, mp, _, err := s.e.optimizeCached(ctx, s.text, s.cfg)
 		if err != nil {
 			return nil, cost.MemPlan{}, 0, err
 		}
-		s.term, s.mem, s.planSpace, s.graphID, s.gen = term, mp, planSpace, graph.ID(), gen
+		s.term, s.mem, s.planSpace = term, mp, planSpace
+		s.fp = snapshotFootprint(graph, term)
 	}
 	return s.term, s.mem, s.planSpace, nil
 }

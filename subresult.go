@@ -1,0 +1,428 @@
+package distmura
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graphgen"
+	"repro/internal/rewrite"
+)
+
+// This file is the engine's multi-query sub-result cache: concurrent
+// sessions whose plans contain the same recursive subplan (by canonical
+// fingerprint, rewrite.Fingerprint) share one materialized result instead
+// of each paying the full distributed fixpoint. Fejza & Genevès
+// (PAPERS.md) identify normalized recursive subexpressions as the sharing
+// unit for transformation-based optimizers; here the fingerprint is the
+// normalization, and sharing happens at three layers:
+//
+//   - the cost model treats a cached (or in-flight) fixpoint as costing
+//     only its scan, steering plan selection toward reusable shapes;
+//   - the physical planner consults the cache before executing any
+//     fixpoint and injects a hit as if it were a base-relation scan;
+//   - a second session arriving while the first still computes joins the
+//     in-flight computation (single-flight) instead of duplicating it.
+//
+// Residency is charged to a dedicated MemGauge and bounded by LRU
+// eviction of completed, unpinned entries — in-flight and pinned entries
+// are never evicted (their memory is owned by the running query; the
+// cache only defers the release of its own accounting). Validation is per
+// predicate: each entry snapshots the generation counters of exactly the
+// predicates its term reads (graphgen.Graph.PredGens), so a write to
+// `follows` leaves `cites+` sub-results live. Stale entries are evicted
+// on sight at lookup; replacing the graph object flushes everything.
+
+// footprint identifies the graph state a cached artifact (plan or
+// sub-result) was derived from: the graph's identity plus the generation
+// counters of the predicates the term reads. Terms whose predicate reads
+// cannot be pinned down (rewrite.PredFootprint wildcard, including terms
+// that read no predicate at all) fall back to the global generation
+// counter — exactly the old, coarse validation.
+type footprint struct {
+	graphID  uint64
+	wildcard bool
+	preds    []core.Value
+	gens     []uint64 // aligned with preds
+	gen      uint64   // global generation, wildcard entries only
+}
+
+// snapshotFootprint captures the current generations of the predicates t
+// reads from g's triple relation.
+func snapshotFootprint(g *graphgen.Graph, t core.Term) footprint {
+	fp := footprint{graphID: g.ID()}
+	preds, ok := rewrite.PredFootprint(t, edgeRel)
+	if !ok || len(preds) == 0 {
+		fp.wildcard = true
+		fp.gen = g.Generation()
+		return fp
+	}
+	fp.preds = preds
+	fp.gens = g.PredGens(preds)
+	return fp
+}
+
+// valid reports whether the snapshot still describes g: same graph object
+// and no mutation of any predicate the term reads.
+func (f footprint) valid(g *graphgen.Graph) bool {
+	if g.ID() != f.graphID {
+		return false
+	}
+	if f.wildcard {
+		return g.Generation() == f.gen
+	}
+	for i, cur := range g.PredGens(f.preds) {
+		if cur != f.gens[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// subEntry is one cache slot, in one of two states:
+//
+//	in flight: done != nil, rel == nil — a leader session is computing;
+//	           waiters block on done and re-examine the entry after.
+//	complete:  done == nil, rel != nil — resident, in the LRU, charged to
+//	           the gauge, served to readers under a pin (refs).
+//
+// gone marks an entry unlinked from the map (flushed, evicted, or its
+// leader failed); a gone in-flight entry completes without publishing,
+// and a gone pinned entry releases its gauge charge when the last pin
+// drops.
+type subEntry struct {
+	key   string
+	fp    footprint
+	rel   *core.Relation
+	bytes int64
+	refs  int
+	gone  bool
+	done  chan struct{}
+	elem  *list.Element
+}
+
+// subResultCache is the engine-wide store. Safe for concurrent use; all
+// state is guarded by mu except the monotonic counters.
+type subResultCache struct {
+	mu      sync.Mutex
+	gauge   *core.MemGauge
+	entries map[string]*subEntry
+	lru     *list.List // completed resident entries; front = MRU
+
+	resident      atomic.Int64 // bytes currently charged to the gauge
+	hits          atomic.Int64
+	misses        atomic.Int64
+	waits         atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+}
+
+// newSubResultCache returns a cache whose residency is budgeted at
+// budgetBytes on a dedicated gauge (0 or negative = metering only, no
+// eviction pressure). The gauge is deliberately standalone rather than a
+// child of the cluster's driver gauge: a child mirrors its charges into
+// the parent, so long-lived cache residency would permanently push every
+// query's own budget over the line and force needless spilling.
+func newSubResultCache(budgetBytes int64, dir string) *subResultCache {
+	return &subResultCache{
+		gauge:   core.NewMemGauge(budgetBytes, dir),
+		entries: make(map[string]*subEntry),
+		lru:     list.New(),
+	}
+}
+
+// subResultBytes prices a materialized sub-result with the same constants
+// the runtime accumulators charge, so the cache budget is comparable to
+// Options.TaskMemBytes.
+func subResultBytes(rel *core.Relation) int64 {
+	return int64(core.AccRowBytes(rel.Arity())) * int64(rel.Len())
+}
+
+// acquire resolves one fingerprint lookup:
+//
+//	(en, nil, _, nil)       completed hit — en is pinned; the caller must
+//	                        release(en) when its query no longer needs the
+//	                        cache to keep the entry's accounting alive.
+//	(nil, complete, _, nil) the caller is the leader and must call
+//	                        complete exactly once with its outcome.
+//	(nil, nil, _, err)      ctx was cancelled while waiting on another
+//	                        session's in-flight computation.
+//
+// waited reports whether the call blocked on an in-flight entry at least
+// once. A waiter whose leader fails loops and may itself become the new
+// leader — a failed computation never poisons the slot.
+func (c *subResultCache) acquire(ctx context.Context, g *graphgen.Graph, key string, term core.Term) (en *subEntry, complete func(*core.Relation, error), waited bool, err error) {
+	for {
+		c.mu.Lock()
+		cur, ok := c.entries[key]
+		if ok && cur.done == nil {
+			if cur.fp.valid(g) {
+				cur.refs++
+				c.lru.MoveToFront(cur.elem)
+				c.mu.Unlock()
+				c.hits.Add(1)
+				return cur, nil, waited, nil
+			}
+			// A predicate this entry reads mutated: evict on sight.
+			c.removeLocked(cur)
+			c.invalidations.Add(1)
+			ok = false
+		}
+		if ok {
+			done := cur.done
+			c.mu.Unlock()
+			if !waited {
+				waited = true
+				c.waits.Add(1)
+			}
+			select {
+			case <-done:
+				continue // completed or leader failed; re-examine
+			case <-ctx.Done():
+				return nil, nil, waited, ctx.Err()
+			}
+		}
+		// Miss: this session leads. The footprint is snapshotted before
+		// computing — a relevant write racing the computation makes the
+		// published entry fail validation, never serve stale rows.
+		fresh := &subEntry{key: key, fp: snapshotFootprint(g, term), done: make(chan struct{})}
+		c.entries[key] = fresh
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, c.completer(fresh), waited, nil
+	}
+}
+
+// completer returns the leader's publication callback. On success the
+// relation is charged and enters the LRU (possibly evicting colder
+// entries over budget); on failure the slot is vacated so a waiter can
+// take over. Either way done is closed exactly once, releasing waiters.
+// The published relation must be fully materialized with its dedup set
+// built (everything the planner returns is), since readers scan and probe
+// it concurrently without synchronization.
+func (c *subResultCache) completer(en *subEntry) func(*core.Relation, error) {
+	return func(rel *core.Relation, err error) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		done := en.done
+		en.done = nil
+		defer close(done)
+		if en.gone {
+			return // flushed while in flight; nothing to publish
+		}
+		if err != nil || rel == nil {
+			delete(c.entries, en.key)
+			en.gone = true
+			return
+		}
+		en.rel = rel
+		en.bytes = subResultBytes(rel)
+		c.gauge.Charge(en.bytes)
+		c.resident.Add(en.bytes)
+		en.elem = c.lru.PushFront(en)
+		c.evictOverBudgetLocked()
+	}
+}
+
+// evictOverBudgetLocked walks the LRU from the cold end releasing
+// completed, unpinned entries until the gauge is back under budget (or
+// nothing evictable remains). In-flight entries are not in the LRU and
+// pinned entries are skipped, so neither is ever evicted.
+func (c *subResultCache) evictOverBudgetLocked() {
+	el := c.lru.Back()
+	for c.gauge.Over() && el != nil {
+		prev := el.Prev()
+		en := el.Value.(*subEntry)
+		if en.refs == 0 {
+			c.removeLocked(en)
+			c.evictions.Add(1)
+		}
+		el = prev
+	}
+}
+
+// removeLocked unlinks en from the map and LRU. The gauge charge is
+// released now when unpinned, else deferred to the last release() — the
+// rows are still feeding a running query, so the bytes are still real.
+func (c *subResultCache) removeLocked(en *subEntry) {
+	if en.gone {
+		return
+	}
+	en.gone = true
+	delete(c.entries, en.key)
+	if en.elem != nil {
+		c.lru.Remove(en.elem)
+		en.elem = nil
+	}
+	if en.rel != nil && en.refs == 0 && en.bytes > 0 {
+		c.gauge.Release(en.bytes)
+		c.resident.Add(-en.bytes)
+		en.bytes = 0
+	}
+}
+
+// release drops one pin taken by acquire.
+func (c *subResultCache) release(en *subEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	en.refs--
+	if en.refs == 0 {
+		if en.gone {
+			if en.bytes > 0 {
+				c.gauge.Release(en.bytes)
+				c.resident.Add(-en.bytes)
+				en.bytes = 0
+			}
+		} else if c.gauge.Over() {
+			c.evictOverBudgetLocked()
+		}
+	}
+}
+
+// has reports whether a lookup for key would avoid a fresh computation —
+// a valid completed entry or an in-flight one (its result is about to
+// exist). The cost model's Catalog.Cached hook; touches no counters and
+// no LRU order.
+func (c *subResultCache) has(key string, g *graphgen.Graph) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	en, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	if en.done != nil {
+		return true
+	}
+	return en.fp.valid(g)
+}
+
+// flush drops every entry — the graph object itself was replaced, so even
+// the interned constants inside cached relations are meaningless.
+// In-flight leaders finish computing for their own query but publish
+// nothing. Nil-safe (a disabled cache is a nil *subResultCache).
+func (c *subResultCache) flush() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, en := range c.entries {
+		c.removeLocked(en)
+	}
+}
+
+// SubResultCacheStats reports the sub-result cache's effectiveness.
+// Hits served a materialized result without any fixpoint execution,
+// InFlightJoins blocked on (then shared) another session's computation,
+// Misses computed and published, Evictions left under memory pressure,
+// Invalidations were dropped because a predicate they read mutated.
+// Bytes/Entries describe current residency.
+type SubResultCacheStats struct {
+	Hits          int64
+	Misses        int64
+	InFlightJoins int64
+	Evictions     int64
+	Invalidations int64
+	Bytes         int64
+	Entries       int
+}
+
+// SubResultCacheStats returns the engine's sub-result cache counters
+// (all zero when the cache is disabled).
+func (e *Engine) SubResultCacheStats() SubResultCacheStats {
+	c := e.subs
+	if c == nil {
+		return SubResultCacheStats{}
+	}
+	c.mu.Lock()
+	entries := len(c.entries)
+	c.mu.Unlock()
+	return SubResultCacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		InFlightJoins: c.waits.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Bytes:         c.resident.Load(),
+		Entries:       entries,
+	}
+}
+
+// cacheableFixpoint gates what the cache may key: only fixpoints whose
+// free relations are exactly the engine's triple relation. Anything
+// referencing a per-query extra binding (QueryTerm) or a planner-internal
+// materialization variable is computed privately.
+func cacheableFixpoint(fp *core.Fixpoint) bool {
+	for _, v := range core.FreeVars(fp) {
+		if v != edgeRel {
+			return false
+		}
+	}
+	return true
+}
+
+// subResultProvider adapts the engine cache to one query's execution (the
+// physical.SubResultProvider hook). It is used from the single driver
+// goroutine running Execute, so its per-query counters and pin list are
+// plain fields; pins are dropped right after Execute returns (the cache
+// then resumes normal accounting — the relations themselves stay alive
+// through whatever still references them).
+type subResultProvider struct {
+	ctx    context.Context
+	cache  *subResultCache
+	graph  *graphgen.Graph
+	hits   int64
+	waits  int64
+	pinned []*subEntry
+}
+
+// Lookup implements physical.SubResultProvider.
+func (p *subResultProvider) Lookup(fp *core.Fixpoint) (*core.Relation, func(*core.Relation, error), error) {
+	if !cacheableFixpoint(fp) {
+		return nil, nil, nil
+	}
+	key := rewrite.Fingerprint(fp)
+	en, complete, waited, err := p.cache.acquire(p.ctx, p.graph, key, fp)
+	if waited {
+		p.waits++
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if en != nil {
+		p.hits++
+		p.pinned = append(p.pinned, en)
+		return en.rel, nil, nil
+	}
+	return nil, complete, nil
+}
+
+// releaseAll drops every pin this query holds.
+func (p *subResultProvider) releaseAll() {
+	for _, en := range p.pinned {
+		p.cache.release(en)
+	}
+	p.pinned = nil
+}
+
+// cachedTermPredicate returns the cost model's Catalog.Cached hook for
+// the current graph, or nil when the cache is disabled.
+func (e *Engine) cachedTermPredicate() func(core.Term) bool {
+	if e.subs == nil {
+		return nil
+	}
+	g := e.graph
+	subs := e.subs
+	return func(t core.Term) bool {
+		fp, ok := t.(*core.Fixpoint)
+		if !ok || !cacheableFixpoint(fp) {
+			return false
+		}
+		return subs.has(rewrite.Fingerprint(fp), g)
+	}
+}

@@ -1,0 +1,380 @@
+package distmura
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graphgen"
+)
+
+// subTestGraph builds a small two-predicate graph: a sparse "knows" chain
+// with shortcuts plus a disjoint "likes" chain, so distinct queries have
+// distinct predicate footprints.
+func subTestGraph() *graphgen.Graph {
+	g := graphgen.NewGraph("subtest")
+	for i := 0; i < 40; i++ {
+		g.Add(fmt.Sprintf("n%d", i), "knows", fmt.Sprintf("n%d", i+1))
+		if i%5 == 0 {
+			g.Add(fmt.Sprintf("n%d", i), "knows", fmt.Sprintf("n%d", (i*7)%40))
+		}
+		g.Add(fmt.Sprintf("m%d", i), "likes", fmt.Sprintf("m%d", i+1))
+	}
+	return g
+}
+
+// collectSorted runs a query and returns its rows as sorted strings, plus
+// the run's stats.
+func collectSorted(t *testing.T, e *Engine, q string) ([]string, QueryStats) {
+	t.Helper()
+	res, err := e.QueryCollect(context.Background(), q)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	out := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, strings.Join(r, "\t"))
+	}
+	sort.Strings(out)
+	return out, res.Stats
+}
+
+func sameRows(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: row %d = %q, want %q", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestSubResultWarmColdShared is the differential acceptance test: the same
+// query answered cold (cache miss), warm (cache hit) and by several
+// concurrently-sharing sessions must produce exactly the rows an engine
+// with the cache disabled produces.
+func TestSubResultWarmColdShared(t *testing.T) {
+	g := subTestGraph()
+	iso, err := Open(Options{Workers: 2, DisableSubResultCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer iso.Close()
+	iso.UseGraph(g)
+	want, isoStats := collectSorted(t, iso, "?x,?y <- ?x knows+ ?y")
+	if isoStats.SubResultHits != 0 {
+		t.Errorf("disabled cache reported hits: %+v", isoStats)
+	}
+	if s := iso.SubResultCacheStats(); s != (SubResultCacheStats{}) {
+		t.Errorf("disabled cache has non-zero stats: %+v", s)
+	}
+
+	shared, err := Open(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shared.Close()
+	shared.UseGraph(g)
+
+	cold, coldStats := collectSorted(t, shared, "?x,?y <- ?x knows+ ?y")
+	sameRows(t, "cold", cold, want)
+	if coldStats.SubResultHits != 0 {
+		t.Errorf("cold run claimed cache hits: %+v", coldStats)
+	}
+	warm, warmStats := collectSorted(t, shared, "?x,?y <- ?x knows+ ?y")
+	sameRows(t, "warm", warm, want)
+	if warmStats.SubResultHits == 0 {
+		t.Errorf("warm run missed the cache: %+v", warmStats)
+	}
+
+	var wg sync.WaitGroup
+	results := make([][]string, 6)
+	errs := make([]error, 6)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := shared.QueryCollect(context.Background(), "?x,?y <- ?x knows+ ?y")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rows := make([]string, 0, len(res.Rows))
+			for _, r := range res.Rows {
+				rows = append(rows, strings.Join(r, "\t"))
+			}
+			sort.Strings(rows)
+			results[i] = rows
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("shared run %d: %v", i, errs[i])
+		}
+		sameRows(t, fmt.Sprintf("shared run %d", i), results[i], want)
+	}
+
+	cs := shared.SubResultCacheStats()
+	if cs.Misses == 0 || cs.Hits == 0 {
+		t.Errorf("expected both misses and hits after warm+shared runs: %+v", cs)
+	}
+	if cs.Bytes <= 0 || cs.Entries == 0 {
+		t.Errorf("expected resident entries after runs: %+v", cs)
+	}
+}
+
+// TestSubResultSingleFlight checks that N cold concurrent sessions issuing
+// the same query compute each distinct recursive subplan once: the misses
+// after the burst equal the misses of one cold run, everything else hit or
+// joined in flight.
+func TestSubResultSingleFlight(t *testing.T) {
+	g := subTestGraph()
+	probe, err := Open(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.UseGraph(g)
+	collectSorted(t, probe, "?x,?y <- ?x knows+ ?y")
+	perRun := probe.SubResultCacheStats().Misses
+	probe.Close()
+	if perRun == 0 {
+		t.Fatal("cold run registered no cache misses; plan has no cacheable fixpoint")
+	}
+
+	eng, err := Open(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.UseGraph(g)
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			_, errs[i] = eng.QueryCollect(context.Background(), "?x,?y <- ?x knows+ ?y")
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	cs := eng.SubResultCacheStats()
+	if cs.Misses != perRun {
+		t.Errorf("misses = %d after %d concurrent cold runs, want %d (single-flight)", cs.Misses, n, perRun)
+	}
+	if cs.Hits < int64(n-1) {
+		t.Errorf("hits = %d, want >= %d", cs.Hits, n-1)
+	}
+}
+
+// TestSubResultInvalidationPerPredicate proves the fine-grained
+// invalidation: a write to one predicate drops exactly the sub-results
+// (and plans) that read it, leaving the other predicate's artifacts warm.
+func TestSubResultInvalidationPerPredicate(t *testing.T) {
+	eng, err := Open(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.UseGraph(subTestGraph())
+
+	qKnows := "?x,?y <- ?x knows+ ?y"
+	qLikes := "?x,?y <- ?x likes+ ?y"
+	knowsBefore, _ := collectSorted(t, eng, qKnows)
+	collectSorted(t, eng, qLikes)
+
+	// Writing `knows` must not disturb the `likes` artifacts.
+	eng.AddTriple("n0", "knows", "fresh")
+	likesWarm, likesStats := collectSorted(t, eng, qLikes)
+	if likesStats.SubResultHits == 0 {
+		t.Errorf("likes sub-result was invalidated by a knows write: %+v", likesStats)
+	}
+	if !likesStats.PlanCacheHit {
+		t.Errorf("likes plan was invalidated by a knows write: %+v", likesStats)
+	}
+	if len(likesWarm) == 0 {
+		t.Fatal("likes query returned nothing")
+	}
+
+	// The knows entry must be stale: recomputed, and the fresh edge visible.
+	knowsAfter, knowsStats := collectSorted(t, eng, qKnows)
+	if knowsStats.SubResultHits != 0 {
+		t.Errorf("stale knows sub-result was served after a knows write: %+v", knowsStats)
+	}
+	if len(knowsAfter) <= len(knowsBefore) {
+		t.Errorf("knows rows %d not grown by the new edge (before %d)", len(knowsAfter), len(knowsBefore))
+	}
+	found := false
+	for _, r := range knowsAfter {
+		if strings.Contains(r, "fresh") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("recomputed knows result does not reach the new edge")
+	}
+	if cs := eng.SubResultCacheStats(); cs.Invalidations == 0 {
+		t.Errorf("no invalidation recorded: %+v", cs)
+	}
+}
+
+// TestSubResultEviction runs with a one-byte cache budget: every completed
+// entry is immediately over budget and must be evicted rather than
+// accumulate, and evicted (cold-again) runs still return identical rows.
+func TestSubResultEviction(t *testing.T) {
+	g := subTestGraph()
+	iso, err := Open(Options{Workers: 2, DisableSubResultCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer iso.Close()
+	iso.UseGraph(g)
+	want, _ := collectSorted(t, iso, "?x,?y <- ?x knows+ ?y")
+
+	eng, err := Open(Options{Workers: 2, SubResultCacheBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.UseGraph(g)
+	for i := 0; i < 3; i++ {
+		rows, _ := collectSorted(t, eng, "?x,?y <- ?x knows+ ?y")
+		sameRows(t, fmt.Sprintf("evicted run %d", i), rows, want)
+	}
+	cs := eng.SubResultCacheStats()
+	if cs.Evictions == 0 {
+		t.Errorf("over-budget cache never evicted: %+v", cs)
+	}
+	if cs.Bytes != 0 || cs.Entries != 0 {
+		t.Errorf("over-budget cache retained residency: %+v", cs)
+	}
+}
+
+// TestConcurrentSubResultCache is the -race stress for the cache object
+// itself: goroutines race acquires, completions, releases, graph writes
+// (invalidation) and flushes over a small hot key set.
+func TestConcurrentSubResultCache(t *testing.T) {
+	g := graphgen.NewGraph("stress")
+	g.Add("a", "p", "b")
+	c := newSubResultCache(1<<16, t.TempDir())
+	term := &core.Var{Name: edgeRel} // wildcard footprint
+	ctx := context.Background()
+
+	makeRel := func(n int) *core.Relation {
+		rel := core.NewRelation("?x")
+		for i := 0; i < n; i++ {
+			rel.Add([]core.Value{core.Value(i)})
+		}
+		return rel
+	}
+
+	const (
+		workers = 8
+		iters   = 400
+		keys    = 5
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("k%d", (w+i)%keys)
+				switch {
+				case i%97 == 13:
+					c.flush()
+				case i%31 == 7:
+					g.Add("a", "p", fmt.Sprintf("t%d-%d", w, i)) // invalidates wildcards
+				case i%13 == 3:
+					c.has(key, g)
+				default:
+					en, complete, _, err := c.acquire(ctx, g, key, term)
+					if err != nil {
+						t.Errorf("acquire: %v", err)
+						return
+					}
+					if complete != nil {
+						if i%17 == 5 {
+							complete(nil, fmt.Errorf("synthetic failure"))
+						} else {
+							complete(makeRel(1+i%64), nil)
+						}
+					} else {
+						if en.rel == nil {
+							t.Error("pinned entry without relation")
+						}
+						_ = en.rel.Len()
+						c.release(en)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.flush()
+	if got := c.resident.Load(); got != 0 {
+		t.Errorf("resident bytes after final flush = %d, want 0", got)
+	}
+	if c.lru.Len() != 0 || len(c.entries) != 0 {
+		t.Errorf("cache not empty after flush: lru=%d entries=%d", c.lru.Len(), len(c.entries))
+	}
+}
+
+// TestConcurrentSubResultCancelWait checks that a waiter blocked on another
+// session's in-flight computation honors its context.
+func TestConcurrentSubResultCancelWait(t *testing.T) {
+	g := graphgen.NewGraph("cancel")
+	g.Add("a", "p", "b")
+	c := newSubResultCache(0, t.TempDir())
+	term := &core.Var{Name: edgeRel}
+
+	_, complete, _, err := c.acquire(context.Background(), g, "k", term)
+	if err != nil || complete == nil {
+		t.Fatalf("leader acquire: complete=%t err=%v", complete != nil, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, waited, err := c.acquire(ctx, g, "k", term)
+		if err == nil {
+			t.Errorf("waiter returned without error despite cancellation (waited=%v)", waited)
+		}
+		done <- err
+	}()
+	// Let the waiter block on the in-flight entry, then cancel it.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.waits.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if c.waits.Load() == 0 {
+		t.Fatal("waiter never blocked on the in-flight entry")
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("waiter error = %v, want context.Canceled", err)
+	}
+	// The leader still completes normally afterwards.
+	rel := core.NewRelation("?x")
+	rel.Add([]core.Value{1})
+	complete(rel, nil)
+	if !c.has("k", g) {
+		t.Error("entry missing after leader completion")
+	}
+}
