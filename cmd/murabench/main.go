@@ -102,6 +102,9 @@ func main() {
 	if want("spill") {
 		run("spill", func() *benchkit.Table { return benchkit.Spill(scale) })
 	}
+	if want("faults") {
+		run("faults", func() *benchkit.Table { return benchkit.Faults(scale) })
+	}
 	if want("concurrent") {
 		run("concurrent", func() *benchkit.Table { return benchkit.Concurrent(scale) })
 		run("concurrent-overlap", func() *benchkit.Table { return benchkit.ConcurrentOverlap(scale) })

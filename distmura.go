@@ -37,8 +37,10 @@ package distmura
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -57,6 +59,20 @@ const edgeRel = "G"
 
 // defaultPlanCacheSize bounds the engine plan cache when Options leaves it 0.
 const defaultPlanCacheSize = 128
+
+// Retry defaults: a query that loses a worker is re-run up to
+// defaultMaxQueryRetries times, with exponential backoff starting at
+// defaultRetryBackoff and capped at maxRetryBackoff.
+const (
+	defaultMaxQueryRetries = 2
+	defaultRetryBackoff    = 10 * time.Millisecond
+	maxRetryBackoff        = 2 * time.Second
+)
+
+// ErrInsufficientWorkers is returned (wrapped, with counts) when the
+// cluster has degraded below Options.MinWorkers: the query fails fast
+// instead of retrying into a membership that cannot serve it.
+var ErrInsufficientWorkers = errors.New("distmura: insufficient live workers")
 
 // Transport selects how workers exchange data.
 type Transport int
@@ -152,6 +168,32 @@ type Options struct {
 	// DisableSubResultCache turns the sub-result cache off entirely — the
 	// ablation flag for the overlapping-workload benchmark.
 	DisableSubResultCache bool
+	// MaxQueryRetries bounds the automatic re-runs of a query that failed
+	// with a worker failure (0 = a default of 2, negative disables
+	// retries). Each retry recovers the membership — dead workers are
+	// removed, the execution epoch is bumped, and the surviving workers
+	// re-absorb the lost partitions when the query re-scatters its data —
+	// then re-runs after exponential backoff with jitter. Cancellations
+	// and logic errors are never retried.
+	MaxQueryRetries int
+	// MinWorkers is the membership floor (default 1): a query that would
+	// run — or retry — on fewer live workers fails fast with
+	// ErrInsufficientWorkers instead of hanging or degrading silently.
+	MinWorkers int
+	// RetryBackoff is the base delay before the first retry (default
+	// 10ms); attempt n waits base×2ⁿ ±50% jitter, capped at 2s.
+	RetryBackoff time.Duration
+	// HeartbeatInterval enables the cluster's liveness prober: the driver
+	// probes every worker over the data plane at this interval and a
+	// worker silent past HeartbeatTimeout is declared dead, failing its
+	// queries fast with a retryable worker failure instead of letting
+	// their barriers hang on a partitioned peer. 0 (the default) disables
+	// probing — with in-process transports, failures already surface as
+	// errors without it.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a worker may go unheard before being
+	// declared dead (default 4× HeartbeatInterval).
+	HeartbeatTimeout time.Duration
 }
 
 // Engine is a Dist-µ-RA instance: a labeled graph plus a worker cluster.
@@ -176,11 +218,13 @@ func Open(opts Options) (*Engine, error) {
 		kind = cluster.TransportTCP
 	}
 	c, err := cluster.New(cluster.Config{
-		Workers:      opts.Workers,
-		Transport:    kind,
-		TaskMemRows:  opts.TaskMemRows,
-		TaskMemBytes: opts.TaskMemBytes,
-		SpillDir:     opts.SpillDir,
+		Workers:           opts.Workers,
+		Transport:         kind,
+		TaskMemRows:       opts.TaskMemRows,
+		TaskMemBytes:      opts.TaskMemBytes,
+		SpillDir:          opts.SpillDir,
+		HeartbeatInterval: opts.HeartbeatInterval,
+		HeartbeatTimeout:  opts.HeartbeatTimeout,
 	})
 	if err != nil {
 		return nil, err
@@ -234,6 +278,10 @@ func (e *Engine) UseGraph(g *graphgen.Graph) {
 // Graph exposes the underlying graph (advanced use).
 func (e *Engine) Graph() *graphgen.Graph { return e.graph }
 
+// Cluster exposes the underlying cluster (advanced use: fault injection,
+// membership recovery, liveness inspection).
+func (e *Engine) Cluster() *cluster.Cluster { return e.clust }
+
 // GraphStats summarizes the loaded data.
 type GraphStats struct {
 	Triples    int
@@ -279,6 +327,14 @@ type QueryStats struct {
 	// engine-wide view.
 	SubResultHits  int64
 	SubResultWaits int64
+	// Fault-tolerance outcome: RetryCount is how many epoch-bumped re-runs
+	// this query needed after worker failures, RecoveredWorkers how many
+	// dead workers its retries removed from the membership, and
+	// WastedBytes the network traffic of the failed attempts — work thrown
+	// away and re-derived. All zero on a fault-free run.
+	RetryCount       int
+	RecoveredWorkers int
+	WastedBytes      int64
 }
 
 // Result is a fully materialized query result with interned values
@@ -534,10 +590,66 @@ func (e *Engine) acquire(ctx context.Context) (func(), error) {
 	}
 }
 
-// run executes an already-chosen term inside its own cluster session and
-// returns the streaming cursor. The admission slot and every cluster
-// resource are released before the cursor is handed out: execution is
-// complete, only string decoding is lazy.
+// effective retry knobs (Options' zero values mean "default").
+func (e *Engine) maxQueryRetries() int {
+	switch {
+	case e.opts.MaxQueryRetries < 0:
+		return 0
+	case e.opts.MaxQueryRetries == 0:
+		return defaultMaxQueryRetries
+	default:
+		return e.opts.MaxQueryRetries
+	}
+}
+
+func (e *Engine) minWorkers() int {
+	if e.opts.MinWorkers <= 0 {
+		return 1
+	}
+	return e.opts.MinWorkers
+}
+
+func (e *Engine) retryBackoff() time.Duration {
+	if e.opts.RetryBackoff <= 0 {
+		return defaultRetryBackoff
+	}
+	return e.opts.RetryBackoff
+}
+
+// sleepBackoff waits the exponential-backoff delay for retry attempt n
+// (base×2ⁿ with ±50% jitter, capped at maxRetryBackoff), honoring ctx.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int) error {
+	d := base << attempt
+	if d <= 0 || d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	// Jitter decorrelates the retries of queries that failed together.
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryState accumulates fault-tolerance outcomes across a query's
+// attempts.
+type retryState struct {
+	retries     int
+	recovered   int
+	wastedBytes int64
+}
+
+// run executes an already-chosen term, retrying on worker failure: each
+// attempt runs in a fresh cluster session (a new execution epoch — frames
+// of the failed attempt are discarded at demux by tag), and between
+// attempts the membership is recovered (dead workers removed, epoch
+// bumped) so the re-scatter lands the lost partitions on survivors. The
+// admission slot is held across retries: a retrying query is still one
+// query. Cancellations and logic errors surface immediately.
 func (e *Engine) run(ctx context.Context, term core.Term, cfg queryConfig, extra map[string]*core.Relation) (*Rows, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -548,6 +660,42 @@ func (e *Engine) run(ctx context.Context, term core.Term, cfg queryConfig, extra
 	}
 	defer release()
 
+	maxRetries := e.maxQueryRetries()
+	minWorkers := e.minWorkers()
+	if live := len(e.clust.LiveWorkers()); live < minWorkers {
+		return nil, fmt.Errorf("%w: %d live, %d required", ErrInsufficientWorkers, live, minWorkers)
+	}
+	var rs retryState
+	for attempt := 0; ; attempt++ {
+		rows, err := e.runOnce(ctx, term, cfg, extra, &rs)
+		if err == nil {
+			rows.stats.RetryCount = rs.retries
+			rows.stats.RecoveredWorkers = rs.recovered
+			rows.stats.WastedBytes = rs.wastedBytes
+			return rows, nil
+		}
+		if cluster.Classify(ctx, err) != cluster.WorkerFailure || attempt >= maxRetries {
+			return nil, err
+		}
+		removed, live := e.clust.Recover()
+		rs.recovered += len(removed)
+		if live < minWorkers {
+			return nil, fmt.Errorf("%w after removing workers %v: %d live, %d required (last failure: %v)",
+				ErrInsufficientWorkers, removed, live, minWorkers, err)
+		}
+		rs.retries++
+		if serr := sleepBackoff(ctx, e.retryBackoff(), attempt); serr != nil {
+			return nil, serr
+		}
+	}
+}
+
+// runOnce executes one attempt inside its own cluster session and returns
+// the streaming cursor. Every cluster resource is released before the
+// cursor is handed out: execution is complete, only string decoding is
+// lazy. On failure the attempt's network traffic is charged to
+// rs.wastedBytes.
+func (e *Engine) runOnce(ctx context.Context, term core.Term, cfg queryConfig, extra map[string]*core.Relation, rs *retryState) (*Rows, error) {
 	env := core.NewEnv()
 	env.Bind(edgeRel, e.graph.Triples)
 	for name, rel := range extra {
@@ -576,6 +724,9 @@ func (e *Engine) run(ctx context.Context, term core.Term, cfg queryConfig, extra
 		prov.releaseAll()
 	}
 	if err != nil {
+		// Whatever this attempt shipped over the network is now waste: the
+		// retry starts from the driver-held inputs.
+		rs.wastedBytes += sess.Metrics().Snapshot().NetworkBytes()
 		return nil, err
 	}
 	elapsed := time.Since(start)

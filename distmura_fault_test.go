@@ -1,0 +1,307 @@
+package distmura
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// faultTestGraph loads a graph whose closure takes several fixpoint
+// iterations on every plan: a chain with a few shortcut edges.
+func faultTestGraph(e *Engine) {
+	for i := 0; i < 40; i++ {
+		e.AddTriple(fmt.Sprintf("n%d", i), "e", fmt.Sprintf("n%d", i+1))
+	}
+	for i := 0; i < 40; i += 7 {
+		e.AddTriple(fmt.Sprintf("n%d", i), "e", fmt.Sprintf("m%d", i))
+	}
+}
+
+// TestFaultRetryAllPlans is the acceptance test of the retry tentpole: a
+// query that loses a worker mid-execution must complete via an
+// epoch-bumped retry with results identical to the fault-free run, on all
+// three physical plans and both transports' classification paths.
+func TestFaultRetryAllPlans(t *testing.T) {
+	cases := []struct {
+		name      string
+		plan      Plan
+		transport Transport
+	}{
+		{"Pgld", PlanGld, TransportChan},
+		{"Ps_plw", PlanSplw, TransportChan},
+		{"Ppg_plw", PlanPgplw, TransportChan},
+		{"Pgld_tcp", PlanGld, TransportTCP},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := openTest(t, Options{Workers: 4, Transport: tc.transport,
+				MaxQueryRetries: 3, RetryBackoff: time.Millisecond})
+			faultTestGraph(e)
+			q := "?x,?y <- ?x e+ ?y"
+
+			// Calibrate: a fault-free run under a counting-only plan tells
+			// us how many phases this plan/query needs, so the kill can be
+			// aimed mid-execution instead of guessed.
+			probe := cluster.NewFaultPlan()
+			e.Cluster().InjectFaults(probe)
+			want := collect(t, e, q, WithPlan(tc.plan))
+			total := probe.Phases()
+			if total < 2 {
+				t.Fatalf("query ran only %d phases; cannot kill mid-execution", total)
+			}
+
+			kill := cluster.NewFaultPlan()
+			kill.KillWorkerID = 1
+			kill.KillAtPhase = total/2 + 1
+			e.Cluster().InjectFaults(kill)
+			defer e.Cluster().InjectFaults(nil)
+
+			got := collect(t, e, q, WithPlan(tc.plan))
+			if canonical(got) != canonical(want) {
+				t.Fatalf("retried result differs from fault-free run: %d vs %d rows",
+					len(got.Rows), len(want.Rows))
+			}
+			if got.Stats.RetryCount != 1 {
+				t.Fatalf("RetryCount = %d, want 1 (kill at phase %d of %d)",
+					got.Stats.RetryCount, kill.KillAtPhase, total)
+			}
+			if got.Stats.RecoveredWorkers != 1 {
+				t.Fatalf("RecoveredWorkers = %d, want 1", got.Stats.RecoveredWorkers)
+			}
+			if got.Stats.WastedBytes <= 0 {
+				t.Fatalf("WastedBytes = %d, want > 0 (the failed attempt shipped data)",
+					got.Stats.WastedBytes)
+			}
+			if live := len(e.Cluster().LiveWorkers()); live != 3 {
+				t.Fatalf("live workers after recovery = %d, want 3", live)
+			}
+
+			// A restarted worker rejoins on the next epoch bump and the
+			// query still answers correctly at full strength.
+			if !e.Cluster().ReviveWorker(1) {
+				t.Fatal("revive did not land")
+			}
+			again := collect(t, e, q, WithPlan(tc.plan))
+			if canonical(again) != canonical(want) {
+				t.Fatal("post-revival result differs")
+			}
+			if again.Stats.RetryCount != 0 {
+				t.Fatalf("post-revival RetryCount = %d", again.Stats.RetryCount)
+			}
+		})
+	}
+}
+
+// TestRetryDisabled: negative MaxQueryRetries turns retries off — the
+// typed worker failure surfaces directly.
+func TestRetryDisabled(t *testing.T) {
+	e := openTest(t, Options{Workers: 3, MaxQueryRetries: -1})
+	faultTestGraph(e)
+	kill := cluster.NewFaultPlan()
+	kill.KillWorkerID = 1
+	kill.KillAtPhase = 2
+	e.Cluster().InjectFaults(kill)
+	defer e.Cluster().InjectFaults(nil)
+	_, err := e.QueryCollect(context.Background(), "?x,?y <- ?x e+ ?y", WithPlan(PlanGld))
+	var fe *cluster.FailureError
+	if !errors.As(err, &fe) {
+		t.Fatalf("expected *cluster.FailureError, got %v", err)
+	}
+	if fe.Class != cluster.WorkerFailure || fe.Worker != 1 || fe.Phase == 0 {
+		t.Fatalf("failure context incomplete: %+v", fe)
+	}
+}
+
+// TestRetriesBoundedNoStorm: a persistently flaky link (every frame
+// dropped) must exhaust MaxQueryRetries and stop — a handful of attempts,
+// not a storm — without evicting healthy workers.
+func TestRetriesBoundedNoStorm(t *testing.T) {
+	e := openTest(t, Options{Workers: 2, MaxQueryRetries: 2, RetryBackoff: time.Millisecond})
+	faultTestGraph(e)
+	flaky := cluster.NewFaultPlan()
+	flaky.DropFrameEvery = 1
+	e.Cluster().InjectFaults(flaky)
+	defer e.Cluster().InjectFaults(nil)
+	_, err := e.QueryCollect(context.Background(), "?x,?y <- ?x e+ ?y", WithPlan(PlanGld))
+	if err == nil {
+		t.Fatal("query over an all-dropping link should fail")
+	}
+	if c := cluster.Classify(context.Background(), err); c != cluster.WorkerFailure {
+		t.Fatalf("classified as %v: %v", c, err)
+	}
+	// 1 original + 2 retries, each failing within its first phases: the
+	// phase count proves the attempts stayed bounded.
+	if p := flaky.Phases(); p < 3 || p > 12 {
+		t.Fatalf("ran %d phases across attempts, want 3..12 (no retry storm)", p)
+	}
+	// Dropped frames are link trouble, not worker death: nobody evicted.
+	if live := len(e.Cluster().LiveWorkers()); live != 2 {
+		t.Fatalf("live workers = %d, want 2", live)
+	}
+}
+
+// TestMinWorkersFailsFast: losing workers below the MinWorkers floor is a
+// fast typed error — at retry time and for every query thereafter.
+func TestMinWorkersFailsFast(t *testing.T) {
+	e := openTest(t, Options{Workers: 3, MinWorkers: 3,
+		MaxQueryRetries: 3, RetryBackoff: time.Millisecond})
+	faultTestGraph(e)
+	kill := cluster.NewFaultPlan()
+	kill.KillWorkerID = 2
+	kill.KillAtPhase = 2
+	e.Cluster().InjectFaults(kill)
+	defer e.Cluster().InjectFaults(nil)
+
+	start := time.Now()
+	_, err := e.QueryCollect(context.Background(), "?x,?y <- ?x e+ ?y", WithPlan(PlanGld))
+	if !errors.Is(err, ErrInsufficientWorkers) {
+		t.Fatalf("expected ErrInsufficientWorkers, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("degraded query took %v — it hung instead of failing fast", elapsed)
+	}
+	// The cluster is now below the floor: later queries fail before
+	// executing anything.
+	before := kill.Phases()
+	if _, err := e.QueryCollect(context.Background(), "?x,?y <- ?x e ?y"); !errors.Is(err, ErrInsufficientWorkers) {
+		t.Fatalf("follow-up query: expected ErrInsufficientWorkers, got %v", err)
+	}
+	if kill.Phases() != before {
+		t.Fatal("degraded engine still ran phases for a doomed query")
+	}
+	// Reviving the worker restores service.
+	if !e.Cluster().ReviveWorker(2) {
+		t.Fatal("revive did not land")
+	}
+	if _, err := e.QueryCollect(context.Background(), "?x,?y <- ?x e+ ?y"); err != nil {
+		t.Fatalf("query after revival: %v", err)
+	}
+}
+
+// TestSiblingQueriesSurviveRetry: a worker death fails every in-flight
+// query, but each retries independently in its own fresh session (stale
+// frames are discarded at demux by tag), and all of them converge to
+// correct results.
+func TestSiblingQueriesSurviveRetry(t *testing.T) {
+	e := openTest(t, Options{Workers: 4, MaxQueryRetries: 4, RetryBackoff: time.Millisecond})
+	faultTestGraph(e)
+	qa := "?x,?y <- ?x e+ ?y"
+	qb := "?x <- n0 e+ ?x"
+	wantA := canonical(collect(t, e, qa, WithPlan(PlanGld)))
+	wantB := canonical(collect(t, e, qb, WithPlan(PlanSplw)))
+
+	kill := cluster.NewFaultPlan()
+	kill.KillWorkerID = 3
+	kill.KillAtPhase = 4
+	e.Cluster().InjectFaults(kill)
+	defer e.Cluster().InjectFaults(nil)
+
+	var wg sync.WaitGroup
+	results := make([]*Result, 2)
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		results[0], errs[0] = e.QueryCollect(context.Background(), qa, WithPlan(PlanGld))
+	}()
+	go func() {
+		defer wg.Done()
+		results[1], errs[1] = e.QueryCollect(context.Background(), qb, WithPlan(PlanSplw))
+	}()
+	wg.Wait()
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("sibling queries failed: %v / %v", errs[0], errs[1])
+	}
+	if canonical(results[0]) != wantA {
+		t.Fatal("query A result corrupted by concurrent retry")
+	}
+	if canonical(results[1]) != wantB {
+		t.Fatal("query B result corrupted by concurrent retry")
+	}
+	if results[0].Stats.RetryCount+results[1].Stats.RetryCount == 0 {
+		t.Fatal("the injected kill retried neither query — injection missed")
+	}
+}
+
+// countFDs counts this process's open file descriptors (Linux).
+func countFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("cannot count fds: %v", err)
+	}
+	return len(ents)
+}
+
+// TestCloseBusyAttachmentReleasesSpillDescriptors covers the Close
+// satellite: when Close skips a busy localdb attachment (its use slot is
+// held by an in-flight local fixpoint), the attachment's spilled-index
+// descriptors must still be released once the attachment becomes
+// unreachable — the finalizer backstop, not Close, does the work.
+func TestCloseBusyAttachmentReleasesSpillDescriptors(t *testing.T) {
+	base := countFDs(t)
+	func() {
+		e, err := Open(Options{Workers: 2, TaskMemBytes: 1 << 12, SpillDir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			e.AddTriple(fmt.Sprintf("n%d", i), "e", fmt.Sprintf("n%d", i+1))
+		}
+		// Ppg_plw under a starved budget: each worker's embedded localdb
+		// caches spilled join indexes whose temp-file descriptors stay open
+		// until the DB closes.
+		res, err := e.QueryCollect(context.Background(), "?x,?y <- ?x e+ ?y", WithPlan(PlanPgplw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Spills == 0 {
+			t.Fatalf("budget did not force spills; the test exercises nothing (stats=%+v)", res.Stats)
+		}
+		// Occupy every worker's attachment slot so Close must skip them.
+		var mu sync.Mutex
+		var workers []*cluster.Worker
+		if err := e.Cluster().RunPhase(func(ctx *cluster.Ctx) error {
+			mu.Lock()
+			workers = append(workers, ctx.Worker())
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workers {
+			if err := w.AcquireLocal(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+		for _, w := range workers {
+			w.ReleaseLocal()
+		}
+	}()
+	// Engine, cluster, workers and their skipped attachments are now
+	// unreachable; the spillRun finalizers must return the fd count to
+	// baseline.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if countFDs(t) <= base {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("open fds %d never returned to baseline %d: skipped attachments leaked spill descriptors",
+		countFDs(t), base)
+}

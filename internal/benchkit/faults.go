@@ -1,0 +1,149 @@
+package benchkit
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	distmura "repro"
+	"repro/internal/cluster"
+	"repro/internal/graphgen"
+)
+
+// The faults experiment measures what fault tolerance costs: the same
+// transitive-closure query is timed fault-free and with a worker killed
+// mid-fixpoint (forcing an epoch-bumped retry on the shrunk cluster), and
+// the ratio is the retry overhead — wasted pre-kill work plus the rerun,
+// minus whatever the smaller cluster loses in parallelism. Row equality
+// against the fault-free result is asserted on every faulted rep.
+
+const faultReps = 3
+
+// Faults runs the retry-overhead experiment and returns its table; a
+// fault-free and a faulted record land in BENCH_results.json.
+func Faults(s Scale) *Table {
+	t := &Table{
+		Title:   "Faults: retry overhead of a worker kill mid-fixpoint (Pgld closure, epoch-bumped retry)",
+		Columns: []string{"seconds(med)", "rows", "retries", "overhead"},
+	}
+	eng, err := distmura.Open(distmura.Options{
+		Workers:         s.Workers,
+		MaxQueryRetries: 3,
+		RetryBackoff:    time.Millisecond,
+	})
+	if err != nil {
+		t.Add("setup", "X", err.Error())
+		return t
+	}
+	defer eng.Close()
+	nodes := s.ConcatNodes * 2
+	eng.UseGraph(graphgen.ErdosRenyi(nodes, 1.8/float64(nodes), []string{"e"}, s.Seed))
+	const query = "?x,?y <- ?x e+ ?y"
+	ctx := context.Background()
+
+	// Fault-free baseline: a counting-only plan measures how many phases
+	// the query runs, so the kill can be aimed at the middle of the
+	// fixpoint rather than guessed.
+	probe := cluster.NewFaultPlan()
+	eng.Cluster().InjectFaults(probe)
+	var baseline *distmura.Result
+	var baseTimes []float64
+	for rep := 0; rep < faultReps; rep++ {
+		res, err := eng.QueryCollect(ctx, query, distmura.WithPlan(distmura.PlanGld))
+		if err != nil {
+			t.Add("fault-free", "X", err.Error())
+			return t
+		}
+		baseline = res
+		baseTimes = append(baseTimes, res.Stats.Seconds)
+	}
+	phases := probe.Phases() / faultReps
+	eng.Cluster().InjectFaults(nil)
+	baseMed := median(baseTimes)
+	want := rowSet(baseline.Rows)
+	t.Add("fault-free", fmt.Sprintf("%.3f", baseMed), fmt.Sprint(len(baseline.Rows)), "0", "1.00x")
+	recordRun("faults baseline", &Result{
+		System:  "Dist-µ-RA",
+		Seconds: baseMed,
+		Rows:    len(baseline.Rows),
+		Info:    fmt.Sprintf("plan=%s fault-free workers=%d", baseline.Stats.Plan, s.Workers),
+	})
+
+	// Faulted reps: kill worker 1 mid-fixpoint, let the retry layer
+	// recover onto the survivors, revive the worker between reps so every
+	// rep pays the full failure.
+	var killTimes []float64
+	retries := 0
+	for rep := 0; rep < faultReps; rep++ {
+		kill := cluster.NewFaultPlan()
+		kill.KillWorkerID = 1
+		kill.KillAtPhase = phases/2 + 1
+		eng.Cluster().InjectFaults(kill)
+		start := time.Now()
+		res, err := eng.QueryCollect(ctx, query, distmura.WithPlan(distmura.PlanGld))
+		elapsed := time.Since(start).Seconds()
+		eng.Cluster().InjectFaults(nil)
+		if err != nil {
+			t.Add("worker kill", "X", err.Error())
+			return t
+		}
+		if !eng.Cluster().ReviveWorker(1) {
+			t.Add("worker kill", "X", "victim was never killed (kill phase beyond query)")
+			return t
+		}
+		if rowSet(res.Rows) != want {
+			t.Add("worker kill", "X", fmt.Sprintf("retried result diverged: %d rows vs %d", len(res.Rows), len(baseline.Rows)))
+			return t
+		}
+		if res.Stats.RetryCount == 0 {
+			t.Add("worker kill", "X", "kill landed but no retry was recorded")
+			return t
+		}
+		retries += res.Stats.RetryCount
+		killTimes = append(killTimes, elapsed)
+	}
+	killMed := median(killTimes)
+	overhead := "-"
+	if baseMed > 0 {
+		overhead = fmt.Sprintf("%.2fx", killMed/baseMed)
+	}
+	t.Add("worker kill mid-fixpoint", fmt.Sprintf("%.3f", killMed),
+		fmt.Sprint(len(baseline.Rows)), fmt.Sprint(retries), overhead)
+	recordRun("faults kill+retry", &Result{
+		System:  "Dist-µ-RA",
+		Seconds: killMed,
+		Rows:    len(baseline.Rows),
+		Info: fmt.Sprintf("plan=Pgld kill=worker1@phase%d retries=%d workers=%d overhead=%s",
+			phases/2+1, retries, s.Workers, overhead),
+	})
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d reps each; kill aimed at phase %d of ~%d; worker revived between reps", faultReps, phases/2+1, phases),
+		"overhead = wasted pre-kill work + full rerun on one fewer worker; rows asserted equal on every faulted rep")
+	return t
+}
+
+// rowSet canonicalizes engine rows for order-insensitive comparison.
+func rowSet(rows [][]string) string {
+	flat := make([]string, len(rows))
+	for i, r := range rows {
+		flat[i] = strings.Join(r, "\x00")
+	}
+	sort.Strings(flat)
+	return strings.Join(flat, "\n")
+}
+
+// median returns the middle of a small sample (mean of the two middles
+// for even sizes).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}

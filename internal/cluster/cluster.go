@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -63,6 +64,16 @@ type Config struct {
 	// ("" = os.TempDir()). Spill files are unlinked on creation and can
 	// never outlive their descriptors.
 	SpillDir string
+	// HeartbeatInterval enables driver→worker liveness probing over the
+	// data plane: every interval the driver sends a heartbeat frame to each
+	// live worker and each worker echoes it back. A worker silent past
+	// HeartbeatTimeout is declared dead and every session it belongs to
+	// fails fast with a typed WorkerFailure instead of hanging at a
+	// barrier. 0 (the default) disables probing.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a worker may go unheard before being
+	// declared dead (default 4× HeartbeatInterval).
+	HeartbeatTimeout time.Duration
 }
 
 // Cluster is a driver plus N workers.
@@ -75,6 +86,16 @@ type Cluster struct {
 	seq     atomic.Int64 // exchange-phase sequence
 	nextID  atomic.Int64 // dataset / broadcast ids
 	nextTag atomic.Int64 // session tags
+
+	// epoch is the membership version: bumped by Recover and ReviveWorker,
+	// stamped on every session so failures name the membership they ran
+	// under. Frames of a pre-recovery execution carry the old session's
+	// tag, so the demux discards them — stale-epoch traffic can never leak
+	// into a retry.
+	epoch atomic.Int64
+
+	faults atomic.Pointer[FaultPlan] // armed fault-injection plan (nil = none)
+	health *health                   // heartbeat prober (nil when disabled)
 
 	sessMu   sync.RWMutex
 	sessions map[int64]*Session
@@ -97,7 +118,13 @@ type Worker struct {
 	mu      sync.Mutex // guards store and bcast (concurrent sessions)
 	store   map[int64]*core.Relation
 	bcast   map[int64]*core.Relation
+	// dead marks a crashed/unreachable worker (KillWorker, heartbeat
+	// timeout); removed marks one Recover has excluded from membership.
+	// A dead-but-not-removed worker still joins new sessions so their
+	// first barrier fails with a typed error naming it; a removed worker
+	// is invisible until ReviveWorker re-admits it.
 	dead    atomic.Bool
+	removed atomic.Bool
 	gauge   *core.MemGauge
 	// local holds arbitrary per-worker engines attached by higher layers
 	// (the Ppg_plw plan stores each worker's embedded localdb here).
@@ -207,6 +234,11 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		c.workers = append(c.workers, w)
 	}
+	c.epoch.Store(1)
+	if cfg.HeartbeatInterval > 0 {
+		// Set before the demux loops start: they deliver echoes to it.
+		c.health = newHealth(c, cfg.HeartbeatInterval, cfg.HeartbeatTimeout)
+	}
 	// One demultiplexer per node routes inbound frames to their session's
 	// mailbox for the cluster's lifetime; they exit when the transport
 	// shuts down.
@@ -214,6 +246,9 @@ func New(cfg Config) (*Cluster, error) {
 		go c.demuxLoop(i)
 	}
 	go c.demuxLoop(DriverNode)
+	if c.health != nil {
+		go c.health.probeLoop()
+	}
 	return c, nil
 }
 
@@ -262,12 +297,155 @@ func (c *Cluster) Close() error {
 	return err
 }
 
-// KillWorker marks a worker dead for failure-injection tests; subsequent
-// phases involving it fail cleanly.
-func (c *Cluster) KillWorker(id int) {
-	if id >= 0 && id < len(c.workers) {
-		c.workers[id].dead.Store(true)
+// KillWorker marks a worker dead (failure injection): subsequent phases
+// involving it fail fast with a typed WorkerFailure naming the worker and
+// phase. It reports whether this call transitioned the worker to dead —
+// false for out-of-range ids and already-dead workers, so fault tests can
+// assert the injection landed.
+func (c *Cluster) KillWorker(id int) bool {
+	if id < 0 || id >= len(c.workers) {
+		return false
 	}
+	return c.workers[id].dead.CompareAndSwap(false, true)
+}
+
+// Epoch returns the current membership version. It starts at 1 and is
+// bumped by Recover and ReviveWorker; sessions stamp it on their failures.
+func (c *Cluster) Epoch() int64 { return c.epoch.Load() }
+
+// LiveWorkers returns the physical ids of workers that are neither dead
+// nor removed — the membership a new session would run on after Recover.
+func (c *Cluster) LiveWorkers() []int {
+	out := make([]int, 0, len(c.workers))
+	for _, w := range c.workers {
+		if !w.removed.Load() && !w.dead.Load() {
+			out = append(out, w.id)
+		}
+	}
+	return out
+}
+
+// Recover excludes every dead worker from the membership, discards its
+// state (its partitions are gone with it — callers re-partition their
+// driver-held data onto the survivors), and bumps the epoch if anything
+// changed. It returns the ids removed by this call and the live count
+// remaining, so callers can fail fast when the cluster has degraded below
+// their minimum instead of retrying into a hang.
+func (c *Cluster) Recover() (removed []int, live int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		if w.removed.Load() {
+			continue
+		}
+		if w.dead.Load() {
+			w.removed.Store(true)
+			w.clearState()
+			removed = append(removed, w.id)
+			continue
+		}
+		live++
+	}
+	if len(removed) > 0 {
+		c.epoch.Add(1)
+	}
+	return removed, live
+}
+
+// ReviveWorker re-admits a dead or removed worker with a clean slate — a
+// restarted process rejoining the cluster — and bumps the epoch. New
+// sessions include it; sessions opened before the revival never route to
+// it (their membership is fixed at open). Returns false when id is out of
+// range or the worker is already live.
+func (c *Cluster) ReviveWorker(id int) bool {
+	if id < 0 || id >= len(c.workers) {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[id]
+	if !w.dead.Load() && !w.removed.Load() {
+		return false
+	}
+	w.clearState()
+	w.dead.Store(false)
+	w.removed.Store(false)
+	if c.health != nil {
+		c.health.reset(id)
+	}
+	c.epoch.Add(1)
+	return true
+}
+
+// clearState discards a worker's partitions, broadcasts and attachments —
+// the state a crashed process loses. Closeable attachments are closed when
+// their use slot is free; a busy attachment is abandoned to its in-flight
+// holder (whose query fails at its next barrier) and the localdb finalizer
+// backstop, exactly like Cluster.Close.
+func (w *Worker) clearState() {
+	w.mu.Lock()
+	w.store = make(map[int64]*core.Relation)
+	w.bcast = make(map[int64]*core.Relation)
+	w.mu.Unlock()
+	free := w.tryAcquireLocal()
+	w.localMu.Lock()
+	if free {
+		for _, v := range w.local {
+			if cl, ok := v.(interface{ Close() }); ok {
+				cl.Close()
+			}
+		}
+	}
+	w.local = make(map[string]any)
+	w.localMu.Unlock()
+	if free {
+		w.ReleaseLocal()
+	}
+}
+
+// send is the single data-plane choke point: every outbound frame —
+// shuffle, scatter, broadcast, collect, heartbeat — passes through it, so
+// an armed FaultPlan observes (and can perturb) the complete frame stream.
+func (c *Cluster) send(to int, msg *DataMsg) error {
+	if p := c.faults.Load(); p != nil {
+		act, delay := p.frameAction(to, msg)
+		switch act {
+		case faultSilent:
+			return nil
+		case faultDrop:
+			err := fmt.Errorf("cluster: send to node %d: %w", to, ErrInjectedDrop)
+			// A broken connection is observed at both ends: the sender gets
+			// the error, and the owning session is failed so receivers
+			// waiting on the vanished frame abort instead of hanging.
+			c.failSessionOf(msg, to, err)
+			return err
+		case faultDup:
+			if err := c.transport.Send(to, msg); err != nil {
+				return err
+			}
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+	}
+	return c.transport.Send(to, msg)
+}
+
+// failSessionOf marks the session owning msg's tag failed with a typed
+// WorkerFailure blaming the unreachable peer.
+func (c *Cluster) failSessionOf(msg *DataMsg, to int, err error) {
+	c.sessMu.RLock()
+	s := c.sessions[msg.Tag]
+	c.sessMu.RUnlock()
+	if s == nil {
+		return
+	}
+	worker := to
+	if worker < 0 {
+		worker = msg.From
+	}
+	s.detectFailure(&FailureError{Class: WorkerFailure, Worker: worker,
+		Session: s.tag, Epoch: s.epoch, Phase: msg.Seq >> 20, Err: err})
 }
 
 // Dataset is a handle to a relation partitioned across the workers (the
@@ -299,6 +477,7 @@ func (b *Broadcast) Cols() []string { return b.cols }
 // of Exchange calls.
 type Ctx struct {
 	w        *Worker
+	rank     int // dense index of this worker among the session's members
 	sess     *Session
 	phaseSeq int64
 	calls    int
@@ -335,11 +514,21 @@ func (ctx *Ctx) recvSeq(seq int64) (*DataMsg, error) {
 	}
 }
 
-// WorkerID returns this worker's id (0-based).
-func (ctx *Ctx) WorkerID() int { return ctx.w.id }
+// WorkerID returns this task's dense rank among the session's members
+// (0-based, contiguous, < NumWorkers). Plan code sizes and indexes
+// per-worker state by it, so after a membership change the rank space
+// stays dense even though physical node ids have gaps. On a full-strength
+// cluster rank and physical id coincide.
+func (ctx *Ctx) WorkerID() int { return ctx.rank }
 
-// NumWorkers returns the cluster size.
-func (ctx *Ctx) NumWorkers() int { return len(ctx.w.cluster.workers) }
+// NodeID returns this worker's physical node id — stable across
+// membership changes, possibly non-contiguous after a recovery. Use it
+// for addressing and diagnostics, WorkerID for per-worker state.
+func (ctx *Ctx) NodeID() int { return ctx.w.id }
+
+// NumWorkers returns the number of members in this session — the size of
+// the rank space, not the cluster's physical capacity.
+func (ctx *Ctx) NumWorkers() int { return len(ctx.sess.members) }
 
 // TaskMemRows exposes the per-task memory budget to plan code.
 func (ctx *Ctx) TaskMemRows() int { return ctx.w.cluster.cfg.TaskMemRows }
@@ -457,10 +646,10 @@ func (ctx *Ctx) exchange(rel *core.Relation, byCols []string,
 	keepRow func([]core.Value), keepBatch func(*core.Batch)) error {
 	c := ctx.w.cluster
 	s := ctx.sess
-	n := len(c.workers)
+	n := len(s.members)
 	ctx.calls++
 	seq := ctx.phaseSeq<<20 | int64(ctx.calls)
-	if ctx.w.id == 0 {
+	if ctx.rank == 0 {
 		// One barrier per SPMD Exchange call; count it once.
 		ctr{&c.metrics.ShufflePhases, &s.m.ShufflePhases}.Add(1)
 	}
@@ -482,7 +671,7 @@ func (ctx *Ctx) exchange(rel *core.Relation, byCols []string,
 	arity := rel.Arity()
 	buckets := make([]*core.Batch, n)
 	for i := range buckets {
-		if i != ctx.w.id {
+		if i != ctx.rank {
 			buckets[i] = core.NewBatch(arity)
 		}
 	}
@@ -490,7 +679,7 @@ func (ctx *Ctx) exchange(rel *core.Relation, byCols []string,
 	for i := 0; i < rel.Len(); i++ {
 		row := rel.RowAt(i)
 		b := int(core.HashValuesAt(row, at) % uint64(n))
-		if b == ctx.w.id {
+		if b == ctx.rank {
 			// Own bucket stays local: straight to the consumer (one copy,
 			// no network).
 			keepRow(row)
@@ -511,10 +700,10 @@ func (ctx *Ctx) exchange(rel *core.Relation, byCols []string,
 		// frame, and surface the first error after the barrier.
 		var firstErr error
 		for peer := 0; peer < n; peer++ {
-			if peer == ctx.w.id {
+			if peer == ctx.rank {
 				continue
 			}
-			if err := c.sendFrames(peer, KindShuffle, s.tag, seq, ctx.w.id, 0, buckets[peer],
+			if err := c.sendFrames(s.members[peer], KindShuffle, s.tag, seq, ctx.w.id, 0, buckets[peer],
 				ctr{&c.metrics.ShuffleRecords, &s.m.ShuffleRecords},
 				ctr{&c.metrics.ShuffleBytes, &s.m.ShuffleBytes}); err != nil && firstErr == nil {
 				firstErr = err
@@ -557,7 +746,7 @@ func (c *Cluster) sendFrames(to int, kind MsgKind, tag, seq int64, from int, id 
 			Batch: b.Sub(lo, hi), Last: hi == n}
 		recs.Add(int64(hi - lo))
 		bytes.Add(msg.wireBytes())
-		if err := c.transport.Send(to, msg); err != nil {
+		if err := c.send(to, msg); err != nil {
 			return err
 		}
 		if hi == n {
@@ -593,10 +782,10 @@ func recvFrames(ctx *Ctx, dst *core.Relation, check func(*DataMsg) error) error 
 func (ctx *Ctx) AllGather(rel *core.Relation) (*core.Relation, error) {
 	c := ctx.w.cluster
 	s := ctx.sess
-	n := len(c.workers)
+	n := len(s.members)
 	ctx.calls++
 	seq := ctx.phaseSeq<<20 | int64(ctx.calls)
-	if ctx.w.id == 0 {
+	if ctx.rank == 0 {
 		ctr{&c.metrics.ShufflePhases, &s.m.ShufflePhases}.Add(1)
 	}
 	out := rel.Clone()
@@ -618,14 +807,14 @@ func (ctx *Ctx) AllGather(rel *core.Relation) (*core.Relation, error) {
 			window := whole.Sub(lo, hi)
 			encSize := uvarintSize(window.Values())
 			for peer := 0; peer < n; peer++ {
-				if peer == ctx.w.id {
+				if peer == ctx.rank {
 					continue
 				}
 				msg := &DataMsg{Kind: KindShuffle, Tag: s.tag, Seq: seq, From: ctx.w.id,
 					Batch: window, encSize: encSize, Last: hi == total}
 				ctr{&c.metrics.ShuffleRecords, &s.m.ShuffleRecords}.Add(int64(window.Len()))
 				ctr{&c.metrics.ShuffleBytes, &s.m.ShuffleBytes}.Add(msg.wireBytes())
-				if err := c.transport.Send(peer, msg); err != nil && firstErr == nil {
+				if err := c.send(s.members[peer], msg); err != nil && firstErr == nil {
 					firstErr = err
 				}
 			}
@@ -654,11 +843,11 @@ func (ctx *Ctx) AllGather(rel *core.Relation) (*core.Relation, error) {
 	return out, nil
 }
 
-// RunPhase runs f on every live worker in parallel and waits for all of
-// them; the first error aborts the phase. Exchange calls inside the phase
-// are synchronized shuffles, isolated to this session. A phase does not
-// start — and its barriers abort — once the session's context is
-// cancelled.
+// RunPhase runs f on every session member in parallel and waits for all
+// of them; the first error aborts the phase. Exchange calls inside the
+// phase are synchronized shuffles, isolated to this session. A phase does
+// not start — and its barriers abort — once the session's context is
+// cancelled or the session has recorded a member failure.
 func (s *Session) RunPhase(f func(ctx *Ctx) error) error {
 	c := s.c
 	c.mu.Lock()
@@ -670,30 +859,60 @@ func (s *Session) RunPhase(f func(ctx *Ctx) error) error {
 	if err := s.ctx.Err(); err != nil {
 		return err
 	}
-	// A dead worker fails the phase before anyone shuffles, so live
-	// workers are never stranded at a barrier waiting for its batches.
-	for i, w := range c.workers {
-		if w.dead.Load() {
-			return fmt.Errorf("cluster: worker %d is dead", i)
-		}
+	if err := s.failErr(); err != nil {
+		return err
 	}
 	seq := c.seq.Add(1)
-	errs := make([]error, len(c.workers))
+	if p := c.faults.Load(); p != nil {
+		p.phaseStarting(c)
+	}
+	// A dead member fails the phase before anyone shuffles — with a typed
+	// error naming the worker and phase — so live members are never
+	// stranded at a barrier waiting for its batches.
+	for _, id := range s.members {
+		if c.workers[id].dead.Load() {
+			return &FailureError{Class: WorkerFailure, Worker: id,
+				Session: s.tag, Epoch: s.epoch, Phase: seq, Err: errWorkerDead}
+		}
+	}
+	errs := make([]error, len(s.members))
 	var wg sync.WaitGroup
-	for i, w := range c.workers {
+	for rank, id := range s.members {
+		w := c.workers[id]
 		wg.Add(1)
-		go func(i int, w *Worker) {
+		go func(rank int, w *Worker) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("cluster: worker %d panicked: %v", i, r)
+					errs[rank] = fmt.Errorf("cluster: worker %d panicked: %v", w.id, r)
 				}
 			}()
-			errs[i] = f(&Ctx{w: w, sess: s, phaseSeq: seq})
-		}(i, w)
+			errs[rank] = f(&Ctx{w: w, rank: rank, sess: s, phaseSeq: seq})
+		}(rank, w)
 	}
 	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			errs[rank] = s.wrapWorkerErr(s.members[rank], seq, err)
+		}
+	}
 	return errors.Join(errs...)
+}
+
+// wrapWorkerErr attaches failure context (worker, session, epoch, phase)
+// to a member's phase error when it classifies as a worker failure.
+// Cancellations and logic errors pass through untouched — their text and
+// identity are part of existing contracts.
+func (s *Session) wrapWorkerErr(id int, seq int64, err error) error {
+	var fe *FailureError
+	if errors.As(err, &fe) {
+		return err
+	}
+	if Classify(s.ctx, err) != WorkerFailure {
+		return err
+	}
+	return &FailureError{Class: WorkerFailure, Worker: id,
+		Session: s.tag, Epoch: s.epoch, Phase: seq, Err: err}
 }
 
 // RunPhase runs f on every worker under a private single-use session; see
@@ -716,7 +935,10 @@ func (s *Session) Parallelize(rel *core.Relation, byCols []string) (*Dataset, er
 	c := s.c
 	ds := c.NewDataset(rel.Cols()...)
 	ds.PartitionedBy = byCols
-	parts := core.SplitRelation(rel, len(c.workers), byCols)
+	// Split across the session's members: after a recovery the surviving
+	// workers absorb the lost partitions' rows (re-partitioning is simply
+	// re-scattering the driver-held relation onto the new membership).
+	parts := core.SplitRelation(rel, len(s.members), byCols)
 	seq := c.seq.Add(1) << 20
 	// Ship partitions concurrently with the receiving phase, encoding each
 	// partition straight from its backing array in budget-sized frames.
@@ -724,7 +946,7 @@ func (s *Session) Parallelize(rel *core.Relation, byCols []string) (*Dataset, er
 	go func() {
 		var firstErr error
 		for i, p := range parts {
-			if err := c.sendFrames(i, KindScatter, s.tag, seq, DriverNode, ds.id, p.AsBatch(),
+			if err := c.sendFrames(s.members[i], KindScatter, s.tag, seq, DriverNode, ds.id, p.AsBatch(),
 				ctr{&c.metrics.ScatterRecords, &s.m.ScatterRecords},
 				ctr{&c.metrics.ScatterBytes, &s.m.ScatterBytes}); err != nil && firstErr == nil {
 				firstErr = err
@@ -733,7 +955,7 @@ func (s *Session) Parallelize(rel *core.Relation, byCols []string) (*Dataset, er
 		sendErr <- firstErr
 	}()
 	err := s.RunPhase(func(ctx *Ctx) error {
-		part := core.NewRelationSized(rel.Len()/len(c.workers), rel.Cols()...)
+		part := core.NewRelationSized(rel.Len()/len(s.members), rel.Cols()...)
 		if err := recvFrames(ctx, part, func(msg *DataMsg) error {
 			if msg.Kind != KindScatter || msg.Seq != seq || msg.ID != ds.id {
 				return fmt.Errorf("cluster: protocol violation during scatter (kind=%d)", msg.Kind)
@@ -782,12 +1004,12 @@ func (s *Session) BroadcastRel(rel *core.Relation) (*Broadcast, error) {
 			}
 			window := whole.Sub(lo, hi)
 			encSize := uvarintSize(window.Values())
-			for i := range c.workers {
+			for _, id := range s.members {
 				msg := &DataMsg{Kind: KindBroadcast, Tag: s.tag, Seq: seq, From: DriverNode, ID: b.id,
 					Batch: window, encSize: encSize, Last: hi == total}
 				ctr{&c.metrics.BroadcastRecords, &s.m.BroadcastRecords}.Add(int64(window.Len()))
 				ctr{&c.metrics.BroadcastBytes, &s.m.BroadcastBytes}.Add(msg.wireBytes())
-				if err := c.transport.Send(i, msg); err != nil && firstErr == nil {
+				if err := c.send(id, msg); err != nil && firstErr == nil {
 					firstErr = err
 				}
 			}
@@ -843,8 +1065,8 @@ func (s *Session) Collect(ds *Dataset) (*core.Relation, error) {
 	defer close(stop) // unblocks the receiver if the phase fails first
 	go func() {
 		// Workers stream their partitions as frame sequences; the gather is
-		// complete when every worker's Last frame has arrived.
-		for lastSeen := 0; lastSeen < len(c.workers); {
+		// complete when every member's Last frame has arrived.
+		for lastSeen := 0; lastSeen < len(s.members); {
 			msg, rerr := s.recvNode(DriverNode, stop)
 			if rerr != nil {
 				done <- rerr

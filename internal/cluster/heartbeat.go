@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Heartbeat-based failure detection. With Config.HeartbeatInterval set,
+// the driver probes every live worker over the data plane (KindHeartbeat
+// frames through the same transport as query traffic, so a partitioned
+// link loses probes exactly like it loses data); each worker's
+// demultiplexer echoes probes back, and a worker whose echo has not been
+// seen for HeartbeatTimeout is declared dead. Declaring a worker dead
+// fails every session it belongs to with a typed WorkerFailure — turning
+// what would be a barrier hung on a silent peer into a prompt, classified,
+// retryable error. Detection is advisory-fast, not exact: a worker is
+// only ever declared dead, never resurrected, by the prober (ReviveWorker
+// is an explicit admin action).
+type health struct {
+	c        *Cluster
+	interval time.Duration
+	timeout  time.Duration
+
+	mu       sync.Mutex
+	lastSeen []time.Time
+}
+
+func newHealth(c *Cluster, interval, timeout time.Duration) *health {
+	if timeout <= 0 {
+		timeout = 4 * interval
+	}
+	h := &health{c: c, interval: interval, timeout: timeout,
+		lastSeen: make([]time.Time, len(c.workers))}
+	now := time.Now()
+	for i := range h.lastSeen {
+		h.lastSeen[i] = now
+	}
+	return h
+}
+
+// probeLoop runs for the cluster's lifetime, exiting when the transport
+// shuts down.
+func (h *health) probeLoop() {
+	t := time.NewTicker(h.interval)
+	defer t.Stop()
+	done := h.c.transport.Done()
+	for {
+		select {
+		case <-t.C:
+			h.probe()
+		case <-done:
+			return
+		}
+	}
+}
+
+// probe sends one heartbeat to every live worker and declares dead any
+// worker silent past the timeout. Send errors are deliberately ignored:
+// a broken link just means no echo, and the timeout is the judge.
+func (h *health) probe() {
+	c := h.c
+	now := time.Now()
+	for _, w := range c.workers {
+		if w.removed.Load() || w.dead.Load() {
+			continue
+		}
+		_ = c.send(w.id, &DataMsg{Kind: KindHeartbeat, From: DriverNode})
+		h.mu.Lock()
+		deadline := h.lastSeen[w.id].Add(h.timeout)
+		h.mu.Unlock()
+		if now.After(deadline) {
+			h.declareDead(w.id)
+		}
+	}
+}
+
+// declareDead transitions the worker to dead (once) and fails every
+// session it is a member of, so their barriers abort instead of waiting
+// forever for frames that will never come.
+func (h *health) declareDead(id int) {
+	c := h.c
+	if !c.workers[id].dead.CompareAndSwap(false, true) {
+		return
+	}
+	err := fmt.Errorf("cluster: worker %d missed heartbeats for %v", id, h.timeout)
+	c.sessMu.RLock()
+	sessions := make([]*Session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		sessions = append(sessions, s)
+	}
+	c.sessMu.RUnlock()
+	for _, s := range sessions {
+		if s.hasMember(id) {
+			s.detectFailure(&FailureError{Class: WorkerFailure, Worker: id,
+				Session: s.tag, Epoch: s.epoch, Err: err})
+		}
+	}
+}
+
+// observe records a fresh liveness signal from a worker.
+func (h *health) observe(id int) {
+	h.mu.Lock()
+	if id >= 0 && id < len(h.lastSeen) {
+		h.lastSeen[id] = time.Now()
+	}
+	h.mu.Unlock()
+}
+
+// reset restarts the liveness clock for a revived worker.
+func (h *health) reset(id int) { h.observe(id) }
+
+// handleHeartbeat consumes a heartbeat frame at its destination node: a
+// probe arriving at a worker is echoed back to the driver (dead or removed
+// workers stay silent, like a crashed process would), and an echo arriving
+// at the driver refreshes the worker's liveness record.
+func (c *Cluster) handleHeartbeat(node int, msg *DataMsg) {
+	if node == DriverNode {
+		if c.health != nil {
+			c.health.observe(msg.From)
+		}
+		return
+	}
+	w := c.workers[node]
+	if w.dead.Load() || w.removed.Load() {
+		return
+	}
+	_ = c.send(DriverNode, &DataMsg{Kind: KindHeartbeat, From: node})
+}

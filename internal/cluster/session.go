@@ -23,6 +23,15 @@ import (
 // errSessionClosed is returned by receives on a closed session.
 var errSessionClosed = errors.New("cluster: session closed")
 
+// errSessionFailed is the mailbox-level sentinel for a session aborted by
+// a detected member failure; recvNode translates it to the recorded
+// FailureError.
+var errSessionFailed = errors.New("cluster: session failed")
+
+// errTransportDown is returned by receives once the transport has shut
+// down under a live, uncancelled session.
+var errTransportDown = errors.New("cluster: transport shut down mid-exchange")
+
 // mailbox is one session's inbound frame queue for one node: an unbounded
 // FIFO so the per-node demultiplexer never blocks on a slow session (which
 // would head-of-line-block every other session's traffic on that node).
@@ -66,9 +75,10 @@ func (m *mailbox) close() {
 }
 
 // get dequeues the next message, blocking until one arrives or the session
-// context is cancelled, the transport shuts down, the per-call stop
-// channel closes (nil = never), or the mailbox itself is closed.
-func (m *mailbox) get(ctx context.Context, transportDone, stop <-chan struct{}) (*DataMsg, error) {
+// context is cancelled, the session records a member failure, the
+// transport shuts down, the per-call stop channel closes (nil = never),
+// or the mailbox itself is closed.
+func (m *mailbox) get(ctx context.Context, transportDone, fail, stop <-chan struct{}) (*DataMsg, error) {
 	for {
 		m.mu.Lock()
 		if len(m.q) > 0 {
@@ -88,9 +98,20 @@ func (m *mailbox) get(ctx context.Context, transportDone, stop <-chan struct{}) 
 		select {
 		case <-m.notify:
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, context.Cause(ctx)
+		case <-fail:
+			// The context wins a race with failure detection: a query the
+			// caller cancelled must never report as a worker failure.
+			if ctx.Err() != nil {
+				return nil, context.Cause(ctx)
+			}
+			return nil, errSessionFailed
 		case <-transportDone:
-			return nil, errors.New("cluster: transport shut down mid-exchange")
+			// Same precedence for a transport shutdown racing cancellation.
+			if ctx.Err() != nil {
+				return nil, context.Cause(ctx)
+			}
+			return nil, errTransportDown
 		case <-stop:
 			return nil, errSessionClosed
 		}
@@ -109,13 +130,26 @@ func (m *mailbox) get(ctx context.Context, transportDone, stop <-chan struct{}) 
 // methods it mirrors, one Session serves one query's driver goroutine at a
 // time. Run concurrent queries on separate Sessions.
 type Session struct {
-	c      *Cluster
-	ctx    context.Context
-	tag    int64
-	boxes  []*mailbox // per worker, driver's last
-	gauges []*core.MemGauge
-	m      Metrics
-	closed atomic.Bool
+	c   *Cluster
+	ctx context.Context
+	tag int64
+	// epoch is the membership version this session opened under; members
+	// holds the physical ids of its workers in rank order. Both are fixed
+	// at open: a membership change (Recover/ReviveWorker) affects only
+	// sessions opened afterwards.
+	epoch   int64
+	members []int
+	boxes   []*mailbox // per worker (physical id), driver's last
+	gauges  []*core.MemGauge
+	m       Metrics
+	closed  atomic.Bool
+
+	// Failure detection: the first detected member failure is recorded
+	// once and failCh closed, aborting every barrier of this session —
+	// and only this session; sibling sessions observe nothing.
+	failMu    sync.Mutex
+	failedErr error
+	failCh    chan struct{}
 }
 
 // NewSession opens an execution epoch whose barriers abort when ctx is
@@ -127,10 +161,25 @@ func (c *Cluster) NewSession(ctx context.Context) *Session {
 		ctx = context.Background()
 	}
 	n := len(c.workers)
-	s := &Session{c: c, ctx: ctx, tag: c.nextTag.Add(1), boxes: make([]*mailbox, n+1)}
+	s := &Session{c: c, ctx: ctx, tag: c.nextTag.Add(1), boxes: make([]*mailbox, n+1),
+		failCh: make(chan struct{})}
 	for i := range s.boxes {
 		s.boxes[i] = newMailbox()
 	}
+	// Snapshot membership and epoch atomically with respect to
+	// Recover/ReviveWorker (both hold c.mu): every non-removed worker is a
+	// member. A dead-but-unrecovered worker joins too — its first barrier
+	// then fails with a typed error naming it, which is the signal the
+	// retry layer recovers from.
+	c.mu.Lock()
+	s.epoch = c.epoch.Load()
+	s.members = make([]int, 0, n)
+	for _, w := range c.workers {
+		if !w.removed.Load() {
+			s.members = append(s.members, w.id)
+		}
+	}
+	c.mu.Unlock()
 	if c.cfg.TaskMemBytes > 0 {
 		// One child gauge per worker per session: the budget is per task
 		// (each in-flight query gets the full TaskMemBytes on each worker),
@@ -146,6 +195,38 @@ func (c *Cluster) NewSession(ctx context.Context) *Session {
 	c.sessMu.Unlock()
 	return s
 }
+
+// detectFailure records the session's first member failure and aborts its
+// barriers. Later calls are ignored: the first failure is the cause, the
+// rest are fallout.
+func (s *Session) detectFailure(err error) {
+	s.failMu.Lock()
+	if s.failedErr == nil {
+		s.failedErr = err
+		close(s.failCh)
+	}
+	s.failMu.Unlock()
+}
+
+// failErr returns the recorded member failure (nil while healthy).
+func (s *Session) failErr() error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return s.failedErr
+}
+
+// hasMember reports whether the physical worker id is a session member.
+func (s *Session) hasMember(id int) bool {
+	for _, m := range s.members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Epoch returns the membership version this session opened under.
+func (s *Session) Epoch() int64 { return s.epoch }
 
 // Close unregisters the session and drops any frames still addressed to
 // it. Idempotent; the session must not be used afterwards.
@@ -179,8 +260,10 @@ func (s *Session) Metrics() *Metrics { return &s.m }
 // gauges (Cluster.Gauges) aggregate across sessions.
 func (s *Session) Gauges() []*core.MemGauge { return s.gauges }
 
-// NumWorkers returns the cluster size.
-func (s *Session) NumWorkers() int { return len(s.c.workers) }
+// NumWorkers returns the session's member count — the number of workers
+// its phases run on, which after a recovery can be smaller than the
+// cluster's physical capacity.
+func (s *Session) NumWorkers() int { return len(s.members) }
 
 // Config returns the cluster configuration.
 func (s *Session) Config() Config { return s.c.cfg }
@@ -198,7 +281,13 @@ func (s *Session) boxFor(node int) *mailbox {
 
 // recvNode receives the next frame addressed to this session at a node.
 func (s *Session) recvNode(node int, stop <-chan struct{}) (*DataMsg, error) {
-	return s.boxFor(node).get(s.ctx, s.c.transport.Done(), stop)
+	msg, err := s.boxFor(node).get(s.ctx, s.c.transport.Done(), s.failCh, stop)
+	if err == errSessionFailed {
+		if ferr := s.failErr(); ferr != nil {
+			return nil, ferr
+		}
+	}
+	return msg, err
 }
 
 // demuxLoop drains one node's transport inbox, routing every frame to the
@@ -215,6 +304,12 @@ func (c *Cluster) demuxLoop(node int) {
 		case msg, ok := <-inbox:
 			if !ok {
 				return
+			}
+			if msg.Kind == KindHeartbeat {
+				// Liveness traffic is consumed here, never routed to a
+				// session: probes are echoed, echoes feed the prober.
+				c.handleHeartbeat(node, msg)
+				continue
 			}
 			c.sessMu.RLock()
 			s := c.sessions[msg.Tag]

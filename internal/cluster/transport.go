@@ -25,6 +25,9 @@ const (
 	KindScatter
 	// KindCollect is worker→driver result gathering.
 	KindCollect
+	// KindHeartbeat is liveness traffic: driver→worker probes and
+	// worker→driver echoes, consumed at demux (never routed to a session).
+	KindHeartbeat
 )
 
 // DataMsg is one data-plane message: a column-aligned batch of rows for a

@@ -68,6 +68,32 @@ func TestDifferentialStarvedBudget(t *testing.T) {
 	t.Logf("starved differential: %d combos, %d rows, %d spills", rep.Combos, rep.ResultRows, rep.Spills)
 }
 
+// TestDifferentialFaultRoute re-runs a differential slice with the fault
+// route enabled: every fuzzed query is additionally evaluated through the
+// engine's retry layer while a randomly chosen worker is killed at a
+// randomly chosen phase, and must still agree row-for-row with the
+// reference. The FaultRetries guard keeps the run honest — if no query
+// ever retried, the kills all landed after completion and the recovery
+// path went unexercised.
+func TestDifferentialFaultRoute(t *testing.T) {
+	rep, err := RunDifferential(Options{
+		Seed:            20260808,
+		Graphs:          4,
+		QueriesPerGraph: 5,
+		InjectFaults:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FaultRoutes != rep.Queries {
+		t.Fatalf("fault route checked %d of %d queries", rep.FaultRoutes, rep.Queries)
+	}
+	if rep.FaultRetries == 0 {
+		t.Fatalf("no fault-route query ever retried — injected kills never landed: %+v", rep)
+	}
+	t.Logf("fault differential: %d routes, %d retried", rep.FaultRoutes, rep.FaultRetries)
+}
+
 // TestDifferentialSeeds varies the generator seed in short bursts so CI
 // explores a different neighborhood than the fixed big run; kept small
 // because TestDifferentialAllPlans carries the volume.

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"strings"
 
+	distmura "repro"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/graphgen"
@@ -207,6 +208,10 @@ type Options struct {
 	TaskMemBytes int64
 	// SpillDir is where starved runs spill ("" = os.TempDir()).
 	SpillDir string
+	// InjectFaults adds a sixth route per query: the engine's retry layer
+	// under a randomly aimed worker kill (see faults.go). Every fuzzed
+	// query must survive the fault with reference-equal rows.
+	InjectFaults bool
 }
 
 func (o *Options) fill() {
@@ -239,6 +244,12 @@ type Report struct {
 	// Spills counts gauge spill events across all budgeted routes — the
 	// guard that a starved run actually exercised the spill paths.
 	Spills int64
+	// FaultRoutes counts queries checked through the fault route, and
+	// FaultRetries how many of those actually retried after the injected
+	// kill — the guard that a fault run exercised the recovery path rather
+	// than finishing every query before the kill phase.
+	FaultRoutes  int
+	FaultRetries int
 }
 
 // RunDifferential runs the harness under the given options, returning a
@@ -264,12 +275,28 @@ func RunDifferential(opts Options) (Report, error) {
 		kind := GraphKind(gi % int(numGraphKinds))
 		g := RandomGraph(rng, kind, 6+rng.Intn(18), 1+rng.Intn(3))
 		rep.Graphs++
+		var eng *distmura.Engine
+		if opts.InjectFaults {
+			if eng, err = newFaultEngine(opts, g); err != nil {
+				return rep, err
+			}
+		}
 		for qi := 0; qi < opts.QueriesPerGraph; qi++ {
 			query := RandomQuery(rng, g)
 			rep.Queries++
-			if err := runCase(c, g, query, opts, &rep); err != nil {
+			want, err := runCase(c, g, query, opts, &rep)
+			if err == nil && eng != nil {
+				err = runFaultCase(eng, rng, g, query, want, &rep)
+			}
+			if err != nil {
+				if eng != nil {
+					eng.Close()
+				}
 				return rep, fmt.Errorf("graph %d (%s), query %q: %w", gi, g.Desc(), query, err)
 			}
+		}
+		if eng != nil {
+			eng.Close()
 		}
 	}
 	for _, g := range c.Gauges() {
@@ -289,21 +316,23 @@ func RunCase(transport cluster.TransportKind, workers int, g *Graph, query strin
 	defer c.Close()
 	var rep Report
 	opts := Options{MaxIter: 2000}
-	return runCase(c, g, query, opts, &rep)
+	_, err = runCase(c, g, query, opts, &rep)
+	return err
 }
 
 // runCase parses and translates the query, evaluates it along every
 // route, compares all results against the materializing reference, and
-// accounts the checked combinations into rep.
-func runCase(c *cluster.Cluster, g *Graph, query string, opts Options, rep *Report) error {
+// accounts the checked combinations into rep. It returns the reference
+// relation so extra routes (the fault route) can reuse it.
+func runCase(c *cluster.Cluster, g *Graph, query string, opts Options, rep *Report) (*core.Relation, error) {
 	maxIter := opts.MaxIter
 	q, err := ucrpq.ParseUnion(query)
 	if err != nil {
-		return fmt.Errorf("parse: %w", err)
+		return nil, fmt.Errorf("parse: %w", err)
 	}
 	term, err := ucrpq.TranslateUnion(q, "G", g.G.Dict, rpq.LeftToRight)
 	if err != nil {
-		return fmt.Errorf("translate: %w", err)
+		return nil, fmt.Errorf("translate: %w", err)
 	}
 	env := core.NewEnv()
 	env.Bind("G", g.G.Triples)
@@ -315,7 +344,7 @@ func runCase(c *cluster.Cluster, g *Graph, query string, opts Options, rep *Repo
 	ref.MaxIter = maxIter
 	want, err := ref.Eval(term)
 	if err != nil {
-		return fmt.Errorf("reference: %w", err)
+		return nil, fmt.Errorf("reference: %w", err)
 	}
 	rep.ResultRows += want.Len()
 
@@ -338,10 +367,10 @@ func runCase(c *cluster.Cluster, g *Graph, query string, opts Options, rep *Repo
 		rep.Spills += gauge.Spills()
 	}
 	if err != nil {
-		return fmt.Errorf("streaming: %w", err)
+		return nil, fmt.Errorf("streaming: %w", err)
 	}
 	if !core.SameRows(got, want) {
-		return mismatch("streaming", got, want)
+		return nil, mismatch("streaming", got, want)
 	}
 
 	// Routes 3–5: the distributed plans.
@@ -350,15 +379,15 @@ func runCase(c *cluster.Cluster, g *Graph, query string, opts Options, rep *Repo
 		p.Force = kind
 		rel, prep, err := p.Execute(term)
 		if err != nil {
-			return fmt.Errorf("%v: %w", kind, err)
+			return nil, fmt.Errorf("%v: %w", kind, err)
 		}
 		rep.Combos++
 		rep.Iterations += prep.Iterations()
 		if !core.SameRows(rel, want) {
-			return mismatch(kind.String(), rel, want)
+			return nil, mismatch(kind.String(), rel, want)
 		}
 	}
-	return nil
+	return want, nil
 }
 
 // mismatch renders a compact row-set diff for a failed comparison.
