@@ -42,6 +42,7 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -209,6 +210,11 @@ type Engine struct {
 	plans *planCache
 	subs  *subResultCache // shared sub-result cache; nil when disabled
 	sem   chan struct{}   // admission semaphore; nil = unlimited
+
+	// watchers holds one coalescing wakeup channel per standing Watch
+	// subscription (watch.go); every mutation entry point signals them.
+	watchMu  sync.Mutex
+	watchers map[chan struct{}]struct{}
 }
 
 // Open starts an engine with an empty graph.
@@ -257,13 +263,20 @@ func Open(opts Options) (*Engine, error) {
 func (e *Engine) Close() error { return e.clust.Close() }
 
 // AddTriple inserts one labeled edge.
-func (e *Engine) AddTriple(src, pred, trg string) { e.graph.Add(src, pred, trg) }
+func (e *Engine) AddTriple(src, pred, trg string) {
+	e.graph.Add(src, pred, trg)
+	e.notifyWatchers()
+}
 
 // LoadTSV bulk-loads "src<TAB>pred<TAB>trg" lines, merging them into the
 // engine's graph: triples previously inserted via AddTriple (or earlier
 // LoadTSV calls) are kept, and all identifiers share one dictionary.
 func (e *Engine) LoadTSV(r io.Reader) error {
-	return e.graph.ReadTSVInto(r)
+	if err := e.graph.ReadTSVInto(r); err != nil {
+		return err
+	}
+	e.notifyWatchers()
+	return nil
 }
 
 // UseGraph replaces the engine's graph with a pre-built one (generator
@@ -273,6 +286,7 @@ func (e *Engine) UseGraph(g *graphgen.Graph) {
 	e.graph = g
 	e.plans.flush()
 	e.subs.flush()
+	e.notifyWatchers()
 }
 
 // Graph exposes the underlying graph (advanced use).
@@ -327,6 +341,13 @@ type QueryStats struct {
 	// engine-wide view.
 	SubResultHits  int64
 	SubResultWaits int64
+	// Refreshes counts this query's cached fixpoints that were stale from
+	// insert-only writes and were upgraded in place (delta-seeded
+	// semi-naive resume) before being served; RefreshRows is the total
+	// rows those upgrades added. A refreshed fixpoint also counts as a
+	// SubResultHit.
+	Refreshes   int64
+	RefreshRows int64
 	// Fault-tolerance outcome: RetryCount is how many epoch-bumped re-runs
 	// this query needed after worker failures, RecoveredWorkers how many
 	// dead workers its retries removed from the membership, and
@@ -751,7 +772,11 @@ func (e *Engine) runOnce(ctx context.Context, term core.Term, cfg queryConfig, e
 	partitioned := false
 	for _, f := range rep.Fixpoints {
 		if f.Cached {
-			kinds["cached"] = true
+			if f.Refreshed {
+				kinds["refreshed"] = true
+			} else {
+				kinds["cached"] = true
+			}
 			continue
 		}
 		kinds[f.Kind.String()] = true
@@ -780,6 +805,8 @@ func (e *Engine) runOnce(ctx context.Context, term core.Term, cfg queryConfig, e
 	if prov != nil {
 		stats.SubResultHits = prov.hits
 		stats.SubResultWaits = prov.waits
+		stats.Refreshes = prov.refreshes
+		stats.RefreshRows = prov.refreshRows
 	}
 	return newRows(e.graph.Dict, rel, stats), nil
 }

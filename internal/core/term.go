@@ -274,6 +274,81 @@ func Substitute(t Term, name string, repl Term) Term {
 	}
 }
 
+// CountVarOccurrences returns the number of free occurrences of the
+// relation variable name in t. Occurrences under a fixpoint that rebinds
+// name are bound and not counted, mirroring Substitute's shadowing.
+func CountVarOccurrences(t Term, name string) int {
+	switch n := t.(type) {
+	case *Var:
+		if n.Name == name {
+			return 1
+		}
+		return 0
+	case *Fixpoint:
+		if n.X == name {
+			return 0
+		}
+	}
+	total := 0
+	for _, c := range t.children() {
+		total += CountVarOccurrences(c, name)
+	}
+	return total
+}
+
+// SubstituteOccurrence replaces only the idx-th free occurrence of name in
+// t (0-based, in CountVarOccurrences order) with repl, leaving every other
+// occurrence alone — the surgical sibling of Substitute. It exists to
+// build the derivative of a term with respect to one relation: the union
+// of t[occurrence i := Δ] over all occurrences i derives exactly the rows
+// whose instantiation uses at least one Δ row, which is how delta-seeded
+// refresh turns a batch of new edges into new results without
+// re-deriving the old ones. Out of range idx returns t unchanged.
+func SubstituteOccurrence(t Term, name string, idx int, repl Term) Term {
+	out, _ := substOccurrence(t, name, idx, repl)
+	return out
+}
+
+// substOccurrence walks t counting down rem free occurrences of name; the
+// occurrence that hits rem == 0 is replaced and the countdown goes
+// negative, so the remaining traversal passes every subterm through
+// untouched.
+func substOccurrence(t Term, name string, rem int, repl Term) (Term, int) {
+	if rem < 0 {
+		return t, rem
+	}
+	switch n := t.(type) {
+	case *Var:
+		if n.Name == name {
+			if rem == 0 {
+				return repl, -1
+			}
+			return t, rem - 1
+		}
+		return t, rem
+	case *Fixpoint:
+		if n.X == name {
+			return t, rem
+		}
+	}
+	ch := t.children()
+	if len(ch) == 0 {
+		return t, rem
+	}
+	nch := make([]Term, len(ch))
+	changed := false
+	for i, c := range ch {
+		nch[i], rem = substOccurrence(c, name, rem, repl)
+		if nch[i] != c {
+			changed = true
+		}
+	}
+	if !changed {
+		return t, rem
+	}
+	return t.withChildren(nch), rem
+}
+
 // SchemaEnv maps relation variable names to their column schemas (sorted).
 type SchemaEnv map[string][]string
 

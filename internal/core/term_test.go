@@ -165,3 +165,57 @@ func TestConstTupleSortsCols(t *testing.T) {
 		t.Fatalf("NewConstTuple not sorted: %v %v", ct.Cols, ct.Vals)
 	}
 }
+
+func TestCountVarOccurrences(t *testing.T) {
+	e := &Var{Name: "E"}
+	closure := ClosureLR("X", e) // E ∪ (X ∘ E): two free E occurrences
+	if got := CountVarOccurrences(closure, "E"); got != 2 {
+		t.Fatalf("occurrences of E = %d, want 2", got)
+	}
+	// X is bound by the fixpoint: zero free occurrences at the top level,
+	// one inside the body.
+	if got := CountVarOccurrences(closure, "X"); got != 0 {
+		t.Fatalf("occurrences of bound X = %d, want 0", got)
+	}
+	if got := CountVarOccurrences(closure.Body, "X"); got != 1 {
+		t.Fatalf("occurrences of X in body = %d, want 1", got)
+	}
+	// A nested fixpoint rebinding the name shadows it.
+	nested := &Union{L: e, R: ClosureLR("E", &Var{Name: "F"})}
+	if got := CountVarOccurrences(nested, "E"); got != 1 {
+		t.Fatalf("occurrences under shadowing = %d, want 1", got)
+	}
+}
+
+func TestSubstituteOccurrence(t *testing.T) {
+	e := &Var{Name: "E"}
+	d := &Var{Name: "D"}
+	closure := ClosureLR("X", e)
+	// Replacing occurrence 0 touches the union's left branch only;
+	// occurrence 1 the composed right branch only. Together with the
+	// original, the variants cover every way a derivation can use D —
+	// the derivative the delta-seeded refresh unions over.
+	first := SubstituteOccurrence(closure, "E", 0, d)
+	second := SubstituteOccurrence(closure, "E", 1, d)
+	for i, got := range []Term{first, second} {
+		if CountVarOccurrences(got, "E") != 1 || CountVarOccurrences(got, "D") != 1 {
+			t.Fatalf("variant %d did not replace exactly one occurrence: %s", i, got)
+		}
+	}
+	if TermEqual(first, second) {
+		t.Fatalf("variants replaced the same occurrence: %s", first)
+	}
+	// Out of range: unchanged, same object.
+	if got := SubstituteOccurrence(closure, "E", 2, d); got != Term(closure) {
+		t.Fatalf("out-of-range substitution rebuilt the term: %s", got)
+	}
+	// Bound occurrences are not counted: substituting X at the top level
+	// is a no-op.
+	if got := SubstituteOccurrence(closure, "X", 0, d); got != Term(closure) {
+		t.Fatalf("substitution descended into binder: %s", got)
+	}
+	// The original term is never mutated.
+	if CountVarOccurrences(closure, "E") != 2 {
+		t.Fatal("SubstituteOccurrence mutated its input")
+	}
+}

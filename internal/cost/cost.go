@@ -50,9 +50,12 @@ type Catalog struct {
 
 	// Cached, when set, reports whether a fixpoint subterm's materialized
 	// result is (or is about to be) available in the engine's sub-result
-	// cache. A cached fixpoint costs only its scan, steering plan selection
-	// toward shapes whose recursive subplans other sessions already paid
-	// for. Nil means no cache is consulted.
+	// cache — including stale entries the cache will upgrade in place
+	// from an insert-only graph delta, whose refresh cost is proportional
+	// to the delta rather than the fixpoint. A cached fixpoint costs only
+	// its scan, steering plan selection toward shapes whose recursive
+	// subplans other sessions already paid for. Nil means no cache is
+	// consulted.
 	Cached func(core.Term) bool
 }
 

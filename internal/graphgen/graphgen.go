@@ -34,9 +34,13 @@ import (
 // Graph is a labeled directed graph stored as a triple relation
 // (src, pred, trg) with all identifiers interned in Dict.
 //
-// Mutation (Add/AddV/ReadTSVInto) must not race with readers; the
-// generation counter below only tells caches *that* the graph changed, not
-// that changing it concurrently with a query is safe.
+// Mutation (Add/AddV/ReadTSVInto) is serialized under one lock, so
+// concurrent writers are safe with each other — and with the snapshot
+// APIs (Generation, PredGens, DeltasSince), which observe every insertion
+// atomically with its generation bumps. Mutation must still not race with
+// readers scanning Triples directly (query execution): the generation
+// counters only tell caches *that* the graph changed, not that changing
+// it concurrently with a query is safe.
 type Graph struct {
 	Name    string
 	Dict    *core.Dict
@@ -57,8 +61,17 @@ type Graph struct {
 	// predicates a term touches and revalidate element-wise. Guarded by
 	// predMu because Value keys arrive from the dictionary, not a dense
 	// range; the global gen stays the coarse wildcard fallback.
+	//
+	// predLog is the per-predicate change log: predLog[p][k] is the
+	// Triples row index of the insertion that advanced predGens[p] from k
+	// to k+1. Because Triples is append-only and deletion does not exist,
+	// the log slice and the generation counter grow in lockstep (one
+	// entry per genuinely new triple), giving DeltasSince an exact
+	// generations→rows correspondence for delta-seeded refresh of cached
+	// results.
 	predMu   sync.RWMutex
 	predGens map[core.Value]uint64
+	predLog  map[core.Value][]int
 
 	// si/pi/ti locate src/pred/trg in the sorted triple schema and rowBuf
 	// is the reused insertion scratch: AddV assembles each triple in place
@@ -73,7 +86,11 @@ type Graph struct {
 // invalidation (the paper's §III-D plan choice is deterministic per
 // (query, graph statistics), so an unchanged generation makes a cached
 // plan safe to reuse).
-func (g *Graph) Generation() uint64 { return g.gen.Load() }
+func (g *Graph) Generation() uint64 {
+	g.predMu.RLock()
+	defer g.predMu.RUnlock()
+	return g.gen.Load()
+}
 
 // nextGraphID issues process-unique graph serials.
 var nextGraphID atomic.Uint64
@@ -105,18 +122,32 @@ func (g *Graph) Add(src, pred, trg string) {
 	g.AddV(g.Dict.Intern(src), g.Dict.Intern(pred), g.Dict.Intern(trg))
 }
 
-// AddV inserts a triple of already-interned values.
+// AddV inserts a triple of already-interned values. Inserting a triple
+// that is already present is a no-op: the relation rejects the duplicate
+// and no generation advances, so caches derived from the graph stay valid.
+//
+// Ordering contract: the row append, the change-log append, the
+// per-predicate generation bump and the global generation bump happen in
+// one critical section under predMu. A snapshot taken through Generation,
+// PredGens or DeltasSince therefore never observes a row without its
+// generation bumps, nor a bump without its row — if it did, a cache entry
+// published just after a write could validate its footprint against data
+// it never saw. (Scanning Triples concurrently with a mutation remains
+// unsynchronized; see the type comment.)
 func (g *Graph) AddV(src, pred, trg core.Value) {
+	g.predMu.Lock()
 	g.rowBuf[g.si] = src
 	g.rowBuf[g.pi] = pred
 	g.rowBuf[g.ti] = trg
-	g.Triples.Add(g.rowBuf[:])
-	g.gen.Add(1)
-	g.predMu.Lock()
-	if g.predGens == nil {
-		g.predGens = make(map[core.Value]uint64)
+	if g.Triples.Add(g.rowBuf[:]) {
+		if g.predGens == nil {
+			g.predGens = make(map[core.Value]uint64)
+			g.predLog = make(map[core.Value][]int)
+		}
+		g.predLog[pred] = append(g.predLog[pred], g.Triples.Len()-1)
+		g.predGens[pred]++
+		g.gen.Add(1)
 	}
-	g.predGens[pred]++
 	g.predMu.Unlock()
 }
 
@@ -139,6 +170,40 @@ func (g *Graph) PredGens(preds []core.Value) []uint64 {
 	}
 	g.predMu.RUnlock()
 	return out
+}
+
+// DeltasSince returns the triples inserted under the given predicates
+// since the per-predicate generations gens (as previously snapshotted by
+// PredGens, aligned with preds), together with those predicates' current
+// generations. Delta and cur are read in one critical section with any
+// concurrent AddV, so the returned rows are exactly the insertions that
+// advance gens to cur — the graph is insert-only (there is no delete
+// API), so that delta fully describes the change. The result shares the
+// graph's triple schema and interned values.
+//
+// ok is false when the correspondence cannot be established: gens is
+// misaligned with preds, or records a generation ahead of this graph's
+// (a snapshot taken from a different graph object). Callers then fall
+// back to treating the derived artifact as fully stale.
+func (g *Graph) DeltasSince(preds []core.Value, gens []uint64) (delta *core.Relation, cur []uint64, ok bool) {
+	if len(gens) != len(preds) {
+		return nil, nil, false
+	}
+	delta = core.NewRelation(g.Triples.Cols()...)
+	cur = make([]uint64, len(preds))
+	g.predMu.RLock()
+	defer g.predMu.RUnlock()
+	for i, p := range preds {
+		n := g.predGens[p]
+		cur[i] = n
+		if gens[i] > n {
+			return nil, nil, false
+		}
+		for _, ri := range g.predLog[p][gens[i]:n] {
+			delta.Add(g.Triples.RowAt(ri))
+		}
+	}
+	return delta, cur, true
 }
 
 // Binary extracts the (src, trg) relation of one predicate.

@@ -2,8 +2,10 @@ package graphgen
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -269,5 +271,141 @@ func TestPredGenerations(t *testing.T) {
 	gens := g.PredGens([]core.Value{p, q, r})
 	if gens[0] != 2 || gens[1] != 1 || gens[2] != 0 {
 		t.Errorf("PredGens = %v, want [2 1 0]", gens)
+	}
+}
+
+// TestAddVDuplicateIsNoOp pins the generation contract: inserting a triple
+// that is already present advances nothing — not the global counter, not
+// the predicate counter, not the change log — so caches derived from the
+// graph stay valid across duplicate writes.
+func TestAddVDuplicateIsNoOp(t *testing.T) {
+	g := NewGraph("dup")
+	g.Add("a", "p", "b")
+	g.Add("a", "p", "b")
+	if g.Edges() != 1 {
+		t.Fatalf("edges = %d, want 1", g.Edges())
+	}
+	if got := g.Generation(); got != 1 {
+		t.Errorf("Generation = %d, want 1", got)
+	}
+	p, _ := g.Dict.Lookup("p")
+	if got := g.PredGen(p); got != 1 {
+		t.Errorf("PredGen = %d, want 1", got)
+	}
+	delta, cur, ok := g.DeltasSince([]core.Value{p}, []uint64{0})
+	if !ok || delta.Len() != 1 || cur[0] != 1 {
+		t.Errorf("DeltasSince = (%d rows, cur %v, ok %v), want 1 row at gen 1", delta.Len(), cur, ok)
+	}
+}
+
+// TestDeltasSince checks the generations→rows correspondence of the
+// change log: a snapshot at any generation sees exactly the rows inserted
+// after it, per predicate, and out-of-range snapshots are rejected.
+func TestDeltasSince(t *testing.T) {
+	g := NewGraph("delta")
+	g.Add("a", "p", "b")
+	p, _ := g.Dict.Lookup("p")
+	q := g.Dict.Intern("q")
+	snap := g.PredGens([]core.Value{p, q})
+
+	g.Add("b", "p", "c")
+	g.Add("x", "q", "y")
+	g.Add("c", "p", "d")
+
+	delta, cur, ok := g.DeltasSince([]core.Value{p, q}, snap)
+	if !ok {
+		t.Fatal("DeltasSince rejected a valid snapshot")
+	}
+	if want := []uint64{3, 1}; cur[0] != want[0] || cur[1] != want[1] {
+		t.Errorf("cur = %v, want %v", cur, want)
+	}
+	if delta.Len() != 3 {
+		t.Fatalf("delta rows = %d, want 3 (2 p-edges + 1 q-edge)", delta.Len())
+	}
+	// A delta from the current generations is empty.
+	empty, _, ok := g.DeltasSince([]core.Value{p, q}, cur)
+	if !ok || empty.Len() != 0 {
+		t.Errorf("delta from current gens = (%d rows, ok %v), want empty", empty.Len(), ok)
+	}
+	// A snapshot from a different graph (generation ahead) is rejected.
+	if _, _, ok := g.DeltasSince([]core.Value{p}, []uint64{99}); ok {
+		t.Error("DeltasSince accepted a generation ahead of the graph's")
+	}
+	if _, _, ok := g.DeltasSince([]core.Value{p, q}, []uint64{0}); ok {
+		t.Error("DeltasSince accepted misaligned gens")
+	}
+}
+
+// TestAddVAtomicSnapshots is the -race regression test for the ordering
+// bug where AddV bumped the global generation before the per-predicate
+// one, outside any shared critical section: a snapshot in that window
+// recorded a pre-write predicate generation for a row already visible,
+// letting a just-published cache entry validate against data it never
+// saw. With the single critical section, every snapshot observes the row
+// append, the change log, and both counters together: the delta row
+// count always equals the generation distance it claims to cover.
+func TestAddVAtomicSnapshots(t *testing.T) {
+	g := NewGraph("atomic")
+	p := g.Dict.Intern("p")
+	const writers, perWriter = 4, 300
+	nodes := make([]core.Value, writers*perWriter+1)
+	for i := range nodes {
+		nodes[i] = g.Dict.Intern(node("c", i))
+	}
+
+	stop := make(chan struct{})
+	errs := make(chan string, 8)
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			preds := []core.Value{p}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := g.PredGens(preds)
+				delta, cur, ok := g.DeltasSince(preds, snap)
+				if !ok {
+					errs <- "DeltasSince rejected a snapshot taken from the same graph"
+					return
+				}
+				if got, want := delta.Len(), int(cur[0]-snap[0]); got != want {
+					errs <- fmt.Sprintf("delta rows = %d, generation distance = %d", got, want)
+					return
+				}
+			}
+		}()
+	}
+
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				k := w*perWriter + i
+				g.AddV(nodes[k], p, nodes[k+1])
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+
+	if got, want := g.PredGen(p), uint64(writers*perWriter); got != want {
+		t.Errorf("PredGen = %d, want %d", got, want)
+	}
+	delta, cur, ok := g.DeltasSince([]core.Value{p}, []uint64{0})
+	if !ok || cur[0] != uint64(writers*perWriter) || delta.Len() != writers*perWriter {
+		t.Errorf("full delta = (%d rows, cur %v, ok %v), want %d rows", delta.Len(), cur, ok, writers*perWriter)
 	}
 }

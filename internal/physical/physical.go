@@ -72,6 +72,7 @@ type FixpointReport struct {
 	StableCols    []string
 	Partitioned   bool // true when split on stable columns (distinct skipped)
 	Cached        bool // true when served from the engine's sub-result cache
+	Refreshed     bool // true when the cached entry was first upgraded in place from a graph delta
 	Iterations    int  // driver loop count (Gld) or max local iterations (Pplw)
 	ConstPartRows int
 	BroadcastRows int
@@ -127,16 +128,19 @@ type Planner struct {
 // SubResultProvider is the engine's sub-result cache as seen by the
 // physical layer. Lookup is called with each fixpoint about to execute:
 //
-//   - (rel, nil, nil): cache hit — rel is the materialized result, shared
-//     and read-only; the planner must not mutate it.
-//   - (nil, complete, nil): single-flight lease — this planner must compute
-//     the fixpoint and call complete exactly once with the outcome so
-//     waiting sessions unblock (complete(nil, err) on failure).
-//   - (nil, nil, nil): not cacheable; compute without publishing.
-//   - (nil, nil, err): the wait for another session's in-flight computation
-//     was aborted (context cancelled); fail the query.
+//   - (rel, refreshed, nil, nil): cache hit — rel is the materialized
+//     result, shared and read-only; the planner must not mutate it.
+//     refreshed is true when the provider first upgraded a stale entry in
+//     place from a graph delta before serving it.
+//   - (nil, _, complete, nil): single-flight lease — this planner must
+//     compute the fixpoint and call complete exactly once with the outcome
+//     so waiting sessions unblock (complete(nil, err) on failure).
+//   - (nil, _, nil, nil): not cacheable; compute without publishing.
+//   - (nil, _, nil, err): the wait for another session's in-flight
+//     computation (or this session's refresh) was aborted (context
+//     cancelled); fail the query.
 type SubResultProvider interface {
-	Lookup(fp *core.Fixpoint) (rel *core.Relation, complete func(*core.Relation, error), err error)
+	Lookup(fp *core.Fixpoint) (rel *core.Relation, refreshed bool, complete func(*core.Relation, error), err error)
 }
 
 // DriverGauge returns the gauge of the driver-side glue evaluator of the
@@ -298,12 +302,12 @@ func (p *Planner) choose(pr *prepared) Kind {
 // computes privately.
 func (p *Planner) runFixpoint(sess *cluster.Session, fp *core.Fixpoint, rep *Report) (*core.Relation, error) {
 	if p.SubResults != nil {
-		rel, complete, err := p.SubResults.Lookup(fp)
+		rel, refreshed, complete, err := p.SubResults.Lookup(fp)
 		if err != nil {
 			return nil, err
 		}
 		if rel != nil {
-			rep.Fixpoints = append(rep.Fixpoints, FixpointReport{Cached: true, ResultRows: rel.Len()})
+			rep.Fixpoints = append(rep.Fixpoints, FixpointReport{Cached: true, Refreshed: refreshed, ResultRows: rel.Len()})
 			return rel, nil
 		}
 		if complete != nil {

@@ -1,0 +1,185 @@
+package testkit
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	distmura "repro"
+)
+
+// This file is the differential route for the live-graph refresh path:
+// repeated queries interleaved with fuzzed insert-only batches on two
+// engines sharing one graph — one serving repeats through the sub-result
+// cache (stale entries upgraded in place from the graph's change log),
+// one with the cache disabled (every repeat recomputed from scratch).
+// Any divergence between a refreshed result and its recompute is a bug in
+// the delta-seeded semi-naive resume.
+
+// IncrementalOptions bounds one incremental differential run.
+type IncrementalOptions struct {
+	// Seed drives all generation; runs are deterministic per seed.
+	Seed int64
+	// Graphs is the number of random graphs (default 4).
+	Graphs int
+	// QueriesPerGraph is the number of random queries re-run per graph in
+	// every round, beyond the always-included plain closure (default 3).
+	QueriesPerGraph int
+	// Rounds is the number of insert-batch + re-query rounds per graph
+	// (default 4).
+	Rounds int
+	// BatchSize is the number of fuzzed insertions per round (default 6).
+	BatchSize int
+	// Workers is the cluster size of both engines (default 2).
+	Workers int
+}
+
+func (o *IncrementalOptions) fill() {
+	if o.Graphs <= 0 {
+		o.Graphs = 4
+	}
+	if o.QueriesPerGraph <= 0 {
+		o.QueriesPerGraph = 3
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 4
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 6
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+}
+
+// IncrementalReport summarizes an incremental differential run.
+type IncrementalReport struct {
+	Graphs  int
+	Queries int
+	// Rounds counts (graph, round) insert batches applied; Checks counts
+	// (graph, round, query) refresh-vs-recompute comparisons.
+	Rounds int
+	Checks int
+	// ResultRows sums the compared result sizes — the guard against a run
+	// that "agrees" only because every result was empty.
+	ResultRows int
+	// Refreshes / RefreshRows aggregate the cached engines' in-place
+	// upgrades — the guard that the runs actually exercised the refresh
+	// path instead of recomputing everything.
+	Refreshes   int64
+	RefreshRows int64
+}
+
+// sortedRows renders a result as canonical sorted strings.
+func sortedRows(res *distmura.Result) []string {
+	out := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, strings.Join(r, "\t"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunIncremental runs the incremental differential harness, returning a
+// summary or the first divergence as an error.
+func RunIncremental(opts IncrementalOptions) (IncrementalReport, error) {
+	opts.fill()
+	rep := IncrementalReport{}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	ctx := context.Background()
+	for gi := 0; gi < opts.Graphs; gi++ {
+		kind := GraphKind(gi % int(numGraphKinds))
+		g := RandomGraph(rng, kind, 6+rng.Intn(14), 1+rng.Intn(3))
+		rep.Graphs++
+
+		cached, err := distmura.Open(distmura.Options{Workers: opts.Workers})
+		if err != nil {
+			return rep, err
+		}
+		fresh, err := distmura.Open(distmura.Options{Workers: opts.Workers, DisableSubResultCache: true})
+		if err != nil {
+			cached.Close()
+			return rep, err
+		}
+		cached.UseGraph(g.G)
+		fresh.UseGraph(g.G)
+
+		// The plain single-label closure is always included: its cached
+		// fixpoint is guaranteed refreshable, so every round exercises the
+		// upgrade path even when the fuzzed queries land on non-monotone
+		// or wildcard shapes (which legitimately fall back to eviction).
+		queries := []string{"?x,?y <- ?x l0+ ?y"}
+		for qi := 0; qi < opts.QueriesPerGraph; qi++ {
+			queries = append(queries, RandomQuery(rng, g))
+		}
+		rep.Queries += len(queries)
+
+		check := func(round int) error {
+			for _, q := range queries {
+				got, err := cached.QueryCollect(ctx, q)
+				if err != nil {
+					return fmt.Errorf("cached engine, query %q: %w", q, err)
+				}
+				want, err := fresh.QueryCollect(ctx, q)
+				if err != nil {
+					return fmt.Errorf("recompute engine, query %q: %w", q, err)
+				}
+				gs, ws := sortedRows(got), sortedRows(want)
+				if len(gs) != len(ws) {
+					return fmt.Errorf("round %d, query %q: refreshed %d rows, recompute %d", round, q, len(gs), len(ws))
+				}
+				for i := range gs {
+					if gs[i] != ws[i] {
+						return fmt.Errorf("round %d, query %q: row %d: refreshed %q, recompute %q", round, q, i, gs[i], ws[i])
+					}
+				}
+				rep.Checks++
+				rep.ResultRows += len(gs)
+			}
+			return nil
+		}
+
+		runGraph := func() error {
+			// Round 0 populates the caches; later rounds mutate first, so
+			// every repeat hits a stale (or still-valid) entry.
+			if err := check(0); err != nil {
+				return err
+			}
+			for round := 1; round <= opts.Rounds; round++ {
+				lab := func() string { return g.Labels[rng.Intn(len(g.Labels))] }
+				for b := 0; b < opts.BatchSize; b++ {
+					switch rng.Intn(4) {
+					case 0: // brand-new node extending the frontier
+						nn := fmt.Sprintf("x%d_%d_%d", gi, round, b)
+						g.G.Add(g.Nodes[rng.Intn(len(g.Nodes))], lab(), nn)
+						g.Nodes = append(g.Nodes, nn)
+					case 1: // duplicate of an existing edge (often a no-op)
+						if g.G.Edges() > 0 {
+							row := g.G.Triples.RowAt(rng.Intn(g.G.Edges()))
+							g.G.AddV(row[0], row[1], row[2])
+						}
+					default: // random edge between existing nodes
+						g.G.Add(g.Nodes[rng.Intn(len(g.Nodes))], lab(), g.Nodes[rng.Intn(len(g.Nodes))])
+					}
+				}
+				rep.Rounds++
+				if err := check(round); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		err = runGraph()
+		cs := cached.SubResultCacheStats()
+		rep.Refreshes += cs.Refreshes
+		rep.RefreshRows += cs.RefreshRows
+		cached.Close()
+		fresh.Close()
+		if err != nil {
+			return rep, fmt.Errorf("graph %d (%s): %w", gi, g.Desc(), err)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,43 @@
+package testkit
+
+import "testing"
+
+// TestIncrementalRefreshDifferential is the bounded incremental run wired
+// into `go test ./...`: fuzzed insert batches applied between repeated
+// queries, with every cached-engine result compared row-for-row against a
+// from-scratch recompute on a cache-disabled engine sharing the same
+// graph. The Refreshes guard keeps the run honest — if the cached engine
+// never upgraded a stale entry in place, the route degenerated into plain
+// recompute-vs-recompute and proved nothing about the refresh path.
+func TestIncrementalRefreshDifferential(t *testing.T) {
+	rep, err := RunIncremental(IncrementalOptions{Seed: 20260808})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checks < 60 {
+		t.Fatalf("incremental run made only %d checks, want >= 60 (graphs=%d queries=%d rounds=%d)",
+			rep.Checks, rep.Graphs, rep.Queries, rep.Rounds)
+	}
+	if rep.ResultRows == 0 {
+		t.Fatalf("degenerate run: every compared result was empty: %+v", rep)
+	}
+	if rep.Refreshes == 0 {
+		t.Fatalf("no cached entry was ever refreshed in place — the route never exercised the delta path: %+v", rep)
+	}
+	t.Logf("incremental: %d graphs, %d queries, %d rounds, %d checks, %d rows, %d refreshes (%d rows seeded)",
+		rep.Graphs, rep.Queries, rep.Rounds, rep.Checks, rep.ResultRows, rep.Refreshes, rep.RefreshRows)
+}
+
+// TestIncrementalSeeds varies the fuzz seed in short bursts so CI explores
+// different insert/query neighborhoods than the fixed main run.
+func TestIncrementalSeeds(t *testing.T) {
+	for _, seed := range []int64{11, 12} {
+		rep, err := RunIncremental(IncrementalOptions{Seed: seed, Graphs: 2, QueriesPerGraph: 2, Rounds: 3})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Checks == 0 || rep.Refreshes == 0 {
+			t.Fatalf("seed %d: degenerate run: %+v", seed, rep)
+		}
+	}
+}

@@ -32,8 +32,20 @@ import (
 // cache only defers the release of its own accounting). Validation is per
 // predicate: each entry snapshots the generation counters of exactly the
 // predicates its term reads (graphgen.Graph.PredGens), so a write to
-// `follows` leaves `cites+` sub-results live. Stale entries are evicted
-// on sight at lookup; replacing the graph object flushes everything.
+// `follows` leaves `cites+` sub-results live. Replacing the graph object
+// flushes everything.
+//
+// A stale entry is not necessarily lost work: the graph is insert-only
+// (no delete API exists), so when the entry's term is monotone in the
+// graph and its footprint pins exact predicates, everything the entry
+// holds is still true — it is merely incomplete. acquire then upgrades
+// the entry in place instead of evicting it: it fetches exactly the new
+// edges from the graph's change log (Graph.DeltasSince), seeds a
+// semi-naive delta with their one-step consequences, and resumes the
+// fixpoint from the cached rows to convergence (subresult_refresh.go) —
+// cost proportional to the delta and what it derives, not to the graph.
+// Non-monotone or wildcard entries keep the old behavior: evicted on
+// sight at lookup, recomputed from scratch.
 
 // footprint identifies the graph state a cached artifact (plan or
 // sub-result) was derived from: the graph's identity plus the generation
@@ -81,26 +93,36 @@ func (f footprint) valid(g *graphgen.Graph) bool {
 	return true
 }
 
-// subEntry is one cache slot, in one of two states:
+// subEntry is one cache slot, in one of three states:
 //
-//	in flight: done != nil, rel == nil — a leader session is computing;
-//	           waiters block on done and re-examine the entry after.
-//	complete:  done == nil, rel != nil — resident, in the LRU, charged to
-//	           the gauge, served to readers under a pin (refs).
+//	in flight:  done != nil, rel == nil — a leader session is computing;
+//	            waiters block on done and re-examine the entry after.
+//	complete:   done == nil, rel != nil — resident, in the LRU, charged to
+//	            the gauge, served to readers under a pin (refs).
+//	refreshing: done != nil, rel != nil — a leader is upgrading a stale
+//	            entry in place (delta-seeded semi-naive resume); out of
+//	            the LRU for the duration, waiters use the same done-wait
+//	            path as in flight. rel still holds the pre-refresh rows,
+//	            which pinned readers keep using.
 //
 // gone marks an entry unlinked from the map (flushed, evicted, or its
 // leader failed); a gone in-flight entry completes without publishing,
 // and a gone pinned entry releases its gauge charge when the last pin
 // drops.
+//
+// refreshable caches the upgrade gate (refreshableSubResult) decided once
+// at entry creation from the term, so later lookups — including has(),
+// which only sees the fingerprint — don't re-derive it.
 type subEntry struct {
-	key   string
-	fp    footprint
-	rel   *core.Relation
-	bytes int64
-	refs  int
-	gone  bool
-	done  chan struct{}
-	elem  *list.Element
+	key         string
+	fp          footprint
+	rel         *core.Relation
+	bytes       int64
+	refs        int
+	gone        bool
+	refreshable bool
+	done        chan struct{}
+	elem        *list.Element
 }
 
 // subResultCache is the engine-wide store. Safe for concurrent use; all
@@ -117,6 +139,8 @@ type subResultCache struct {
 	waits         atomic.Int64
 	evictions     atomic.Int64
 	invalidations atomic.Int64
+	refreshes     atomic.Int64
+	refreshRows   atomic.Int64
 }
 
 // newSubResultCache returns a cache whose residency is budgeted at
@@ -140,6 +164,16 @@ func subResultBytes(rel *core.Relation) int64 {
 	return int64(core.AccRowBytes(rel.Arity())) * int64(rel.Len())
 }
 
+// acquireOutcome reports how one acquire resolved, beyond its return
+// values: whether it ever blocked on another session's in-flight
+// computation, and whether it served its hit by first upgrading a stale
+// entry in place (refreshRows = rows that upgrade added).
+type acquireOutcome struct {
+	waited      bool
+	refreshed   bool
+	refreshRows int64
+}
+
 // acquire resolves one fingerprint lookup:
 //
 //	(en, nil, _, nil)       completed hit — en is pinned; the caller must
@@ -148,12 +182,15 @@ func subResultBytes(rel *core.Relation) int64 {
 //	(nil, complete, _, nil) the caller is the leader and must call
 //	                        complete exactly once with its outcome.
 //	(nil, nil, _, err)      ctx was cancelled while waiting on another
-//	                        session's in-flight computation.
+//	                        session's in-flight computation, or while this
+//	                        session was refreshing a stale entry.
 //
-// waited reports whether the call blocked on an in-flight entry at least
-// once. A waiter whose leader fails loops and may itself become the new
-// leader — a failed computation never poisons the slot.
-func (c *subResultCache) acquire(ctx context.Context, g *graphgen.Graph, key string, term core.Term) (en *subEntry, complete func(*core.Relation, error), waited bool, err error) {
+// A stale completed entry that passes the refresh gate is upgraded in
+// place (see refreshLocked) and then served as a hit; anything else stale
+// is evicted on sight. A waiter whose leader fails loops and may itself
+// become the new leader — a failed computation (or refresh) never poisons
+// the slot.
+func (c *subResultCache) acquire(ctx context.Context, g *graphgen.Graph, key string, term core.Term) (en *subEntry, complete func(*core.Relation, error), out acquireOutcome, err error) {
 	for {
 		c.mu.Lock()
 		cur, ok := c.entries[key]
@@ -163,36 +200,131 @@ func (c *subResultCache) acquire(ctx context.Context, g *graphgen.Graph, key str
 				c.lru.MoveToFront(cur.elem)
 				c.mu.Unlock()
 				c.hits.Add(1)
-				return cur, nil, waited, nil
+				return cur, nil, out, nil
 			}
-			// A predicate this entry reads mutated: evict on sight.
-			c.removeLocked(cur)
-			c.invalidations.Add(1)
+			// Stale. Insert-only staleness of a monotone entry is repaired
+			// at delta cost; everything else is evicted on sight.
+			refreshed, rows, rerr := c.refreshLocked(ctx, g, cur, term)
+			if rerr != nil {
+				c.mu.Unlock()
+				return nil, nil, out, rerr
+			}
+			if refreshed {
+				cur.refs++
+				c.mu.Unlock()
+				c.hits.Add(1)
+				out.refreshed = true
+				out.refreshRows += rows
+				return cur, nil, out, nil
+			}
+			if !cur.gone {
+				c.removeLocked(cur)
+				c.invalidations.Add(1)
+			}
 			ok = false
 		}
 		if ok {
 			done := cur.done
 			c.mu.Unlock()
-			if !waited {
-				waited = true
+			if !out.waited {
+				out.waited = true
 				c.waits.Add(1)
 			}
 			select {
 			case <-done:
 				continue // completed or leader failed; re-examine
 			case <-ctx.Done():
-				return nil, nil, waited, ctx.Err()
+				return nil, nil, out, ctx.Err()
 			}
 		}
 		// Miss: this session leads. The footprint is snapshotted before
 		// computing — a relevant write racing the computation makes the
 		// published entry fail validation, never serve stale rows.
 		fresh := &subEntry{key: key, fp: snapshotFootprint(g, term), done: make(chan struct{})}
+		if fp, isFix := term.(*core.Fixpoint); isFix {
+			_, fresh.refreshable = refreshableSubResult(fp)
+			fresh.refreshable = fresh.refreshable && !fresh.fp.wildcard
+		}
 		c.entries[key] = fresh
 		c.mu.Unlock()
 		c.misses.Add(1)
-		return nil, c.completer(fresh), waited, nil
+		return nil, c.completer(fresh), out, nil
 	}
+}
+
+// refreshLocked attempts the in-place upgrade of a stale completed entry:
+// fetch the new edges for the entry's predicates from the graph's change
+// log, resume the fixpoint from the cached rows (subresult_refresh.go),
+// and republish under the generations the delta brings the entry to.
+// Called with c.mu held, returns with c.mu held; the lock is dropped for
+// the computation itself, during which the entry is in the refreshing
+// state (waiters block on done, has() prices it by its already-advanced
+// footprint, the LRU cannot evict it).
+//
+// refreshed is false when the entry does not pass the gate (caller falls
+// back to evict-on-sight) or when the refresh failed non-fatally (the
+// entry has been removed; the caller loops and recomputes from scratch).
+// err is non-nil only when ctx was cancelled mid-refresh, which must
+// fail the calling query.
+func (c *subResultCache) refreshLocked(ctx context.Context, g *graphgen.Graph, en *subEntry, term core.Term) (refreshed bool, rows int64, err error) {
+	if !en.refreshable || en.fp.wildcard || en.fp.graphID != g.ID() {
+		return false, 0, nil
+	}
+	fp, ok := term.(*core.Fixpoint)
+	if !ok {
+		return false, 0, nil
+	}
+	delta, cur, ok := g.DeltasSince(en.fp.preds, en.fp.gens)
+	if !ok {
+		return false, 0, nil
+	}
+	// Take the refresh lease. The footprint advances to the generations
+	// the delta accounts for *before* computing — the same
+	// snapshot-before-compute rule fresh leaders follow — so a write
+	// racing the refresh re-stales the entry instead of letting it serve
+	// rows it never derived.
+	en.done = make(chan struct{})
+	if en.elem != nil {
+		c.lru.Remove(en.elem)
+		en.elem = nil
+	}
+	old := en.rel
+	en.fp.gens = cur
+	c.mu.Unlock()
+
+	rel, added, rerr := refreshSubResult(ctx, g, fp, old, delta)
+
+	c.mu.Lock()
+	done := en.done
+	en.done = nil
+	defer close(done)
+	if en.gone {
+		// Flushed (or the graph was swapped) while refreshing: nothing to
+		// publish; the old charge is settled by removeLocked/release.
+		return false, 0, nil
+	}
+	if rerr != nil {
+		c.removeLocked(en)
+		c.invalidations.Add(1)
+		if ctx.Err() != nil {
+			return false, 0, rerr
+		}
+		return false, 0, nil
+	}
+	// Swap the rows and re-price the slot. Pins taken on the old relation
+	// keep reading it unharmed (relations are immutable once published);
+	// the cache simply accounts for the new resident rows.
+	c.gauge.Release(en.bytes)
+	c.resident.Add(-en.bytes)
+	en.rel = rel
+	en.bytes = subResultBytes(rel)
+	c.gauge.Charge(en.bytes)
+	c.resident.Add(en.bytes)
+	en.elem = c.lru.PushFront(en)
+	c.refreshes.Add(1)
+	c.refreshRows.Add(added)
+	c.evictOverBudgetLocked()
+	return true, added, nil
 }
 
 // completer returns the leader's publication callback. On success the
@@ -282,9 +414,15 @@ func (c *subResultCache) release(en *subEntry) {
 }
 
 // has reports whether a lookup for key would avoid a fresh computation —
-// a valid completed entry or an in-flight one (its result is about to
-// exist). The cost model's Catalog.Cached hook; touches no counters and
-// no LRU order.
+// a valid entry (completed or in flight), or a stale completed entry the
+// cache would upgrade in place at delta cost. The cost model's
+// Catalog.Cached hook; touches no counters and no LRU order.
+//
+// In-flight entries get the same footprint validation as completed ones:
+// a leader publishes under the footprint it snapshotted before computing,
+// so a relevant write since then has already doomed the entry — pricing
+// it at scan cost would steer plan selection toward a result that will
+// never validate.
 func (c *subResultCache) has(key string, g *graphgen.Graph) bool {
 	if c == nil {
 		return false
@@ -295,10 +433,10 @@ func (c *subResultCache) has(key string, g *graphgen.Graph) bool {
 	if !ok {
 		return false
 	}
-	if en.done != nil {
+	if en.fp.valid(g) {
 		return true
 	}
-	return en.fp.valid(g)
+	return en.done == nil && en.refreshable && !en.fp.wildcard && en.fp.graphID == g.ID()
 }
 
 // flush drops every entry — the graph object itself was replaced, so even
@@ -317,10 +455,13 @@ func (c *subResultCache) flush() {
 }
 
 // SubResultCacheStats reports the sub-result cache's effectiveness.
-// Hits served a materialized result without any fixpoint execution,
+// Hits served a materialized result without any full fixpoint execution,
 // InFlightJoins blocked on (then shared) another session's computation,
 // Misses computed and published, Evictions left under memory pressure,
-// Invalidations were dropped because a predicate they read mutated.
+// Invalidations were dropped because a predicate they read mutated (and
+// the entry could not be upgraded), Refreshes were stale entries upgraded
+// in place by a delta-seeded semi-naive resume (RefreshRows = rows those
+// upgrades added; every refresh also counts as a hit).
 // Bytes/Entries describe current residency.
 type SubResultCacheStats struct {
 	Hits          int64
@@ -328,6 +469,8 @@ type SubResultCacheStats struct {
 	InFlightJoins int64
 	Evictions     int64
 	Invalidations int64
+	Refreshes     int64
+	RefreshRows   int64
 	Bytes         int64
 	Entries       int
 }
@@ -348,6 +491,8 @@ func (e *Engine) SubResultCacheStats() SubResultCacheStats {
 		InFlightJoins: c.waits.Load(),
 		Evictions:     c.evictions.Load(),
 		Invalidations: c.invalidations.Load(),
+		Refreshes:     c.refreshes.Load(),
+		RefreshRows:   c.refreshRows.Load(),
 		Bytes:         c.resident.Load(),
 		Entries:       entries,
 	}
@@ -372,34 +517,46 @@ func cacheableFixpoint(fp *core.Fixpoint) bool {
 // plain fields; pins are dropped right after Execute returns (the cache
 // then resumes normal accounting — the relations themselves stay alive
 // through whatever still references them).
+// graph is deliberately the snapshot runOnce took when it bound the
+// query's Env: the provider must validate and refresh against the same
+// graph object the execution reads, even if UseGraph swaps the engine's
+// graph mid-query (the cost model's hook, by contrast, outlives single
+// executions and must resolve the engine's current graph at call time —
+// see cachedTermPredicate).
 type subResultProvider struct {
-	ctx    context.Context
-	cache  *subResultCache
-	graph  *graphgen.Graph
-	hits   int64
-	waits  int64
-	pinned []*subEntry
+	ctx         context.Context
+	cache       *subResultCache
+	graph       *graphgen.Graph
+	hits        int64
+	waits       int64
+	refreshes   int64
+	refreshRows int64
+	pinned      []*subEntry
 }
 
 // Lookup implements physical.SubResultProvider.
-func (p *subResultProvider) Lookup(fp *core.Fixpoint) (*core.Relation, func(*core.Relation, error), error) {
+func (p *subResultProvider) Lookup(fp *core.Fixpoint) (*core.Relation, bool, func(*core.Relation, error), error) {
 	if !cacheableFixpoint(fp) {
-		return nil, nil, nil
+		return nil, false, nil, nil
 	}
 	key := rewrite.Fingerprint(fp)
-	en, complete, waited, err := p.cache.acquire(p.ctx, p.graph, key, fp)
-	if waited {
+	en, complete, out, err := p.cache.acquire(p.ctx, p.graph, key, fp)
+	if out.waited {
 		p.waits++
 	}
+	if out.refreshed {
+		p.refreshes++
+		p.refreshRows += out.refreshRows
+	}
 	if err != nil {
-		return nil, nil, err
+		return nil, false, nil, err
 	}
 	if en != nil {
 		p.hits++
 		p.pinned = append(p.pinned, en)
-		return en.rel, nil, nil
+		return en.rel, out.refreshed, nil, nil
 	}
-	return nil, complete, nil
+	return nil, false, complete, nil
 }
 
 // releaseAll drops every pin this query holds.
@@ -410,19 +567,22 @@ func (p *subResultProvider) releaseAll() {
 	p.pinned = nil
 }
 
-// cachedTermPredicate returns the cost model's Catalog.Cached hook for
-// the current graph, or nil when the cache is disabled.
+// cachedTermPredicate returns the cost model's Catalog.Cached hook, or
+// nil when the cache is disabled. The graph is resolved inside the hook
+// at call time, never captured: a hook built before UseGraph swaps the
+// engine's graph would otherwise validate fingerprints against the
+// retired graph object — and since generations are per graph, the retired
+// and current graphs can even agree on a generation count, turning the
+// staleness into silent mis-pricing rather than a conservative miss.
 func (e *Engine) cachedTermPredicate() func(core.Term) bool {
 	if e.subs == nil {
 		return nil
 	}
-	g := e.graph
-	subs := e.subs
 	return func(t core.Term) bool {
 		fp, ok := t.(*core.Fixpoint)
 		if !ok || !cacheableFixpoint(fp) {
 			return false
 		}
-		return subs.has(rewrite.Fingerprint(fp), g)
+		return e.subs.has(rewrite.Fingerprint(fp), e.graph)
 	}
 }

@@ -1,0 +1,148 @@
+package distmura
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/graphgen"
+)
+
+// This file is the delta-seeded refresh behind the sub-result cache's
+// upgrade-in-place path (subresult.go): incremental view maintenance of a
+// cached fixpoint result under insert-only mutation. The graph never
+// deletes (there is no delete API), so for a term monotone in the graph
+// every cached row stays true after a write — the entry is incomplete,
+// not wrong. Completing it is the semi-naive evaluation of §IV resumed
+// rather than restarted: the cached rows stand in for X, the new edges
+// are the first delta, and iteration runs until no new rows appear. Cost
+// is proportional to the delta and its consequences, not the graph.
+
+// deltaRel is the environment name the refresh binds the new-edge
+// relation to inside derivative terms. The NUL prefix keeps it outside
+// every parser- or planner-reachable namespace, so it can never collide
+// with a user relation or an optimizer-introduced variable.
+const deltaRel = "\x00deltaG"
+
+// errNotRefreshable reports a refresh attempted on a term that fails the
+// refreshableSubResult gate.
+var errNotRefreshable = errors.New("distmura: sub-result term is not delta-refreshable")
+
+// refreshableSubResult reports whether a cached entry for fp can be
+// upgraded in place by an insert-only delta, returning the decomposition
+// the refresh runs on. Beyond cacheableFixpoint (already enforced when
+// the entry was keyed) the gates are:
+//
+//   - the term decomposes (core.Decompose: Fcond, with a constant part) —
+//     the shape the semi-naive resume iterates on;
+//   - no antijoin anywhere in the body: Fcond only guarantees positivity
+//     in X, but an antijoin whose right side reads the graph makes the
+//     result non-monotone in the *graph* — a new edge can remove rows,
+//     which no insert-seeded delta pass can express;
+//   - no nested fixpoint in the body: the delta of an inner fixpoint is
+//     not the fixpoint of the delta, so the one-step derivative seeding
+//     below would under-derive through it.
+//
+// Entries failing a gate keep the pre-refresh behavior: evicted on sight,
+// recomputed from scratch.
+func refreshableSubResult(fp *core.Fixpoint) (*core.Decomposed, bool) {
+	mono := true
+	core.Walk(fp.Body, func(t core.Term) bool {
+		switch t.(type) {
+		case *core.Antijoin, *core.Fixpoint:
+			mono = false
+			return false
+		}
+		return true
+	})
+	if !mono {
+		return nil, false
+	}
+	d, err := core.Decompose(fp)
+	if err != nil {
+		return nil, false
+	}
+	return d, true
+}
+
+// refreshSubResult resumes one cached fixpoint from its stale rows:
+//
+//	X₀   = old (the cached result — every row still true, graph is
+//	       insert-only)
+//	Δ₀   = the one-step contribution of the new edges: for the constant
+//	       part and each φ branch, the union over occurrences i of G of
+//	       term[occurrence i := delta] — any derivation that uses at
+//	       least one new edge uses one at some occurrence, so this
+//	       derivative covers them all (set semantics absorbs the
+//	       overlap), with X bound to the old rows;
+//	Δn+1 = φ(Δn) \ X  (the ordinary semi-naive step over the full,
+//	       current graph)
+//
+// until Δ is empty, exactly Algorithm 1 with a warm start. Returns the
+// materialized new result and the number of rows added beyond old.
+//
+// old is shared and read-only (other sessions may be scanning it); the
+// accumulator seeds from it by copy. g.Triples is read live — the caller
+// has snapshotted generations *before* computing, so a write racing the
+// refresh re-stales the entry rather than corrupting it, and extra rows
+// observed mid-scan can only add derivations that remain true.
+func refreshSubResult(ctx context.Context, g *graphgen.Graph, fp *core.Fixpoint, old *core.Relation, delta *core.Relation) (*core.Relation, int64, error) {
+	d, ok := refreshableSubResult(fp)
+	if !ok {
+		// The acquire path gates on the entry's refreshable flag, so this
+		// is unreachable; kept as a cheap invariant for direct callers.
+		return nil, 0, errNotRefreshable
+	}
+	env := core.NewEnv()
+	env.Bind(edgeRel, g.Triples)
+	env.Bind(deltaRel, delta)
+	ev := core.NewEvaluator(env)
+	ev.Ctx = ctx
+	defer ev.Close()
+
+	acc := core.NewAccumulator(old.Cols()...)
+	defer acc.Close()
+	acc.Absorb(old)
+
+	dvar := &core.Var{Name: deltaRel}
+	fresh := core.NewRelation(old.Cols()...)
+	for i, n := 0, core.CountVarOccurrences(d.Const, edgeRel); i < n; i++ {
+		r, err := ev.Eval(core.SubstituteOccurrence(d.Const, edgeRel, i, dvar))
+		if err != nil {
+			return nil, 0, err
+		}
+		fresh.UnionInPlace(acc.AbsorbNew(r))
+	}
+	var derived []core.Term
+	for _, br := range d.PhiBranches {
+		for i, n := 0, core.CountVarOccurrences(br, edgeRel); i < n; i++ {
+			derived = append(derived, core.SubstituteOccurrence(br, edgeRel, i, dvar))
+		}
+	}
+	if len(derived) > 0 {
+		// One φ step of the derivative branches with X := the old rows —
+		// EvalPhiDelta marks X dynamic, so the old relation is only
+		// streamed and probed, never mutated.
+		dd := &core.Decomposed{X: d.X, Const: d.Const, PhiBranches: derived}
+		step, err := ev.EvalPhiDelta(dd, old, env)
+		if err != nil {
+			return nil, 0, err
+		}
+		fresh.UnionInPlace(acc.AbsorbNew(step))
+	}
+
+	added := int64(fresh.Len())
+	nu := fresh
+	for nu.Len() > 0 {
+		if err := core.CtxErr(ctx); err != nil {
+			return nil, 0, err
+		}
+		step, err := ev.EvalPhiDelta(d, nu, env)
+		if err != nil {
+			return nil, 0, err
+		}
+		nu = acc.AbsorbNew(step)
+		added += int64(nu.Len())
+	}
+	return acc.Materialize(), added, nil
+}

@@ -183,9 +183,11 @@ func TestSubResultSingleFlight(t *testing.T) {
 	}
 }
 
-// TestSubResultInvalidationPerPredicate proves the fine-grained
-// invalidation: a write to one predicate drops exactly the sub-results
-// (and plans) that read it, leaving the other predicate's artifacts warm.
+// TestSubResultInvalidationPerPredicate proves the fine-grained staleness
+// tracking: a write to one predicate leaves the other predicate's
+// artifacts warm, and the sub-result that does read the written predicate
+// is upgraded in place from the delta (a refresh hit) rather than dropped
+// and recomputed — with the new edge's consequences present in the rows.
 func TestSubResultInvalidationPerPredicate(t *testing.T) {
 	eng, err := Open(Options{Workers: 2})
 	if err != nil {
@@ -205,6 +207,9 @@ func TestSubResultInvalidationPerPredicate(t *testing.T) {
 	if likesStats.SubResultHits == 0 {
 		t.Errorf("likes sub-result was invalidated by a knows write: %+v", likesStats)
 	}
+	if likesStats.Refreshes != 0 {
+		t.Errorf("likes sub-result claims a refresh after a knows write: %+v", likesStats)
+	}
 	if !likesStats.PlanCacheHit {
 		t.Errorf("likes plan was invalidated by a knows write: %+v", likesStats)
 	}
@@ -212,10 +217,14 @@ func TestSubResultInvalidationPerPredicate(t *testing.T) {
 		t.Fatal("likes query returned nothing")
 	}
 
-	// The knows entry must be stale: recomputed, and the fresh edge visible.
+	// The knows entry is stale by an insert-only delta of a monotone
+	// closure: served as a refresh hit, never evicted or recomputed.
 	knowsAfter, knowsStats := collectSorted(t, eng, qKnows)
-	if knowsStats.SubResultHits != 0 {
-		t.Errorf("stale knows sub-result was served after a knows write: %+v", knowsStats)
+	if knowsStats.SubResultHits == 0 || knowsStats.Refreshes == 0 {
+		t.Errorf("stale knows sub-result was not refreshed in place: %+v", knowsStats)
+	}
+	if knowsStats.RefreshRows == 0 {
+		t.Errorf("refresh added no rows despite a reachable new edge: %+v", knowsStats)
 	}
 	if len(knowsAfter) <= len(knowsBefore) {
 		t.Errorf("knows rows %d not grown by the new edge (before %d)", len(knowsAfter), len(knowsBefore))
@@ -228,10 +237,251 @@ func TestSubResultInvalidationPerPredicate(t *testing.T) {
 		}
 	}
 	if !found {
-		t.Error("recomputed knows result does not reach the new edge")
+		t.Error("refreshed knows result does not reach the new edge")
 	}
-	if cs := eng.SubResultCacheStats(); cs.Invalidations == 0 {
-		t.Errorf("no invalidation recorded: %+v", cs)
+	cs := eng.SubResultCacheStats()
+	if cs.Refreshes == 0 || cs.RefreshRows == 0 {
+		t.Errorf("no refresh recorded engine-wide: %+v", cs)
+	}
+	if cs.Invalidations != 0 {
+		t.Errorf("refreshable entry was invalidated instead of upgraded: %+v", cs)
+	}
+
+	// The refreshed rows must match a from-scratch recompute exactly.
+	iso, err := Open(Options{Workers: 2, DisableSubResultCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer iso.Close()
+	iso.UseGraph(eng.Graph())
+	want, _ := collectSorted(t, iso, qKnows)
+	sameRows(t, "refresh vs recompute", knowsAfter, want)
+}
+
+// TestSubResultRefreshConverges drives several insert rounds through one
+// cached closure — chain extensions, shortcuts, duplicates — asserting
+// after each round that the refreshed rows equal a cache-disabled
+// engine's recompute and that the upgrades keep landing as refresh hits.
+func TestSubResultRefreshConverges(t *testing.T) {
+	g := subTestGraph()
+	eng, err := Open(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.UseGraph(g)
+	iso, err := Open(Options{Workers: 2, DisableSubResultCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer iso.Close()
+	iso.UseGraph(g)
+
+	const q = "?x,?y <- ?x knows+ ?y"
+	collectSorted(t, eng, q) // cold: populate the cache
+
+	var refreshes int64
+	for round := 0; round < 5; round++ {
+		switch round {
+		case 0: // extend the chain tail
+			eng.AddTriple("n40", "knows", "n41")
+		case 1: // long-range shortcut: many new pairs in one edge
+			eng.AddTriple("n39", "knows", "n0")
+		case 2: // duplicate insert: a no-op, caches stay valid
+			eng.AddTriple("n40", "knows", "n41")
+		case 3: // brand-new component
+			eng.AddTriple("z0", "knows", "z1")
+		case 4: // connect the new component to the old graph
+			eng.AddTriple("n41", "knows", "z0")
+		}
+		got, stats := collectSorted(t, eng, q)
+		want, _ := collectSorted(t, iso, q)
+		sameRows(t, fmt.Sprintf("round %d", round), got, want)
+		if stats.SubResultHits == 0 {
+			t.Errorf("round %d: stale entry not served from the cache: %+v", round, stats)
+		}
+		if round == 2 && stats.Refreshes != 0 {
+			t.Errorf("duplicate insert triggered a refresh: %+v", stats)
+		}
+		if round != 2 && stats.Refreshes == 0 {
+			t.Errorf("round %d: stale entry not refreshed in place: %+v", round, stats)
+		}
+		refreshes += stats.Refreshes
+	}
+	cs := eng.SubResultCacheStats()
+	if cs.Refreshes != refreshes || refreshes == 0 {
+		t.Errorf("engine-wide refreshes = %d, want %d (>0): %+v", cs.Refreshes, refreshes, cs)
+	}
+	if cs.Invalidations != 0 {
+		t.Errorf("refresh rounds caused invalidations: %+v", cs)
+	}
+}
+
+// TestSubResultRefreshGate pins the monotonicity gate: closures refresh,
+// terms containing an antijoin or a nested fixpoint do not (their delta
+// is not expressible as an insert-seeded semi-naive resume).
+func TestSubResultRefreshGate(t *testing.T) {
+	edge := core.EdgeRel(edgeRel, core.Value(1))
+	closure := core.ClosureLR("X", edge)
+	if _, ok := refreshableSubResult(closure); !ok {
+		t.Error("plain closure should be refreshable")
+	}
+	anti := &core.Fixpoint{X: "X", Body: &core.Union{
+		L: edge,
+		R: &core.Antijoin{L: core.Compose(&core.Var{Name: "X"}, edge), R: edge},
+	}}
+	if _, ok := refreshableSubResult(anti); ok {
+		t.Error("antijoin body must not be refreshable")
+	}
+	nested := &core.Fixpoint{X: "X", Body: &core.Union{
+		L: closure,
+		R: core.Compose(&core.Var{Name: "X"}, edge),
+	}}
+	if _, ok := refreshableSubResult(nested); ok {
+		t.Error("nested fixpoint must not be refreshable")
+	}
+}
+
+// TestSubResultHasValidatesInFlight is the regression test for the
+// cost-hook staleness bug: has() used to report any in-flight entry as
+// cached without checking its footprint, so after a relevant write the
+// cost model kept pricing a doomed computation at scan cost.
+func TestSubResultHasValidatesInFlight(t *testing.T) {
+	g := graphgen.NewGraph("hasflight")
+	g.Add("a", "p", "b")
+	c := newSubResultCache(0, t.TempDir())
+	term := &core.Var{Name: edgeRel} // wildcard footprint
+
+	_, complete, _, err := c.acquire(context.Background(), g, "k", term)
+	if err != nil || complete == nil {
+		t.Fatalf("leader acquire: complete=%t err=%v", complete != nil, err)
+	}
+	if !c.has("k", g) {
+		t.Error("in-flight entry with a current footprint should price as cached")
+	}
+	// The leader snapshotted before this write, so whatever it publishes
+	// can never validate: the entry is already doomed.
+	g.Add("a", "p", "c")
+	if c.has("k", g) {
+		t.Error("in-flight entry stale against the current graph still priced as cached")
+	}
+	complete(nil, fmt.Errorf("synthetic failure"))
+}
+
+// TestCachedPredicateTracksGraphSwap is the regression test for the
+// captured-graph staleness bug: cachedTermPredicate used to close over
+// e.graph at hook-creation time, so a hook outliving a UseGraph swap
+// validated fingerprints against the retired graph — and because
+// generations are per graph object, the retired and current graphs can
+// agree on every counter, making the mismatch silent. The hook must
+// resolve the engine's graph at call time.
+func TestCachedPredicateTracksGraphSwap(t *testing.T) {
+	eng, err := Open(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	g1 := subTestGraph()
+	g2 := subTestGraph() // same shape: identical generation counts
+	eng.UseGraph(g1)
+
+	// Build the hook while g1 is current, then swap to g2 and warm the
+	// cache under g2.
+	hook := eng.cachedTermPredicate()
+	eng.UseGraph(g2)
+	const q = "?x,?y <- ?x knows+ ?y"
+	collectSorted(t, eng, q)
+
+	// Recover the exact fixpoint term the cache keyed from the optimizer.
+	term, _, _, _, err := eng.optimizeCached(context.Background(), q, eng.queryConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fp *core.Fixpoint
+	core.Walk(term, func(t core.Term) bool {
+		if f, ok := t.(*core.Fixpoint); ok && cacheableFixpoint(f) && fp == nil {
+			fp = f
+		}
+		return fp == nil
+	})
+	if fp == nil {
+		t.Fatal("optimized plan has no cacheable fixpoint")
+	}
+	if !hook(fp) {
+		t.Error("hook created before UseGraph prices against the retired graph object")
+	}
+}
+
+// TestConcurrentRefreshStress is the writers-vs-refresh -race lane: rounds
+// of quiesced insert batches followed by a burst of concurrent queries, so
+// one goroutine leads the in-place upgrade while the others wait on it and
+// serve the refreshed rows — all of which must equal a cache-disabled
+// recompute.
+func TestConcurrentRefreshStress(t *testing.T) {
+	g := subTestGraph()
+	eng, err := Open(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.UseGraph(g)
+	iso, err := Open(Options{Workers: 2, DisableSubResultCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer iso.Close()
+	iso.UseGraph(g)
+
+	const q = "?x,?y <- ?x knows+ ?y"
+	collectSorted(t, eng, q) // populate the cache
+
+	const rounds, readers = 6, 6
+	for round := 0; round < rounds; round++ {
+		// Mutation phase: writers run alone (the graph's documented
+		// contract — mutation is atomic w.r.t. snapshots, not queries).
+		for i := 0; i < 4; i++ {
+			eng.AddTriple(fmt.Sprintf("s%d_%d", round, i), "knows", fmt.Sprintf("s%d_%d", round, i+1))
+		}
+		eng.AddTriple(fmt.Sprintf("n%d", round), "knows", fmt.Sprintf("s%d_0", round))
+
+		want, _ := collectSorted(t, iso, q)
+		var wg sync.WaitGroup
+		rows := make([][]string, readers)
+		errs := make([]error, readers)
+		start := make(chan struct{})
+		for i := 0; i < readers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				res, err := eng.QueryCollect(context.Background(), q)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				out := make([]string, 0, len(res.Rows))
+				for _, r := range res.Rows {
+					out = append(out, strings.Join(r, "\t"))
+				}
+				sort.Strings(out)
+				rows[i] = out
+			}(i)
+		}
+		close(start)
+		wg.Wait()
+		for i := 0; i < readers; i++ {
+			if errs[i] != nil {
+				t.Fatalf("round %d reader %d: %v", round, i, errs[i])
+			}
+			sameRows(t, fmt.Sprintf("round %d reader %d", round, i), rows[i], want)
+		}
+	}
+	cs := eng.SubResultCacheStats()
+	if cs.Refreshes < rounds {
+		t.Errorf("refreshes = %d after %d stale rounds: %+v", cs.Refreshes, rounds, cs)
+	}
+	if cs.Invalidations != 0 {
+		t.Errorf("refresh rounds caused invalidations: %+v", cs)
 	}
 }
 

@@ -1,0 +1,162 @@
+package distmura
+
+import (
+	"context"
+	"strings"
+	"sync"
+
+	"repro/internal/ucrpq"
+)
+
+// This file is the standing-query surface over the live graph: a Watch
+// re-evaluates its query after every engine mutation and delivers the
+// row-level difference. Because evaluation goes through the plan and
+// sub-result caches, an insert-only mutation costs a delta-seeded refresh
+// of the cached fixpoints (subresult_refresh.go) rather than a
+// recomputation — the subscription is the product face of incremental
+// view maintenance.
+
+// WatchDelta is one update from a standing subscription: the result rows
+// that appeared (Added) and disappeared (Removed) since the previous
+// delivery, rendered like Result.Rows, plus the stats of the evaluation
+// that produced them. The first delta of a subscription carries the full
+// initial result in Added (possibly empty — it doubles as the "snapshot
+// established" signal). Removed stays empty under insert-only mutation of
+// a monotone query; UseGraph or non-monotone queries can populate it.
+type WatchDelta struct {
+	Added   [][]string
+	Removed [][]string
+	Stats   QueryStats
+}
+
+// Watch is a standing subscription created by Engine.Watch. Receive
+// deltas from C; when C closes, Err reports the query failure that
+// terminated the subscription (nil after Close or context cancellation).
+type Watch struct {
+	// C delivers one WatchDelta per observed change, coalescing bursts: a
+	// batch of writes arriving while an evaluation runs yields one
+	// re-evaluation, not one per write.
+	C <-chan WatchDelta
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	mu     sync.Mutex
+	err    error
+}
+
+// Close ends the subscription and waits for its goroutine to exit; C is
+// closed. Safe to call more than once.
+func (w *Watch) Close() {
+	w.cancel()
+	<-w.done
+}
+
+// Err returns the error that terminated the subscription: nil while it
+// runs and after a clean shutdown (Close or context cancellation), the
+// evaluation error otherwise.
+func (w *Watch) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Watch runs text as a standing UCRPQ: the subscription first delivers
+// the full initial result, then after every mutation (AddTriple, LoadTSV,
+// UseGraph) re-evaluates the query and delivers the row difference,
+// skipping deltas for mutations that did not change the result. Query
+// options apply to every evaluation. The subscription ends when ctx is
+// cancelled, Close is called, or an evaluation fails (see Watch.Err).
+//
+// A parse error fails Watch itself rather than arriving asynchronously.
+func (e *Engine) Watch(ctx context.Context, text string, opts ...QueryOption) (*Watch, error) {
+	if _, err := ucrpq.ParseUnion(text); err != nil {
+		return nil, err
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	out := make(chan WatchDelta, 1)
+	notify := make(chan struct{}, 1)
+	w := &Watch{C: out, cancel: cancel, done: make(chan struct{})}
+	e.watchMu.Lock()
+	if e.watchers == nil {
+		e.watchers = make(map[chan struct{}]struct{})
+	}
+	e.watchers[notify] = struct{}{}
+	e.watchMu.Unlock()
+	go w.loop(e, wctx, text, opts, out, notify)
+	return w, nil
+}
+
+// notifyWatchers wakes every standing subscription. Each watcher channel
+// has capacity one and the send never blocks, so a burst of writes
+// coalesces into a single pending wakeup per watcher.
+func (e *Engine) notifyWatchers() {
+	e.watchMu.Lock()
+	for ch := range e.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	e.watchMu.Unlock()
+}
+
+// loop is the subscription goroutine: evaluate, diff against the previous
+// result, deliver, sleep until the next mutation wakeup.
+func (w *Watch) loop(e *Engine, ctx context.Context, text string, opts []QueryOption, out chan<- WatchDelta, notify chan struct{}) {
+	defer func() {
+		e.watchMu.Lock()
+		delete(e.watchers, notify)
+		e.watchMu.Unlock()
+		close(out)
+		close(w.done)
+	}()
+	// last maps a canonical row key to the row itself. Keys are rendered
+	// strings, not interned values: UseGraph swaps dictionaries, and the
+	// diff must stay meaningful across the swap.
+	last := map[string][]string{}
+	for first := true; ; first = false {
+		if !first {
+			select {
+			case <-ctx.Done():
+				return
+			case <-notify:
+			}
+		}
+		res, err := e.QueryCollect(ctx, text, opts...)
+		if err != nil {
+			if ctx.Err() == nil {
+				w.mu.Lock()
+				w.err = err
+				w.mu.Unlock()
+			}
+			return
+		}
+		curr := make(map[string][]string, len(res.Rows))
+		var delta WatchDelta
+		for _, row := range res.Rows {
+			k := strings.Join(row, "\x00")
+			if _, dup := curr[k]; dup {
+				continue
+			}
+			curr[k] = row
+			if _, ok := last[k]; !ok {
+				delta.Added = append(delta.Added, row)
+			}
+		}
+		for k, row := range last {
+			if _, ok := curr[k]; !ok {
+				delta.Removed = append(delta.Removed, row)
+			}
+		}
+		last = curr
+		if !first && len(delta.Added) == 0 && len(delta.Removed) == 0 {
+			continue
+		}
+		delta.Stats = res.Stats
+		select {
+		case out <- delta:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package distmura
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// recvDelta waits for one delta with a test-failing timeout.
+func recvDelta(t *testing.T, w *Watch) WatchDelta {
+	t.Helper()
+	select {
+	case d, ok := <-w.C:
+		if !ok {
+			t.Fatalf("watch channel closed: err=%v", w.Err())
+		}
+		return d
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for a watch delta")
+		return WatchDelta{}
+	}
+}
+
+// TestWatchDeliversDeltas drives the standing-query lifecycle: initial
+// snapshot, then per-mutation row deltas served through the refresh path,
+// with irrelevant writes delivering nothing.
+func TestWatchDeliversDeltas(t *testing.T) {
+	eng, err := Open(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.UseGraph(subTestGraph())
+
+	w, err := eng.Watch(context.Background(), "?x,?y <- ?x knows+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	initial := recvDelta(t, w)
+	if len(initial.Added) == 0 || len(initial.Removed) != 0 {
+		t.Fatalf("initial delta = %d added / %d removed, want full snapshot", len(initial.Added), len(initial.Removed))
+	}
+	seen := len(initial.Added)
+
+	// One new edge: the delta is its new reachability pairs, nothing
+	// removed, delivered off a cache refresh rather than a recompute.
+	eng.AddTriple("n40", "knows", "w0")
+	d := recvDelta(t, w)
+	if len(d.Added) == 0 || len(d.Removed) != 0 {
+		t.Fatalf("insert delta = %d added / %d removed, want additions only", len(d.Added), len(d.Removed))
+	}
+	if d.Stats.Refreshes == 0 {
+		t.Errorf("watch re-evaluation did not use the refresh path: %+v", d.Stats)
+	}
+	for _, row := range d.Added {
+		if strings.Join(row, "\t") == "" {
+			t.Fatal("empty delta row")
+		}
+	}
+	seen += len(d.Added)
+
+	// A write to an unrelated predicate changes nothing: no delivery. Use
+	// a follow-up relevant write to prove the silence wasn't lag.
+	eng.AddTriple("m0", "likes", "quiet")
+	eng.AddTriple("w0", "knows", "w1")
+	d2 := recvDelta(t, w)
+	for _, row := range d2.Added {
+		if strings.Contains(strings.Join(row, "\t"), "quiet") {
+			t.Fatal("likes write leaked into a knows watch delta")
+		}
+	}
+	seen += len(d2.Added)
+
+	// The accumulated snapshot must equal a direct query.
+	res, err := eng.QueryCollect(context.Background(), "?x,?y <- ?x knows+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(res.Rows) {
+		t.Errorf("watch accumulated %d rows, direct query has %d", seen, len(res.Rows))
+	}
+
+	w.Close()
+	if _, ok := <-w.C; ok {
+		t.Error("channel still open after Close")
+	}
+	if w.Err() != nil {
+		t.Errorf("clean close reported error: %v", w.Err())
+	}
+}
+
+// TestWatchCoalescesBursts checks that a burst of writes does not queue a
+// delivery per write: the subscription catches up with the net difference.
+func TestWatchCoalescesBursts(t *testing.T) {
+	eng, err := Open(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.UseGraph(subTestGraph())
+
+	w, err := eng.Watch(context.Background(), "?x,?y <- ?x knows+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	recvDelta(t, w) // initial snapshot
+
+	const burst = 10
+	for i := 0; i < burst; i++ {
+		eng.AddTriple(fmt.Sprintf("b%d", i), "knows", fmt.Sprintf("b%d", i+1))
+	}
+
+	added := map[string]bool{}
+	deliveries := 0
+	deadline := time.After(10 * time.Second)
+	for len(added) < burst*(burst+1)/2 {
+		select {
+		case d, ok := <-w.C:
+			if !ok {
+				t.Fatalf("watch ended early: %v", w.Err())
+			}
+			deliveries++
+			for _, row := range d.Added {
+				added[strings.Join(row, "\t")] = true
+			}
+			if len(d.Removed) != 0 {
+				t.Fatalf("burst of inserts removed rows: %v", d.Removed)
+			}
+		case <-deadline:
+			t.Fatalf("collected %d new pairs after %d deliveries, want %d", len(added), deliveries, burst*(burst+1)/2)
+		}
+	}
+	if deliveries > burst {
+		t.Errorf("burst of %d writes took %d deliveries; wakeups did not coalesce", burst, deliveries)
+	}
+
+	// Every accumulated pair appears in a direct query of the final state.
+	res, err := eng.QueryCollect(context.Background(), "?x,?y <- ?x knows+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := map[string]bool{}
+	for _, row := range res.Rows {
+		direct[strings.Join(row, "\t")] = true
+	}
+	keys := make([]string, 0, len(added))
+	for k := range added {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !direct[k] {
+			t.Fatalf("watch delivered row %q absent from the direct result", k)
+		}
+	}
+}
+
+// TestWatchCancellation ends subscriptions via context and checks the
+// parse-error fast path.
+func TestWatchCancellation(t *testing.T) {
+	eng, err := Open(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.UseGraph(subTestGraph())
+
+	if _, err := eng.Watch(context.Background(), "not a query"); err == nil {
+		t.Error("parse error did not fail Watch eagerly")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	w, err := eng.Watch(ctx, "?x,?y <- ?x knows+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvDelta(t, w)
+	cancel()
+	select {
+	case <-w.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscription did not end after context cancellation")
+	}
+	if w.Err() != nil {
+		t.Errorf("context cancellation reported error: %v", w.Err())
+	}
+	// Closing after cancellation is a safe no-op.
+	w.Close()
+}
