@@ -25,7 +25,7 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"closure | spill | faults | incremental | concurrent | fig5 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | queries | all")
+			"closure | spill | faults | incremental | retract | concurrent | fig5 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | queries | all")
 		scaleName = flag.String("scale", "default", "default | test")
 		queryID   = flag.String("query", "Q24", "query for fig15")
 		workers   = flag.Int("workers", 0, "override worker count")
@@ -107,6 +107,9 @@ func main() {
 	}
 	if want("incremental") {
 		run("incremental", func() *benchkit.Table { return benchkit.Incremental(scale) })
+	}
+	if want("retract") {
+		run("retract", func() *benchkit.Table { return benchkit.Retract(scale) })
 	}
 	if want("concurrent") {
 		run("concurrent", func() *benchkit.Table { return benchkit.Concurrent(scale) })

@@ -268,6 +268,19 @@ func (e *Engine) AddTriple(src, pred, trg string) {
 	e.notifyWatchers()
 }
 
+// DeleteTriple removes one labeled edge, reporting whether it was
+// present. Cached recursive results that read the edge's predicate are
+// maintained through DRed retraction on their next use (or evicted when
+// their term cannot be maintained); watchers are notified so maintained
+// subscriptions deliver the retracted derived rows as WatchDelta.Removed.
+func (e *Engine) DeleteTriple(src, pred, trg string) bool {
+	if !e.graph.Delete(src, pred, trg) {
+		return false
+	}
+	e.notifyWatchers()
+	return true
+}
+
 // LoadTSV bulk-loads "src<TAB>pred<TAB>trg" lines, merging them into the
 // engine's graph: triples previously inserted via AddTriple (or earlier
 // LoadTSV calls) are kept, and all identifiers share one dictionary.
@@ -345,9 +358,14 @@ type QueryStats struct {
 	// insert-only writes and were upgraded in place (delta-seeded
 	// semi-naive resume) before being served; RefreshRows is the total
 	// rows those upgrades added. A refreshed fixpoint also counts as a
-	// SubResultHit.
-	Refreshes   int64
-	RefreshRows int64
+	// SubResultHit. When the pending delta carried edge removals, the
+	// upgrade runs DRed first: Retractions counts the cached rows phase 1
+	// over-deleted for this query's refreshes, RederivedRows how many of
+	// those the rederivation phases salvaged.
+	Refreshes     int64
+	RefreshRows   int64
+	Retractions   int64
+	RederivedRows int64
 	// Fault-tolerance outcome: RetryCount is how many epoch-bumped re-runs
 	// this query needed after worker failures, RecoveredWorkers how many
 	// dead workers its retries removed from the membership, and
@@ -807,6 +825,8 @@ func (e *Engine) runOnce(ctx context.Context, term core.Term, cfg queryConfig, e
 		stats.SubResultWaits = prov.waits
 		stats.Refreshes = prov.refreshes
 		stats.RefreshRows = prov.refreshRows
+		stats.Retractions = prov.retractions
+		stats.RederivedRows = prov.rederived
 	}
 	return newRows(e.graph.Dict, rel, stats), nil
 }

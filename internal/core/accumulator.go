@@ -46,6 +46,11 @@ type accShard struct {
 	n      int // logical row count, including frozen rows
 	frozen int // rows evicted to runs (a prefix of the shard)
 	runs   []*accRun
+	// dead marks retracted rows (Retract/RemoveRows) by value. A dead row
+	// stays physically where it is — in the in-memory store or frozen in a
+	// run, which is never rewritten — and is excluded from Has, Len and
+	// Materialize. Re-adding a dead row resurrects it by dropping the mark.
+	dead *Relation
 	// pad the shard to its own cache line(s) so neighboring shard locks do
 	// not false-share.
 	_ [24]byte
@@ -292,13 +297,21 @@ func (a *Accumulator) addLocked(sh *accShard, row []Value, h uint64) bool {
 	inMem := sh.n - sh.frozen
 	sh.set.growFor(inMem + 1)
 	slot, found := sh.set.lookup(h, row, sh.data, a.arity)
-	if found {
-		return false
-	}
-	for _, run := range sh.runs {
-		if run.mayContain(h) && run.contains(h, row) {
-			return false
+	if !found {
+		for _, run := range sh.runs {
+			if run.mayContain(h) && run.contains(h, row) {
+				found = true
+				break
+			}
 		}
+	}
+	if found {
+		// Re-adding a retracted row resurrects it: the row is already
+		// physically present, so dropping the dead mark is the insertion.
+		if sh.dead != nil && sh.dead.Remove(row) {
+			return true
+		}
+		return false
 	}
 	sh.data = append(sh.data, row...)
 	sh.hashes = append(sh.hashes, h)
@@ -306,6 +319,68 @@ func (a *Accumulator) addLocked(sh *accShard, row []Value, h uint64) bool {
 	sh.set.claim(slot, h, int32(inMem+1))
 	a.charge(AccRowBytes(a.arity))
 	return true
+}
+
+// retractLocked marks a present, live row dead (shard lock held),
+// returning false when the row is absent or already dead. The row is not
+// physically removed: in-memory stores stay dense for delta views, and
+// frozen runs are immutable on disk — the mark is the removal.
+func (a *Accumulator) retractLocked(sh *accShard, row []Value, h uint64) bool {
+	_, found := sh.set.lookup(h, row, sh.data, a.arity)
+	if !found {
+		for _, run := range sh.runs {
+			if run.mayContain(h) && run.contains(h, row) {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		return false
+	}
+	if sh.dead == nil {
+		sh.dead = NewRelation(a.cols...)
+	}
+	return sh.dead.addHashed(row, h)
+}
+
+// Retract marks a row removed (set semantics: absent or already-retracted
+// rows are a no-op), returning true if the row was present and live.
+// Spilled runs are honored by marking, never rewritten. A later Add of the
+// same row resurrects it. Safe for concurrent use with Add/Has; callers
+// must not hold DeltaViews windows spanning retracted rows.
+func (a *Accumulator) Retract(row []Value) bool {
+	h := HashValues(row)
+	sh := &a.shards[accShardOf(h)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return a.retractLocked(sh, row, h)
+}
+
+// RemoveRows retracts every row of r, returning how many were present and
+// live — the bulk phase-1 primitive of DRed retraction maintenance.
+func (a *Accumulator) RemoveRows(r *Relation) int {
+	n := 0
+	for i := 0; i < r.Len(); i++ {
+		if a.Retract(r.RowAt(i)) {
+			n++
+		}
+	}
+	return n
+}
+
+// Dead returns how many rows are currently marked retracted.
+func (a *Accumulator) Dead() int {
+	n := 0
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		if sh.dead != nil {
+			n += sh.dead.Len()
+		}
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Add inserts a row (copying its values), returning true if it was new.
@@ -335,6 +410,9 @@ func (a *Accumulator) Has(row []Value) bool {
 	sh := &a.shards[accShardOf(h)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if sh.dead != nil && sh.dead.hasHashed(row, h) {
+		return false
+	}
 	if _, found := sh.set.lookup(h, row, sh.data, a.arity); found {
 		return true
 	}
@@ -346,14 +424,18 @@ func (a *Accumulator) Has(row []Value) bool {
 	return false
 }
 
-// Len returns the number of distinct rows accumulated. Under concurrent
-// insertion it is a momentary snapshot (per-shard consistent).
+// Len returns the number of distinct live rows accumulated (retracted rows
+// excluded). Under concurrent insertion it is a momentary snapshot
+// (per-shard consistent).
 func (a *Accumulator) Len() int {
 	n := 0
 	for i := range a.shards {
 		sh := &a.shards[i]
 		sh.mu.Lock()
 		n += sh.n
+		if sh.dead != nil {
+			n -= sh.dead.Len()
+		}
 		sh.mu.Unlock()
 	}
 	return n
@@ -708,12 +790,13 @@ const parallelMaterializeMin = 1 << 15
 // EvictBelow.
 func (a *Accumulator) Materialize() *Relation {
 	total := 0
-	spilled := false
+	spilled, retracted := false, false
 	for i := range a.shards {
 		total += a.shards[i].n
 		spilled = spilled || len(a.shards[i].runs) > 0
+		retracted = retracted || (a.shards[i].dead != nil && a.shards[i].dead.Len() > 0)
 	}
-	if !spilled && total >= parallelMaterializeMin {
+	if !spilled && !retracted && total >= parallelMaterializeMin {
 		if out := a.materializeParallel(total); out != nil {
 			return out
 		}
@@ -731,9 +814,16 @@ func (a *Accumulator) Materialize() *Relation {
 	}
 	for i := range a.shards {
 		sh := &a.shards[i]
+		dead := sh.dead
+		if dead != nil && dead.Len() == 0 {
+			dead = nil
+		}
 		for _, fr := range sh.runs {
 			sc := &runScanner{r: fr.run}
 			for rec := sc.next(); rec != nil; rec = sc.next() {
+				if dead != nil && dead.hasHashed(rec[1:], uint64(rec[0])) {
+					continue
+				}
 				hashes = append(hashes, uint64(rec[0]))
 				block = append(block, rec[1:]...)
 				if len(hashes) >= runScanChunk {
@@ -742,9 +832,26 @@ func (a *Accumulator) Materialize() *Relation {
 			}
 			flush()
 		}
-		if inMem := sh.n - sh.frozen; inMem > 0 {
-			out.appendUniqueBlock(sh.data[:inMem*arity], sh.hashes[:inMem])
+		inMem := sh.n - sh.frozen
+		if inMem == 0 {
+			continue
 		}
+		if dead == nil {
+			out.appendUniqueBlock(sh.data[:inMem*arity], sh.hashes[:inMem])
+			continue
+		}
+		for r := 0; r < inMem; r++ {
+			row := sh.data[r*arity : (r+1)*arity]
+			if dead.hasHashed(row, sh.hashes[r]) {
+				continue
+			}
+			hashes = append(hashes, sh.hashes[r])
+			block = append(block, row...)
+			if len(hashes) >= runScanChunk {
+				flush()
+			}
+		}
+		flush()
 	}
 	return out
 }

@@ -203,6 +203,42 @@ func (r *Relation) appendUniqueBlock(data []Value, hashes []uint64) {
 	}
 }
 
+// Remove deletes a row by value (swap-remove: the last row moves into the
+// vacated position, so removal is O(1) and the backing array stays dense),
+// returning true if the row was present. Removal follows the same
+// single-writer rule as Add and additionally invalidates outstanding
+// zero-copy views (RowAt, Slice, AsBatch) of the last row, which moves.
+func (r *Relation) Remove(row []Value) bool {
+	if r.readonly {
+		panic("core: remove from a read-only relation view")
+	}
+	if len(row) != len(r.cols) {
+		panic(fmt.Sprintf("core: row arity %d does not match schema %v", len(row), r.cols))
+	}
+	r.ensureSet()
+	a := len(r.cols)
+	h := HashValues(row)
+	slot, found := r.set.lookup(h, row, r.data, a)
+	if !found {
+		return false
+	}
+	idx := int(r.set.slots[slot]) - 1
+	r.set.remove(slot)
+	last := r.n - 1
+	if idx != last {
+		lastRow := r.data[last*a : (last+1)*a]
+		lslot, lfound := r.set.lookup(HashValues(lastRow), lastRow, r.data, a)
+		if !lfound {
+			panic("core: dedup set lost a row during Remove")
+		}
+		copy(r.data[idx*a:(idx+1)*a], lastRow)
+		r.set.reref(lslot, int32(idx+1))
+	}
+	r.data = r.data[:last*a]
+	r.n = last
+	return true
+}
+
 // Has reports whether the relation contains the row.
 func (r *Relation) Has(row []Value) bool { return r.hasHashed(row, HashValues(row)) }
 

@@ -116,6 +116,40 @@ func (s *tupleSet) lookup(h uint64, row []Value, data []Value, arity int) (slot 
 	}
 }
 
+// remove vacates a filled slot, repairing the probe sequences that run
+// through it (backward-shift deletion): entries past the hole whose probe
+// path crosses it are moved back, so lookup never needs tombstones and
+// the table's load never degrades from deletions.
+func (s *tupleSet) remove(slot int) {
+	mask := uint64(len(s.slots) - 1)
+	i := uint64(slot)
+	for {
+		s.slots[i] = 0
+		j := i
+		for {
+			j = (j + 1) & mask
+			if s.slots[j] == 0 {
+				s.n--
+				return
+			}
+			// The entry at j may move into the hole at i only if its ideal
+			// slot is not cyclically inside (i, j] — otherwise the move
+			// would place it before its own probe sequence starts.
+			ideal := s.hashes[j] & mask
+			if (j-ideal)&mask >= (j-i)&mask {
+				s.slots[i] = s.slots[j]
+				s.hashes[i] = s.hashes[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// reref updates the row reference stored in a filled slot (used by
+// swap-remove, where the last row moves into the removed row's position).
+func (s *tupleSet) reref(slot int, ref int32) { s.slots[slot] = ref }
+
 // clone deep-copies the set (slot and hash tables).
 func (s *tupleSet) clone() tupleSet {
 	out := tupleSet{n: s.n}

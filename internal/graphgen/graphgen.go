@@ -34,13 +34,15 @@ import (
 // Graph is a labeled directed graph stored as a triple relation
 // (src, pred, trg) with all identifiers interned in Dict.
 //
-// Mutation (Add/AddV/ReadTSVInto) is serialized under one lock, so
-// concurrent writers are safe with each other — and with the snapshot
-// APIs (Generation, PredGens, DeltasSince), which observe every insertion
-// atomically with its generation bumps. Mutation must still not race with
-// readers scanning Triples directly (query execution): the generation
-// counters only tell caches *that* the graph changed, not that changing
-// it concurrently with a query is safe.
+// Mutation (Add/AddV/Delete/DeleteV/ReadTSVInto) is serialized under one
+// lock, so concurrent writers are safe with each other — and with the
+// snapshot APIs (Generation, PredGens, DeltasSince), which observe every
+// insertion and removal atomically with its generation bumps. Mutation
+// must still not race with readers scanning Triples directly (query
+// execution): the generation counters only tell caches *that* the graph
+// changed, not that changing it concurrently with a query is safe.
+// Deletion swap-removes inside Triples, so it additionally invalidates
+// outstanding row views the way any insertion already could.
 type Graph struct {
 	Name    string
 	Dict    *core.Dict
@@ -62,16 +64,18 @@ type Graph struct {
 	// predMu because Value keys arrive from the dictionary, not a dense
 	// range; the global gen stays the coarse wildcard fallback.
 	//
-	// predLog is the per-predicate change log: predLog[p][k] is the
-	// Triples row index of the insertion that advanced predGens[p] from k
-	// to k+1. Because Triples is append-only and deletion does not exist,
-	// the log slice and the generation counter grow in lockstep (one
-	// entry per genuinely new triple), giving DeltasSince an exact
-	// generations→rows correspondence for delta-seeded refresh of cached
-	// results.
+	// predLog is the per-predicate change log: predLog[p][k] records the
+	// mutation that advanced predGens[p] from k to k+1 — the (src, trg)
+	// endpoints by value plus whether the edge was inserted or removed.
+	// Entries store values, not Triples row indexes: deletion swap-removes
+	// rows, so an index recorded at mutation time would not survive later
+	// deletes. The log slice and the generation counter grow in lockstep
+	// (one entry per genuinely effective mutation), giving DeltasSince an
+	// exact generations→mutations correspondence for delta-seeded refresh
+	// and DRed retraction maintenance of cached results.
 	predMu   sync.RWMutex
 	predGens map[core.Value]uint64
-	predLog  map[core.Value][]int
+	predLog  map[core.Value][]predLogEntry
 
 	// si/pi/ti locate src/pred/trg in the sorted triple schema and rowBuf
 	// is the reused insertion scratch: AddV assembles each triple in place
@@ -81,11 +85,18 @@ type Graph struct {
 	rowBuf     [3]core.Value
 }
 
+// predLogEntry is one change-log record: the mutated edge's endpoints (the
+// predicate is the log's map key) and its direction.
+type predLogEntry struct {
+	src, trg core.Value
+	removed  bool
+}
+
 // Generation returns the mutation counter: it changes whenever a triple is
-// inserted. Plan caches key their entries by it and treat any change as an
-// invalidation (the paper's §III-D plan choice is deterministic per
-// (query, graph statistics), so an unchanged generation makes a cached
-// plan safe to reuse).
+// inserted or removed. Plan caches key their entries by it and treat any
+// change as an invalidation (the paper's §III-D plan choice is
+// deterministic per (query, graph statistics), so an unchanged generation
+// makes a cached plan safe to reuse).
 func (g *Graph) Generation() uint64 {
 	g.predMu.RLock()
 	defer g.predMu.RUnlock()
@@ -140,15 +151,60 @@ func (g *Graph) AddV(src, pred, trg core.Value) {
 	g.rowBuf[g.pi] = pred
 	g.rowBuf[g.ti] = trg
 	if g.Triples.Add(g.rowBuf[:]) {
-		if g.predGens == nil {
-			g.predGens = make(map[core.Value]uint64)
-			g.predLog = make(map[core.Value][]int)
-		}
-		g.predLog[pred] = append(g.predLog[pred], g.Triples.Len()-1)
-		g.predGens[pred]++
-		g.gen.Add(1)
+		g.logLocked(pred, predLogEntry{src: src, trg: trg})
 	}
 	g.predMu.Unlock()
+}
+
+// logLocked appends one change-log entry and bumps both generation
+// counters — the single place the log and the counters advance, so they
+// cannot fall out of lockstep. Called with predMu held.
+func (g *Graph) logLocked(pred core.Value, ent predLogEntry) {
+	if g.predGens == nil {
+		g.predGens = make(map[core.Value]uint64)
+		g.predLog = make(map[core.Value][]predLogEntry)
+	}
+	g.predLog[pred] = append(g.predLog[pred], ent)
+	g.predGens[pred]++
+	g.gen.Add(1)
+}
+
+// Delete removes a triple given as strings, returning whether it was
+// present. Identifiers are looked up, never interned: deleting an edge
+// whose endpoints the graph has never seen is a full no-op.
+func (g *Graph) Delete(src, pred, trg string) bool {
+	s, ok := g.Dict.Lookup(src)
+	if !ok {
+		return false
+	}
+	p, ok := g.Dict.Lookup(pred)
+	if !ok {
+		return false
+	}
+	t, ok := g.Dict.Lookup(trg)
+	if !ok {
+		return false
+	}
+	return g.DeleteV(s, p, t)
+}
+
+// DeleteV removes a triple of already-interned values, returning whether
+// it was present (removing an absent triple is a no-op and advances no
+// generation). The row is swap-removed from Triples, the removal is
+// recorded in the per-predicate change log, and both generation counters
+// bump — all in the one critical section AddV uses, so snapshots never
+// observe a removal without its bumps or vice versa.
+func (g *Graph) DeleteV(src, pred, trg core.Value) bool {
+	g.predMu.Lock()
+	g.rowBuf[g.si] = src
+	g.rowBuf[g.pi] = pred
+	g.rowBuf[g.ti] = trg
+	ok := g.Triples.Remove(g.rowBuf[:])
+	if ok {
+		g.logLocked(pred, predLogEntry{src: src, trg: trg, removed: true})
+	}
+	g.predMu.Unlock()
+	return ok
 }
 
 // PredGen returns the mutation counter of one predicate: it changes
@@ -172,38 +228,53 @@ func (g *Graph) PredGens(preds []core.Value) []uint64 {
 	return out
 }
 
-// DeltasSince returns the triples inserted under the given predicates
-// since the per-predicate generations gens (as previously snapshotted by
-// PredGens, aligned with preds), together with those predicates' current
-// generations. Delta and cur are read in one critical section with any
-// concurrent AddV, so the returned rows are exactly the insertions that
-// advance gens to cur — the graph is insert-only (there is no delete
-// API), so that delta fully describes the change. The result shares the
-// graph's triple schema and interned values.
+// DeltasSince returns the net change to the given predicates since the
+// per-predicate generations gens (as previously snapshotted by PredGens,
+// aligned with preds), together with those predicates' current
+// generations: added holds the triples now present that were not at the
+// snapshot, removed holds the triples present at the snapshot that are
+// gone now. The log is replayed in mutation order, so an edge inserted
+// and deleted inside the window (or vice versa) cancels out and appears
+// in neither delta. Everything is read in one critical section with any
+// concurrent AddV/DeleteV, so added and removed are exactly the net
+// mutations that advance gens to cur. The results share the graph's
+// triple schema and interned values.
 //
 // ok is false when the correspondence cannot be established: gens is
 // misaligned with preds, or records a generation ahead of this graph's
 // (a snapshot taken from a different graph object). Callers then fall
 // back to treating the derived artifact as fully stale.
-func (g *Graph) DeltasSince(preds []core.Value, gens []uint64) (delta *core.Relation, cur []uint64, ok bool) {
+func (g *Graph) DeltasSince(preds []core.Value, gens []uint64) (added, removed *core.Relation, cur []uint64, ok bool) {
 	if len(gens) != len(preds) {
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
-	delta = core.NewRelation(g.Triples.Cols()...)
+	added = core.NewRelation(g.Triples.Cols()...)
+	removed = core.NewRelation(g.Triples.Cols()...)
 	cur = make([]uint64, len(preds))
+	var row [3]core.Value
 	g.predMu.RLock()
 	defer g.predMu.RUnlock()
 	for i, p := range preds {
 		n := g.predGens[p]
 		cur[i] = n
 		if gens[i] > n {
-			return nil, nil, false
+			return nil, nil, nil, false
 		}
-		for _, ri := range g.predLog[p][gens[i]:n] {
-			delta.Add(g.Triples.RowAt(ri))
+		row[g.pi] = p
+		for _, ent := range g.predLog[p][gens[i]:n] {
+			row[g.si], row[g.ti] = ent.src, ent.trg
+			if ent.removed {
+				if !added.Remove(row[:]) {
+					removed.Add(row[:])
+				}
+			} else {
+				if !removed.Remove(row[:]) {
+					added.Add(row[:])
+				}
+			}
 		}
 	}
-	return delta, cur, true
+	return added, removed, cur, true
 }
 
 // Binary extracts the (src, trg) relation of one predicate.

@@ -292,8 +292,8 @@ func TestAddVDuplicateIsNoOp(t *testing.T) {
 	if got := g.PredGen(p); got != 1 {
 		t.Errorf("PredGen = %d, want 1", got)
 	}
-	delta, cur, ok := g.DeltasSince([]core.Value{p}, []uint64{0})
-	if !ok || delta.Len() != 1 || cur[0] != 1 {
+	delta, removed, cur, ok := g.DeltasSince([]core.Value{p}, []uint64{0})
+	if !ok || delta.Len() != 1 || removed.Len() != 0 || cur[0] != 1 {
 		t.Errorf("DeltasSince = (%d rows, cur %v, ok %v), want 1 row at gen 1", delta.Len(), cur, ok)
 	}
 }
@@ -312,7 +312,7 @@ func TestDeltasSince(t *testing.T) {
 	g.Add("x", "q", "y")
 	g.Add("c", "p", "d")
 
-	delta, cur, ok := g.DeltasSince([]core.Value{p, q}, snap)
+	delta, _, cur, ok := g.DeltasSince([]core.Value{p, q}, snap)
 	if !ok {
 		t.Fatal("DeltasSince rejected a valid snapshot")
 	}
@@ -323,15 +323,15 @@ func TestDeltasSince(t *testing.T) {
 		t.Fatalf("delta rows = %d, want 3 (2 p-edges + 1 q-edge)", delta.Len())
 	}
 	// A delta from the current generations is empty.
-	empty, _, ok := g.DeltasSince([]core.Value{p, q}, cur)
+	empty, _, _, ok := g.DeltasSince([]core.Value{p, q}, cur)
 	if !ok || empty.Len() != 0 {
 		t.Errorf("delta from current gens = (%d rows, ok %v), want empty", empty.Len(), ok)
 	}
 	// A snapshot from a different graph (generation ahead) is rejected.
-	if _, _, ok := g.DeltasSince([]core.Value{p}, []uint64{99}); ok {
+	if _, _, _, ok := g.DeltasSince([]core.Value{p}, []uint64{99}); ok {
 		t.Error("DeltasSince accepted a generation ahead of the graph's")
 	}
-	if _, _, ok := g.DeltasSince([]core.Value{p, q}, []uint64{0}); ok {
+	if _, _, _, ok := g.DeltasSince([]core.Value{p, q}, []uint64{0}); ok {
 		t.Error("DeltasSince accepted misaligned gens")
 	}
 }
@@ -368,7 +368,7 @@ func TestAddVAtomicSnapshots(t *testing.T) {
 				default:
 				}
 				snap := g.PredGens(preds)
-				delta, cur, ok := g.DeltasSince(preds, snap)
+				delta, _, cur, ok := g.DeltasSince(preds, snap)
 				if !ok {
 					errs <- "DeltasSince rejected a snapshot taken from the same graph"
 					return
@@ -404,8 +404,119 @@ func TestAddVAtomicSnapshots(t *testing.T) {
 	if got, want := g.PredGen(p), uint64(writers*perWriter); got != want {
 		t.Errorf("PredGen = %d, want %d", got, want)
 	}
-	delta, cur, ok := g.DeltasSince([]core.Value{p}, []uint64{0})
+	delta, _, cur, ok := g.DeltasSince([]core.Value{p}, []uint64{0})
 	if !ok || cur[0] != uint64(writers*perWriter) || delta.Len() != writers*perWriter {
 		t.Errorf("full delta = (%d rows, cur %v, ok %v), want %d rows", delta.Len(), cur, ok, writers*perWriter)
+	}
+}
+
+// TestDeleteSemantics: Delete removes the row, bumps both generation
+// counters in the same critical section as the change-log append, and
+// no-ops (without bumping anything) for absent or never-interned edges.
+func TestDeleteSemantics(t *testing.T) {
+	g := NewGraph("del")
+	g.Add("a", "p", "b")
+	g.Add("b", "p", "c")
+	p, _ := g.Dict.Lookup("p")
+
+	if g.Delete("a", "p", "zzz") {
+		t.Fatal("deleted an edge with a never-interned target")
+	}
+	if g.Delete("a", "p", "c") {
+		t.Fatal("deleted an absent edge of interned identifiers")
+	}
+	if got := g.Generation(); got != 2 {
+		t.Errorf("no-op deletes bumped the generation: %d", got)
+	}
+
+	if !g.Delete("a", "p", "b") {
+		t.Fatal("failed to delete a present edge")
+	}
+	if g.Edges() != 1 {
+		t.Errorf("edges = %d after delete, want 1", g.Edges())
+	}
+	if got := g.Generation(); got != 3 {
+		t.Errorf("Generation = %d after delete, want 3", got)
+	}
+	if got := g.PredGen(p); got != 3 {
+		t.Errorf("PredGen = %d after delete, want 3", got)
+	}
+	if g.Delete("a", "p", "b") {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+// TestDeltasSinceRemoved: the change log distinguishes additions from
+// removals, and replay reduces a window to its net effect — an edge added
+// and deleted inside the window appears in neither delta, an edge deleted
+// and re-added likewise.
+func TestDeltasSinceRemoved(t *testing.T) {
+	g := NewGraph("del-delta")
+	g.Add("a", "p", "b")
+	g.Add("b", "p", "c")
+	g.Add("c", "p", "d")
+	p, _ := g.Dict.Lookup("p")
+	snap := g.PredGens([]core.Value{p})
+
+	g.Delete("a", "p", "b") // net removal
+	g.Add("x", "p", "y")    // net addition
+	g.Add("t", "p", "u")    // cancelled by the next delete
+	g.Delete("t", "p", "u") //
+	g.Delete("b", "p", "c") // cancelled by the next re-add
+	g.Add("b", "p", "c")    //
+
+	added, removed, cur, ok := g.DeltasSince([]core.Value{p}, snap)
+	if !ok {
+		t.Fatal("DeltasSince rejected a valid snapshot")
+	}
+	if cur[0] != snap[0]+6 {
+		t.Errorf("cur = %v, want %d", cur, snap[0]+6)
+	}
+	if added.Len() != 1 || removed.Len() != 1 {
+		t.Fatalf("net delta = +%d/-%d rows, want +1/-1", added.Len(), removed.Len())
+	}
+	// From the current generations both deltas are empty.
+	a2, r2, _, ok := g.DeltasSince([]core.Value{p}, cur)
+	if !ok || a2.Len() != 0 || r2.Len() != 0 {
+		t.Errorf("delta from current gens = +%d/-%d, want empty", a2.Len(), r2.Len())
+	}
+}
+
+// TestDeleteSwapRemoveIntegrity: deleting from the middle of the row
+// store swap-removes (the last row moves into the hole); every surviving
+// edge must stay reachable through the dedup set afterwards.
+func TestDeleteSwapRemoveIntegrity(t *testing.T) {
+	g := NewGraph("del-swap")
+	const n = 200
+	for i := 0; i < n; i++ {
+		g.Add(fmt.Sprintf("v%d", i), "p", fmt.Sprintf("v%d", i+1))
+	}
+	// Delete every third edge, scattered across the store.
+	for i := 0; i < n; i += 3 {
+		if !g.Delete(fmt.Sprintf("v%d", i), "p", fmt.Sprintf("v%d", i+1)) {
+			t.Fatalf("delete of edge %d failed", i)
+		}
+	}
+	si := core.ColIndex(g.Triples.Cols(), core.ColSrc)
+	pi := core.ColIndex(g.Triples.Cols(), core.ColPred)
+	ti := core.ColIndex(g.Triples.Cols(), core.ColTrg)
+	p, _ := g.Dict.Lookup("p")
+	for i := 0; i < n; i++ {
+		want := i%3 != 0
+		src, _ := g.Dict.Lookup(fmt.Sprintf("v%d", i))
+		trg, _ := g.Dict.Lookup(fmt.Sprintf("v%d", i+1))
+		row := make([]core.Value, 3)
+		row[si], row[pi], row[ti] = src, p, trg
+		if got := g.Triples.Has(row); got != want {
+			t.Fatalf("edge %d present=%v, want %v", i, got, want)
+		}
+	}
+	if g.Edges() != n-(n+2)/3 {
+		t.Errorf("edges = %d, want %d", g.Edges(), n-(n+2)/3)
+	}
+	// Deleted edges can be re-added.
+	g.Add("v0", "p", "v1")
+	if g.Edges() != n-(n+2)/3+1 {
+		t.Errorf("re-add after delete failed: edges = %d", g.Edges())
 	}
 }

@@ -8,15 +8,18 @@ import (
 	"strings"
 
 	distmura "repro"
+	"repro/internal/core"
 )
 
-// This file is the differential route for the live-graph refresh path:
-// repeated queries interleaved with fuzzed insert-only batches on two
-// engines sharing one graph — one serving repeats through the sub-result
-// cache (stale entries upgraded in place from the graph's change log),
-// one with the cache disabled (every repeat recomputed from scratch).
-// Any divergence between a refreshed result and its recompute is a bug in
-// the delta-seeded semi-naive resume.
+// This file is the differential route for the live-graph maintenance
+// path: repeated queries interleaved with fuzzed mixed mutation batches
+// (inserts and deletes) on two engines sharing one graph — one serving
+// repeats through the sub-result cache (stale entries upgraded in place
+// from the graph's change log, running DRed retraction first when the
+// pending delta carries removals), one with the cache disabled (every
+// repeat recomputed from scratch). Any divergence between a maintained
+// result and its recompute is a bug in the delete-rederive pass or the
+// delta-seeded semi-naive resume.
 
 // IncrementalOptions bounds one incremental differential run.
 type IncrementalOptions struct {
@@ -27,10 +30,13 @@ type IncrementalOptions struct {
 	// QueriesPerGraph is the number of random queries re-run per graph in
 	// every round, beyond the always-included plain closure (default 3).
 	QueriesPerGraph int
-	// Rounds is the number of insert-batch + re-query rounds per graph
+	// Rounds is the number of mutation-batch + re-query rounds per graph
 	// (default 4).
 	Rounds int
-	// BatchSize is the number of fuzzed insertions per round (default 6).
+	// BatchSize is the number of fuzzed mutations per round (default 6).
+	// Each mutation is drawn from a mix of inserts (new frontier node,
+	// duplicate edge, random edge) and deletes (random existing edge,
+	// edge inserted earlier in the same batch, non-existent edge).
 	BatchSize int
 	// Workers is the cluster size of both engines (default 2).
 	Workers int
@@ -58,10 +64,13 @@ func (o *IncrementalOptions) fill() {
 type IncrementalReport struct {
 	Graphs  int
 	Queries int
-	// Rounds counts (graph, round) insert batches applied; Checks counts
+	// Rounds counts (graph, round) mutation batches applied; Checks counts
 	// (graph, round, query) refresh-vs-recompute comparisons.
 	Rounds int
 	Checks int
+	// Deletes counts edges actually removed across all batches — the
+	// guard that the fuzz mix exercised retraction at all.
+	Deletes int
 	// ResultRows sums the compared result sizes — the guard against a run
 	// that "agrees" only because every result was empty.
 	ResultRows int
@@ -70,6 +79,13 @@ type IncrementalReport struct {
 	// path instead of recomputing everything.
 	Refreshes   int64
 	RefreshRows int64
+	// Retractions / RederivedRows aggregate the DRed passes those
+	// upgrades ran when their deltas carried removals: rows over-deleted
+	// in phase 1 and rows rederived back in phases 2–3. Retractions > 0
+	// proves maintained results flowed through delete-rederive rather
+	// than eviction-plus-recompute.
+	Retractions   int64
+	RederivedRows int64
 }
 
 // sortedRows renders a result as canonical sorted strings.
@@ -141,6 +157,12 @@ func RunIncremental(opts IncrementalOptions) (IncrementalReport, error) {
 			return nil
 		}
 
+		// Row layout of the triple store (columns are schema-sorted, not
+		// (src, pred, trg)), needed to hand RowAt rows back to AddV/DeleteV.
+		si := core.ColIndex(g.G.Triples.Cols(), core.ColSrc)
+		pi := core.ColIndex(g.G.Triples.Cols(), core.ColPred)
+		ti := core.ColIndex(g.G.Triples.Cols(), core.ColTrg)
+
 		runGraph := func() error {
 			// Round 0 populates the caches; later rounds mutate first, so
 			// every repeat hits a stale (or still-valid) entry.
@@ -149,19 +171,48 @@ func RunIncremental(opts IncrementalOptions) (IncrementalReport, error) {
 			}
 			for round := 1; round <= opts.Rounds; round++ {
 				lab := func() string { return g.Labels[rng.Intn(len(g.Labels))] }
+				// Edges inserted earlier in this same batch — candidates
+				// for immediate deletion, so one round's net delta can
+				// carry an add and its cancelling remove.
+				var freshEdges [][3]core.Value
 				for b := 0; b < opts.BatchSize; b++ {
-					switch rng.Intn(4) {
+					switch rng.Intn(8) {
 					case 0: // brand-new node extending the frontier
 						nn := fmt.Sprintf("x%d_%d_%d", gi, round, b)
 						g.G.Add(g.Nodes[rng.Intn(len(g.Nodes))], lab(), nn)
 						g.Nodes = append(g.Nodes, nn)
-					case 1: // duplicate of an existing edge (often a no-op)
+					case 1: // duplicate of an existing edge (a no-op)
 						if g.G.Edges() > 0 {
 							row := g.G.Triples.RowAt(rng.Intn(g.G.Edges()))
-							g.G.AddV(row[0], row[1], row[2])
+							g.G.AddV(row[si], row[pi], row[ti])
+						}
+					case 2, 3: // delete a random existing edge
+						if g.G.Edges() > 0 {
+							row := g.G.Triples.RowAt(rng.Intn(g.G.Edges()))
+							if g.G.DeleteV(row[si], row[pi], row[ti]) {
+								rep.Deletes++
+							}
+						}
+					case 4: // delete an edge inserted earlier in this batch
+						if len(freshEdges) > 0 {
+							e := freshEdges[rng.Intn(len(freshEdges))]
+							if g.G.DeleteV(e[0], e[1], e[2]) {
+								rep.Deletes++
+							}
+						}
+					case 5: // delete a non-existent edge: a complete no-op
+						if g.G.Delete(g.Nodes[rng.Intn(len(g.Nodes))], "no-such-label", g.Nodes[rng.Intn(len(g.Nodes))]) {
+							return fmt.Errorf("round %d: deleting a never-inserted edge reported present", round)
 						}
 					default: // random edge between existing nodes
-						g.G.Add(g.Nodes[rng.Intn(len(g.Nodes))], lab(), g.Nodes[rng.Intn(len(g.Nodes))])
+						src := g.Nodes[rng.Intn(len(g.Nodes))]
+						l := lab()
+						trg := g.Nodes[rng.Intn(len(g.Nodes))]
+						g.G.Add(src, l, trg)
+						s, _ := g.G.Dict.Lookup(src)
+						p, _ := g.G.Dict.Lookup(l)
+						tv, _ := g.G.Dict.Lookup(trg)
+						freshEdges = append(freshEdges, [3]core.Value{s, p, tv})
 					}
 				}
 				rep.Rounds++
@@ -175,6 +226,8 @@ func RunIncremental(opts IncrementalOptions) (IncrementalReport, error) {
 		cs := cached.SubResultCacheStats()
 		rep.Refreshes += cs.Refreshes
 		rep.RefreshRows += cs.RefreshRows
+		rep.Retractions += cs.Retractions
+		rep.RederivedRows += cs.RederivedRows
 		cached.Close()
 		fresh.Close()
 		if err != nil {

@@ -3,12 +3,15 @@ package testkit
 import "testing"
 
 // TestIncrementalRefreshDifferential is the bounded incremental run wired
-// into `go test ./...`: fuzzed insert batches applied between repeated
-// queries, with every cached-engine result compared row-for-row against a
-// from-scratch recompute on a cache-disabled engine sharing the same
-// graph. The Refreshes guard keeps the run honest — if the cached engine
-// never upgraded a stale entry in place, the route degenerated into plain
-// recompute-vs-recompute and proved nothing about the refresh path.
+// into `go test ./...`: fuzzed mixed mutation batches (inserts and
+// deletes interleaved) applied between repeated queries, with every
+// cached-engine result compared row-for-row against a from-scratch
+// recompute on a cache-disabled engine sharing the same graph. The
+// Refreshes guard keeps the run honest — if the cached engine never
+// upgraded a stale entry in place, the route degenerated into plain
+// recompute-vs-recompute and proved nothing about the refresh path — and
+// the Deletes/Retractions guards prove the delete-rederive pass actually
+// ran rather than every removal falling back to eviction.
 func TestIncrementalRefreshDifferential(t *testing.T) {
 	rep, err := RunIncremental(IncrementalOptions{Seed: 20260808})
 	if err != nil {
@@ -24,12 +27,21 @@ func TestIncrementalRefreshDifferential(t *testing.T) {
 	if rep.Refreshes == 0 {
 		t.Fatalf("no cached entry was ever refreshed in place — the route never exercised the delta path: %+v", rep)
 	}
-	t.Logf("incremental: %d graphs, %d queries, %d rounds, %d checks, %d rows, %d refreshes (%d rows seeded)",
-		rep.Graphs, rep.Queries, rep.Rounds, rep.Checks, rep.ResultRows, rep.Refreshes, rep.RefreshRows)
+	if rep.Deletes == 0 {
+		t.Fatalf("the fuzz mix never deleted an edge — the route never exercised retraction: %+v", rep)
+	}
+	if rep.Retractions == 0 {
+		t.Fatalf("no refresh ever ran the delete-rederive pass despite %d deletes: %+v", rep.Deletes, rep)
+	}
+	t.Logf("incremental: %d graphs, %d queries, %d rounds, %d checks, %d deletes, %d rows, %d refreshes (%d rows seeded, %d retracted, %d rederived)",
+		rep.Graphs, rep.Queries, rep.Rounds, rep.Checks, rep.Deletes, rep.ResultRows,
+		rep.Refreshes, rep.RefreshRows, rep.Retractions, rep.RederivedRows)
 }
 
 // TestIncrementalSeeds varies the fuzz seed in short bursts so CI explores
-// different insert/query neighborhoods than the fixed main run.
+// different mutation/query neighborhoods than the fixed main run. Both
+// seeds must exercise the maintenance path end to end: refreshes ran and
+// at least one of them flowed through delete-rederive.
 func TestIncrementalSeeds(t *testing.T) {
 	for _, seed := range []int64{11, 12} {
 		rep, err := RunIncremental(IncrementalOptions{Seed: seed, Graphs: 2, QueriesPerGraph: 2, Rounds: 3})
@@ -38,6 +50,10 @@ func TestIncrementalSeeds(t *testing.T) {
 		}
 		if rep.Checks == 0 || rep.Refreshes == 0 {
 			t.Fatalf("seed %d: degenerate run: %+v", seed, rep)
+		}
+		if rep.Deletes == 0 || rep.Retractions == 0 {
+			t.Fatalf("seed %d: retraction never exercised (deletes=%d retractions=%d): %+v",
+				seed, rep.Deletes, rep.Retractions, rep)
 		}
 	}
 }

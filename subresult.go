@@ -35,17 +35,18 @@ import (
 // `follows` leaves `cites+` sub-results live. Replacing the graph object
 // flushes everything.
 //
-// A stale entry is not necessarily lost work: the graph is insert-only
-// (no delete API exists), so when the entry's term is monotone in the
-// graph and its footprint pins exact predicates, everything the entry
-// holds is still true — it is merely incomplete. acquire then upgrades
-// the entry in place instead of evicting it: it fetches exactly the new
-// edges from the graph's change log (Graph.DeltasSince), seeds a
-// semi-naive delta with their one-step consequences, and resumes the
-// fixpoint from the cached rows to convergence (subresult_refresh.go) —
-// cost proportional to the delta and what it derives, not to the graph.
-// Non-monotone or wildcard entries keep the old behavior: evicted on
-// sight at lookup, recomputed from scratch.
+// A stale entry is not necessarily lost work: when the entry's term is
+// monotone in the graph and its footprint pins exact predicates, acquire
+// upgrades the entry in place instead of evicting it. It fetches the net
+// {added, removed} edge deltas from the graph's change log
+// (Graph.DeltasSince); removed edges retract their transitive
+// consequences by DRed (over-delete, then rederive survivors), and added
+// edges seed a semi-naive delta resumed from the maintained rows to
+// convergence (subresult_refresh.go) — cost proportional to the delta and
+// what it derives or retracts, not to the graph. Non-monotone or wildcard
+// entries keep the old behavior: evicted on sight at lookup, recomputed
+// from scratch — a deletion can therefore never serve a stale entry, it
+// is either maintained through DRed or evicted.
 
 // footprint identifies the graph state a cached artifact (plan or
 // sub-result) was derived from: the graph's identity plus the generation
@@ -141,6 +142,8 @@ type subResultCache struct {
 	invalidations atomic.Int64
 	refreshes     atomic.Int64
 	refreshRows   atomic.Int64
+	retractions   atomic.Int64
+	rederived     atomic.Int64
 }
 
 // newSubResultCache returns a cache whose residency is budgeted at
@@ -172,6 +175,8 @@ type acquireOutcome struct {
 	waited      bool
 	refreshed   bool
 	refreshRows int64
+	retractions int64
+	rederived   int64
 }
 
 // acquire resolves one fingerprint lookup:
@@ -202,9 +207,10 @@ func (c *subResultCache) acquire(ctx context.Context, g *graphgen.Graph, key str
 				c.hits.Add(1)
 				return cur, nil, out, nil
 			}
-			// Stale. Insert-only staleness of a monotone entry is repaired
-			// at delta cost; everything else is evicted on sight.
-			refreshed, rows, rerr := c.refreshLocked(ctx, g, cur, term)
+			// Stale. Staleness of a monotone entry — whether from inserts,
+			// deletes or both — is repaired at delta cost; everything else
+			// is evicted on sight.
+			refreshed, st, rerr := c.refreshLocked(ctx, g, cur, term)
 			if rerr != nil {
 				c.mu.Unlock()
 				return nil, nil, out, rerr
@@ -214,7 +220,9 @@ func (c *subResultCache) acquire(ctx context.Context, g *graphgen.Graph, key str
 				c.mu.Unlock()
 				c.hits.Add(1)
 				out.refreshed = true
-				out.refreshRows += rows
+				out.refreshRows += st.added
+				out.retractions += st.retracted
+				out.rederived += st.rederived
 				return cur, nil, out, nil
 			}
 			if !cur.gone {
@@ -253,30 +261,33 @@ func (c *subResultCache) acquire(ctx context.Context, g *graphgen.Graph, key str
 }
 
 // refreshLocked attempts the in-place upgrade of a stale completed entry:
-// fetch the new edges for the entry's predicates from the graph's change
-// log, resume the fixpoint from the cached rows (subresult_refresh.go),
-// and republish under the generations the delta brings the entry to.
-// Called with c.mu held, returns with c.mu held; the lock is dropped for
-// the computation itself, during which the entry is in the refreshing
-// state (waiters block on done, has() prices it by its already-advanced
-// footprint, the LRU cannot evict it).
+// fetch the net {added, removed} edge deltas for the entry's predicates
+// from the graph's change log, maintain the fixpoint from the cached rows
+// (DRed retraction for removals, semi-naive resume for inserts —
+// subresult_refresh.go), and republish under the generations the delta
+// brings the entry to. Called with c.mu held, returns with c.mu held; the
+// lock is dropped for the computation itself, during which the entry is
+// in the refreshing state (waiters block on done, has() prices it by its
+// already-advanced footprint, the LRU cannot evict it).
 //
 // refreshed is false when the entry does not pass the gate (caller falls
-// back to evict-on-sight) or when the refresh failed non-fatally (the
-// entry has been removed; the caller loops and recomputes from scratch).
+// back to evict-on-sight — a delta containing removals therefore never
+// touches an entry DRed cannot maintain) or when the refresh failed
+// non-fatally (the entry has been removed; the caller loops and
+// recomputes from scratch — a failed maintenance never poisons the slot).
 // err is non-nil only when ctx was cancelled mid-refresh, which must
 // fail the calling query.
-func (c *subResultCache) refreshLocked(ctx context.Context, g *graphgen.Graph, en *subEntry, term core.Term) (refreshed bool, rows int64, err error) {
+func (c *subResultCache) refreshLocked(ctx context.Context, g *graphgen.Graph, en *subEntry, term core.Term) (refreshed bool, st refreshOutcome, err error) {
 	if !en.refreshable || en.fp.wildcard || en.fp.graphID != g.ID() {
-		return false, 0, nil
+		return false, st, nil
 	}
 	fp, ok := term.(*core.Fixpoint)
 	if !ok {
-		return false, 0, nil
+		return false, st, nil
 	}
-	delta, cur, ok := g.DeltasSince(en.fp.preds, en.fp.gens)
+	added, removed, cur, ok := g.DeltasSince(en.fp.preds, en.fp.gens)
 	if !ok {
-		return false, 0, nil
+		return false, st, nil
 	}
 	// Take the refresh lease. The footprint advances to the generations
 	// the delta accounts for *before* computing — the same
@@ -292,7 +303,7 @@ func (c *subResultCache) refreshLocked(ctx context.Context, g *graphgen.Graph, e
 	en.fp.gens = cur
 	c.mu.Unlock()
 
-	rel, added, rerr := refreshSubResult(ctx, g, fp, old, delta)
+	st, rerr := refreshSubResult(ctx, g, fp, old, added, removed)
 
 	c.mu.Lock()
 	done := en.done
@@ -301,30 +312,32 @@ func (c *subResultCache) refreshLocked(ctx context.Context, g *graphgen.Graph, e
 	if en.gone {
 		// Flushed (or the graph was swapped) while refreshing: nothing to
 		// publish; the old charge is settled by removeLocked/release.
-		return false, 0, nil
+		return false, st, nil
 	}
 	if rerr != nil {
 		c.removeLocked(en)
 		c.invalidations.Add(1)
 		if ctx.Err() != nil {
-			return false, 0, rerr
+			return false, st, rerr
 		}
-		return false, 0, nil
+		return false, refreshOutcome{}, nil
 	}
 	// Swap the rows and re-price the slot. Pins taken on the old relation
 	// keep reading it unharmed (relations are immutable once published);
 	// the cache simply accounts for the new resident rows.
 	c.gauge.Release(en.bytes)
 	c.resident.Add(-en.bytes)
-	en.rel = rel
-	en.bytes = subResultBytes(rel)
+	en.rel = st.rel
+	en.bytes = subResultBytes(st.rel)
 	c.gauge.Charge(en.bytes)
 	c.resident.Add(en.bytes)
 	en.elem = c.lru.PushFront(en)
 	c.refreshes.Add(1)
-	c.refreshRows.Add(added)
+	c.refreshRows.Add(st.added)
+	c.retractions.Add(st.retracted)
+	c.rederived.Add(st.rederived)
 	c.evictOverBudgetLocked()
-	return true, added, nil
+	return true, st, nil
 }
 
 // completer returns the leader's publication callback. On success the
@@ -460,8 +473,11 @@ func (c *subResultCache) flush() {
 // Misses computed and published, Evictions left under memory pressure,
 // Invalidations were dropped because a predicate they read mutated (and
 // the entry could not be upgraded), Refreshes were stale entries upgraded
-// in place by a delta-seeded semi-naive resume (RefreshRows = rows those
-// upgrades added; every refresh also counts as a hit).
+// in place by delta maintenance (RefreshRows = rows those upgrades added;
+// every refresh also counts as a hit). Retractions counts the cached rows
+// DRed phase 1 over-deleted when maintaining entries through edge
+// removals, and RederivedRows how many of those rederivation salvaged —
+// their difference is the net rows deletion maintenance removed.
 // Bytes/Entries describe current residency.
 type SubResultCacheStats struct {
 	Hits          int64
@@ -471,6 +487,8 @@ type SubResultCacheStats struct {
 	Invalidations int64
 	Refreshes     int64
 	RefreshRows   int64
+	Retractions   int64
+	RederivedRows int64
 	Bytes         int64
 	Entries       int
 }
@@ -493,6 +511,8 @@ func (e *Engine) SubResultCacheStats() SubResultCacheStats {
 		Invalidations: c.invalidations.Load(),
 		Refreshes:     c.refreshes.Load(),
 		RefreshRows:   c.refreshRows.Load(),
+		Retractions:   c.retractions.Load(),
+		RederivedRows: c.rederived.Load(),
 		Bytes:         c.resident.Load(),
 		Entries:       entries,
 	}
@@ -531,6 +551,8 @@ type subResultProvider struct {
 	waits       int64
 	refreshes   int64
 	refreshRows int64
+	retractions int64
+	rederived   int64
 	pinned      []*subEntry
 }
 
@@ -547,6 +569,8 @@ func (p *subResultProvider) Lookup(fp *core.Fixpoint) (*core.Relation, bool, fun
 	if out.refreshed {
 		p.refreshes++
 		p.refreshRows += out.refreshRows
+		p.retractions += out.retractions
+		p.rederived += out.rederived
 	}
 	if err != nil {
 		return nil, false, nil, err

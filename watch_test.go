@@ -193,3 +193,318 @@ func TestWatchCancellation(t *testing.T) {
 	// Closing after cancellation is a safe no-op.
 	w.Close()
 }
+
+// TestWatchMaintainedRemovals is the maintenance-driven deletion test: a
+// subscription on a maintainable plan must deliver retracted derived rows
+// straight out of DRed (Stats.Plan "maintained", retraction counters set)
+// rather than by re-evaluating and diffing — and rows that survive via an
+// alternative path must not be reported removed.
+func TestWatchMaintainedRemovals(t *testing.T) {
+	eng, err := Open(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.UseGraph(dredDiamond())
+
+	w, err := eng.Watch(context.Background(), "?x,?y <- ?x knows+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	initial := recvDelta(t, w)
+	state := map[string]bool{}
+	for _, row := range initial.Added {
+		state[strings.Join(row, "\t")] = true
+	}
+
+	// Deleting b→d kills (b,d) and (b,e); (a,d) and (a,e) survive via c.
+	if !eng.DeleteTriple("b", "knows", "d") {
+		t.Fatal("edge missing")
+	}
+	d := recvDelta(t, w)
+	if d.Stats.Plan != "maintained" {
+		t.Fatalf("removal delivered by %q, want the maintained path", d.Stats.Plan)
+	}
+	if d.Stats.Retractions == 0 || d.Stats.RederivedRows == 0 {
+		t.Errorf("maintenance counters empty on an alternative-path delete: %+v", d.Stats)
+	}
+	removed := map[string]bool{}
+	for _, row := range d.Removed {
+		removed[strings.Join(row, "\t")] = true
+	}
+	if len(d.Added) != 0 || len(removed) != 2 || !removed["b\td"] || !removed["b\te"] {
+		t.Fatalf("delta = +%v/-%v, want exactly (b,d),(b,e) removed", d.Added, d.Removed)
+	}
+	for _, row := range d.Removed {
+		delete(state, strings.Join(row, "\t"))
+	}
+
+	// A mixed window: a delete and an insert, each landing while the
+	// watcher is quiescent (the sleep lets the delete's maintenance
+	// finish before the insert mutates the graph), delivered as
+	// maintained deltas until the state converges on the direct result.
+	eng.DeleteTriple("d", "knows", "e")
+	time.Sleep(200 * time.Millisecond)
+	eng.AddTriple("c", "knows", "f")
+	res, err := eng.QueryCollect(context.Background(), "?x,?y <- ?x knows+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := map[string]bool{}
+	for _, row := range res.Rows {
+		direct[strings.Join(row, "\t")] = true
+	}
+	for !mapsEqual(state, direct) {
+		d = recvDelta(t, w)
+		if d.Stats.Plan != "maintained" {
+			t.Fatalf("mixed window delivered by %q", d.Stats.Plan)
+		}
+		for _, row := range d.Added {
+			state[strings.Join(row, "\t")] = true
+		}
+		for _, row := range d.Removed {
+			delete(state, strings.Join(row, "\t"))
+		}
+	}
+}
+
+func mapsEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWatchMaintainedCoalescesDeletes: a multi-delete window must reach
+// the subscription as ONE maintained delta carrying the net retraction —
+// the watcher replays the whole change-log window on a single wakeup
+// rather than maintaining delete-by-delete. The batch is applied to the
+// graph directly (no per-write notify) and the final delete goes through
+// the engine, which models a burst whose wakeups coalesced in the
+// one-slot notify channel while keeping the mutations quiescent w.r.t.
+// the watcher (the documented write contract).
+func TestWatchMaintainedCoalescesDeletes(t *testing.T) {
+	eng, err := Open(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	g := subTestGraph()
+	eng.UseGraph(g)
+
+	w, err := eng.Watch(context.Background(), "?x,?y <- ?x knows+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	initial := recvDelta(t, w) // the watcher is now idle on its notify channel
+	state := map[string]bool{}
+	for _, row := range initial.Added {
+		state[strings.Join(row, "\t")] = true
+	}
+
+	// The watcher is idle on its notify channel (the initial delta has
+	// been received and no notify is pending), so mutating the graph
+	// directly is quiescent. Five deletes land in one change-log window;
+	// only the last goes through the engine and fires the wakeup.
+	for i := 0; i < 4; i++ {
+		if !g.Delete(fmt.Sprintf("n%d", 20+i), "knows", fmt.Sprintf("n%d", 21+i)) {
+			t.Fatalf("batch delete %d failed", i)
+		}
+	}
+	if !eng.DeleteTriple("n5", "knows", "n6") {
+		t.Fatal("engine delete failed")
+	}
+
+	d := recvDelta(t, w)
+	if d.Stats.Plan != "maintained" {
+		t.Fatalf("delete window delivered by %q", d.Stats.Plan)
+	}
+	if d.Stats.Retractions == 0 || len(d.Removed) == 0 {
+		t.Fatalf("no retractions in the coalesced window: %+v", d.Stats)
+	}
+	for _, row := range d.Added {
+		state[strings.Join(row, "\t")] = true
+	}
+	for _, row := range d.Removed {
+		delete(state, strings.Join(row, "\t"))
+	}
+	// One delivery covered all five deletes: the accumulated state must
+	// already equal the direct result.
+	res, err := eng.QueryCollect(context.Background(), "?x,?y <- ?x knows+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(state) {
+		t.Fatalf("watch state has %d rows after 1 delivery for 5 deletes, direct query %d", len(state), len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !state[strings.Join(row, "\t")] {
+			t.Fatalf("direct-query row %v missing from watch state", row)
+		}
+	}
+	select {
+	case extra := <-w.C:
+		t.Fatalf("window was split into a second delivery: %+v", extra.Stats)
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+// TestWatchTeardownMidRetraction: Close (and context cancellation) must
+// end the subscription promptly even when a retraction is being
+// maintained or its delivery is blocked, without reporting an error.
+func TestWatchTeardownMidRetraction(t *testing.T) {
+	for _, mode := range []string{"close", "cancel"} {
+		eng, err := Open(Options{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := subTestGraph()
+		eng.UseGraph(g)
+		ctx, cancel := context.WithCancel(context.Background())
+		w, err := eng.Watch(ctx, "?x,?y <- ?x knows+ ?y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One quiesced delete round-trips; the second delete starts a
+		// retraction whose maintenance or delivery is in flight when the
+		// teardown lands (no further writes race the watcher's scan).
+		recvDelta(t, w)
+		eng.DeleteTriple("n10", "knows", "n11")
+		recvDelta(t, w)
+		eng.DeleteTriple("n20", "knows", "n21")
+		if mode == "cancel" {
+			cancel()
+			select {
+			case <-w.done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("cancel did not end the subscription")
+			}
+		}
+		w.Close() // in cancel mode a no-op; in close mode the teardown
+		if w.Err() != nil {
+			t.Errorf("%s teardown mid-retraction reported error: %v", mode, w.Err())
+		}
+		// Drain deliveries already buffered at teardown; the channel must
+		// then report closed.
+		for drained := 0; ; drained++ {
+			if _, ok := <-w.C; !ok {
+				break
+			}
+			if drained > 2 {
+				t.Fatalf("%s: channel still delivering after teardown", mode)
+			}
+		}
+		cancel()
+		eng.Close()
+	}
+}
+
+// TestWatchFallbackForIneligiblePlan: an anchored query's plan contains a
+// projection, which the maintained path refuses (a retraction below a
+// projection does not imply a retraction of the projected row) — the
+// subscription must fall back to re-diff and still deliver exact removals.
+func TestWatchFallbackForIneligiblePlan(t *testing.T) {
+	eng, err := Open(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.UseGraph(subTestGraph())
+
+	w, err := eng.Watch(context.Background(), "?y <- n0 knows+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	initial := recvDelta(t, w)
+	if initial.Stats.Plan == "maintained" {
+		t.Fatal("projection plan entered maintained mode")
+	}
+	state := map[string]bool{}
+	for _, row := range initial.Added {
+		state[strings.Join(row, "\t")] = true
+	}
+
+	// Sever the chain: everything past n4 that is only chain-reachable
+	// from n0 must be removed.
+	eng.DeleteTriple("n4", "knows", "n5")
+	d := recvDelta(t, w)
+	if d.Stats.Plan == "maintained" {
+		t.Fatal("removal on a projection plan claimed the maintained path")
+	}
+	if len(d.Removed) == 0 {
+		t.Fatal("re-diff fallback delivered no removals for a severing delete")
+	}
+	for _, row := range d.Added {
+		state[strings.Join(row, "\t")] = true
+	}
+	for _, row := range d.Removed {
+		delete(state, strings.Join(row, "\t"))
+	}
+	res, err := eng.QueryCollect(context.Background(), "?y <- n0 knows+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(state) {
+		t.Fatalf("watch state has %d rows, direct query %d", len(state), len(res.Rows))
+	}
+}
+
+// TestWatchMaintainedSurvivesGraphSwap: UseGraph invalidates a maintained
+// snapshot (generations are per graph object); the subscription must
+// re-establish and deliver the exact cross-graph difference.
+func TestWatchMaintainedSurvivesGraphSwap(t *testing.T) {
+	eng, err := Open(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.UseGraph(subTestGraph())
+
+	w, err := eng.Watch(context.Background(), "?x,?y <- ?x knows+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	initial := recvDelta(t, w)
+	state := map[string]bool{}
+	for _, row := range initial.Added {
+		state[strings.Join(row, "\t")] = true
+	}
+
+	eng.UseGraph(dredDiamond())
+	d := recvDelta(t, w)
+	if len(d.Removed) == 0 || len(d.Added) == 0 {
+		t.Fatalf("swap to a disjoint graph delivered +%d/-%d rows", len(d.Added), len(d.Removed))
+	}
+	for _, row := range d.Added {
+		state[strings.Join(row, "\t")] = true
+	}
+	for _, row := range d.Removed {
+		delete(state, strings.Join(row, "\t"))
+	}
+	res, err := eng.QueryCollect(context.Background(), "?x,?y <- ?x knows+ ?y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(state) {
+		t.Fatalf("watch state has %d rows after swap, direct query %d", len(state), len(res.Rows))
+	}
+
+	// Maintenance must resume against the new graph.
+	eng.DeleteTriple("b", "knows", "d")
+	d = recvDelta(t, w)
+	if d.Stats.Plan != "maintained" {
+		t.Fatalf("post-swap removal delivered by %q, want maintained", d.Stats.Plan)
+	}
+	if len(d.Removed) != 2 {
+		t.Fatalf("post-swap delete removed %v, want (b,d),(b,e)", d.Removed)
+	}
+}
