@@ -1,0 +1,134 @@
+// Package analysistest runs analyzers over a fixture module and
+// compares their diagnostics against expectations embedded in the
+// fixture sources as trailing comments:
+//
+//	n.ch <- v // want `channel send while holding n\.mu`
+//
+// Each `want` comment carries one or more quoted regular expressions
+// (double- or back-quoted); a diagnostic matches an expectation when it
+// lands on the same file and line and its message matches the pattern.
+// Unexpected diagnostics and unmatched expectations both fail the test,
+// so the fixtures pin the analyzers in both directions: seeded
+// violations must fire, clean counterparts must stay silent.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	text string
+	hits int
+}
+
+// Run loads patterns from dir (a self-contained fixture module with its
+// own go.mod), applies analyzers to every loaded package, and checks
+// the diagnostics against the fixtures' want comments.
+func Run(t *testing.T, dir string, analyzers []*analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("load fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages matched %v under %s", patterns, dir)
+	}
+
+	var wants []*expectation
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		ws, err := collectWants(pkg.Fset, pkg.Files)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.ImportPath, err)
+		}
+		wants = append(wants, ws...)
+		ds, err := analysis.Run(analyzers, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+		if err != nil {
+			t.Fatalf("run analyzers on %s: %v", pkg.ImportPath, err)
+		}
+		diags = append(diags, ds...)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hits++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if w.hits == 0 {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.text)
+		}
+	}
+}
+
+// collectWants extracts the want expectations from every comment in
+// files.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pats, ok := parseWants(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, &expectation{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+						text: p,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseWants pulls the quoted patterns out of a `// want "..." ...`
+// comment; ok is false when the comment is not a want comment.
+func parseWants(comment string) (pats []string, ok bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil, false
+	}
+	rest := strings.TrimSpace(text[len("want "):])
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			break
+		}
+		s, err := strconv.Unquote(q)
+		if err != nil {
+			break
+		}
+		pats = append(pats, s)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	return pats, len(pats) > 0
+}

@@ -1,0 +1,59 @@
+package analysis_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/closecheck"
+	"repro/internal/analysis/ctxloop"
+	"repro/internal/analysis/gaugecharge"
+	"repro/internal/analysis/locksend"
+)
+
+func allAnalyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		closecheck.Analyzer,
+		gaugecharge.Analyzer,
+		ctxloop.Analyzer,
+		locksend.Analyzer,
+	}
+}
+
+// TestFixtures runs all four analyzers over the seeded fixture module
+// and checks their diagnostics against the want comments — in both
+// directions: every seeded violation fires, every clean counterpart
+// (and the stub packages themselves) stays silent.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src"), allAnalyzers(), "fix/...")
+}
+
+// TestMuralintBinaryFlagsFixtures builds the real multichecker binary
+// and points it at the fixture module: it must exit 2 (diagnostics
+// found) and report through all four analyzers. This is the end-to-end
+// proof behind the CI gate — the same binary exiting 0 on the main
+// module is what keeps the repository invariant-clean.
+func TestMuralintBinaryFlagsFixtures(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "muralint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/muralint")
+	build.Dir = filepath.Join("..", "..")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build muralint: %v\n%s", err, out)
+	}
+
+	run := exec.Command(bin, "fix/...")
+	run.Dir = filepath.Join("testdata", "src")
+	out, err := run.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("muralint on seeded fixtures: err=%v, want exit status 2\noutput:\n%s", err, out)
+	}
+	for _, name := range []string{"closecheck", "gaugecharge", "ctxloop", "locksend"} {
+		if !strings.Contains(string(out), name+":") {
+			t.Errorf("muralint output has no %s diagnostics:\n%s", name, out)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package locksend flags blocking channel operations performed while a
+// mutex is held — the deadlock/latency class where a watcher
+// notification or mailbox send under the graph or sub-result cache
+// lock stalls every other session on that lock (and deadlocks outright
+// if the receiver needs the same lock to drain).
+//
+// Held locks are tracked lexically per function: x.Lock()/x.RLock()
+// opens a region closed by x.Unlock()/x.RUnlock(); `defer x.Unlock()`
+// holds to the end of the function. Within a held region the analyzer
+// reports channel sends, bare channel receives, selects without a
+// default clause, and WaitGroup/Cond Wait calls. A select WITH a
+// default case is non-blocking by construction and allowed — that is
+// the sanctioned notify-under-lock idiom.
+package locksend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "locksend",
+	Doc:  "no blocking channel ops while holding a mutex",
+	Run:  run,
+}
+
+// scoped: the lock-heavy shared-state packages.
+func scoped(pkgPath string) bool {
+	for _, suf := range []string{"cluster", "graphgen", "core", "subresult"} {
+		if strings.HasSuffix(pkgPath, suf) {
+			return true
+		}
+	}
+	return !strings.Contains(pkgPath, "/") // root engine package
+}
+
+func run(pass *analysis.Pass) error {
+	if !scoped(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.SourceFiles() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				walkHeld(pass, body.List, map[string]bool{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// mutexOp returns (lock-expression string, isAcquire, ok) when call is
+// a Lock/RLock/Unlock/RUnlock on a sync mutex value.
+func mutexOp(pass *analysis.Pass, call *ast.CallExpr) (string, bool, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return "", false, false
+	}
+	if !isMutex(pass.TypeOf(sel.X)) {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), acquire, true
+}
+
+func isMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "sync") {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// walkHeld processes a statement list with the set of held locks,
+// reporting blocking ops while the set is non-empty. Branch bodies get
+// a copy of the set so a lock taken in one arm doesn't taint the
+// other.
+func walkHeld(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		switch t := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := t.X.(*ast.CallExpr); ok {
+				if lk, acquire, ok := mutexOp(pass, call); ok {
+					if acquire {
+						held[lk] = true
+					} else {
+						delete(held, lk)
+					}
+					continue
+				}
+			}
+			checkBlocking(pass, t.X, held)
+		case *ast.DeferStmt:
+			// defer x.Unlock() releases at return; the lock stays held
+			// for the rest of the body, which is exactly the tracking we
+			// already have (never deleted). Other defers: skip the body.
+			continue
+		case *ast.SendStmt:
+			report(pass, t.Pos(), "channel send", held)
+		case *ast.SelectStmt:
+			if !hasDefault(t) {
+				report(pass, t.Pos(), "blocking select", held)
+			}
+			for _, cl := range t.Body.List {
+				walkHeld(pass, cl.(*ast.CommClause).Body, copyHeld(held))
+			}
+		case *ast.IfStmt:
+			checkBlocking(pass, t.Cond, held)
+			walkHeld(pass, t.Body.List, copyHeld(held))
+			if t.Else != nil {
+				walkHeld(pass, []ast.Stmt{t.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			walkHeld(pass, t.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			checkBlocking(pass, t.X, held)
+			walkHeld(pass, t.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			for _, cl := range t.Body.List {
+				walkHeld(pass, cl.(*ast.CaseClause).Body, copyHeld(held))
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cl := range t.Body.List {
+				walkHeld(pass, cl.(*ast.CaseClause).Body, copyHeld(held))
+			}
+		case *ast.BlockStmt:
+			walkHeld(pass, t.List, held)
+		case *ast.LabeledStmt:
+			walkHeld(pass, []ast.Stmt{t.Stmt}, held)
+		case *ast.GoStmt:
+			// New goroutine: does not inherit the held locks.
+			continue
+		case *ast.AssignStmt:
+			for _, e := range t.Rhs {
+				checkBlocking(pass, e, held)
+			}
+		case *ast.ReturnStmt:
+			for _, e := range t.Results {
+				checkBlocking(pass, e, held)
+			}
+		default:
+			if e, ok := s.(*ast.ExprStmt); ok {
+				checkBlocking(pass, e.X, held)
+			}
+		}
+	}
+}
+
+// checkBlocking looks for receive expressions and Wait() calls inside
+// an expression evaluated while locks are held. Function literals are
+// skipped: they execute later.
+func checkBlocking(pass *analysis.Pass, e ast.Expr, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if t.Op == token.ARROW {
+				report(pass, t.Pos(), "blocking channel receive", held)
+			}
+		case *ast.CallExpr:
+			if sel, ok := t.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				report(pass, t.Pos(), "blocking Wait", held)
+			}
+		}
+		return true
+	})
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cl.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func report(pass *analysis.Pass, pos token.Pos, what string, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	var names []string
+	for k := range held {
+		names = append(names, k)
+	}
+	// Deterministic order for stable diagnostics.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	pass.Reportf(pos, "%s while holding %s", what, strings.Join(names, ", "))
+}

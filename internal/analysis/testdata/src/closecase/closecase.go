@@ -1,0 +1,79 @@
+// Package closecase seeds closecheck violations (and their clean
+// counterparts). Every `want` comment is matched against the analyzer
+// output by internal/analysis/analysistest.
+package closecase
+
+import (
+	"errors"
+
+	"fix/internal/core"
+	"fix/repro"
+)
+
+var errStep = errors.New("step failed")
+
+func step() error { return nil }
+
+// leakNever acquires and never closes on any path.
+func leakNever() {
+	acc := core.NewAccumulator() // want `acc is never closed`
+	acc.Add(1)
+}
+
+// leakOnError closes on the happy path but not on the early error
+// return.
+func leakOnError() error {
+	acc := core.NewAccumulator()
+	if err := step(); err != nil {
+		return err // want `acc is not closed on this return path`
+	}
+	acc.Close()
+	return nil
+}
+
+// dropResult discards the constructor result outright.
+func dropResult() {
+	core.NewAccumulator() // want `result of NewAccumulator is dropped without Close`
+}
+
+// watchRenderLeak mirrors the engine's watch-establish bug: rows were
+// opened, a downstream failure returned early, and the cursor leaked.
+func watchRenderLeak(e *repro.Engine) error {
+	rows, err := e.Query("watch")
+	if err != nil {
+		return err
+	}
+	if rows.Err() != nil {
+		return repro.ErrRender // want `rows is not closed on this return path`
+	}
+	return rows.Close()
+}
+
+// closedByDefer is the idiomatic clean shape: constructor error guard,
+// then defer Close.
+func closedByDefer(e *repro.Engine) error {
+	rows, err := e.Query("q")
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	for rows.Next() {
+	}
+	return rows.Err()
+}
+
+// consumedByCollect releases through the drain-and-close consume API.
+func consumedByCollect(e *repro.Engine) (int, error) {
+	rows, err := e.Query("q")
+	if err != nil {
+		return 0, err
+	}
+	n, err := rows.Collect()
+	return n, err
+}
+
+// handedOff escapes to the caller, which takes ownership.
+func handedOff(e *repro.Engine) (*repro.Rows, error) {
+	rows, err := e.Query("q")
+	return rows, err
+}

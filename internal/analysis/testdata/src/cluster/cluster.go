@@ -1,0 +1,109 @@
+// Package cluster seeds ctxloop and locksend violations: its import
+// path ends in "cluster", which is on both analyzers' scopes.
+package cluster
+
+import (
+	"context"
+	"sync"
+)
+
+var spins int
+
+// spin never looks at its cancellation signal.
+func spin(ctx context.Context) {
+	for { // want `unbounded loop never checks ctx/stop cancellation`
+		spins++
+	}
+}
+
+// pump is the clean counterpart: the loop selects on ctx.Done.
+func pump(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Session is a cancellable handle (it has an Err method).
+type Session struct{ n int }
+
+// Next advances the cursor.
+func (s *Session) Next() bool { return s.n > 0 }
+
+// Err reports the session's cancellation state.
+func (s *Session) Err() error { return nil }
+
+func (s *Session) pending() int { return s.n }
+func (s *Session) step()        { s.n-- }
+
+// drain walks a materialized cursor: the `for Next()` idiom is exempt.
+func drain(s *Session) {
+	for s.Next() {
+		s.step()
+	}
+}
+
+// spinUntilEmpty polls a condition without ever checking cancellation.
+func spinUntilEmpty(s *Session) {
+	for s.pending() > 0 { // want `unbounded loop never checks ctx/stop cancellation`
+		s.step()
+	}
+}
+
+type notifier struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// publish sends on a channel while holding the mutex.
+func (n *notifier) publish(v int) {
+	n.mu.Lock()
+	n.ch <- v // want `channel send while holding n\.mu`
+	n.mu.Unlock()
+}
+
+// publishNonBlocking is the clean counterpart: select with default
+// cannot block under the lock.
+func (n *notifier) publishNonBlocking(v int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case n.ch <- v:
+	default:
+	}
+}
+
+// await blocks on a receive while holding the mutex.
+func (n *notifier) await() int {
+	n.mu.Lock()
+	v := <-n.ch // want `blocking channel receive while holding n\.mu`
+	n.mu.Unlock()
+	return v
+}
+
+// gather blocks on a WaitGroup while holding the mutex.
+func (n *notifier) gather(wg *sync.WaitGroup) {
+	n.mu.Lock()
+	wg.Wait() // want `blocking Wait while holding n\.mu`
+	n.mu.Unlock()
+}
+
+// blockingSelect has no default clause, so it parks under the lock.
+func (n *notifier) blockingSelect(done chan struct{}) {
+	n.mu.Lock()
+	select { // want `blocking select while holding n\.mu`
+	case <-n.ch:
+	case <-done:
+	}
+	n.mu.Unlock()
+}
+
+// release unlocks before sending: clean.
+func (n *notifier) release(v int) {
+	n.mu.Lock()
+	n.mu.Unlock()
+	n.ch <- v
+}

@@ -1,0 +1,61 @@
+// Package core is a miniature stand-in for the engine's core package:
+// just enough surface for the analyzer fixtures to typecheck. The
+// analyzers match tracked types and constructors by package-path
+// suffix, so this stub under the fixture module exercises the same
+// recognition paths as the real repro/internal/core.
+package core
+
+// Relation is an opaque row container.
+type Relation struct{}
+
+// MemGauge is the budget the real constructors charge rows against.
+type MemGauge struct{}
+
+// Env is the evaluator environment.
+type Env struct{}
+
+// Accumulator mirrors the tracked accumulator resource.
+type Accumulator struct{}
+
+// NewAccumulator is the unbudgeted constructor gaugecharge bans on hot
+// paths; closecheck tracks its result.
+func NewAccumulator() *Accumulator { return &Accumulator{} }
+
+// NewAccumulatorBudgeted is the gauge-charging replacement.
+func NewAccumulatorBudgeted(g *MemGauge) *Accumulator { return &Accumulator{} }
+
+// Add inserts one row.
+func (a *Accumulator) Add(v int) {}
+
+// Close releases the accumulator.
+func (a *Accumulator) Close() {}
+
+// JoinIndex mirrors the tracked join-index resource.
+type JoinIndex struct{}
+
+// BuildJoinIndex is the unbudgeted builder gaugecharge bans.
+func BuildJoinIndex(r *Relation) *JoinIndex { return &JoinIndex{} }
+
+// BuildJoinIndexParallel is the unbudgeted parallel builder.
+func BuildJoinIndexParallel(r *Relation) *JoinIndex { return &JoinIndex{} }
+
+// BuildJoinIndexBudgeted is the gauge-charging replacement.
+func BuildJoinIndexBudgeted(r *Relation, g *MemGauge) *JoinIndex { return &JoinIndex{} }
+
+// Close releases the index.
+func (ix *JoinIndex) Close() {}
+
+// Evaluator mirrors the tracked evaluator, whose Gauge field must be
+// assigned before the first Eval.
+type Evaluator struct {
+	Gauge *MemGauge
+}
+
+// NewEvaluator constructs an evaluator with no gauge attached.
+func NewEvaluator(env *Env) *Evaluator { return &Evaluator{} }
+
+// Eval materializes rows; gaugecharge requires Gauge to be set first.
+func (ev *Evaluator) Eval(t any) (*Relation, error) { return &Relation{}, nil }
+
+// Close releases the evaluator.
+func (ev *Evaluator) Close() {}

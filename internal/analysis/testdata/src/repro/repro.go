@@ -1,0 +1,30 @@
+// Package repro is a miniature stand-in for the engine's root package
+// (matched by closecheck through its "repro" path suffix): a Rows
+// cursor and the producer entry point that yields it.
+package repro
+
+import "errors"
+
+// ErrRender stands in for a downstream failure after rows are open.
+var ErrRender = errors.New("render failed")
+
+// Rows is the tracked cursor type.
+type Rows struct{}
+
+// Next advances the cursor.
+func (r *Rows) Next() bool { return false }
+
+// Err reports a deferred iteration error.
+func (r *Rows) Err() error { return nil }
+
+// Close releases the cursor.
+func (r *Rows) Close() error { return nil }
+
+// Collect drains and closes the cursor.
+func (r *Rows) Collect() (int, error) { return 0, nil }
+
+// Engine produces cursors.
+type Engine struct{}
+
+// Query is a Rows-producing entry point closecheck recognizes.
+func (e *Engine) Query(q string) (*Rows, error) { return &Rows{}, nil }

@@ -62,6 +62,9 @@ func Closure(s Scale) *Table {
 			start := time.Now()
 			out, err := ev.Eval(term)
 			elapsed := time.Since(start).Seconds()
+			// Release the evaluator's cached join indexes between reps;
+			// the materialized result is independent of it.
+			ev.Close()
 			if err != nil {
 				t.Add(label, "X", err.Error())
 				recordRun(label, &Result{System: "Dist-µ-RA", Crashed: true, Err: err})

@@ -92,13 +92,16 @@ func Concurrent(s Scale) *Table {
 					if i >= total {
 						return
 					}
-					rows, err := stmts[i%len(stmts)].Run(ctx)
-					if err == nil {
+					err := func() error {
+						rows, err := stmts[i%len(stmts)].Run(ctx)
+						if err != nil {
+							return err
+						}
 						// Drain the cursor: decode is part of serving a query.
 						for rows.Next() {
 						}
-						err = rows.Close()
-					}
+						return rows.Close()
+					}()
 					if err != nil {
 						errMu.Lock()
 						if firstErr == nil {

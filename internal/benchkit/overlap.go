@@ -87,13 +87,16 @@ func ConcurrentOverlap(s Scale) *Table {
 					if i >= total {
 						return
 					}
-					rows, err := stmts[i%len(stmts)].Run(ctx)
-					if err == nil {
+					err := func() error {
+						rows, err := stmts[i%len(stmts)].Run(ctx)
+						if err != nil {
+							return err
+						}
 						for rows.Next() {
 						}
-						err = rows.Close()
 						hits.Add(rows.Stats().SubResultHits)
-					}
+						return rows.Close()
+					}()
 					if err != nil {
 						errMu.Lock()
 						if firstErr == nil {

@@ -498,6 +498,12 @@ func (ctx *Ctx) recvSeq(seq int64) (*DataMsg, error) {
 		}
 	}
 	for {
+		// Under fault injection a dead session can keep receiving stale
+		// duplicate shuffle frames; check the abort signal each turn
+		// rather than relying on recvNode to notice.
+		if err := ctx.sess.Err(); err != nil {
+			return nil, err
+		}
 		msg, err := ctx.sess.recvNode(ctx.w.id, nil)
 		if err != nil {
 			return nil, err
@@ -761,6 +767,11 @@ func (c *Cluster) sendFrames(to int, kind MsgKind, tag, seq int64, from int, id 
 // payloads into dst, until the Last frame.
 func recvFrames(ctx *Ctx, dst *core.Relation, check func(*DataMsg) error) error {
 	for {
+		// Same abort check as recvSeq: don't keep merging frames into a
+		// session that has already failed.
+		if err := ctx.sess.Err(); err != nil {
+			return err
+		}
 		msg, err := ctx.sess.recvNode(ctx.w.id, nil)
 		if err != nil {
 			return err

@@ -228,6 +228,14 @@ func (t *TCPTransport) acceptLoop(node int, l net.Listener) {
 		if err != nil {
 			return
 		}
+		// Close can race the Accept above: don't spawn read loops for
+		// connections that landed after shutdown began.
+		select {
+		case <-t.down:
+			conn.Close()
+			return
+		default:
+		}
 		t.wg.Add(1)
 		go t.readLoop(node, conn)
 	}

@@ -1,0 +1,538 @@
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// This file is the static µ-RA plan verifier: a certifier that any term
+// about to be cached, executed, or emitted by a rewrite is well-formed.
+// It re-derives, independently of core.Schema's error strings, the
+// paper's typing discipline — per-operator column-set/arity inference
+// and the Fcond fixpoint conditions (Definition 1) — and returns typed
+// diagnostics a caller can assert on. AuditRule additionally re-checks
+// that a fired rewrite rule's §III side condition actually held on its
+// input, so a buggy or future rule cannot silently smuggle an unsound
+// plan into the space.
+//
+// Verify is wired into three chokepoints: the rewriter (every rule
+// application is audited before the candidate enters the plan space),
+// the engine (Prepare/Query refuse to admit an unverified term to the
+// plan cache, and QueryTerm-supplied terms are verified before
+// execution), and the testkit differential harness (every fuzzed plan
+// is verified before any route runs it; the VerifierViolations guard
+// must stay zero).
+
+// Code classifies a verifier diagnostic.
+type Code string
+
+const (
+	// CodeMalformed covers structural rot: nil subterms, constant
+	// tuples with skewed column/value arity, unsorted constant columns.
+	CodeMalformed Code = "malformed-term"
+	// CodeUnboundVar is a relation variable with no binding in scope.
+	CodeUnboundVar Code = "unbound-var"
+	// CodeUnionSchema is a union whose operands disagree on columns.
+	CodeUnionSchema Code = "union-schema-mismatch"
+	// CodeFilterColumn is a filter predicate over a missing column.
+	CodeFilterColumn Code = "filter-unknown-column"
+	// CodeRenameSource is a rename whose source column is absent.
+	CodeRenameSource Code = "rename-unknown-source"
+	// CodeRenameCollision is a rename onto an existing column.
+	CodeRenameCollision Code = "rename-target-collision"
+	// CodeDropColumn is an anti-projection of a missing column.
+	CodeDropColumn Code = "antiproject-unknown-column"
+	// CodeFixShadow is a fixpoint binder reusing a name already bound
+	// in scope. Semantically legal, but the engine's enumerators always
+	// use fresh binders, so a shadow marks a generator bug.
+	CodeFixShadow Code = "fixpoint-shadowed-binder"
+	// CodeFixNoConst is a fixpoint with no branch constant in X.
+	CodeFixNoConst Code = "fixpoint-no-constant-part"
+	// CodeFixSchemaDrift is a fixpoint whose body schema differs from
+	// its constant part's (the seed the iteration starts from).
+	CodeFixSchemaDrift Code = "fixpoint-schema-drift"
+	// CodeFixNonPositive is X on the right of an antijoin (Fcond 1).
+	CodeFixNonPositive Code = "fixpoint-nonpositive"
+	// CodeFixNonLinear is X on both sides of a join (Fcond 2).
+	CodeFixNonLinear Code = "fixpoint-nonlinear"
+	// CodeFixMutual is X free inside a differently-bound nested
+	// fixpoint (Fcond 3).
+	CodeFixMutual Code = "fixpoint-mutual-recursion"
+	// CodeRuleSideCond is a fired rewrite rule whose paper side
+	// condition did not hold on the input term.
+	CodeRuleSideCond Code = "rule-side-condition"
+	// CodeRuleSchema is a fired rewrite rule that changed the term's
+	// output schema (every µ-RA rewrite is schema-preserving).
+	CodeRuleSchema Code = "rule-schema-changed"
+)
+
+// Diagnostic is one verifier finding.
+type Diagnostic struct {
+	Code Code
+	// Path locates the offending operator from the root, e.g.
+	// "/filter/fixpoint.body/join.l".
+	Path string
+	// Term is the offending subterm, rendered (possibly truncated).
+	Term string
+	// Detail is the human-readable explanation.
+	Detail string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s at %s: %s (in %s)", d.Code, d.Path, d.Detail, d.Term)
+}
+
+// VerifyError wraps diagnostics as an error for plan-path callers.
+type VerifyError struct {
+	Diags []Diagnostic
+}
+
+func (e *VerifyError) Error() string {
+	if len(e.Diags) == 0 {
+		return "rewrite: verify failed"
+	}
+	parts := make([]string, len(e.Diags))
+	for i, d := range e.Diags {
+		parts[i] = d.String()
+	}
+	return "rewrite: ill-formed plan: " + strings.Join(parts, "; ")
+}
+
+// Verify statically checks t under env and returns all diagnostics
+// (nil when the plan is certified well-formed).
+func Verify(t core.Term, env core.SchemaEnv) []Diagnostic {
+	v := &verifier{}
+	v.check(t, env, "")
+	return v.diags
+}
+
+// VerifyErr is Verify returning a *VerifyError (nil when clean).
+func VerifyErr(t core.Term, env core.SchemaEnv) error {
+	if diags := Verify(t, env); len(diags) > 0 {
+		return &VerifyError{Diags: diags}
+	}
+	return nil
+}
+
+type verifier struct {
+	diags []Diagnostic
+}
+
+func termStr(t core.Term) (s string) {
+	if t == nil {
+		return "<nil>"
+	}
+	// Corrupted terms may not render (ConstTuple.String indexes values
+	// by column); the verifier must still describe them.
+	defer func() {
+		if recover() != nil {
+			s = fmt.Sprintf("<unprintable %T>", t)
+		}
+	}()
+	s = t.String()
+	if r := []rune(s); len(r) > 120 {
+		s = string(r[:117]) + "..."
+	}
+	return s
+}
+
+func (v *verifier) report(code Code, path string, t core.Term, format string, args ...any) {
+	if path == "" {
+		path = "/"
+	}
+	v.diags = append(v.diags, Diagnostic{
+		Code:   code,
+		Path:   path,
+		Term:   termStr(t),
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// check infers t's schema, reporting every violation it can localize.
+// ok=false means cols is unusable and the parent should stop deriving
+// facts from it (but sibling subtrees are still checked).
+func (v *verifier) check(t core.Term, env core.SchemaEnv, path string) (cols []string, ok bool) {
+	if t == nil {
+		v.report(CodeMalformed, path, t, "nil subterm")
+		return nil, false
+	}
+	switch n := t.(type) {
+	case *core.Var:
+		c, bound := env[n.Name]
+		if !bound {
+			v.report(CodeUnboundVar, path, t, "relation variable %q is not bound here", n.Name)
+			return nil, false
+		}
+		return c, true
+
+	case *core.ConstTuple:
+		if len(n.Cols) != len(n.Vals) {
+			v.report(CodeMalformed, path, t, "constant tuple arity skew: %d columns vs %d values", len(n.Cols), len(n.Vals))
+			return nil, false
+		}
+		for i := 1; i < len(n.Cols); i++ {
+			if n.Cols[i-1] >= n.Cols[i] {
+				v.report(CodeMalformed, path, t, "constant tuple columns not sorted/unique: %v", n.Cols)
+				return nil, false
+			}
+		}
+		return n.Cols, true
+
+	case *core.Union:
+		l, lok := v.check(n.L, env, path+"/union.l")
+		r, rok := v.check(n.R, env, path+"/union.r")
+		if lok && rok && !core.ColsEqual(l, r) {
+			v.report(CodeUnionSchema, path, t, "union operands disagree: %v vs %v", l, r)
+			return l, false
+		}
+		return l, lok && rok
+
+	case *core.Join:
+		l, lok := v.check(n.L, env, path+"/join.l")
+		r, rok := v.check(n.R, env, path+"/join.r")
+		if !lok || !rok {
+			return nil, false
+		}
+		return core.ColsUnion(l, r), true
+
+	case *core.Antijoin:
+		l, lok := v.check(n.L, env, path+"/antijoin.l")
+		_, rok := v.check(n.R, env, path+"/antijoin.r")
+		return l, lok && rok
+
+	case *core.Filter:
+		cols, ok := v.check(n.T, env, path+"/filter.in")
+		if !ok {
+			return nil, false
+		}
+		for _, c := range n.Cond.Columns() {
+			if core.ColIndex(cols, c) < 0 {
+				v.report(CodeFilterColumn, path, t, "filter condition uses column %q, not in schema %v", c, cols)
+				ok = false
+			}
+		}
+		return cols, ok
+
+	case *core.Rename:
+		cols, ok := v.check(n.T, env, path+"/rename.in")
+		if !ok {
+			return nil, false
+		}
+		if n.From == n.To {
+			return cols, true
+		}
+		if core.ColIndex(cols, n.From) < 0 {
+			v.report(CodeRenameSource, path, t, "rename source %q not in schema %v", n.From, cols)
+			return nil, false
+		}
+		if core.ColIndex(cols, n.To) >= 0 {
+			v.report(CodeRenameCollision, path, t, "rename target %q already in schema %v", n.To, cols)
+			return nil, false
+		}
+		out := make([]string, 0, len(cols))
+		for _, c := range cols {
+			if c == n.From {
+				c = n.To
+			}
+			out = append(out, c)
+		}
+		return core.SortCols(out), true
+
+	case *core.AntiProject:
+		cols, ok := v.check(n.T, env, path+"/antiproject.in")
+		if !ok {
+			return nil, false
+		}
+		for _, c := range n.Cols {
+			if core.ColIndex(cols, c) < 0 {
+				v.report(CodeDropColumn, path, t, "anti-projection drops column %q, not in schema %v", c, cols)
+				ok = false
+			}
+		}
+		if !ok {
+			return nil, false
+		}
+		return core.ColsMinus(cols, n.Cols), true
+
+	case *core.Fixpoint:
+		return v.checkFixpoint(n, env, path)
+
+	default:
+		v.report(CodeMalformed, path, t, "unknown term node %T", t)
+		return nil, false
+	}
+}
+
+// checkFixpoint enforces binder discipline (fresh binder, a constant
+// seed branch, schema-stable body) and the three Fcond conditions with
+// one typed diagnostic each.
+func (v *verifier) checkFixpoint(fp *core.Fixpoint, env core.SchemaEnv, path string) ([]string, bool) {
+	if _, shadowed := env[fp.X]; shadowed {
+		v.report(CodeFixShadow, path, fp, "fixpoint binder %q shadows a binding already in scope", fp.X)
+		return nil, false
+	}
+
+	// Seed schema: the first union branch constant in X. The body is
+	// then checked branch-by-branch against the seed, so a disagreeing
+	// recursive branch is reported as schema drift (the µ-RA fixpoint
+	// typing rule) rather than as a generic union mismatch.
+	branches := core.UnionBranches(fp.Body)
+	var seed []string
+	seedAt := -1
+	for i, br := range branches {
+		if !core.ContainsVar(br, fp.X) {
+			s, ok := v.check(br, env, fmt.Sprintf("%s/fixpoint.branch[%d]", path, i))
+			if !ok {
+				return nil, false
+			}
+			seed, seedAt = s, i
+			break
+		}
+	}
+	if seedAt < 0 {
+		v.report(CodeFixNoConst, path, fp, "no union branch is constant in %q; the fixpoint has no seed", fp.X)
+		return nil, false
+	}
+
+	bodyEnv := env.With(fp.X, seed)
+	ok := true
+	for i, br := range branches {
+		if i == seedAt {
+			continue
+		}
+		cols, brOK := v.check(br, bodyEnv, fmt.Sprintf("%s/fixpoint.branch[%d]", path, i))
+		if !brOK {
+			ok = false
+			continue
+		}
+		if !core.ColsEqual(cols, seed) {
+			v.report(CodeFixSchemaDrift, path, fp, "branch %d schema %v drifts from constant-part schema %v", i, cols, seed)
+			ok = false
+		}
+	}
+	if !ok {
+		return nil, false
+	}
+
+	ok = v.checkFcond(fp.Body, fp.X, path+"/fixpoint.body")
+	return seed, ok
+}
+
+// checkFcond walks the body reporting Definition-1 violations for the
+// binder x: positivity, linearity, and no mutual recursion.
+func (v *verifier) checkFcond(t core.Term, x string, path string) bool {
+	ok := true
+	switch n := t.(type) {
+	case *core.Antijoin:
+		if core.ContainsVar(n.R, x) {
+			v.report(CodeFixNonPositive, path, t, "recursion variable %q occurs on the right of an antijoin", x)
+			ok = false
+		}
+		if !v.checkFcond(n.L, x, path+"/antijoin.l") {
+			ok = false
+		}
+	case *core.Join:
+		if core.ContainsVar(n.L, x) && core.ContainsVar(n.R, x) {
+			v.report(CodeFixNonLinear, path, t, "recursion variable %q occurs on both sides of a join", x)
+			ok = false
+		}
+		if !v.checkFcond(n.L, x, path+"/join.l") {
+			ok = false
+		}
+		if !v.checkFcond(n.R, x, path+"/join.r") {
+			ok = false
+		}
+	case *core.Fixpoint:
+		if n.X == x {
+			return true // rebinding: inner occurrences are bound
+		}
+		if core.ContainsVar(n, x) {
+			v.report(CodeFixMutual, path, t, "recursion variable %q occurs free inside nested fixpoint µ(%s)", x, n.X)
+			ok = false
+		}
+	default:
+		for _, c := range core.Children(t) {
+			if !v.checkFcond(c, x, path) {
+				ok = false
+			}
+		}
+	}
+	return ok
+}
+
+// AuditRule re-checks, after the named rewrite rule fired turning `in`
+// into `out` under env, that the transformation was sound: the output
+// verifies, the schema is preserved, and — for the rules that push an
+// operator through a fixpoint — the paper's §III side condition
+// actually held on the input. A non-empty result means the candidate
+// must be discarded (and counted) rather than entered into the plan
+// space.
+func AuditRule(name string, in, out core.Term, env core.SchemaEnv) []Diagnostic {
+	if diags := Verify(out, env); len(diags) > 0 {
+		return diags
+	}
+	var diags []Diagnostic
+	inCols, inErr := core.Schema(in, env)
+	outCols, outErr := core.Schema(out, env)
+	if inErr == nil && outErr == nil && !core.ColsEqual(inCols, outCols) {
+		diags = append(diags, Diagnostic{
+			Code: CodeRuleSchema, Path: "/", Term: termStr(out),
+			Detail: fmt.Sprintf("rule %s changed schema %v -> %v", name, inCols, outCols),
+		})
+	}
+	if d, bad := auditSideCondition(name, in, out, env); bad {
+		diags = append(diags, d)
+	}
+	return diags
+}
+
+// auditSideCondition re-derives the per-rule side condition on the
+// input term for the three fixpoint-pushing rules. Rules without extra
+// conditions (the classical pushdowns and compositions) are covered by
+// the schema-preservation and Verify checks alone.
+func auditSideCondition(name string, in, out core.Term, env core.SchemaEnv) (Diagnostic, bool) {
+	fail := func(format string, args ...any) (Diagnostic, bool) {
+		return Diagnostic{Code: CodeRuleSideCond, Path: "/", Term: termStr(in),
+			Detail: fmt.Sprintf("rule %s: ", name) + fmt.Sprintf(format, args...)}, true
+	}
+	switch name {
+	case "filter-into-fixpoint":
+		// σf(µ(X = R ∪ φ)) → µ(X = σf(R) ∪ φ) requires cols(f) ⊆ the
+		// fixpoint's stable columns (§III distributivity).
+		f, ok := in.(*core.Filter)
+		if !ok {
+			return fail("input is not a filter")
+		}
+		fp, ok := f.T.(*core.Fixpoint)
+		if !ok {
+			return fail("filter input is not a fixpoint")
+		}
+		d, err := core.Decompose(fp)
+		if err != nil {
+			return fail("input fixpoint does not decompose: %v", err)
+		}
+		stable, err := core.StableCols(d, env)
+		if err != nil {
+			return fail("stable columns unavailable: %v", err)
+		}
+		if !subset(f.Cond.Columns(), stable) {
+			return fail("filter columns %v not all stable (stable: %v)", f.Cond.Columns(), stable)
+		}
+
+	case "join-into-fixpoint":
+		// B ⋈ µ(X = R ∪ φ) → µ(X = (B ⋈ R) ∪ φ) requires the join
+		// columns stable and B's extra columns untouched by φ
+		// (§III decomposability).
+		j, ok := in.(*core.Join)
+		if !ok {
+			return fail("input is not a join")
+		}
+		if !joinSideConditionHolds(j.L, j.R, env) && !joinSideConditionHolds(j.R, j.L, env) {
+			return fail("no operand orientation satisfies the stable-join/untouched-extra condition")
+		}
+
+	case "antiproject-into-fixpoint":
+		// π̃c(µ(X = R ∪ φ)) → µ(X = π̃c(R) ∪ φ) for the pushed columns c
+		// requires every pushed column untouched by φ.
+		ap, ok := in.(*core.AntiProject)
+		if !ok {
+			return fail("input is not an anti-projection")
+		}
+		fp, ok := ap.T.(*core.Fixpoint)
+		if !ok {
+			return fail("anti-projection input is not a fixpoint")
+		}
+		pushed, ok := pushedAntiProjectCols(out)
+		if !ok {
+			return fail("output does not have the pushed µ(X = π̃(R) ∪ φ) shape")
+		}
+		d, err := core.Decompose(fp)
+		if err != nil {
+			return fail("input fixpoint does not decompose: %v", err)
+		}
+		xCols, err := core.Schema(fp, env)
+		if err != nil {
+			return fail("input fixpoint schema unavailable: %v", err)
+		}
+		envX := env.With(d.X, xCols)
+		for _, c := range pushed {
+			if core.ColIndex(ap.Cols, c) < 0 {
+				return fail("output pushes column %q the input never dropped", c)
+			}
+			for _, br := range d.PhiBranches {
+				if !colsUntouchedByPhi(br, d.X, []string{c}, envX) {
+					return fail("pushed column %q is touched by the recursive part", c)
+				}
+			}
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// joinSideConditionHolds checks the join-into-fixpoint condition for
+// the orientation (b ⋈ fp).
+func joinSideConditionHolds(b, fpTerm core.Term, env core.SchemaEnv) bool {
+	fp, ok := fpTerm.(*core.Fixpoint)
+	if !ok {
+		return false
+	}
+	d, err := core.Decompose(fp)
+	if err != nil {
+		return false
+	}
+	bCols, err := core.Schema(b, env)
+	if err != nil {
+		return false
+	}
+	fpCols, err := core.Schema(fp, env)
+	if err != nil {
+		return false
+	}
+	if core.ContainsVar(b, d.X) {
+		return false
+	}
+	common := core.ColsIntersect(bCols, fpCols)
+	if len(common) == 0 {
+		return false
+	}
+	stable, err := core.StableCols(d, env)
+	if err != nil || !subset(common, stable) {
+		return false
+	}
+	extra := core.ColsMinus(bCols, fpCols)
+	if len(extra) > 0 {
+		envX := env.With(d.X, core.ColsUnion(fpCols, extra))
+		for _, br := range d.PhiBranches {
+			if !colsUntouchedByPhi(br, d.X, extra, envX) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pushedAntiProjectCols extracts, from the output of
+// antiproject-into-fixpoint, the column set that was pushed into the
+// fixpoint's constant part. The output is µ(X = π̃(R) ∪ φ), optionally
+// under a residual outer π̃.
+func pushedAntiProjectCols(out core.Term) ([]string, bool) {
+	t := out
+	if ap, ok := t.(*core.AntiProject); ok {
+		t = ap.T
+	}
+	fp, ok := t.(*core.Fixpoint)
+	if !ok {
+		return nil, false
+	}
+	for _, br := range core.UnionBranches(fp.Body) {
+		if core.ContainsVar(br, fp.X) {
+			continue
+		}
+		if ap, ok := br.(*core.AntiProject); ok {
+			return ap.Cols, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,96 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// randomTerm generates a random µ-RA term — deliberately including
+// ill-formed shapes (unbound variables, schema clashes, captured and
+// shadowed binders) — so the fuzz oracle exercises both verdicts.
+func randomTerm(rng *rand.Rand, depth int, binders []string) core.Term {
+	if depth <= 0 || rng.Intn(6) == 0 {
+		names := []string{"S", "E", "B", "P", "Zombie"}
+		if len(binders) > 0 && rng.Intn(3) == 0 {
+			return &core.Var{Name: binders[rng.Intn(len(binders))]}
+		}
+		if rng.Intn(8) == 0 {
+			return core.NewConstTuple([]string{core.ColSrc, core.ColTrg}, []core.Value{1, 2})
+		}
+		return &core.Var{Name: names[rng.Intn(len(names))]}
+	}
+	sub := func() core.Term { return randomTerm(rng, depth-1, binders) }
+	switch rng.Intn(9) {
+	case 0:
+		return &core.Union{L: sub(), R: sub()}
+	case 1:
+		return &core.Join{L: sub(), R: sub()}
+	case 2:
+		return &core.Antijoin{L: sub(), R: sub()}
+	case 3:
+		cols := []string{core.ColSrc, core.ColTrg, core.ColPred}
+		return &core.Filter{Cond: core.EqConst{Col: cols[rng.Intn(len(cols))], Val: core.Value(rng.Intn(4))}, T: sub()}
+	case 4:
+		cols := []string{core.ColSrc, core.ColTrg, core.ColPred, "m"}
+		return &core.Rename{From: cols[rng.Intn(len(cols))], To: cols[rng.Intn(len(cols))], T: sub()}
+	case 5:
+		cols := []string{core.ColSrc, core.ColTrg, core.ColPred}
+		return &core.AntiProject{Cols: []string{cols[rng.Intn(len(cols))]}, T: sub()}
+	case 6:
+		return core.Compose(sub(), sub())
+	default:
+		// Mostly fresh binders, sometimes a colliding one to probe the
+		// shadow and capture paths.
+		x := []string{"X", "Y", "Z"}[rng.Intn(3)]
+		inner := randomTerm(rng, depth-1, append(append([]string{}, binders...), x))
+		return &core.Fixpoint{X: x, Body: &core.Union{L: sub(), R: inner}}
+	}
+}
+
+// FuzzVerifyExplore is the verifier's fuzz oracle, wired into the CI
+// fuzz smoke next to the parser targets:
+//
+//   - if core.Schema or core.CheckFcondDeep rejects a term, Verify must
+//     report at least one diagnostic (no false negatives);
+//   - if Verify certifies a term, core.Schema and core.CheckFcondDeep
+//     must both accept it (no false positives for the engine contract);
+//   - every plan the rewriter explores from a certified root must
+//     itself be certified, with no sound rule application discarded.
+func FuzzVerifyExplore(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 20260808, -3} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		env := verifyEnv()
+		term := randomTerm(rng, 1+rng.Intn(3), nil)
+		diags := Verify(term, env)
+
+		_, schemaErr := core.Schema(term, env)
+		fcondErr := core.CheckFcondDeep(term)
+		if (schemaErr != nil || fcondErr != nil) && len(diags) == 0 {
+			t.Fatalf("verifier missed a defect in %s\n  schema: %v\n  fcond: %v", term, schemaErr, fcondErr)
+		}
+		if len(diags) == 0 {
+			if schemaErr != nil {
+				t.Fatalf("verifier certified %s but core.Schema rejects it: %v", term, schemaErr)
+			}
+			if fcondErr != nil {
+				t.Fatalf("verifier certified %s but CheckFcondDeep rejects it: %v", term, fcondErr)
+			}
+			rw := NewRewriter(env)
+			rw.MaxPlans = 48
+			for _, p := range rw.Explore(term) {
+				if d := Verify(p, env); len(d) != 0 {
+					t.Fatalf("explored plan fails verification:\n  root %s\n  plan %s\n  %v", term, p, d)
+				}
+			}
+			if rw.AuditViolations != 0 {
+				t.Fatalf("audit discarded %d rule applications from %s; last: %v",
+					rw.AuditViolations, term, rw.LastAudit)
+			}
+		}
+	})
+}

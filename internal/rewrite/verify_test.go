@@ -1,0 +1,324 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// verifyEnv is the schema env the mutation corpus is written against.
+func verifyEnv() core.SchemaEnv {
+	return core.SchemaEnv{
+		"S": {core.ColSrc, core.ColTrg},
+		"E": {core.ColSrc, core.ColTrg},
+		"B": {core.ColTrg},
+		"P": {core.ColPred, core.ColSrc, core.ColTrg},
+	}
+}
+
+// closureFP is the well-formed left-recursive closure µ(X = S ∪ X∘E).
+func closureFP() *core.Fixpoint {
+	return &core.Fixpoint{X: "X", Body: &core.Union{
+		L: &core.Var{Name: "S"},
+		R: core.Compose(&core.Var{Name: "X"}, &core.Var{Name: "E"}),
+	}}
+}
+
+func hasCode(diags []Diagnostic, code Code) bool {
+	for _, d := range diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestVerifyAcceptsWellFormed(t *testing.T) {
+	env := verifyEnv()
+	terms := []core.Term{
+		&core.Var{Name: "S"},
+		core.NewConstTuple([]string{core.ColTrg, core.ColSrc}, []core.Value{1, 2}),
+		closureFP(),
+		&core.Filter{Cond: core.EqConst{Col: core.ColSrc, Val: 3}, T: closureFP()},
+		&core.Join{L: &core.Var{Name: "B"}, R: closureFP()},
+		core.Compose(closureFP(), closureFP()),
+		&core.Antijoin{L: &core.Var{Name: "S"}, R: &core.Var{Name: "E"}},
+	}
+	for _, tm := range terms {
+		if diags := Verify(tm, env); len(diags) != 0 {
+			t.Errorf("well-formed term rejected: %s\n  %v", tm, diags)
+		}
+		if err := VerifyErr(tm, env); err != nil {
+			t.Errorf("VerifyErr on well-formed term: %v", err)
+		}
+	}
+}
+
+// TestVerifyMutations corrupts a well-formed plan in every way the
+// verifier classifies and asserts each mutation yields exactly the
+// right typed diagnostic.
+func TestVerifyMutations(t *testing.T) {
+	env := verifyEnv()
+	cases := []struct {
+		name string
+		term core.Term
+		want Code
+	}{
+		{
+			// σ over a union whose operands disagree in arity.
+			"union arity skew",
+			&core.Union{L: &core.Var{Name: "S"}, R: &core.Var{Name: "B"}},
+			CodeUnionSchema,
+		},
+		{
+			"unbound relation variable",
+			&core.Join{L: &core.Var{Name: "S"}, R: &core.Var{Name: "Zombie"}},
+			CodeUnboundVar,
+		},
+		{
+			"filter on a missing column",
+			&core.Filter{Cond: core.EqConst{Col: core.ColPred, Val: 1}, T: &core.Var{Name: "S"}},
+			CodeFilterColumn,
+		},
+		{
+			"rename of a missing source column",
+			&core.Rename{From: core.ColPred, To: "m", T: &core.Var{Name: "S"}},
+			CodeRenameSource,
+		},
+		{
+			"rename onto an existing column",
+			&core.Rename{From: core.ColSrc, To: core.ColTrg, T: &core.Var{Name: "S"}},
+			CodeRenameCollision,
+		},
+		{
+			"anti-projection of a missing column",
+			&core.AntiProject{Cols: []string{core.ColPred}, T: &core.Var{Name: "S"}},
+			CodeDropColumn,
+		},
+		{
+			// µ(X = S ∪ X⋈X): recursion variable on both join sides.
+			"non-linear recursion",
+			&core.Fixpoint{X: "X", Body: &core.Union{
+				L: &core.Var{Name: "S"},
+				R: &core.Join{L: &core.Var{Name: "X"}, R: &core.Var{Name: "X"}},
+			}},
+			CodeFixNonLinear,
+		},
+		{
+			// µ(X = S ∪ (E ▷ X)): recursion variable negated.
+			"non-positive recursion",
+			&core.Fixpoint{X: "X", Body: &core.Union{
+				L: &core.Var{Name: "S"},
+				R: &core.Antijoin{L: &core.Var{Name: "E"}, R: &core.Var{Name: "X"}},
+			}},
+			CodeFixNonPositive,
+		},
+		{
+			// Outer binder free inside a differently-bound inner fixpoint:
+			// µ(X = S ∪ µ(Y = S ∪ Y∘X)).
+			"mutual recursion",
+			&core.Fixpoint{X: "X", Body: &core.Union{
+				L: &core.Var{Name: "S"},
+				R: &core.Fixpoint{X: "Y", Body: &core.Union{
+					L: &core.Var{Name: "S"},
+					R: core.Compose(&core.Var{Name: "Y"}, &core.Var{Name: "X"}),
+				}},
+			}},
+			CodeFixMutual,
+		},
+		{
+			// µ(X = X∘E): every branch mentions X, nothing seeds it.
+			"no constant part",
+			&core.Fixpoint{X: "X", Body: core.Compose(&core.Var{Name: "X"}, &core.Var{Name: "E"})},
+			CodeFixNoConst,
+		},
+		{
+			// µ(X = S ∪ (X ⋈ P)): the recursive branch widens the schema.
+			"fixpoint schema drift",
+			&core.Fixpoint{X: "X", Body: &core.Union{
+				L: &core.Var{Name: "S"},
+				R: &core.Join{L: &core.Var{Name: "X"}, R: &core.Var{Name: "P"}},
+			}},
+			CodeFixSchemaDrift,
+		},
+		{
+			// µ(X = S ∪ µ(X = S ∪ X∘E)): inner fixpoint rebinds X.
+			"shadowed binder",
+			&core.Fixpoint{X: "X", Body: &core.Union{
+				L: &core.Var{Name: "S"},
+				R: closureFP(),
+			}},
+			CodeFixShadow,
+		},
+		{
+			"constant tuple arity skew",
+			&core.Union{
+				L: &core.Var{Name: "S"},
+				R: &core.ConstTuple{Cols: []string{core.ColSrc, core.ColTrg}, Vals: []core.Value{7}},
+			},
+			CodeMalformed,
+		},
+		{
+			"nil subterm",
+			&core.Filter{Cond: core.EqConst{Col: core.ColSrc, Val: 1}, T: nil},
+			CodeMalformed,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := Verify(tc.term, env)
+			if len(diags) == 0 {
+				t.Fatalf("mutation not caught: %s", tc.term)
+			}
+			if !hasCode(diags, tc.want) {
+				t.Fatalf("wrong diagnostic for %s:\n  want code %s\n  got %v", tc.term, tc.want, diags)
+			}
+			if err := VerifyErr(tc.term, env); err == nil {
+				t.Fatal("VerifyErr returned nil for a corrupted plan")
+			} else if !strings.Contains(err.Error(), string(tc.want)) {
+				t.Fatalf("VerifyErr message lacks code %s: %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestVerifyDiagnosticPath(t *testing.T) {
+	env := verifyEnv()
+	// Bury the defect: the unbound variable sits under filter → join.
+	term := &core.Filter{Cond: core.EqConst{Col: core.ColSrc, Val: 1},
+		T: &core.Join{L: &core.Var{Name: "S"}, R: &core.Var{Name: "Zombie"}}}
+	diags := Verify(term, env)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %v", diags)
+	}
+	if got := diags[0].Path; got != "/filter.in/join.r" {
+		t.Fatalf("path = %q, want /filter.in/join.r", got)
+	}
+}
+
+// TestAuditRuleRejects feeds AuditRule forged rule applications — the
+// output a buggy rule would produce when its side condition is ignored —
+// and asserts each is rejected with the right code.
+func TestAuditRuleRejects(t *testing.T) {
+	env := verifyEnv()
+
+	t.Run("filter pushed on unstable column", func(t *testing.T) {
+		// In the left-recursive closure only src is stable; pushing a trg
+		// filter into the seed is unsound.
+		fp := closureFP()
+		in := &core.Filter{Cond: core.EqConst{Col: core.ColTrg, Val: 1}, T: fp}
+		out := &core.Fixpoint{X: "X", Body: &core.Union{
+			L: &core.Filter{Cond: core.EqConst{Col: core.ColTrg, Val: 1}, T: &core.Var{Name: "S"}},
+			R: core.Compose(&core.Var{Name: "X"}, &core.Var{Name: "E"}),
+		}}
+		diags := AuditRule("filter-into-fixpoint", in, out, env)
+		if !hasCode(diags, CodeRuleSideCond) {
+			t.Fatalf("unsound filter push not rejected: %v", diags)
+		}
+	})
+
+	t.Run("join pushed on unstable column", func(t *testing.T) {
+		fp := closureFP()
+		in := &core.Join{L: &core.Var{Name: "B"}, R: fp} // B joins on trg: unstable
+		out := &core.Fixpoint{X: "X", Body: &core.Union{
+			L: &core.Join{L: &core.Var{Name: "B"}, R: &core.Var{Name: "S"}},
+			R: core.Compose(&core.Var{Name: "X"}, &core.Var{Name: "E"}),
+		}}
+		diags := AuditRule("join-into-fixpoint", in, out, env)
+		if !hasCode(diags, CodeRuleSideCond) {
+			t.Fatalf("unsound join push not rejected: %v", diags)
+		}
+	})
+
+	t.Run("antiproject pushed on touched column", func(t *testing.T) {
+		// µ(X = S ∪ (X ▷ E)): the antijoin consults src, so dropping src
+		// in the seed changes which tuples survive — yet the pushed form
+		// still typechecks, so only the side-condition audit catches it.
+		fp := &core.Fixpoint{X: "X", Body: &core.Union{
+			L: &core.Var{Name: "S"},
+			R: &core.Antijoin{L: &core.Var{Name: "X"}, R: &core.Var{Name: "E"}},
+		}}
+		in := &core.AntiProject{Cols: []string{core.ColSrc}, T: fp}
+		out := &core.Fixpoint{X: "X", Body: &core.Union{
+			L: &core.AntiProject{Cols: []string{core.ColSrc}, T: &core.Var{Name: "S"}},
+			R: &core.Antijoin{L: &core.Var{Name: "X"}, R: &core.Var{Name: "E"}},
+		}}
+		diags := AuditRule("antiproject-into-fixpoint", in, out, env)
+		if !hasCode(diags, CodeRuleSideCond) {
+			t.Fatalf("unsound anti-projection push not rejected: %v", diags)
+		}
+	})
+
+	t.Run("schema-changing rewrite", func(t *testing.T) {
+		in := &core.Filter{Cond: core.EqConst{Col: core.ColSrc, Val: 1}, T: &core.Var{Name: "S"}}
+		out := &core.AntiProject{Cols: []string{core.ColTrg}, T: &core.Var{Name: "S"}}
+		diags := AuditRule("filter-merge", in, out, env)
+		if !hasCode(diags, CodeRuleSchema) {
+			t.Fatalf("schema change not rejected: %v", diags)
+		}
+	})
+
+	t.Run("ill-formed output", func(t *testing.T) {
+		in := &core.Var{Name: "S"}
+		out := &core.Join{L: &core.Var{Name: "S"}, R: &core.Var{Name: "Zombie"}}
+		diags := AuditRule("compose-assoc", in, out, env)
+		if !hasCode(diags, CodeUnboundVar) {
+			t.Fatalf("ill-formed output not rejected: %v", diags)
+		}
+	})
+
+	t.Run("legitimate application passes", func(t *testing.T) {
+		fp := closureFP()
+		in := &core.Filter{Cond: core.EqConst{Col: core.ColSrc, Val: 1}, T: fp}
+		rw := NewRewriter(env)
+		outs := ruleFilterIntoFixpoint(rw, in, env)
+		if len(outs) == 0 {
+			t.Fatal("rule did not fire")
+		}
+		for _, out := range outs {
+			if diags := AuditRule("filter-into-fixpoint", in, out, env); len(diags) != 0 {
+				t.Fatalf("legitimate application rejected: %v", diags)
+			}
+		}
+	})
+}
+
+// TestExplorePlansAllVerify explores the full rule set from
+// representative roots and asserts every emitted plan verifies clean and
+// no candidate was discarded by the audit.
+func TestExplorePlansAllVerify(t *testing.T) {
+	env := verifyEnv()
+	// eClosure is E+ in the shape reverse-closure and the composition
+	// folds recognize, so these roots produce rich plan spaces.
+	eClosure := func() core.Term {
+		return &core.Fixpoint{X: "X", Body: &core.Union{
+			L: &core.Var{Name: "E"},
+			R: core.Compose(&core.Var{Name: "X"}, &core.Var{Name: "E"}),
+		}}
+	}
+	roots := []core.Term{
+		&core.Filter{Cond: core.EqConst{Col: core.ColSrc, Val: 3}, T: eClosure()},
+		&core.Join{L: &core.Var{Name: "S"}, R: eClosure()},
+		core.Compose(eClosure(), eClosure()),
+		&core.AntiProject{Cols: []string{core.ColTrg}, T: closureFP()},
+	}
+	totalPlans := 0
+	for _, root := range roots {
+		rw := NewRewriter(env)
+		plans := rw.Explore(root)
+		totalPlans += len(plans)
+		for _, p := range plans {
+			if diags := Verify(p, env); len(diags) != 0 {
+				t.Errorf("explored plan fails verification:\n  %s\n  %v", p, diags)
+			}
+		}
+		if rw.AuditViolations != 0 {
+			t.Errorf("audit discarded %d candidates from %s; last: %v",
+				rw.AuditViolations, root, rw.LastAudit)
+		}
+	}
+	if totalPlans < len(roots)+4 {
+		t.Fatalf("exploration degenerate: %d plans across %d roots", totalPlans, len(roots))
+	}
+}

@@ -26,8 +26,15 @@ func TestDifferentialAllPlans(t *testing.T) {
 		t.Fatalf("degenerate run: %d result rows, %d fixpoint iterations — queries did no work",
 			rep.ResultRows, rep.Iterations)
 	}
-	t.Logf("differential: %d graphs, %d queries, %d plan combos, %d result rows, %d iterations",
-		rep.Graphs, rep.Queries, rep.Combos, rep.ResultRows, rep.Iterations)
+	if rep.VerifierViolations != 0 {
+		t.Fatalf("static verifier reported %d violations across the run", rep.VerifierViolations)
+	}
+	if rep.VerifiedPlans < rep.Queries {
+		t.Fatalf("verifier certified only %d plans for %d queries — the certification sweep went missing",
+			rep.VerifiedPlans, rep.Queries)
+	}
+	t.Logf("differential: %d graphs, %d queries, %d plan combos, %d result rows, %d iterations, %d plans verified",
+		rep.Graphs, rep.Queries, rep.Combos, rep.ResultRows, rep.Iterations, rep.VerifiedPlans)
 }
 
 // TestDifferentialTCPTransport runs one differential case over real
@@ -90,6 +97,9 @@ func TestDifferentialFaultRoute(t *testing.T) {
 	}
 	if rep.FaultRetries == 0 {
 		t.Fatalf("no fault-route query ever retried — injected kills never landed: %+v", rep)
+	}
+	if rep.VerifierViolations != 0 {
+		t.Fatalf("static verifier reported %d violations on the fault run", rep.VerifierViolations)
 	}
 	t.Logf("fault differential: %d routes, %d retried", rep.FaultRoutes, rep.FaultRetries)
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graphgen"
 	"repro/internal/physical"
+	"repro/internal/rewrite"
 	"repro/internal/rpq"
 	"repro/internal/ucrpq"
 )
@@ -250,6 +251,13 @@ type Report struct {
 	// than finishing every query before the kill phase.
 	FaultRoutes  int
 	FaultRetries int
+	// VerifiedPlans counts plans certified by the static verifier
+	// (rewrite.Verify) during the run: the translated term of every fuzzed
+	// query plus its explored rewrite space. VerifierViolations counts
+	// verifier diagnostics and rewrite-audit discards; the harness fails
+	// on the first one, so a finished run must report it as 0.
+	VerifiedPlans      int
+	VerifierViolations int
 }
 
 // RunDifferential runs the harness under the given options, returning a
@@ -334,12 +342,40 @@ func runCase(c *cluster.Cluster, g *Graph, query string, opts Options, rep *Repo
 	if err != nil {
 		return nil, fmt.Errorf("translate: %w", err)
 	}
+	// Static certification before anything executes: the translated term
+	// and its whole (bounded) rewrite space must pass the µ-RA plan
+	// verifier, and no rule application may be discarded by the rewrite
+	// audit. The engine re-verifies on its own paths; this check covers
+	// the planner routes that bypass the engine.
+	senv := core.SchemaEnv{"G": g.G.Triples.Cols()}
+	if diags := rewrite.Verify(term, senv); len(diags) > 0 {
+		rep.VerifierViolations += len(diags)
+		return nil, fmt.Errorf("verifier rejected translated term: %v", diags)
+	}
+	rep.VerifiedPlans++
+	rw := rewrite.NewRewriter(senv)
+	rw.MaxPlans = 64 // bounded: certification sweep, not plan selection
+	for i, p := range rw.Explore(term) {
+		if i == 0 {
+			continue // the root, verified above
+		}
+		if diags := rewrite.Verify(p, senv); len(diags) > 0 {
+			rep.VerifierViolations += len(diags)
+			return nil, fmt.Errorf("verifier rejected rewritten plan %s: %v", p, diags)
+		}
+		rep.VerifiedPlans++
+	}
+	if rw.AuditViolations > 0 {
+		rep.VerifierViolations += rw.AuditViolations
+		return nil, fmt.Errorf("rewrite audit discarded %d candidates: %v", rw.AuditViolations, rw.LastAudit)
+	}
 	env := core.NewEnv()
 	env.Bind("G", g.G.Triples)
 
 	// Route 1: the seed's materializing evaluator — the reference
 	// semantics every other route must reproduce. Always unbudgeted.
 	ref := core.NewEvaluator(env)
+	defer ref.Close()
 	ref.Materializing = true
 	ref.MaxIter = maxIter
 	want, err := ref.Eval(term)

@@ -213,6 +213,10 @@ func (e *Engine) watchEstablish(ctx context.Context, text string, opts []QueryOp
 	if err != nil {
 		return nil, nil, QueryStats{}, false, err
 	}
+	// The cursor is consumed here, not handed to the subscriber: only
+	// the materialized relation outlives this call. Close it on every
+	// path — including the render-failure return below.
+	defer rows.Close()
 	m = &watchMaintained{g: g, fp: fp, wrap: wrap, preds: fpt.preds, gens: fpt.gens, rel: rows.rel}
 	full, err = m.render(rows.rel)
 	if err != nil {
